@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: output-stationary vs weight-stationary dataflow (the paper
+ * implements OS and lists WS as future work). Runs each model
+ * single-core under both dataflows and compares end-to-end cycles and
+ * PE utilization. Expected shape: WS favors tall GEMMs (large M, e.g.
+ * batched MLPs), OS favors deep reductions (large K convs); skinny
+ * M=1 RNN steps collapse under WS because every weight fold streams a
+ * single row.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Ablation: output-stationary vs weight-stationary",
+                options);
+
+    std::printf("\n%-8s %14s %14s %10s %10s %8s\n", "model", "OS cycles",
+                "WS cycles", "OS util", "WS util", "WS/OS");
+    for (const auto &model : modelNames()) {
+        double cycles[2];
+        double utils[2];
+        int index = 0;
+        for (Dataflow dataflow : {Dataflow::OutputStationary,
+                                  Dataflow::WeightStationary}) {
+            ArchConfig arch = options.archConfig();
+            arch.dataflow = dataflow;
+            ExperimentContext context(arch, NpuMemConfig::cloudNpu(),
+                                      options.scale());
+            const CoreResult &result = context.idealResult(model, 1);
+            cycles[index] = static_cast<double>(result.localCycles);
+            utils[index] = result.peUtilization;
+            ++index;
+        }
+        std::printf("%-8s %14.0f %14.0f %9.1f%% %9.1f%% %8.3f\n",
+                    model.c_str(), cycles[0], cycles[1],
+                    100.0 * utils[0], 100.0 * utils[1],
+                    cycles[1] / cycles[0]);
+        progress(options, "  %s done", model.c_str());
+    }
+    std::printf("\nWS/OS < 1 means weight stationary is faster for that "
+                "model on this architecture.\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: walker-pool management policies beyond the paper's
+ * Static/Shared dichotomy — the misc_config Bounded mode (per-core
+ * min/max) and a DWS-style Stealing mode (static quotas, steal while
+ * the other core is idle; Pratheek et al., HPCA'21, discussed in
+ * §2.2). All run with DRAM shared so only the PTW policy varies.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Ablation: PTW pool policies (dual-core, DRAM shared)",
+                options);
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    const std::uint32_t total = context.mem().ptwPerNpu * 2;
+
+    const auto &names = modelNames();
+    auto mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), 2);
+    auto chosen = sampleIndices(mixes.size(), options.all ? 0 : 12);
+
+    struct Policy
+    {
+        const char *label;
+        SharingLevel level;
+        std::optional<std::vector<std::uint32_t>> quota;
+        std::optional<std::vector<std::uint32_t>> min, max;
+        bool stealing = false;
+    };
+    const std::vector<Policy> policies = {
+        {"static", SharingLevel::ShareD, std::nullopt, std::nullopt,
+         std::nullopt, false},
+        {"bounded", SharingLevel::ShareDW,
+         std::nullopt, std::vector<std::uint32_t>{2, 2},
+         std::vector<std::uint32_t>{total - 2, total - 2}, false},
+        {"stealing", SharingLevel::ShareDW, std::nullopt, std::nullopt,
+         std::nullopt, true},
+        {"shared", SharingLevel::ShareDW, std::nullopt, std::nullopt,
+         std::nullopt, false},
+    };
+
+    std::printf("\n%-10s%12s%12s\n", "policy", "perf(geo)", "fair(geo)");
+    for (const Policy &policy : policies) {
+        std::vector<double> perfs, fairs;
+        for (std::size_t index : chosen) {
+            SystemConfig config;
+            config.level = policy.level;
+            config.ptwQuota = policy.quota;
+            config.ptwMin = policy.min;
+            config.ptwMax = policy.max;
+            config.ptwStealing = policy.stealing;
+            MixOutcome outcome = context.runMix(
+                config, {names[mixes[index][0]], names[mixes[index][1]]});
+            perfs.push_back(outcome.geomeanSpeedup);
+            fairs.push_back(outcome.fairnessValue);
+        }
+        std::printf("%-10s%12.3f%12.3f\n", policy.label, geomean(perfs),
+                    geomean(fairs));
+        progress(options, "  %s done", policy.label);
+    }
+    std::printf("\nstealing approximates shared throughput while keeping "
+                "static-quota protection when both cores burst.\n");
+    return 0;
+}

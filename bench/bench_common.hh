@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration benches: option parsing,
+ * context construction, the dual/quad sharing-level sweeps reused by
+ * several figures, and table printing.
+ *
+ * Every bench accepts:
+ *   --full     published model sizes + Table 2 cloud NPU (slow!)
+ *   --all      no sampling (e.g. all 330 quad mixes)
+ *   --sample N sampled mix count when not --all (default varies)
+ *   --quiet    suppress progress on stderr
+ */
+
+#ifndef MNPU_BENCH_BENCH_COMMON_HH
+#define MNPU_BENCH_BENCH_COMMON_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "analysis/metrics.hh"
+#include "analysis/mixes.hh"
+#include "common/logging.hh"
+#include "sim/multi_core_system.hh"
+#include "workloads/models.hh"
+
+namespace mnpu::bench
+{
+
+struct BenchOptions
+{
+    bool full = false;
+    bool all = false;
+    std::uint32_t sample = 48;
+    bool quiet = false;
+
+    ModelScale scale() const
+    {
+        return full ? ModelScale::Full : ModelScale::Mini;
+    }
+    ArchConfig archConfig() const
+    {
+        return full ? ArchConfig::cloudNpu() : ArchConfig::miniNpu();
+    }
+};
+
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--full") {
+            options.full = true;
+        } else if (arg == "--all") {
+            options.all = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+            setQuiet(true);
+        } else if (arg == "--sample" && i + 1 < argc) {
+            options.sample =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--full] [--all] [--sample N] "
+                         "[--quiet]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+inline void
+progress(const BenchOptions &options, const char *format, ...)
+{
+    if (options.quiet)
+        return;
+    va_list args;
+    va_start(args, format);
+    std::vfprintf(stderr, format, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+/** Deterministically pick up to @p count indices spread over [0, n). */
+inline std::vector<std::size_t>
+sampleIndices(std::size_t n, std::size_t count)
+{
+    std::vector<std::size_t> picked;
+    if (count == 0 || count >= n) {
+        picked.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            picked[i] = i;
+        return picked;
+    }
+    picked.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        picked.push_back(i * n / count);
+    return picked;
+}
+
+/** The four contended sharing levels, Static first. */
+inline const std::vector<SharingLevel> &
+sharingLevels()
+{
+    static const std::vector<SharingLevel> levels = {
+        SharingLevel::Static, SharingLevel::ShareD, SharingLevel::ShareDW,
+        SharingLevel::ShareDWT};
+    return levels;
+}
+
+/** Results of a full k-core mix sweep across sharing levels. */
+struct SweepResult
+{
+    // mixes[i] = model indices of mix i; outcomes[level][i].
+    std::vector<std::vector<std::uint32_t>> mixes;
+    std::map<SharingLevel, std::vector<MixOutcome>> outcomes;
+};
+
+/**
+ * Run every (sampled) size-@p k mix of the 8 models at each sharing
+ * level. @p patch is applied to the SystemConfig of every run (page
+ * size overrides etc. go through the context's mem instead).
+ */
+inline SweepResult
+runMixSweep(ExperimentContext &context, std::uint32_t k,
+            const BenchOptions &options,
+            const std::vector<SharingLevel> &levels = sharingLevels())
+{
+    const auto &names = modelNames();
+    auto mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), k);
+    std::vector<std::vector<std::uint32_t>> chosen;
+    for (std::size_t index :
+         sampleIndices(mixes.size(), options.all ? 0 : options.sample)) {
+        chosen.push_back(mixes[index]);
+    }
+
+    SweepResult result;
+    result.mixes = chosen;
+    std::size_t run = 0;
+    for (SharingLevel level : levels) {
+        auto &outcomes = result.outcomes[level];
+        outcomes.reserve(chosen.size());
+        for (const auto &mix : chosen) {
+            std::vector<std::string> models;
+            for (auto model_index : mix)
+                models.push_back(names[model_index]);
+            SystemConfig config;
+            config.level = level;
+            outcomes.push_back(context.runMix(config, models));
+            ++run;
+            if (run % 16 == 0) {
+                progress(options, "  ... %zu / %zu runs", run,
+                         chosen.size() * levels.size());
+            }
+        }
+    }
+    return result;
+}
+
+/** Mix label like "alex+yt". */
+inline std::string
+mixLabel(const std::vector<std::uint32_t> &mix)
+{
+    std::string label;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        if (i)
+            label += "+";
+        label += modelNames()[mix[i]];
+    }
+    return label;
+}
+
+inline void
+printHeader(const char *title, const BenchOptions &options)
+{
+    std::printf("=== %s ===\n", title);
+    std::printf("scale: %s models, %s\n",
+                options.full ? "full" : "mini",
+                options.full ? "cloud NPU (Table 2)" : "mini NPU profile");
+}
+
+} // namespace mnpu::bench
+
+#endif // MNPU_BENCH_BENCH_COMMON_HH

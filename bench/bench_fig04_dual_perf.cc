@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 4: per-workload geometric-mean speedup across all 36 dual-core
+ * mixes under Static / +D / +DW / +DWT, normalized to Ideal. Also
+ * prints the §4.2.1 headline aggregates for the dual-core case:
+ * paper: +D reaches 75.5% of Ideal; +DW improves +D by 13.2%; +DWT is
+ * within 1% of +DW; all sharing levels beat Static.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    options.all = true; // 36 dual mixes are cheap; never sample
+    printHeader("Figure 4: dual-core performance by sharing level",
+                options);
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    SweepResult sweep = runMixSweep(context, 2, options);
+
+    const auto &names = modelNames();
+    std::printf("\n%-8s", "model");
+    for (SharingLevel level : sharingLevels())
+        std::printf("%10s", toString(level));
+    std::printf("\n");
+
+    std::map<SharingLevel, std::vector<double>> all_speedups;
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        std::printf("%-8s", names[m].c_str());
+        for (SharingLevel level : sharingLevels()) {
+            std::vector<double> speedups;
+            const auto &outcomes = sweep.outcomes.at(level);
+            for (std::size_t i = 0; i < sweep.mixes.size(); ++i) {
+                for (std::size_t slot = 0; slot < 2; ++slot) {
+                    if (sweep.mixes[i][slot] == m)
+                        speedups.push_back(outcomes[i].speedups[slot]);
+                }
+            }
+            std::printf("%10.3f", geomean(speedups));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nmix-level geomean speedup vs Ideal:\n");
+    std::map<SharingLevel, double> level_geomean;
+    for (SharingLevel level : sharingLevels()) {
+        std::vector<double> mix_means;
+        for (const auto &outcome : sweep.outcomes.at(level))
+            mix_means.push_back(outcome.geomeanSpeedup);
+        level_geomean[level] = geomean(mix_means);
+        std::printf("  %-8s %.3f\n", toString(level),
+                    level_geomean[level]);
+    }
+
+    double d = level_geomean[SharingLevel::ShareD];
+    double dw = level_geomean[SharingLevel::ShareDW];
+    double dwt = level_geomean[SharingLevel::ShareDWT];
+    double stat = level_geomean[SharingLevel::Static];
+    std::printf("\nheadline comparison (paper -> measured):\n");
+    std::printf("  +D fraction of Ideal:        75.5%% -> %5.1f%%\n",
+                100.0 * d);
+    std::printf("  +DW improvement over +D:     13.2%% -> %5.1f%%\n",
+                100.0 * (dw / d - 1.0));
+    std::printf("  +DWT delta vs +DW:           <1%%   -> %5.1f%%\n",
+                100.0 * (dwt / dw - 1.0));
+    std::printf("  sharing beats Static:        yes   -> %s "
+                "(+D %.3f vs Static %.3f)\n",
+                d > stat ? "yes" : "NO", d, stat);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 5: CDF of mix-level speedup (geomean over the 4 workloads of a
+ * mix, vs Ideal) for the quad-core NPU under each sharing level, over
+ * the 330 quad mixes (sampled by default; --all runs every mix).
+ * §4.2.1 headline: +D reaches 63.0% of Ideal on the quad core; +DW
+ * improves +D by 23%; +DWT is within 1%.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Figure 5: quad-core performance CDF by sharing level",
+                options);
+    std::printf("mixes: %s of 330\n",
+                options.all ? "all" : std::to_string(options.sample).c_str());
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    SweepResult sweep = runMixSweep(context, 4, options);
+
+    std::printf("\nCDF of mix geomean speedup (deciles):\n%-8s", "level");
+    for (int decile = 10; decile <= 90; decile += 10)
+        std::printf("   p%02d", decile);
+    std::printf("\n");
+
+    std::map<SharingLevel, double> level_geomean;
+    for (SharingLevel level : sharingLevels()) {
+        std::vector<double> values;
+        for (const auto &outcome : sweep.outcomes.at(level))
+            values.push_back(outcome.geomeanSpeedup);
+        level_geomean[level] = geomean(values);
+        std::sort(values.begin(), values.end());
+        std::printf("%-8s", toString(level));
+        for (int decile = 10; decile <= 90; decile += 10)
+            std::printf(" %5.3f", quantileSorted(values, decile / 100.0));
+        std::printf("\n");
+    }
+
+    std::printf("\nlevel geomeans: ");
+    for (SharingLevel level : sharingLevels())
+        std::printf(" %s=%.3f", toString(level), level_geomean[level]);
+    std::printf("\n");
+
+    double d = level_geomean[SharingLevel::ShareD];
+    double dw = level_geomean[SharingLevel::ShareDW];
+    double dwt = level_geomean[SharingLevel::ShareDWT];
+    std::printf("\nheadline comparison (paper -> measured):\n");
+    std::printf("  +D fraction of Ideal (quad): 63.0%% -> %5.1f%%\n",
+                100.0 * d);
+    std::printf("  +DW improvement over +D:     23%%   -> %5.1f%%\n",
+                100.0 * (dw / d - 1.0));
+    std::printf("  +DWT delta vs +DW:           <1%%   -> %5.1f%%\n",
+                100.0 * (dwt / dw - 1.0));
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 6: geometric mean of Eq. 1 fairness per workload over all 36
+ * dual-core mixes, per sharing level. §4.2.2 headline (dual core):
+ * Static 0.97, +D 0.91, +DW/+DWT about 0.87 — sharing trades a small
+ * amount of fairness for throughput.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    options.all = true;
+    printHeader("Figure 6: dual-core fairness by sharing level", options);
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    SweepResult sweep = runMixSweep(context, 2, options);
+
+    const auto &names = modelNames();
+    std::printf("\n%-8s", "model");
+    for (SharingLevel level : sharingLevels())
+        std::printf("%10s", toString(level));
+    std::printf("\n");
+
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        std::printf("%-8s", names[m].c_str());
+        for (SharingLevel level : sharingLevels()) {
+            std::vector<double> values;
+            const auto &outcomes = sweep.outcomes.at(level);
+            for (std::size_t i = 0; i < sweep.mixes.size(); ++i) {
+                if (sweep.mixes[i][0] == m || sweep.mixes[i][1] == m)
+                    values.push_back(outcomes[i].fairnessValue);
+            }
+            std::printf("%10.3f", geomean(values));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\naverage fairness per level (paper -> measured):\n");
+    const double paper[] = {0.97, 0.91, 0.87, 0.87};
+    int index = 0;
+    for (SharingLevel level : sharingLevels()) {
+        std::vector<double> values;
+        for (const auto &outcome : sweep.outcomes.at(level))
+            values.push_back(outcome.fairnessValue);
+        std::printf("  %-8s %.2f -> %.3f\n", toString(level),
+                    paper[index++], mean(values));
+    }
+    return 0;
+}

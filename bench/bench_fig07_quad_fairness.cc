@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 7: CDF of Eq. 1 fairness across quad-core mixes per sharing
+ * level. §4.2.2 headline (quad core): Static 0.95 average, +D 0.88,
+ * +DW/+DWT around 0.87.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Figure 7: quad-core fairness CDF by sharing level",
+                options);
+    std::printf("mixes: %s of 330\n",
+                options.all ? "all" : std::to_string(options.sample).c_str());
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    SweepResult sweep = runMixSweep(context, 4, options);
+
+    std::printf("\nCDF of mix fairness (deciles):\n%-8s", "level");
+    for (int decile = 10; decile <= 90; decile += 10)
+        std::printf("   p%02d", decile);
+    std::printf("\n");
+
+    std::map<SharingLevel, double> level_mean;
+    for (SharingLevel level : sharingLevels()) {
+        std::vector<double> values;
+        for (const auto &outcome : sweep.outcomes.at(level))
+            values.push_back(outcome.fairnessValue);
+        level_mean[level] = mean(values);
+        std::sort(values.begin(), values.end());
+        std::printf("%-8s", toString(level));
+        for (int decile = 10; decile <= 90; decile += 10)
+            std::printf(" %5.3f", quantileSorted(values, decile / 100.0));
+        std::printf("\n");
+    }
+
+    std::printf("\naverage fairness per level (paper -> measured):\n");
+    const double paper[] = {0.95, 0.88, 0.87, 0.87};
+    int index = 0;
+    for (SharingLevel level : sharingLevels()) {
+        std::printf("  %-8s %.2f -> %.3f\n", toString(level),
+                    paper[index++], level_mean[level]);
+    }
+    return 0;
+}

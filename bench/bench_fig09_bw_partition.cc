@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figures 9 and 10: static DRAM-bandwidth partition ratios (1:7, 2:6,
+ * 4:4, 6:2, 7:1 of the dual-core 256 GB/s), Static-Best, and dynamic
+ * sharing — geomean performance (Fig. 9, normalized to Ideal) and
+ * fairness (Fig. 10) over the 36 dual-core mixes. Address translation
+ * is removed to isolate the bandwidth effect (§4.3).
+ *
+ * Paper headlines: equal static (4:4) is the best static split but
+ * loses 27% vs Ideal; dynamic reaches 84% of Ideal = 1.14x over 4:4;
+ * unequal splits hurt both performance and fairness.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    options.all = true;
+    printHeader("Figures 9/10: DRAM bandwidth partitioning (dual-core, "
+                "no translation)", options);
+
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    mem.translationEnabled = false;
+    ExperimentContext context(options.archConfig(), mem, options.scale());
+
+    const std::vector<std::pair<std::string,
+                                std::optional<std::vector<std::uint32_t>>>>
+        schemes = {
+            {"1:7", std::vector<std::uint32_t>{1, 7}},
+            {"2:6", std::vector<std::uint32_t>{2, 6}},
+            {"4:4", std::vector<std::uint32_t>{4, 4}},
+            {"6:2", std::vector<std::uint32_t>{6, 2}},
+            {"7:1", std::vector<std::uint32_t>{7, 1}},
+            {"dyn", std::nullopt},
+        };
+
+    const auto &names = modelNames();
+    auto mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), 2);
+
+    // outcome[scheme][mix]
+    std::map<std::string, std::vector<MixOutcome>> outcomes;
+    std::size_t run = 0;
+    for (const auto &[label, shares] : schemes) {
+        for (const auto &mix : mixes) {
+            SystemConfig config;
+            config.level =
+                shares ? SharingLevel::Static : SharingLevel::ShareD;
+            config.dramBandwidthShares = shares;
+            outcomes[label].push_back(context.runMix(
+                config, {names[mix[0]], names[mix[1]]}));
+            if (++run % 16 == 0)
+                progress(options, "  ... %zu / %zu", run,
+                         mixes.size() * schemes.size());
+        }
+    }
+
+    std::printf("\n%-6s%12s%12s\n", "scheme", "perf(geo)", "fair(geo)");
+    std::map<std::string, double> perf;
+    for (const auto &[label, shares] : schemes) {
+        std::vector<double> perfs, fairs;
+        for (const auto &outcome : outcomes[label]) {
+            perfs.push_back(outcome.geomeanSpeedup);
+            fairs.push_back(outcome.fairnessValue);
+        }
+        perf[label] = geomean(perfs);
+        std::printf("%-6s%12.3f%12.3f\n", label.c_str(), perf[label],
+                    geomean(fairs));
+    }
+
+    // Static Best: per mix, the best of the five static schemes.
+    std::vector<double> best;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        double best_value = 0;
+        for (const auto &[label, shares] : schemes) {
+            if (!shares)
+                continue;
+            best_value =
+                std::max(best_value, outcomes[label][i].geomeanSpeedup);
+        }
+        best.push_back(best_value);
+    }
+    std::printf("%-6s%12.3f\n", "best", geomean(best));
+
+    std::printf("\nheadline comparison (paper -> measured):\n");
+    std::printf("  4:4 loss vs Ideal:      27%%  -> %5.1f%%\n",
+                100.0 * (1.0 - perf["4:4"]));
+    std::printf("  dynamic fraction Ideal: 84%%  -> %5.1f%%\n",
+                100.0 * perf["dyn"]);
+    std::printf("  dynamic over 4:4:       1.14x -> %.3fx\n",
+                perf["dyn"] / perf["4:4"]);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 11: single-core speedup as DRAM bandwidth grows from 32 to
+ * 256 GB/s, normalized to 32 GB/s. Paper observation: performance is
+ * sub-linear in bandwidth — even memory-intensive workloads are not
+ * memory-bound their whole lifetime, but bursts profit from headroom.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Figure 11: single-core bandwidth sweep", options);
+
+    const std::uint32_t channel_counts[] = {1, 2, 4, 8}; // 32 GB/s each
+    const auto &names = modelNames();
+
+    std::printf("\n%-8s%10s%10s%10s%10s\n", "model", "32GB/s", "64GB/s",
+                "128GB/s", "256GB/s");
+
+    std::vector<double> top_speedups;
+    for (const auto &model : names) {
+        std::vector<double> cycles;
+        for (std::uint32_t channels : channel_counts) {
+            NpuMemConfig mem = NpuMemConfig::cloudNpu();
+            mem.channelsPerNpu = channels;
+            ExperimentContext context(options.archConfig(), mem,
+                                      options.scale());
+            cycles.push_back(context.idealCycles(model, 1));
+            progress(options, "  %s @ %u ch", model.c_str(), channels);
+        }
+        std::printf("%-8s", model.c_str());
+        for (double c : cycles)
+            std::printf("%10.3f", cycles[0] / c);
+        std::printf("\n");
+        top_speedups.push_back(cycles[0] / cycles.back());
+    }
+
+    std::printf("\nsub-linearity check: 8x bandwidth should give far "
+                "less than 8x speedup for every model (paper: yes):\n");
+    bool all_sublinear = true;
+    for (double s : top_speedups)
+        all_sublinear = all_sublinear && s < 8.0;
+    double max_speedup = *std::max_element(top_speedups.begin(),
+                                           top_speedups.end());
+    double min_speedup = *std::min_element(top_speedups.begin(),
+                                           top_speedups.end());
+    std::printf("  %s (256 vs 32 GB/s speedups span %.2fx .. %.2fx)\n",
+                all_sublinear ? "yes" : "NO", min_speedup, max_speedup);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figures 13 and 14: page-table-walker partitioning in the dual-core
+ * NPU — static splits of the 16 walkers (2:14, 4:12, 8:8, 12:4, 14:2)
+ * versus dynamic sharing (+DW), geomean performance normalized to Ideal
+ * (Fig. 13) and fairness (Fig. 14) over the 36 mixes. DRAM stays
+ * dynamically shared throughout so only the PTW policy varies.
+ * Paper: dynamic PTW sharing beats every static split, for the same
+ * bursty-demand reason as DRAM bandwidth.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    options.all = true;
+    printHeader("Figures 13/14: PTW partitioning (dual-core)", options);
+
+    ExperimentContext context(options.archConfig(),
+                              NpuMemConfig::cloudNpu(), options.scale());
+    const std::uint32_t total_ptws = context.mem().ptwPerNpu * 2;
+
+    const std::vector<std::pair<std::string,
+                                std::optional<std::vector<std::uint32_t>>>>
+        schemes = {
+            {"2:14", std::vector<std::uint32_t>{2, 14}},
+            {"4:12", std::vector<std::uint32_t>{4, 12}},
+            {"8:8", std::vector<std::uint32_t>{8, 8}},
+            {"12:4", std::vector<std::uint32_t>{12, 4}},
+            {"14:2", std::vector<std::uint32_t>{14, 2}},
+            {"dyn", std::nullopt},
+        };
+    for (const auto &[label, quota] : schemes) {
+        if (quota && (*quota)[0] + (*quota)[1] != total_ptws)
+            fatal("scheme ", label, " does not sum to ", total_ptws);
+    }
+
+    const auto &names = modelNames();
+    auto mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), 2);
+
+    std::printf("\n%-6s%12s%12s\n", "scheme", "perf(geo)", "fair(geo)");
+    std::map<std::string, double> perf;
+    std::size_t run = 0;
+    for (const auto &[label, quota] : schemes) {
+        std::vector<double> perfs, fairs;
+        for (const auto &mix : mixes) {
+            SystemConfig config;
+            config.level = SharingLevel::ShareDW;
+            if (quota) {
+                // Static walker split on top of shared DRAM.
+                config.ptwQuota = quota;
+            }
+            MixOutcome outcome = context.runMix(
+                config, {names[mix[0]], names[mix[1]]});
+            perfs.push_back(outcome.geomeanSpeedup);
+            fairs.push_back(outcome.fairnessValue);
+            if (++run % 16 == 0)
+                progress(options, "  ... %zu / %zu", run,
+                         mixes.size() * schemes.size());
+        }
+        perf[label] = geomean(perfs);
+        std::printf("%-6s%12.3f%12.3f\n", label.c_str(), perf[label],
+                    geomean(fairs));
+    }
+
+    std::printf("\nheadline comparison (paper -> measured):\n");
+    std::printf("  dynamic beats best static (8:8): yes -> %s "
+                "(dyn %.3f vs 8:8 %.3f)\n",
+                perf["dyn"] >= perf["8:8"] ? "yes" : "NO", perf["dyn"],
+                perf["8:8"]);
+    std::printf("  equal split best among statics:  yes -> %s\n",
+                (perf["8:8"] >= perf["2:14"] && perf["8:8"] >= perf["4:12"] &&
+                 perf["8:8"] >= perf["12:4"] && perf["8:8"] >= perf["14:2"])
+                    ? "yes"
+                    : "NO");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * DRAM channel scheduling, TLB lookups, page-table walks paths, trace
+ * generation, and a small end-to-end simulation. These track simulator
+ * performance itself (simulated-cycles-per-second), not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/dram_system.hh"
+#include "mmu/paging.hh"
+#include "mmu/tlb.hh"
+#include "sim/multi_core_system.hh"
+#include "sw/trace_generator.hh"
+#include "workloads/models.hh"
+
+namespace
+{
+
+using namespace mnpu;
+
+void
+BM_DramChannelStream(benchmark::State &state)
+{
+    DramSystem dram(DramTiming::hbm2(), 1, 1, 32);
+    std::uint64_t completed = 0;
+    dram.setCallback([&](const DramRequest &, Cycle) { ++completed; });
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        DramRequest request;
+        request.paddr = addr;
+        addr += 64;
+        request.op = MemOp::Read;
+        request.core = 0;
+        while (!dram.tryEnqueue(request, now)) {
+            dram.tick(now);
+            ++now;
+        }
+        dram.tick(now);
+        ++now;
+    }
+    state.counters["completed"] = static_cast<double>(completed);
+}
+BENCHMARK(BM_DramChannelStream);
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    Tlb tlb(2048, 8, "bench.tlb");
+    for (Addr vpn = 0; vpn < 2048; ++vpn)
+        tlb.insert(0, vpn);
+    Addr vpn = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(0, vpn));
+        vpn = (vpn + 1) & 2047;
+    }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_WalkPath(benchmark::State &state)
+{
+    PageAllocator allocator(0, 1ULL << 30, 4096);
+    PageTableModel table(allocator);
+    Addr vaddr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.walkPath(0, vaddr));
+        vaddr += 4096;
+    }
+}
+BENCHMARK(BM_WalkPath);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    Network network = buildModel("alex", ModelScale::Mini);
+    ArchConfig arch = ArchConfig::miniNpu();
+    for (auto _ : state) {
+        TraceGenerator trace(arch, network);
+        benchmark::DoNotOptimize(trace.tiles().size());
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_EndToEndNcf(benchmark::State &state)
+{
+    ArchConfig arch = ArchConfig::miniNpu();
+    Network network = buildModel("ncf", ModelScale::Mini);
+    auto trace = std::make_shared<TraceGenerator>(arch, network);
+    for (auto _ : state) {
+        SimResult result = runIdeal(trace, 1);
+        state.counters["sim_cycles"] =
+            static_cast<double>(result.cores[0].localCycles);
+    }
+}
+BENCHMARK(BM_EndToEndNcf)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Table 2 sanity bench: verifies the simulator's cloud-scale NPU
+ * configuration matches the paper's baseline — 128x128 systolic array,
+ * 36 MB SPM, 1 GHz, 8-way 2048-entry TLB per NPU, 8 PTWs per NPU, HBM2
+ * at 128 GB/s and 4 GB per NPU — and runs a short workload on it.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(const char *what, double expected, double actual)
+{
+    bool ok = expected == actual;
+    std::printf("  %-28s expected %-12g measured %-12g %s\n", what,
+                expected, actual, ok ? "ok" : "MISMATCH");
+    if (!ok)
+        ++failures;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Table 2: baseline configuration sanity", options);
+
+    ArchConfig arch = ArchConfig::cloudNpu();
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+
+    std::printf("\ncloud-scale NPU:\n");
+    check("systolic array rows", 128, arch.arrayRows);
+    check("systolic array cols", 128, arch.arrayCols);
+    check("SPM bytes", 36.0 * (1 << 20),
+          static_cast<double>(arch.spmBytes));
+    check("frequency (MHz)", 1000, static_cast<double>(arch.freqMhz));
+    check("TLB associativity", 8, mem.tlbWays);
+    check("TLB entries per NPU", 2048, mem.tlbEntriesPerNpu);
+    check("PTWs per NPU", 8, mem.ptwPerNpu);
+
+    std::printf("off-chip memory:\n");
+    check("DRAM frequency (MHz)", 1000,
+          static_cast<double>(mem.timing.clockMhz));
+    check("capacity per NPU (GB)", 4.0,
+          static_cast<double>(mem.dramCapacityPerNpu) / (1 << 30));
+    double per_npu_bw = mem.timing.peakBandwidthBytesPerSec() *
+                        mem.channelsPerNpu / 1e9;
+    check("bandwidth per NPU (GB/s)", 128.0, per_npu_bw);
+
+    // A short end-to-end run on the exact Table 2 configuration.
+    ExperimentContext context(arch, mem, ModelScale::Mini);
+    double cycles = context.idealCycles("ncf", 1);
+    std::printf("\nncf-mini on the Table 2 single-core config: %.0f NPU "
+                "cycles\n", cycles);
+    if (cycles <= 0)
+        ++failures;
+
+    std::printf("%s\n", failures == 0 ? "all checks passed"
+                                      : "CONFIG MISMATCHES FOUND");
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: simulate one of the paper's models on a single cloud-scale
+ * NPU core, then co-run two models on a dual-core NPU with all resources
+ * shared (+DWT), and print the headline numbers.
+ *
+ * Usage: quickstart [model] [co_model] [--full]
+ *   model/co_model: res yt alex sfrnn ds2 dlrm ncf gpt2  (default: ncf ncf)
+ *   --full: the published model sizes instead of the mini variants
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/logging.hh"
+#include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
+#include "sw/trace_generator.hh"
+#include "workloads/models.hh"
+
+using namespace mnpu;
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "ncf";
+    std::string co_model_name = argc > 2 ? argv[2] : "ncf";
+    ModelScale scale = ModelScale::Mini;
+    ArchConfig arch = ArchConfig::miniNpu();
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--full") {
+            scale = ModelScale::Full;
+            arch = ArchConfig::cloudNpu();
+        }
+    }
+
+    try {
+        auto wall = [] {
+            return std::chrono::steady_clock::now();
+        };
+
+        Network network = buildModel(model_name, scale);
+        auto trace = std::make_shared<TraceGenerator>(arch, network);
+        std::printf("model %s: %zu layers, %llu tiles, %.1f MB footprint, "
+                    "%.1f MB traffic, %.2f GMACs\n",
+                    model_name.c_str(), network.layers.size(),
+                    static_cast<unsigned long long>(trace->tiles().size()),
+                    trace->footprintBytes() / 1048576.0,
+                    trace->totalTrafficBytes() / 1048576.0,
+                    trace->totalMacs() / 1e9);
+
+        NpuMemConfig mem = NpuMemConfig::cloudNpu();
+
+        auto t0 = wall();
+        SimResult solo = runIdeal(trace, 2, mem);
+        auto t1 = wall();
+        const CoreResult &s = solo.cores[0];
+        std::printf("solo (Ideal, dual-core budget): %llu NPU cycles, "
+                    "PE util %.1f%%, TLB hit %.2f%%  [%lld ms]\n",
+                    static_cast<unsigned long long>(s.localCycles),
+                    100.0 * s.peUtilization,
+                    100.0 * s.tlbHits / std::max<std::uint64_t>(
+                        1, s.tlbHits + s.tlbMisses),
+                    static_cast<long long>(
+                        std::chrono::duration_cast<std::chrono::milliseconds>(
+                            t1 - t0).count()));
+
+        Network co_network = buildModel(co_model_name, scale);
+        auto co_trace = std::make_shared<TraceGenerator>(arch, co_network);
+        SimResult co_solo = runIdeal(co_trace, 2, mem);
+
+        auto t2 = wall();
+        SimResult mix = runMix(SharingLevel::ShareDWT, {trace, co_trace},
+                               mem);
+        auto t3 = wall();
+        std::printf("dual-core +DWT co-run with %s  [%lld ms]\n",
+                    co_model_name.c_str(),
+                    static_cast<long long>(
+                        std::chrono::duration_cast<std::chrono::milliseconds>(
+                            t3 - t2).count()));
+        double speedup0 = static_cast<double>(s.localCycles) /
+                          mix.cores[0].localCycles;
+        double speedup1 =
+            static_cast<double>(co_solo.cores[0].localCycles) /
+            mix.cores[1].localCycles;
+        std::printf("  %s: %llu cycles (%.3fx vs Ideal)\n",
+                    model_name.c_str(),
+                    static_cast<unsigned long long>(
+                        mix.cores[0].localCycles), speedup0);
+        std::printf("  %s: %llu cycles (%.3fx vs Ideal)\n",
+                    co_model_name.c_str(),
+                    static_cast<unsigned long long>(
+                        mix.cores[1].localCycles), speedup1);
+        return 0;
+    } catch (const mnpu::FatalError &error) {
+        std::fprintf(stderr, "fatal: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,93 @@
+#include "analysis/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+ExperimentContext::ExperimentContext(ArchConfig arch, NpuMemConfig mem,
+                                     ModelScale scale)
+    : arch_(std::move(arch)), mem_(mem), scale_(scale)
+{
+    arch_.validate();
+}
+
+std::shared_ptr<const TraceGenerator>
+ExperimentContext::trace(const std::string &model)
+{
+    auto it = traces_.find(model);
+    if (it != traces_.end())
+        return it->second;
+    Network network = buildModel(model, scale_);
+    auto generated = std::make_shared<TraceGenerator>(arch_, network);
+    traces_.emplace(model, generated);
+    return generated;
+}
+
+std::shared_ptr<const TraceGenerator>
+ExperimentContext::registerNetwork(const Network &network)
+{
+    auto it = traces_.find(network.name);
+    if (it != traces_.end())
+        return it->second;
+    auto generated = std::make_shared<TraceGenerator>(arch_, network);
+    traces_.emplace(network.name, generated);
+    return generated;
+}
+
+const CoreResult &
+ExperimentContext::idealResult(const std::string &model,
+                               std::uint32_t resource_multiplier)
+{
+    std::string cache_key =
+        model + "#" + std::to_string(resource_multiplier);
+    auto it = idealCache_.find(cache_key);
+    if (it != idealCache_.end())
+        return it->second;
+    SimResult result = runIdeal(trace(model), resource_multiplier, mem_);
+    auto [inserted, unused] =
+        idealCache_.emplace(cache_key, std::move(result.cores[0]));
+    return inserted->second;
+}
+
+double
+ExperimentContext::idealCycles(const std::string &model,
+                               std::uint32_t resource_multiplier)
+{
+    return static_cast<double>(
+        idealResult(model, resource_multiplier).localCycles);
+}
+
+MixOutcome
+ExperimentContext::runMix(SystemConfig config,
+                          const std::vector<std::string> &models)
+{
+    if (models.empty())
+        fatal("runMix: no models");
+    config.mem = mem_;
+    std::vector<CoreBinding> bindings;
+    bindings.reserve(models.size());
+    for (const auto &model : models) {
+        CoreBinding binding;
+        binding.trace = trace(model);
+        bindings.push_back(std::move(binding));
+    }
+    MultiCoreSystem system(config, std::move(bindings));
+
+    MixOutcome outcome;
+    outcome.models = models;
+    outcome.raw = system.run();
+    const auto multiplier = static_cast<std::uint32_t>(models.size());
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        double ideal = idealCycles(models[i], multiplier);
+        double observed =
+            static_cast<double>(outcome.raw.cores[i].localCycles);
+        outcome.speedups.push_back(speedup(ideal, observed));
+        outcome.slowdowns.push_back(slowdown(ideal, observed));
+    }
+    outcome.geomeanSpeedup = geomean(outcome.speedups);
+    outcome.fairnessValue = fairness(outcome.slowdowns);
+    return outcome;
+}
+
+} // namespace mnpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared experiment harness: caches per-model traces and Ideal-baseline
+ * runs so the figure benches don't repeat work, and wraps a mix run into
+ * the speedup/fairness outcome the paper reports.
+ *
+ * One ExperimentContext corresponds to one memory-side configuration
+ * (NpuMemConfig); sweeps over page size, bandwidth, or translation mode
+ * build one context per point.
+ */
+
+#ifndef MNPU_ANALYSIS_EXPERIMENT_HH
+#define MNPU_ANALYSIS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hh"
+#include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
+#include "sw/trace_generator.hh"
+#include "workloads/models.hh"
+
+namespace mnpu
+{
+
+/** Per-workload and aggregate outcome of one co-run. */
+struct MixOutcome
+{
+    std::vector<std::string> models;
+    std::vector<double> speedups;   //!< per workload, vs Ideal
+    std::vector<double> slowdowns;
+    double geomeanSpeedup = 0;
+    double fairnessValue = 0;
+    SimResult raw;
+};
+
+class ExperimentContext
+{
+  public:
+    ExperimentContext(ArchConfig arch, NpuMemConfig mem,
+                      ModelScale scale = ModelScale::Mini);
+
+    /** Cached trace for a built-in model name. */
+    std::shared_ptr<const TraceGenerator> trace(const std::string &model);
+
+    /** Register an external network under its name (random nets etc.). */
+    std::shared_ptr<const TraceGenerator>
+    registerNetwork(const Network &network);
+
+    /**
+     * Cached Ideal-baseline cycles for @p model monopolizing
+     * @p resource_multiplier NPUs' worth of resources.
+     */
+    double idealCycles(const std::string &model,
+                       std::uint32_t resource_multiplier);
+
+    /** Full Ideal result (for predictor features). */
+    const CoreResult &idealResult(const std::string &model,
+                                  std::uint32_t resource_multiplier);
+
+    /**
+     * Co-run @p models under @p config (level, ratio overrides, ...).
+     * config.mem is overwritten with this context's memory config, and
+     * bindings are built from the cached traces. Speedups are relative
+     * to the Ideal baseline with a multiplier of models.size().
+     */
+    MixOutcome runMix(SystemConfig config,
+                      const std::vector<std::string> &models);
+
+    const ArchConfig &arch() const { return arch_; }
+    const NpuMemConfig &mem() const { return mem_; }
+
+  private:
+    ArchConfig arch_;
+    NpuMemConfig mem_;
+    ModelScale scale_;
+    std::map<std::string, std::shared_ptr<const TraceGenerator>> traces_;
+    std::map<std::string, CoreResult> idealCache_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_EXPERIMENT_HH

@@ -1,0 +1,119 @@
+#include "analysis/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+double
+speedup(double ideal_cycles, double observed_cycles)
+{
+    if (ideal_cycles <= 0 || observed_cycles <= 0)
+        fatal("speedup: cycle counts must be positive");
+    return ideal_cycles / observed_cycles;
+}
+
+double
+slowdown(double ideal_cycles, double observed_cycles)
+{
+    return 1.0 / speedup(ideal_cycles, observed_cycles);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geomean of empty set");
+    double log_sum = 0.0;
+    for (double value : values) {
+        if (value <= 0.0)
+            fatal("geomean requires positive values, got ", value);
+        log_sum += std::log(value);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("mean of empty set");
+    double sum = 0.0;
+    for (double value : values)
+        sum += value;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    double mu = mean(values);
+    double acc = 0.0;
+    for (double value : values)
+        acc += (value - mu) * (value - mu);
+    double variance = acc / static_cast<double>(values.size());
+    return variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+double
+fairness(const std::vector<double> &slowdowns)
+{
+    double mu = mean(slowdowns);
+    if (mu <= 0.0)
+        fatal("fairness: mean slowdown must be positive");
+    return 1.0 - stddev(slowdowns) / mu;
+}
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        fatal("quantile of empty set");
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    double position = q * static_cast<double>(sorted.size() - 1);
+    auto lower = static_cast<std::size_t>(position);
+    double fraction = position - static_cast<double>(lower);
+    if (lower + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+BoxStats
+boxStats(std::vector<double> values)
+{
+    if (values.empty())
+        fatal("boxStats of empty set");
+    std::sort(values.begin(), values.end());
+    BoxStats stats;
+    stats.min = values.front();
+    stats.q1 = quantileSorted(values, 0.25);
+    stats.median = quantileSorted(values, 0.5);
+    stats.q3 = quantileSorted(values, 0.75);
+    stats.max = values.back();
+    return stats;
+}
+
+std::vector<CdfPoint>
+cdf(std::vector<double> values)
+{
+    if (values.empty())
+        fatal("cdf of empty set");
+    std::sort(values.begin(), values.end());
+    std::vector<CdfPoint> points;
+    points.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        points.push_back(CdfPoint{
+            values[i],
+            static_cast<double>(i + 1) /
+                static_cast<double>(values.size())});
+    }
+    return points;
+}
+
+} // namespace mnpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Evaluation metrics from §4.2 of the paper: relative speedup vs the
+ * Ideal baseline, the Van Craeynest fairness metric (Eq. 1), geometric
+ * means, CDFs, and box-plot summary statistics (Fig. 8).
+ */
+
+#ifndef MNPU_ANALYSIS_METRICS_HH
+#define MNPU_ANALYSIS_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mnpu
+{
+
+/** speedup = ideal_cycles / observed_cycles (1.0 = no slowdown). */
+double speedup(double ideal_cycles, double observed_cycles);
+
+/** slowdown = observed_cycles / ideal_cycles (inverse of speedup). */
+double slowdown(double ideal_cycles, double observed_cycles);
+
+/** Geometric mean; fatal() on empty input or non-positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Eq. 1: Fairness = 1 - sigma/mu over the per-workload slowdowns of one
+ * mix. 1.0 = perfectly balanced.
+ */
+double fairness(const std::vector<double> &slowdowns);
+
+/** Five-number summary for box plots. */
+struct BoxStats
+{
+    double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+
+/** Compute box statistics (linear-interpolated quartiles). */
+BoxStats boxStats(std::vector<double> values);
+
+/** One (value, cumulative fraction) point of an empirical CDF. */
+struct CdfPoint
+{
+    double value;
+    double fraction;
+};
+
+/** Empirical CDF of @p values (sorted ascending). */
+std::vector<CdfPoint> cdf(std::vector<double> values);
+
+/** Linear-interpolated quantile of an already-sorted vector. */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_METRICS_HH

@@ -1,0 +1,86 @@
+#include "analysis/mixes.hh"
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+void
+multisetRecurse(std::uint32_t n, std::uint32_t k, std::uint32_t start,
+                std::vector<std::uint32_t> &current,
+                std::vector<std::vector<std::uint32_t>> &out)
+{
+    if (current.size() == k) {
+        out.push_back(current);
+        return;
+    }
+    for (std::uint32_t i = start; i < n; ++i) {
+        current.push_back(i);
+        multisetRecurse(n, k, i, current, out);
+        current.pop_back();
+    }
+}
+
+void
+pairingRecurse(std::uint32_t used_mask, std::size_t depth,
+               Pairing &current, std::vector<Pairing> &out)
+{
+    if (depth == 4) {
+        out.push_back(current);
+        return;
+    }
+    // Pair the lowest unused slot with every later unused slot.
+    std::uint32_t first = 0;
+    while (used_mask & (1u << first))
+        ++first;
+    for (std::uint32_t second = first + 1; second < 8; ++second) {
+        if (used_mask & (1u << second))
+            continue;
+        current[depth] = {first, second};
+        pairingRecurse(used_mask | (1u << first) | (1u << second),
+                       depth + 1, current, out);
+    }
+}
+
+} // namespace
+
+std::vector<std::vector<std::uint32_t>>
+enumerateMultisets(std::uint32_t n, std::uint32_t k)
+{
+    if (n == 0 || k == 0)
+        fatal("enumerateMultisets needs n, k >= 1");
+    std::vector<std::vector<std::uint32_t>> out;
+    std::vector<std::uint32_t> current;
+    current.reserve(k);
+    multisetRecurse(n, k, 0, current, out);
+    return out;
+}
+
+std::uint64_t
+multisetCount(std::uint32_t n, std::uint32_t k)
+{
+    // C(n+k-1, k) computed incrementally.
+    std::uint64_t result = 1;
+    for (std::uint32_t i = 1; i <= k; ++i) {
+        result = result * (n + i - 1) / i;
+    }
+    return result;
+}
+
+const std::vector<Pairing> &
+allPairingsOf8()
+{
+    static const std::vector<Pairing> pairings = [] {
+        std::vector<Pairing> out;
+        Pairing current{};
+        pairingRecurse(0, 0, current, out);
+        mnpu_assert(out.size() == 105, "expected 7!! = 105 pairings");
+        return out;
+    }();
+    return pairings;
+}
+
+} // namespace mnpu

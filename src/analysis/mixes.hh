@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload-mix enumeration (§4.1.1): all multisets of size k drawn from
+ * n models — M(8,2) = 36 dual-core mixes, M(8,4) = 330 quad-core mixes,
+ * M(8,8) = 6435 mapping-study sets — plus the pairings of an 8-workload
+ * set onto four dual-core NPUs (§4.6).
+ */
+
+#ifndef MNPU_ANALYSIS_MIXES_HH
+#define MNPU_ANALYSIS_MIXES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mnpu
+{
+
+/**
+ * All non-decreasing index tuples of length @p k over [0, n): the
+ * repeated combinations C(n+k-1, k).
+ */
+std::vector<std::vector<std::uint32_t>>
+enumerateMultisets(std::uint32_t n, std::uint32_t k);
+
+/** C(n+k-1, k), the count enumerateMultisets() returns. */
+std::uint64_t multisetCount(std::uint32_t n, std::uint32_t k);
+
+/** One way to split 8 workload slots into 4 unordered pairs. */
+using Pairing = std::array<std::array<std::uint32_t, 2>, 4>;
+
+/**
+ * All 105 perfect matchings of the 8 slots {0..7}. Duplicate-looking
+ * pairings (when the multiset has repeated workloads) are kept: they are
+ * distinct slot assignments with identical cost, which leaves the
+ * distribution over mappings unbiased.
+ */
+const std::vector<Pairing> &allPairingsOf8();
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_MIXES_HH

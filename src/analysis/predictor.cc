@@ -1,0 +1,159 @@
+#include "analysis/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/metrics.hh"
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+std::vector<double>
+CorunPredictor::features(const SoloProfile &self, const SoloProfile &other)
+{
+    double bw_self = self.bwDemand();
+    double bw_other = other.bwDemand();
+    double ratio =
+        self.soloCycles > 0 && other.soloCycles > 0
+            ? std::log(self.soloCycles / other.soloCycles)
+            : 0.0;
+    return {
+        1.0,
+        bw_self,
+        bw_other,
+        self.peUtilization,
+        other.peUtilization,
+        bw_self * bw_other, // joint bandwidth pressure
+        ratio,              // execution-time ratio correction factor
+    };
+}
+
+void
+CorunPredictor::addSample(const SoloProfile &self, const SoloProfile &other,
+                          double observed_slowdown)
+{
+    if (observed_slowdown <= 0.0)
+        fatal("predictor: slowdown must be positive");
+    samples_.push_back(features(self, other));
+    targets_.push_back(observed_slowdown);
+}
+
+void
+CorunPredictor::train()
+{
+    if (samples_.empty())
+        fatal("predictor: no training samples");
+    model_.fit(samples_, targets_);
+}
+
+double
+CorunPredictor::predictSlowdown(const SoloProfile &self,
+                                const SoloProfile &other) const
+{
+    double predicted = model_.predict(features(self, other));
+    // A co-runner never speeds you up beyond Ideal; clamp to sane range.
+    return std::max(predicted, 1.0);
+}
+
+double
+CorunPredictor::trainingMse() const
+{
+    return model_.mse(samples_, targets_);
+}
+
+void
+MappingEvaluator::setMeasuredPair(std::uint32_t a, std::uint32_t b,
+                                  double slowdown_a, double slowdown_b)
+{
+    slowdowns_[key(a, b)] = slowdown_a;
+    slowdowns_[key(b, a)] = slowdown_b;
+}
+
+double
+MappingEvaluator::measuredSlowdown(std::uint32_t self,
+                                   std::uint32_t other) const
+{
+    auto it = slowdowns_.find(key(self, other));
+    if (it == slowdowns_.end())
+        fatal("no measured slowdown for pair (", self, ", ", other, ")");
+    return it->second;
+}
+
+MappingOutcome
+MappingEvaluator::evaluate(const std::vector<std::uint32_t> &set8,
+                           const Pairing &pairing) const
+{
+    mnpu_assert(set8.size() == 8, "mapping sets have 8 workloads");
+    std::vector<double> slowdown_list;
+    std::vector<double> speedup_list;
+    slowdown_list.reserve(8);
+    speedup_list.reserve(8);
+    for (const auto &pair : pairing) {
+        std::uint32_t a = set8[pair[0]];
+        std::uint32_t b = set8[pair[1]];
+        double sd_a = measuredSlowdown(a, b);
+        double sd_b = measuredSlowdown(b, a);
+        slowdown_list.push_back(sd_a);
+        slowdown_list.push_back(sd_b);
+        speedup_list.push_back(1.0 / sd_a);
+        speedup_list.push_back(1.0 / sd_b);
+    }
+    MappingOutcome outcome;
+    outcome.perf = geomean(speedup_list);
+    outcome.fair = fairness(slowdown_list);
+    return outcome;
+}
+
+MappingEvaluator::Study
+MappingEvaluator::study(const std::vector<std::uint32_t> &set8,
+                        const std::vector<SoloProfile> *profiles,
+                        const CorunPredictor *predictor) const
+{
+    if ((profiles == nullptr) != (predictor == nullptr))
+        fatal("mapping study: provide profiles and predictor together");
+
+    const auto &pairings = allPairingsOf8();
+    Study result;
+    double perf_sum = 0.0;
+    double fair_sum = 0.0;
+    bool first = true;
+    double best_predicted_perf = 0.0;
+
+    for (const Pairing &pairing : pairings) {
+        MappingOutcome outcome = evaluate(set8, pairing);
+        perf_sum += outcome.perf;
+        fair_sum += outcome.fair;
+        if (first || outcome.perf > result.oracle.perf)
+            result.oracle = outcome;
+        if (first || outcome.perf < result.worst.perf)
+            result.worst = outcome;
+
+        if (predictor != nullptr) {
+            std::vector<double> predicted_speedups;
+            predicted_speedups.reserve(8);
+            for (const auto &pair : pairing) {
+                const SoloProfile &pa = (*profiles)[set8[pair[0]]];
+                const SoloProfile &pb = (*profiles)[set8[pair[1]]];
+                predicted_speedups.push_back(
+                    1.0 / predictor->predictSlowdown(pa, pb));
+                predicted_speedups.push_back(
+                    1.0 / predictor->predictSlowdown(pb, pa));
+            }
+            double predicted_perf = geomean(predicted_speedups);
+            if (first || predicted_perf > best_predicted_perf) {
+                best_predicted_perf = predicted_perf;
+                result.predicted = outcome;
+            }
+        }
+        first = false;
+    }
+    double count = static_cast<double>(pairings.size());
+    result.random.perf = perf_sum / count;
+    result.random.fair = fair_sum / count;
+    if (predictor == nullptr)
+        result.predicted = result.random;
+    return result;
+}
+
+} // namespace mnpu

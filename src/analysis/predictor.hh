@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The §4.6 co-runner performance model and mapping study.
+ *
+ * A multi-factor regression predicts the slowdown a workload suffers
+ * from a given co-runner using only solo-profiled factors — PE
+ * utilization, memory traffic per execution, and the execution-time
+ * ratio — trained on randomly generated networks (DeepSniffer-style).
+ * The MappingEvaluator then scores all pairings of an 8-workload set
+ * onto four dual-core NPUs: oracle / worst / random / model-predicted.
+ */
+
+#ifndef MNPU_ANALYSIS_PREDICTOR_HH
+#define MNPU_ANALYSIS_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/mixes.hh"
+#include "analysis/regression.hh"
+
+namespace mnpu
+{
+
+/** Solo-run (Ideal) profile of one workload: the predictor's inputs. */
+struct SoloProfile
+{
+    std::string name;
+    double soloCycles = 0;     //!< Ideal local cycles
+    double peUtilization = 0;
+    double trafficBytes = 0;   //!< DRAM bytes per execution
+
+    /** Average bandwidth demand in bytes per cycle. */
+    double bwDemand() const
+    {
+        return soloCycles > 0 ? trafficBytes / soloCycles : 0.0;
+    }
+};
+
+class CorunPredictor
+{
+  public:
+    /** Feature vector for "self co-running with other". */
+    static std::vector<double> features(const SoloProfile &self,
+                                        const SoloProfile &other);
+
+    /** Record one observed (self, other) -> slowdown(self) sample. */
+    void addSample(const SoloProfile &self, const SoloProfile &other,
+                   double observed_slowdown);
+
+    /** Fit the regression over all recorded samples. */
+    void train();
+
+    /** Predicted slowdown of @p self when co-running with @p other. */
+    double predictSlowdown(const SoloProfile &self,
+                           const SoloProfile &other) const;
+
+    bool trained() const { return model_.fitted(); }
+    std::size_t sampleCount() const { return targets_.size(); }
+
+    /** Training-set mean squared error (diagnostics). */
+    double trainingMse() const;
+
+  private:
+    LinearRegression model_;
+    std::vector<std::vector<double>> samples_;
+    std::vector<double> targets_;
+};
+
+/** Perf/fairness outcome of one mapping of 8 workloads to 4 pairs. */
+struct MappingOutcome
+{
+    double perf = 0; //!< geomean speedup over the 8 workloads
+    double fair = 0; //!< Eq. 1 fairness over the 8 slowdowns
+};
+
+class MappingEvaluator
+{
+  public:
+    /**
+     * Record the measured dual-core slowdowns of model pair (a, b):
+     * @p slowdown_a for a when paired with b, and vice versa. Symmetric
+     * pairs store one entry; (a,a) stores slowdown_a twice.
+     */
+    void setMeasuredPair(std::uint32_t a, std::uint32_t b,
+                         double slowdown_a, double slowdown_b);
+
+    /** Measured slowdown of @p self when paired with @p other. */
+    double measuredSlowdown(std::uint32_t self, std::uint32_t other) const;
+
+    /** Outcome of one pairing of the 8-slot workload set. */
+    MappingOutcome evaluate(const std::vector<std::uint32_t> &set8,
+                            const Pairing &pairing) const;
+
+    struct Study
+    {
+        MappingOutcome oracle;    //!< best-by-measured pairing
+        MappingOutcome worst;     //!< worst-by-measured pairing
+        MappingOutcome random;    //!< expectation over all pairings
+        MappingOutcome predicted; //!< best-by-model pairing, measured
+    };
+
+    /**
+     * Score all 105 pairings of @p set8. @p profiles and @p predictor
+     * drive the "predicted" selection; both may be omitted together, in
+     * which case predicted falls back to random.
+     */
+    Study study(const std::vector<std::uint32_t> &set8,
+                const std::vector<SoloProfile> *profiles,
+                const CorunPredictor *predictor) const;
+
+  private:
+    static std::uint64_t key(std::uint32_t a, std::uint32_t b)
+    {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    }
+
+    std::map<std::uint64_t, double> slowdowns_; //!< (self,other) -> sd
+};
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_PREDICTOR_HH

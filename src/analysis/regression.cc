@@ -1,0 +1,97 @@
+#include "analysis/regression.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+std::vector<double>
+solveLinearSystem(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+    const std::size_t n = a.size();
+    mnpu_assert(b.size() == n);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        }
+        if (std::fabs(a[pivot][col]) < 1e-12)
+            fatal("singular system in linear regression");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        for (std::size_t row = col + 1; row < n; ++row) {
+            double factor = a[row][col] / a[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::vector<double> w(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            acc -= a[row][k] * w[k];
+        w[row] = acc / a[row][row];
+    }
+    return w;
+}
+
+void
+LinearRegression::fit(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &y, double ridge)
+{
+    if (x.empty() || x.size() != y.size())
+        fatal("regression: need matching, nonempty X and y");
+    const std::size_t d = x[0].size();
+    if (d == 0)
+        fatal("regression: zero-width features");
+    for (const auto &row : x) {
+        if (row.size() != d)
+            fatal("regression: ragged feature rows");
+    }
+    std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+    std::vector<double> xty(d, 0.0);
+    for (std::size_t s = 0; s < x.size(); ++s) {
+        for (std::size_t i = 0; i < d; ++i) {
+            xty[i] += x[s][i] * y[s];
+            for (std::size_t j = 0; j < d; ++j)
+                xtx[i][j] += x[s][i] * x[s][j];
+        }
+    }
+    for (std::size_t i = 0; i < d; ++i)
+        xtx[i][i] += ridge;
+    weights_ = solveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+double
+LinearRegression::predict(const std::vector<double> &features) const
+{
+    if (!fitted())
+        fatal("regression: predict before fit");
+    if (features.size() != weights_.size())
+        fatal("regression: feature width mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i)
+        acc += weights_[i] * features[i];
+    return acc;
+}
+
+double
+LinearRegression::mse(const std::vector<std::vector<double>> &x,
+                      const std::vector<double> &y) const
+{
+    if (x.empty() || x.size() != y.size())
+        fatal("regression: need matching, nonempty X and y");
+    double acc = 0.0;
+    for (std::size_t s = 0; s < x.size(); ++s) {
+        double err = predict(x[s]) - y[s];
+        acc += err * err;
+    }
+    return acc / static_cast<double>(x.size());
+}
+
+} // namespace mnpu

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ordinary least squares by normal equations with a small ridge term,
+ * sized for the handful of features the co-runner predictor uses.
+ */
+
+#ifndef MNPU_ANALYSIS_REGRESSION_HH
+#define MNPU_ANALYSIS_REGRESSION_HH
+
+#include <vector>
+
+namespace mnpu
+{
+
+class LinearRegression
+{
+  public:
+    /**
+     * Fit weights minimizing ||Xw - y||^2 + ridge*||w||^2.
+     * Every row of @p x must have the same width; include a constant-1
+     * column yourself if you want an intercept.
+     */
+    void fit(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y, double ridge = 1e-6);
+
+    /** Predict one sample; fit() must have been called. */
+    double predict(const std::vector<double> &features) const;
+
+    const std::vector<double> &weights() const { return weights_; }
+    bool fitted() const { return !weights_.empty(); }
+
+    /** Mean squared error over a data set. */
+    double mse(const std::vector<std::vector<double>> &x,
+               const std::vector<double> &y) const;
+
+  private:
+    std::vector<double> weights_;
+};
+
+/**
+ * Solve the dense symmetric system A w = b with Gaussian elimination and
+ * partial pivoting; fatal() when singular.
+ */
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_REGRESSION_HH

@@ -1,0 +1,47 @@
+#include "common/clock_domain.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+ClockDomain::ClockDomain(std::uint64_t local_mhz, std::uint64_t global_mhz)
+    : localMhz_(local_mhz), globalMhz_(global_mhz)
+{
+    if (local_mhz == 0 || global_mhz == 0)
+        fatal("clock domain frequencies must be nonzero (local=",
+              local_mhz, " global=", global_mhz, ")");
+    // t_global = t_local  =>  g_cycles / globalMhz = l_cycles / localMhz
+    // g_cycles = l_cycles * globalMhz / localMhz = l_cycles * num / den
+    std::uint64_t g = std::gcd(global_mhz, local_mhz);
+    num_ = global_mhz / g;
+    den_ = local_mhz / g;
+}
+
+Cycle
+ClockDomain::toGlobal(Cycle local) const
+{
+    if (local == kCycleNever)
+        return kCycleNever;
+    return (local * num_ + den_ - 1) / den_;
+}
+
+Cycle
+ClockDomain::toLocal(Cycle global) const
+{
+    if (global == kCycleNever)
+        return kCycleNever;
+    return (global * den_ + num_ - 1) / num_;
+}
+
+Cycle
+ClockDomain::toLocalFloor(Cycle global) const
+{
+    if (global == kCycleNever)
+        return kCycleNever;
+    return (global * den_) / num_;
+}
+
+} // namespace mnpu

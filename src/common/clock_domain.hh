@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Clock-domain translation between a component's local clock and the
+ * simulator's global clock (the DRAM clock, per the mNPUsim paper §3.1).
+ *
+ * Frequencies are held as an exact integer ratio so translation never
+ * accumulates floating-point drift: global cycles = local * gNum / gDen.
+ */
+
+#ifndef MNPU_COMMON_CLOCK_DOMAIN_HH
+#define MNPU_COMMON_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+/**
+ * Converts cycle counts between a local clock of @p localMhz and the
+ * global clock of @p globalMhz. Both conversions round such that an event
+ * never completes earlier than it would in its own domain (ceiling).
+ */
+class ClockDomain
+{
+  public:
+    /** Both frequencies must be nonzero. */
+    ClockDomain(std::uint64_t local_mhz, std::uint64_t global_mhz);
+
+    std::uint64_t localMhz() const { return localMhz_; }
+    std::uint64_t globalMhz() const { return globalMhz_; }
+
+    /** Global cycle at (or just after) the given local cycle boundary. */
+    Cycle toGlobal(Cycle local) const;
+
+    /** Local cycle at (or just after) the given global cycle boundary. */
+    Cycle toLocal(Cycle global) const;
+
+    /** Index of the local cycle in progress at global cycle (floor). */
+    Cycle toLocalFloor(Cycle global) const;
+
+    /** True when local and global tick 1:1. */
+    bool isUnity() const { return localMhz_ == globalMhz_; }
+
+  private:
+    std::uint64_t localMhz_;
+    std::uint64_t globalMhz_;
+    // Reduced ratio: local_period / global_period = globalMhz / localMhz.
+    std::uint64_t num_; // global cycles per `den_` local cycles
+    std::uint64_t den_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_CLOCK_DOMAIN_HH

@@ -1,0 +1,316 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+std::string
+trim(const std::string &text)
+{
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    auto begin = std::find_if_not(text.begin(), text.end(), is_space);
+    auto end = std::find_if_not(text.rbegin(), text.rend(), is_space).base();
+    return begin < end ? std::string(begin, end) : std::string();
+}
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> pieces;
+    std::string piece;
+    std::istringstream stream(text);
+    while (std::getline(stream, piece, delim))
+        pieces.push_back(trim(piece));
+    return pieces;
+}
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Strip a trailing comment that starts with '#' or ';'. */
+std::string
+stripComment(const std::string &line)
+{
+    auto pos = line.find_first_of("#;");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+} // namespace
+
+ConfigFile
+ConfigFile::fromFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open config file '", path, "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    ConfigFile config;
+    config.parseLines(buffer.str(), path);
+    return config;
+}
+
+ConfigFile
+ConfigFile::fromString(const std::string &text)
+{
+    ConfigFile config;
+    config.parseLines(text, "<string>");
+    return config;
+}
+
+void
+ConfigFile::parseLines(const std::string &text, const std::string &origin)
+{
+    std::istringstream stream(text);
+    std::string line;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(stream, line)) {
+        ++lineno;
+        line = trim(stripComment(line));
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']') {
+                fatal(origin, ":", lineno, ": malformed section header '",
+                      line, "'");
+            }
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal(origin, ":", lineno, ": expected 'key = value', got '",
+                  line, "'");
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal(origin, ":", lineno, ": empty key");
+        if (!section.empty())
+            key = section + "." + key;
+        set(key, value);
+    }
+}
+
+void
+ConfigFile::set(const std::string &key, const std::string &value)
+{
+    if (values.find(key) == values.end())
+        order.push_back(key);
+    values[key] = value;
+}
+
+bool
+ConfigFile::has(const std::string &key) const
+{
+    return values.find(key) != values.end();
+}
+
+std::optional<std::string>
+ConfigFile::lookup(const std::string &key) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+ConfigFile::getString(const std::string &key,
+                      const std::string &defaultValue) const
+{
+    return lookup(key).value_or(defaultValue);
+}
+
+std::string
+ConfigFile::requireString(const std::string &key) const
+{
+    auto value = lookup(key);
+    if (!value)
+        fatal("missing required config key '", key, "'");
+    return *value;
+}
+
+namespace
+{
+
+std::int64_t
+parseInt(const std::string &key, const std::string &text)
+{
+    std::string body = trim(text);
+    if (body.empty())
+        fatal("config key '", key, "': empty integer");
+    std::int64_t multiplier = 1;
+    char last = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(body.back())));
+    if (last == 'k' || last == 'm' || last == 'g') {
+        multiplier = last == 'k' ? 1000 : last == 'm' ? 1000000 : 1000000000;
+        body.pop_back();
+    }
+    try {
+        std::size_t used = 0;
+        std::int64_t value = std::stoll(body, &used, 0);
+        if (used != body.size())
+            throw std::invalid_argument(body);
+        return value * multiplier;
+    } catch (const std::exception &) {
+        fatal("config key '", key, "': malformed integer '", text, "'");
+    }
+}
+
+} // namespace
+
+std::int64_t
+ConfigFile::getInt(const std::string &key, std::int64_t defaultValue) const
+{
+    auto value = lookup(key);
+    return value ? parseInt(key, *value) : defaultValue;
+}
+
+std::int64_t
+ConfigFile::requireInt(const std::string &key) const
+{
+    return parseInt(key, requireString(key));
+}
+
+std::uint64_t
+ConfigFile::getUint(const std::string &key, std::uint64_t defaultValue) const
+{
+    auto value = lookup(key);
+    if (!value)
+        return defaultValue;
+    std::int64_t parsed = parseInt(key, *value);
+    if (parsed < 0)
+        fatal("config key '", key, "': expected non-negative value");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+std::uint64_t
+ConfigFile::requireUint(const std::string &key) const
+{
+    std::int64_t parsed = requireInt(key);
+    if (parsed < 0)
+        fatal("config key '", key, "': expected non-negative value");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+double
+ConfigFile::getDouble(const std::string &key, double defaultValue) const
+{
+    auto value = lookup(key);
+    if (!value)
+        return defaultValue;
+    try {
+        std::size_t used = 0;
+        double parsed = std::stod(*value, &used);
+        if (used != value->size())
+            throw std::invalid_argument(*value);
+        return parsed;
+    } catch (const std::exception &) {
+        fatal("config key '", key, "': malformed double '", *value, "'");
+    }
+}
+
+double
+ConfigFile::requireDouble(const std::string &key) const
+{
+    requireString(key);
+    return getDouble(key, 0.0);
+}
+
+bool
+ConfigFile::getBool(const std::string &key, bool defaultValue) const
+{
+    auto value = lookup(key);
+    if (!value)
+        return defaultValue;
+    const std::string &text = *value;
+    if (iequals(text, "true") || text == "1" || iequals(text, "yes") ||
+        iequals(text, "on")) {
+        return true;
+    }
+    if (iequals(text, "false") || text == "0" || iequals(text, "no") ||
+        iequals(text, "off")) {
+        return false;
+    }
+    fatal("config key '", key, "': malformed boolean '", text, "'");
+}
+
+std::uint64_t
+ConfigFile::parseSize(const std::string &text)
+{
+    std::string body = trim(text);
+    std::size_t pos = 0;
+    while (pos < body.size() &&
+           (std::isdigit(static_cast<unsigned char>(body[pos])) != 0)) {
+        ++pos;
+    }
+    if (pos == 0)
+        fatal("malformed size '", text, "'");
+    std::uint64_t value = std::stoull(body.substr(0, pos));
+    std::string unit = trim(body.substr(pos));
+    std::string lower;
+    for (char c : unit)
+        lower.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    if (lower.empty() || lower == "b")
+        return value;
+    if (lower == "kb" || lower == "kib" || lower == "k")
+        return value << 10;
+    if (lower == "mb" || lower == "mib" || lower == "m")
+        return value << 20;
+    if (lower == "gb" || lower == "gib" || lower == "g")
+        return value << 30;
+    fatal("malformed size unit in '", text, "'");
+}
+
+std::vector<std::vector<std::string>>
+CsvReader::fromFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open CSV file '", path, "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return fromString(buffer.str());
+}
+
+std::vector<std::vector<std::string>>
+CsvReader::fromString(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        rows.push_back(split(line, ','));
+    }
+    return rows;
+}
+
+} // namespace mnpu

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal ini-style configuration file reader and a CSV reader.
+ *
+ * mNPUsim takes five kinds of configuration files (network, arch, npumem,
+ * dram, misc). All of them use the same `key = value` syntax with optional
+ * `[section]` headers and `#`/`;` comments. Network topologies may instead
+ * be given as SCALE-Sim-style CSV files, handled by CsvReader.
+ */
+
+#ifndef MNPU_COMMON_CONFIG_HH
+#define MNPU_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mnpu
+{
+
+/** Trim ASCII whitespace from both ends of @p text. */
+std::string trim(const std::string &text);
+
+/** Split @p text on @p delim, trimming each piece. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Case-insensitive string equality (ASCII). */
+bool iequals(const std::string &a, const std::string &b);
+
+/**
+ * An in-memory `[section] key = value` configuration.
+ *
+ * Keys are looked up as "section.key"; entries before any section header
+ * live in the "" section and are looked up by bare key. Typed getters
+ * either return a default or fatal() when a required key is missing or
+ * malformed.
+ */
+class ConfigFile
+{
+  public:
+    ConfigFile() = default;
+
+    /** Parse from a file on disk; fatal() if unreadable. */
+    static ConfigFile fromFile(const std::string &path);
+
+    /** Parse from an in-memory string (used heavily by tests). */
+    static ConfigFile fromString(const std::string &text);
+
+    /** Insert or overwrite a value programmatically. */
+    void set(const std::string &key, const std::string &value);
+
+    /** @return true if @p key exists. */
+    bool has(const std::string &key) const;
+
+    /** Raw string accessors. */
+    std::string getString(const std::string &key,
+                          const std::string &defaultValue) const;
+    std::string requireString(const std::string &key) const;
+
+    /** Integer accessors; accept decimal, 0x-hex, and k/m/g suffixes. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t defaultValue) const;
+    std::int64_t requireInt(const std::string &key) const;
+
+    /** Unsigned convenience wrappers (fatal on negative values). */
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t defaultValue) const;
+    std::uint64_t requireUint(const std::string &key) const;
+
+    double getDouble(const std::string &key, double defaultValue) const;
+    double requireDouble(const std::string &key) const;
+
+    /** Boolean accessor; accepts true/false/1/0/yes/no/on/off. */
+    bool getBool(const std::string &key, bool defaultValue) const;
+
+    /** All keys, in insertion order (for round-tripping and debugging). */
+    const std::vector<std::string> &keys() const { return order; }
+
+    /**
+     * Parse a size string such as "36MB", "4kb", "128", "2GiB".
+     * @return the size in bytes; fatal() on malformed input.
+     */
+    static std::uint64_t parseSize(const std::string &text);
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+    void parseLines(const std::string &text, const std::string &origin);
+
+    std::map<std::string, std::string> values;
+    std::vector<std::string> order;
+};
+
+/**
+ * A tiny CSV reader: comma-separated rows, `#` comments, blank lines
+ * skipped, cells trimmed. Used for SCALE-Sim-style network topologies.
+ */
+class CsvReader
+{
+  public:
+    static std::vector<std::vector<std::string>>
+    fromFile(const std::string &path);
+
+    static std::vector<std::vector<std::string>>
+    fromString(const std::string &text);
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_CONFIG_HH

@@ -1,0 +1,53 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace mnpu
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+isQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const std::string &message, const char *file, int line)
+{
+    std::cerr << "panic: " << message << " (" << file << ":" << line << ")"
+              << std::endl;
+    std::abort();
+}
+
+void
+warnImpl(const std::string &message)
+{
+    std::cerr << "warn: " << message << std::endl;
+}
+
+void
+informImpl(const std::string &message)
+{
+    if (!isQuiet())
+        std::cerr << "info: " << message << std::endl;
+}
+
+} // namespace detail
+
+} // namespace mnpu

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — user-caused condition (bad configuration); throws FatalError
+ *            so that library embedders and tests can recover.
+ * panic()  — simulator-internal invariant violation; aborts.
+ * warn()   — prints a warning to stderr and continues.
+ * inform() — status output, silenced when quiet mode is enabled.
+ */
+
+#ifndef MNPU_COMMON_LOGGING_HH
+#define MNPU_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mnpu
+{
+
+/** Exception thrown by fatal(): an unrecoverable *user* error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate all arguments through an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream stream;
+    (stream << ... << std::forward<Args>(args));
+    return stream.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &message,
+                            const char *file, int line);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+/** Globally silence inform() output (warnings still print). */
+void setQuiet(bool quiet);
+
+/** @return whether inform() output is currently silenced. */
+bool isQuiet();
+
+/** Report a configuration/user error; always throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning to stderr and continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a status message to stderr unless quiet mode is on. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define mnpu_panic(...) \
+    ::mnpu::detail::panicImpl(::mnpu::detail::concat(__VA_ARGS__), \
+                              __FILE__, __LINE__)
+
+/** Cheap always-on invariant check; panics with the condition text. */
+#define mnpu_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            mnpu_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (false)
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_LOGGING_HH

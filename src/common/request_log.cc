@@ -1,0 +1,34 @@
+#include "common/request_log.hh"
+
+#include <filesystem>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+void
+RequestLog::open(const std::string &path, const std::string &header)
+{
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec)
+            fatal("cannot create log directory '",
+                  p.parent_path().string(), "': ", ec.message());
+    }
+    file_.open(path);
+    if (!file_)
+        fatal("cannot open request log '", path, "'");
+    file_ << header << '\n';
+}
+
+void
+RequestLog::flush()
+{
+    if (file_)
+        file_.flush();
+}
+
+} // namespace mnpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Opt-in request logging (§3.2.2 of the paper): mNPUsim emits logs of
+ * every shareable-resource access — DRAM requests (start and end
+ * cycle), TLB lookups, and page-table-walk lifetimes — with fields
+ * cycle, address, NPU index, and channel where applicable.
+ *
+ * A disabled RequestLog is free: every logging call is guarded by a
+ * single branch on the open flag.
+ */
+
+#ifndef MNPU_COMMON_REQUEST_LOG_HH
+#define MNPU_COMMON_REQUEST_LOG_HH
+
+#include <fstream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+class RequestLog
+{
+  public:
+    RequestLog() = default;
+
+    RequestLog(const RequestLog &) = delete;
+    RequestLog &operator=(const RequestLog &) = delete;
+    RequestLog(RequestLog &&) = default;
+    RequestLog &operator=(RequestLog &&) = default;
+
+    /** Open @p path and write the CSV @p header line. fatal() on I/O. */
+    void open(const std::string &path, const std::string &header);
+
+    bool enabled() const { return file_.is_open(); }
+
+    /** Append one CSV row; no-op while disabled. */
+    template <typename... Fields>
+    void
+    row(Fields &&...fields)
+    {
+        if (!file_)
+            return;
+        bool first = true;
+        ((writeField(first, std::forward<Fields>(fields))), ...);
+        file_ << '\n';
+    }
+
+    /** Flush buffered rows to disk. */
+    void flush();
+
+  private:
+    template <typename Field>
+    void
+    writeField(bool &first, Field &&field)
+    {
+        if (!first)
+            file_ << ',';
+        first = false;
+        file_ << field;
+    }
+
+    std::ofstream file_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_REQUEST_LOG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic PRNG (SplitMix64 + xoshiro256**). The simulator never uses
+ * std::random_device or time-based seeds so every run is reproducible.
+ */
+
+#ifndef MNPU_COMMON_RNG_HH
+#define MNPU_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+/** xoshiro256** seeded via SplitMix64; small, fast, and deterministic. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the 4-word state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        mnpu_assert(lo <= hi);
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0) // full 64-bit range
+            return next();
+        return lo + next() % span;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_RNG_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef MNPU_COMMON_TYPES_HH
+#define MNPU_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mnpu
+{
+
+/** A simulated address (virtual or physical), byte-granular. */
+using Addr = std::uint64_t;
+
+/** A cycle count in some clock domain. */
+using Cycle = std::uint64_t;
+
+/** Identifier of an NPU core within a multi-core system. */
+using CoreId = std::uint32_t;
+
+/** Address-space identifier; one per workload/core in this simulator. */
+using Asid = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled / never". */
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Sentinel for an invalid core id. */
+inline constexpr CoreId kCoreInvalid = std::numeric_limits<CoreId>::max();
+
+/** Direction of an off-chip memory request. */
+enum class MemOp : std::uint8_t { Read, Write };
+
+/** Human-readable name of a MemOp. */
+inline const char *
+toString(MemOp op)
+{
+    return op == MemOp::Read ? "read" : "write";
+}
+
+/** One off-chip memory request as emitted by the SW request generator. */
+struct MemRequest
+{
+    Addr vaddr = kAddrInvalid;  //!< virtual address (SPM-side is virtual)
+    std::uint32_t size = 0;     //!< bytes; the DMA splits to bus width
+    MemOp op = MemOp::Read;
+};
+
+/** Round @p value up to the next multiple of @p align (power of two). */
+inline constexpr Addr
+alignUp(Addr value, Addr align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of @p align (power of two). */
+inline constexpr Addr
+alignDown(Addr value, Addr align)
+{
+    return value & ~(align - 1);
+}
+
+/** True iff @p value is a power of two (and nonzero). */
+inline constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); @p value must be nonzero. */
+inline constexpr std::uint32_t
+floorLog2(std::uint64_t value)
+{
+    std::uint32_t result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Integer ceiling division. */
+inline constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_TYPES_HH

@@ -1,0 +1,359 @@
+#include "core/npu_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+NpuCore::NpuCore(const CoreConfig &config, const TraceGenerator &trace,
+                 Mmu &mmu, DramSystem &dram, const ClockDomain &clock)
+    : config_(config),
+      trace_(trace),
+      mmu_(mmu),
+      dram_(dram),
+      clock_(clock),
+      tiles_(trace.tiles().size()),
+      layerFinishLocal_(trace.layers().size(), 0),
+      stats_("core" + std::to_string(config.id)),
+      readTx_(stats_.counter("read_tx")),
+      writeTx_(stats_.counter("write_tx")),
+      xlatRetries_(stats_.counter("xlat_retries")),
+      dramRetries_(stats_.counter("dram_retries"))
+{
+    if (config.iterations == 0)
+        fatal("core ", config.id, ": iterations must be >= 1");
+}
+
+bool
+NpuCore::cursorNext(RangeCursor &cursor,
+                    const std::vector<AccessRange> &ranges, Addr &out)
+{
+    const Addr bus = trace_.arch().busBytes;
+    while (true) {
+        if (!cursor.primed) {
+            if (cursor.rangeIdx >= ranges.size())
+                return false;
+            const AccessRange &range = ranges[cursor.rangeIdx];
+            cursor.next = alignDown(range.vaddr, bus);
+            cursor.end = alignUp(range.vaddr + range.bytes, bus);
+            cursor.primed = true;
+        }
+        if (cursor.next < cursor.end) {
+            out = cursor.next;
+            cursor.next += bus;
+            if (cursor.next >= cursor.end) {
+                ++cursor.rangeIdx;
+                cursor.primed = false;
+            }
+            return true;
+        }
+        ++cursor.rangeIdx;
+        cursor.primed = false;
+    }
+}
+
+bool
+NpuCore::bufferFreeForLoad(std::uint32_t tile) const
+{
+    // Double buffering: tile j reuses the half that tile j-2 occupied.
+    return tile < retireTile_ + 2;
+}
+
+void
+NpuCore::startIterationIfNeeded(Cycle now)
+{
+    if (started_ && retireTile_ < tiles_.size())
+        return;
+    if (!started_) {
+        started_ = true;
+        startedAtGlobal_ = now;
+    } else {
+        // Previous iteration fully retired.
+        ++iteration_;
+        if (iteration_ >= config_.iterations)
+            return;
+    }
+    std::fill(tiles_.begin(), tiles_.end(), TileState{});
+    loadTile_ = 0;
+    computeTile_ = 0;
+    storeTile_ = 0;
+    retireTile_ = 0;
+    loadCursor_ = RangeCursor{};
+    storeCursor_ = RangeCursor{};
+    nextLayerToFinish_ = 0;
+}
+
+void
+NpuCore::issueTransactions(Cycle now)
+{
+    const auto &tile_traces = trace_.tiles();
+    const std::uint32_t max_out = trace_.arch().dmaMaxOutstanding;
+    std::uint64_t &budget = issueBudget_;
+
+    while (budget > 0) {
+        if (static_cast<std::uint32_t>(inflightTx_.size()) >= max_out)
+            break;
+
+        // Stores drain first: they free SPM halves for the next loads.
+        bool issued = false;
+        while (storeTile_ < tiles_.size() &&
+               tiles_[storeTile_].computeDone &&
+               !tiles_[storeTile_].storesIssued) {
+            Addr vaddr = 0;
+            if (cursorNext(storeCursor_, tile_traces[storeTile_].writes,
+                           vaddr)) {
+                std::uint64_t tag = makeTag(config_.id, nextSeq_++);
+                if (!mmu_.requestTranslation(config_.id, config_.asid,
+                                             vaddr, tag, now)) {
+                    xlatRetries_.inc();
+                    return; // MMU queue full; retry next cycle
+                }
+                inflightTx_.emplace(tag, TxInfo{storeTile_, MemOp::Write});
+                ++tiles_[storeTile_].storesOutstanding;
+                ++xlatOutstanding_;
+                writeTx_.inc();
+                --budget;
+                issued = true;
+                break;
+            }
+            tiles_[storeTile_].storesIssued = true;
+            ++storeTile_;
+            storeCursor_ = RangeCursor{};
+        }
+        if (issued)
+            continue;
+
+        // Then prefetch loads for the next tile whose half is free.
+        if (loadTile_ < tiles_.size() && bufferFreeForLoad(loadTile_)) {
+            Addr vaddr = 0;
+            if (cursorNext(loadCursor_, tile_traces[loadTile_].reads,
+                           vaddr)) {
+                std::uint64_t tag = makeTag(config_.id, nextSeq_++);
+                if (!mmu_.requestTranslation(config_.id, config_.asid,
+                                             vaddr, tag, now)) {
+                    xlatRetries_.inc();
+                    return;
+                }
+                inflightTx_.emplace(tag, TxInfo{loadTile_, MemOp::Read});
+                ++tiles_[loadTile_].loadsOutstanding;
+                ++xlatOutstanding_;
+                readTx_.inc();
+                --budget;
+                continue;
+            }
+            tiles_[loadTile_].loadsIssued = true;
+            ++loadTile_;
+            loadCursor_ = RangeCursor{};
+            continue;
+        }
+        break; // nothing issuable this cycle
+    }
+}
+
+void
+NpuCore::updateCompute(Cycle now)
+{
+    const Cycle local = clock_.toLocalFloor(now);
+    const auto &tile_traces = trace_.tiles();
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        if (computeTile_ < tiles_.size()) {
+            TileState &tile = tiles_[computeTile_];
+            if (tile.computeStarted && !tile.computeDone &&
+                local >= tile.computeDoneLocal) {
+                tile.computeDone = true;
+                // Record layer completion at the compute-done cycle.
+                const std::uint32_t layer =
+                    tile_traces[computeTile_].layerIndex;
+                const LayerTrace &layer_trace = trace_.layers()[layer];
+                if (computeTile_ + 1 ==
+                    layer_trace.firstTile + layer_trace.tileCount) {
+                    layerFinishLocal_[layer] = tile.computeDoneLocal;
+                }
+                ++computeTile_;
+                progressed = true;
+            } else if (!tile.computeStarted && tile.loadsDone()) {
+                Cycle start = std::max(local, computeFreeLocal_);
+                Cycle cycles = std::max<Cycle>(
+                    1, tile_traces[computeTile_].computeCycles);
+                tile.computeStarted = true;
+                tile.computeDoneLocal = start + cycles;
+                computeFreeLocal_ = tile.computeDoneLocal;
+                progressed = true;
+                if (local >= tile.computeDoneLocal)
+                    continue; // completes within this cycle window
+            }
+        }
+        // Tiles with no writes become storesIssued in the issue pass;
+        // retire any fully finished prefix.
+        while (retireTile_ < tiles_.size() &&
+               tiles_[retireTile_].retired()) {
+            ++retireTile_;
+            progressed = true;
+        }
+    }
+}
+
+void
+NpuCore::checkDone(Cycle now)
+{
+    if (retireTile_ < tiles_.size())
+        return;
+    if (iteration_ + 1 >= config_.iterations) {
+        if (!done_) {
+            done_ = true;
+            finishedAtGlobal_ = now;
+        }
+        return;
+    }
+    startIterationIfNeeded(now);
+}
+
+void
+NpuCore::tick(Cycle now)
+{
+    if (done_ || now < config_.startCycleGlobal)
+        return;
+    if (!started_)
+        startIterationIfNeeded(now);
+    if (done_)
+        return;
+
+    // Refresh the DMA issue budget once per *local* cycle: unspent
+    // budget carries across global ticks within the same local cycle
+    // but does not accumulate across local cycles (a DMA port issues
+    // at most dmaIssueWidth transactions per core clock).
+    const Cycle local = clock_.toLocalFloor(now);
+    const std::uint64_t width = trace_.arch().dmaIssueWidth;
+    if (!budgetPrimed_ || local > lastLocalSeen_) {
+        Cycle locals_per_global = std::max<Cycle>(
+            1, ceilDiv(clock_.localMhz(), clock_.globalMhz()));
+        Cycle delta =
+            budgetPrimed_ ? local - lastLocalSeen_ : Cycle{1};
+        issueBudget_ = width * std::min<Cycle>(
+            std::max<Cycle>(delta, 1), locals_per_global);
+        lastLocalSeen_ = local;
+        budgetPrimed_ = true;
+    }
+
+    // Push already-translated transactions into DRAM.
+    while (!dramReady_.empty()) {
+        if (!dram_.tryEnqueue(dramReady_.front(), now)) {
+            dramRetries_.inc();
+            break;
+        }
+        if (requestTracer_)
+            requestTracer_->record(now, 1);
+        dramReady_.pop_front();
+    }
+
+    updateCompute(now);
+    issueTransactions(now);
+    updateCompute(now);
+    checkDone(now);
+}
+
+void
+NpuCore::onTranslation(std::uint64_t tag, Addr paddr, Cycle)
+{
+    auto it = inflightTx_.find(tag);
+    mnpu_assert(it != inflightTx_.end(), "translation for unknown tag");
+    mnpu_assert(xlatOutstanding_ > 0);
+    --xlatOutstanding_;
+    DramRequest request;
+    request.paddr = paddr;
+    request.op = it->second.op;
+    request.core = config_.id;
+    request.tag = tag;
+    dramReady_.push_back(request);
+}
+
+void
+NpuCore::onDramCompletion(std::uint64_t tag, Cycle)
+{
+    auto it = inflightTx_.find(tag);
+    mnpu_assert(it != inflightTx_.end(), "DRAM completion for unknown tag");
+    TileState &tile = tiles_[it->second.tile];
+    if (it->second.op == MemOp::Read) {
+        mnpu_assert(tile.loadsOutstanding > 0);
+        --tile.loadsOutstanding;
+    } else {
+        mnpu_assert(tile.storesOutstanding > 0);
+        --tile.storesOutstanding;
+    }
+    inflightTx_.erase(it);
+}
+
+Cycle
+NpuCore::nextEventCycle(Cycle now) const
+{
+    if (done_)
+        return kCycleNever;
+    if (!started_)
+        return std::max(now + 1, config_.startCycleGlobal);
+    // Waiting on the memory system: the MMU/DRAM next-event covers us,
+    // but issue opportunities may appear each cycle.
+    if (!dramReady_.empty() || !inflightTx_.empty())
+        return now + 1;
+    if (computeTile_ < tiles_.size()) {
+        const TileState &tile = tiles_[computeTile_];
+        if (tile.computeStarted && !tile.computeDone) {
+            // Pure compute: fast-forward to completion, unless DMA work
+            // could proceed meanwhile.
+            if (loadTile_ < tiles_.size() &&
+                bufferFreeForLoad(loadTile_)) {
+                return now + 1;
+            }
+            return std::max(now + 1,
+                            clock_.toGlobal(tile.computeDoneLocal));
+        }
+    }
+    return now + 1;
+}
+
+Cycle
+NpuCore::totalLocalCycles() const
+{
+    mnpu_assert(done_, "totalLocalCycles before completion");
+    return clock_.toLocalFloor(finishedAtGlobal_) -
+           clock_.toLocalFloor(startedAtGlobal_);
+}
+
+double
+NpuCore::peUtilization() const
+{
+    Cycle cycles = totalLocalCycles();
+    if (cycles == 0)
+        return 0.0;
+    double pes = static_cast<double>(trace_.arch().arrayRows) *
+                 trace_.arch().arrayCols;
+    double macs = static_cast<double>(trace_.totalMacs()) *
+                  config_.iterations;
+    return macs / (pes * static_cast<double>(cycles));
+}
+
+void
+NpuCore::enableRequestTrace(Cycle window_cycles)
+{
+    requestTracer_.emplace(window_cycles);
+}
+
+const IntervalTracer &
+NpuCore::requestTrace() const
+{
+    mnpu_assert(requestTracer_.has_value(), "request trace not enabled");
+    return *requestTracer_;
+}
+
+void
+NpuCore::finalizeRequestTrace()
+{
+    if (requestTracer_)
+        requestTracer_->finalize();
+}
+
+} // namespace mnpu

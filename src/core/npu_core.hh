@@ -1,0 +1,191 @@
+/**
+ * @file
+ * One NPU core: systolic-array compute driven by per-tile traces, a
+ * double-buffered scratchpad pipeline, and a DMA engine that turns tile
+ * access ranges into translated off-chip transactions.
+ *
+ * Pipeline (paper Figure 2a): while tile j computes out of one SPM half,
+ * the DMA prefetches tile j+1 into the other half and drains tile j-1's
+ * outputs. Loads for tile j may start only once tile j-2 has fully
+ * retired (compute finished and stores drained) — that reuse rule is
+ * what produces the bursty, front-loaded memory traffic the paper
+ * studies.
+ */
+
+#ifndef MNPU_CORE_NPU_CORE_HH
+#define MNPU_CORE_NPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock_domain.hh"
+#include "common/interval_tracer.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+#include "mmu/mmu.hh"
+#include "sw/trace_generator.hh"
+
+namespace mnpu
+{
+
+/** Per-core execution-mode settings (the paper's misc_config). */
+struct CoreConfig
+{
+    CoreId id = 0;
+    Asid asid = 0;
+    Cycle startCycleGlobal = 0; //!< execution initiation time
+    std::uint32_t iterations = 1;
+};
+
+class NpuCore
+{
+  public:
+    /**
+     * @param trace must outlive the core (typically owned by the system)
+     */
+    NpuCore(const CoreConfig &config, const TraceGenerator &trace,
+            Mmu &mmu, DramSystem &dram, const ClockDomain &clock);
+
+    /** Advance to global cycle @p now. */
+    void tick(Cycle now);
+
+    bool done() const { return done_; }
+
+    /** Earliest future global cycle at which tick() could do work. */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Translation completed for one of this core's transactions. */
+    void onTranslation(std::uint64_t tag, Addr paddr, Cycle at);
+
+    /** DRAM data transfer completed for one of this core's txns. */
+    void onDramCompletion(std::uint64_t tag, Cycle at);
+
+    // --- results ---
+    /** End-to-end local cycles (finish - start), valid once done(). */
+    Cycle totalLocalCycles() const;
+    Cycle finishedAtGlobal() const { return finishedAtGlobal_; }
+
+    /** Per-layer local finish cycle of the last iteration. */
+    const std::vector<Cycle> &layerFinishLocal() const
+    {
+        return layerFinishLocal_;
+    }
+
+    /** MACs retired / (PEs x active local cycles), valid once done(). */
+    double peUtilization() const;
+
+    /** Count DMA transactions accepted by DRAM per window (Fig. 2b). */
+    void enableRequestTrace(Cycle window_cycles);
+    const IntervalTracer &requestTrace() const;
+
+    /** Close the in-progress trace window (end of simulation). */
+    void finalizeRequestTrace();
+
+    const CoreConfig &config() const { return config_; }
+    const TraceGenerator &trace() const { return trace_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Tag helpers: core data tags carry the core id in bits 48..62. */
+    static std::uint64_t makeTag(CoreId core, std::uint64_t seq)
+    {
+        return (static_cast<std::uint64_t>(core) << 48) |
+               (seq & ((std::uint64_t{1} << 48) - 1));
+    }
+    static CoreId coreOfTag(std::uint64_t tag)
+    {
+        return static_cast<CoreId>((tag >> 48) & 0x7fff);
+    }
+
+  private:
+    struct TileState
+    {
+        bool loadsIssued = false;  //!< all read txns handed to the MMU
+        std::uint32_t loadsOutstanding = 0;
+        bool computeStarted = false;
+        bool computeDone = false;
+        Cycle computeDoneLocal = 0;
+        bool storesIssued = false;
+        std::uint32_t storesOutstanding = 0;
+
+        bool loadsDone() const
+        {
+            return loadsIssued && loadsOutstanding == 0;
+        }
+        bool retired() const
+        {
+            return computeDone && storesIssued && storesOutstanding == 0;
+        }
+    };
+
+    /** Walks the 64-byte transactions of a tile's range list. */
+    struct RangeCursor
+    {
+        std::size_t rangeIdx = 0;
+        Addr next = 0;   //!< next transaction address (aligned)
+        Addr end = 0;    //!< end of current range (aligned up)
+        bool primed = false;
+    };
+
+    struct TxInfo
+    {
+        std::uint32_t tile;
+        MemOp op;
+    };
+
+    bool cursorNext(RangeCursor &cursor,
+                    const std::vector<AccessRange> &ranges, Addr &out);
+    bool bufferFreeForLoad(std::uint32_t tile) const;
+    void issueTransactions(Cycle now);
+    void updateCompute(Cycle now);
+    void startIterationIfNeeded(Cycle now);
+    void checkDone(Cycle now);
+
+    CoreConfig config_;
+    const TraceGenerator &trace_;
+    Mmu &mmu_;
+    DramSystem &dram_;
+    ClockDomain clock_;
+
+    bool started_ = false;
+    bool done_ = false;
+    Cycle startedAtGlobal_ = 0;
+    Cycle finishedAtGlobal_ = 0;
+    std::uint32_t iteration_ = 0;
+
+    std::vector<TileState> tiles_;
+    std::uint32_t loadTile_ = 0;    //!< next tile to feed load txns from
+    std::uint32_t computeTile_ = 0; //!< next tile to compute
+    std::uint32_t storeTile_ = 0;   //!< next tile to feed store txns from
+    std::uint32_t retireTile_ = 0;  //!< first not-fully-retired tile
+    RangeCursor loadCursor_;
+    RangeCursor storeCursor_;
+    Cycle computeFreeLocal_ = 0;
+
+    std::uint64_t nextSeq_ = 0;
+    std::unordered_map<std::uint64_t, TxInfo> inflightTx_;
+    std::deque<DramRequest> dramReady_; //!< translated, awaiting DRAM
+    std::uint32_t xlatOutstanding_ = 0;
+
+    Cycle lastLocalSeen_ = 0;
+    std::uint64_t issueBudget_ = 0;
+    bool budgetPrimed_ = false;
+
+    std::vector<Cycle> layerFinishLocal_;
+    std::size_t nextLayerToFinish_ = 0;
+
+    std::optional<IntervalTracer> requestTracer_;
+
+    StatGroup stats_;
+    Counter &readTx_;
+    Counter &writeTx_;
+    Counter &xlatRetries_;
+    Counter &dramRetries_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_CORE_NPU_CORE_HH

@@ -1,0 +1,90 @@
+#include "dram/address_mapping.hh"
+
+#include <algorithm>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+AddressMapping::AddressMapping(const DramTiming &timing,
+                               const std::string &order)
+    : timing_(timing)
+{
+    offsetBits_ = floorLog2(timing.transactionBytes());
+
+    struct Spec
+    {
+        const char *token;
+        char kind;
+        std::uint32_t bits;
+    };
+    const Spec specs[] = {
+        {"ro", 'o', floorLog2(timing.rows)},
+        {"ra", 'r', floorLog2(std::max<std::uint32_t>(timing.ranks, 1))},
+        {"bg", 'g', floorLog2(timing.bankGroups)},
+        {"ba", 'b', floorLog2(timing.banksPerGroup)},
+        {"co", 'c',
+         floorLog2(static_cast<std::uint64_t>(timing.columnsPerRow()))},
+    };
+
+    std::vector<std::string> tokens;
+    for (const auto &piece : split(order, '-'))
+        if (!piece.empty())
+            tokens.push_back(piece);
+    if (tokens.size() != std::size(specs))
+        fatal("address mapping '", order, "' must name all 5 fields");
+
+    // Assign shifts from LSB: the last token sits just above the offset.
+    std::uint32_t shift = 0;
+    std::vector<Field> reversed;
+    for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+        const Spec *found = nullptr;
+        for (const auto &spec : specs)
+            if (*it == spec.token)
+                found = &spec;
+        if (found == nullptr)
+            fatal("unknown address mapping field '", *it, "'");
+        for (const auto &existing : reversed)
+            if (existing.kind == found->kind)
+                fatal("duplicate address mapping field '", *it, "'");
+        reversed.push_back(Field{found->kind, found->bits, shift});
+        shift += found->bits;
+    }
+    fields_.assign(reversed.rbegin(), reversed.rend());
+}
+
+DramCoord
+AddressMapping::decode(Addr addr) const
+{
+    Addr body = addr >> offsetBits_;
+    DramCoord coord;
+    for (const auto &field : fields_) {
+        std::uint64_t mask =
+            field.bits >= 64 ? ~0ULL : ((1ULL << field.bits) - 1);
+        std::uint64_t value = (body >> field.shift) & mask;
+        switch (field.kind) {
+          case 'o':
+            coord.row = value;
+            break;
+          case 'r':
+            coord.rank = static_cast<std::uint32_t>(value);
+            break;
+          case 'g':
+            coord.bankGroup = static_cast<std::uint32_t>(value);
+            break;
+          case 'b':
+            coord.bank = static_cast<std::uint32_t>(value);
+            break;
+          case 'c':
+            coord.column = value;
+            break;
+          default:
+            mnpu_panic("bad field kind");
+        }
+    }
+    return coord;
+}
+
+} // namespace mnpu

@@ -1,0 +1,269 @@
+#include "dram/dram_channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+DramChannel::DramChannel(const DramTiming &timing,
+                         const AddressMapping &mapping,
+                         std::uint32_t queue_depth, const std::string &name)
+    : timing_(timing),
+      mapping_(mapping),
+      queueDepth_(queue_depth),
+      banks_(timing.ranks * timing.banksPerRank()),
+      ranks_(timing.ranks),
+      stats_(name),
+      reads_(stats_.counter("reads")),
+      writes_(stats_.counter("writes")),
+      rowHits_(stats_.counter("row_hits")),
+      rowMisses_(stats_.counter("row_misses")),
+      bytes_(stats_.counter("bytes")),
+      refreshes_(stats_.counter("refreshes")),
+      activates_(stats_.counter("activates")),
+      queueLatency_(stats_.distribution("queue_latency"))
+{
+    if (queue_depth == 0)
+        fatal("DRAM channel queue depth must be nonzero");
+    for (auto &rank : ranks_) {
+        rank.actWindow.assign(4, 0);
+        rank.refreshDueAt = timing_.tREFI;
+    }
+}
+
+void
+DramChannel::enqueue(const DramRequest &request, Addr local_addr, Cycle now)
+{
+    mnpu_assert(canAccept(request.priority),
+                "enqueue on a full DRAM channel queue");
+    if (!busy()) {
+        // Idle fast-forward may have skipped refresh slots; catch the
+        // schedule up so a stale deadline does not stall the first burst.
+        for (auto &rank : ranks_) {
+            if (rank.refreshDueAt < now)
+                rank.refreshDueAt = now + timing_.tREFI;
+        }
+    }
+    QueueEntry entry;
+    entry.request = request;
+    entry.coord = mapping_.decode(local_addr);
+    entry.arrival = now;
+    queue_.push_back(entry);
+}
+
+bool
+DramChannel::rankCanActivate(const RankState &rank, Cycle now) const
+{
+    if (now < rank.nextActivate)
+        return false;
+    // tFAW: the 4th-previous activation must be at least tFAW old.
+    Cycle oldest = rank.actWindow[rank.actPtr];
+    return oldest == 0 || now >= oldest + timing_.tFAW;
+}
+
+void
+DramChannel::recordActivate(RankState &rank, Cycle now)
+{
+    rank.actWindow[rank.actPtr] = now;
+    rank.actPtr = (rank.actPtr + 1) % rank.actWindow.size();
+    rank.nextActivate = now + timing_.tRRD;
+}
+
+void
+DramChannel::maybeRefresh(Cycle now)
+{
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+        RankState &rank = ranks_[r];
+        if (now < rank.refreshDueAt || now < rank.refreshingUntil)
+            continue;
+        // All banks of the rank must be precharge-able before REF.
+        bool ready = true;
+        std::uint32_t base = r * timing_.banksPerRank();
+        for (std::uint32_t b = 0; b < timing_.banksPerRank(); ++b) {
+            if (now < banks_[base + b].nextPrecharge) {
+                ready = false;
+                break;
+            }
+        }
+        if (!ready)
+            continue;
+        for (std::uint32_t b = 0; b < timing_.banksPerRank(); ++b) {
+            BankState &bank = banks_[base + b];
+            bank.openRow = -1;
+            bank.nextActivate =
+                std::max(bank.nextActivate, now + timing_.tRFC);
+        }
+        rank.refreshingUntil = now + timing_.tRFC;
+        rank.refreshDueAt += timing_.tREFI;
+        refreshes_.inc();
+    }
+}
+
+bool
+DramChannel::olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
+                            std::int64_t row) const
+{
+    for (std::size_t i = 0; i < upto; ++i) {
+        const QueueEntry &entry = queue_[i];
+        if (entry.coord.flatBank(timing_) == flat_bank &&
+            static_cast<std::int64_t>(entry.coord.row) == row) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DramChannel::tryIssueColumn(Cycle now)
+{
+    // Pass 0 considers only priority (walk) requests; pass 1 the rest.
+    for (int pass = 0; pass < 2; ++pass)
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        QueueEntry &entry = queue_[i];
+        if (entry.request.priority != (pass == 0))
+            continue;
+        std::uint32_t flat = entry.coord.flatBank(timing_);
+        BankState &bank = banks_[flat];
+        RankState &rank = ranks_[entry.coord.rank];
+        if (now < rank.refreshingUntil)
+            continue;
+        // An overdue refresh blocks new columns so the rank can drain.
+        if (now >= rank.refreshDueAt)
+            continue;
+        if (bank.openRow != static_cast<std::int64_t>(entry.coord.row))
+            continue;
+        if (now < bank.nextColumn)
+            continue;
+        bool is_write = entry.request.op == MemOp::Write;
+        Cycle gate =
+            is_write == lastOpWasWrite_ ? nextColumnSame_ : nextColumnSwitch_;
+        if (now < gate)
+            continue;
+
+        // Issue the column command.
+        std::uint32_t burst = timing_.burstCycles();
+        Cycle bus_gap = std::max<Cycle>(timing_.tCCD, burst);
+        nextColumnSame_ = now + bus_gap;
+        nextColumnSwitch_ =
+            now + bus_gap + (is_write ? timing_.tWTR : timing_.tRTW);
+        lastOpWasWrite_ = is_write;
+
+        Cycle done;
+        if (is_write) {
+            done = now + timing_.tCWL + burst;
+            bank.nextPrecharge =
+                std::max(bank.nextPrecharge, done + timing_.tWR);
+            writes_.inc();
+        } else {
+            done = now + timing_.tCL + burst;
+            bank.nextPrecharge =
+                std::max(bank.nextPrecharge, now + timing_.tRTP);
+            reads_.inc();
+        }
+        bytes_.inc(timing_.transactionBytes());
+        if (entry.causedActivate)
+            rowMisses_.inc();
+        else
+            rowHits_.inc();
+        queueLatency_.sample(static_cast<double>(now - entry.arrival));
+        completions_.push(Completion{done, entry.request});
+        std::uint64_t issued_row = entry.coord.row;
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+
+        if (timing_.rowPolicy == RowPolicy::Closed &&
+            !olderHitOnBank(queue_.size(), flat,
+                            static_cast<std::int64_t>(issued_row))) {
+            // Auto-precharge once no queued request wants this row.
+            bank.openRow = -1;
+            bank.nextActivate = std::max(bank.nextActivate,
+                                         bank.nextPrecharge + timing_.tRP);
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+DramChannel::tryIssueRowCommand(Cycle now)
+{
+    for (int pass = 0; pass < 2; ++pass)
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        QueueEntry &entry = queue_[i];
+        if (entry.request.priority != (pass == 0))
+            continue;
+        std::uint32_t flat = entry.coord.flatBank(timing_);
+        BankState &bank = banks_[flat];
+        RankState &rank = ranks_[entry.coord.rank];
+        if (now < rank.refreshingUntil || now >= rank.refreshDueAt)
+            continue;
+        auto row = static_cast<std::int64_t>(entry.coord.row);
+        if (bank.openRow == row)
+            continue; // hit; handled by the column pass
+        if (bank.openRow != -1) {
+            // Don't close a row an older request still wants.
+            if (olderHitOnBank(i, flat, bank.openRow))
+                continue;
+            if (now < bank.nextPrecharge)
+                continue;
+            bank.openRow = -1;
+            bank.nextActivate =
+                std::max(bank.nextActivate, now + timing_.tRP);
+            return true;
+        }
+        if (now < bank.nextActivate || !rankCanActivate(rank, now))
+            continue;
+        bank.openRow = row;
+        bank.nextColumn = now + timing_.tRCD;
+        bank.nextPrecharge = now + timing_.tRAS;
+        recordActivate(rank, now);
+        activates_.inc();
+        entry.causedActivate = true;
+        return true;
+    }
+    return false;
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    while (!completions_.empty() && completions_.top().at <= now) {
+        Completion done = completions_.top();
+        completions_.pop();
+        if (callback_)
+            callback_(done.request, done.at);
+    }
+    if (queue_.empty())
+        return;
+    maybeRefresh(now);
+    if (!tryIssueColumn(now))
+        tryIssueRowCommand(now);
+}
+
+double
+DramChannel::energyPj(Cycle elapsed_cycles) const
+{
+    double command =
+        static_cast<double>(activates_.value()) * timing_.eActPrePj +
+        static_cast<double>(reads_.value()) * timing_.eReadPj +
+        static_cast<double>(writes_.value()) * timing_.eWritePj +
+        static_cast<double>(refreshes_.value()) * timing_.eRefreshPj;
+    // Background: 1 mW = 1 pJ/ns; one cycle = 1e3/clockMhz ns.
+    double elapsed_ns = static_cast<double>(elapsed_cycles) * 1e3 /
+                        static_cast<double>(timing_.clockMhz);
+    return command + timing_.backgroundMw * elapsed_ns;
+}
+
+Cycle
+DramChannel::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    if (!completions_.empty())
+        next = completions_.top().at;
+    if (!queue_.empty())
+        next = std::min(next, now + 1);
+    return next;
+}
+
+} // namespace mnpu

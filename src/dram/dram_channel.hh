@@ -1,0 +1,181 @@
+/**
+ * @file
+ * One DRAM channel: per-bank state machines, all-bank refresh, and an
+ * FR-FCFS (first-ready, first-come-first-served) command scheduler.
+ *
+ * The channel is ticked on the global (DRAM) clock. Each tick it retires
+ * due completions, issues refreshes when due, and issues at most one
+ * command, preferring the oldest ready row-buffer hit and otherwise
+ * working on the oldest request (precharge/activate path).
+ */
+
+#ifndef MNPU_DRAM_DRAM_CHANNEL_HH
+#define MNPU_DRAM_DRAM_CHANNEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/address_mapping.hh"
+#include "dram/dram_timing.hh"
+
+namespace mnpu
+{
+
+/** One transaction presented to the DRAM system. */
+struct DramRequest
+{
+    Addr paddr = kAddrInvalid;  //!< physical address (system-level)
+    MemOp op = MemOp::Read;
+    CoreId core = kCoreInvalid; //!< issuing NPU core (for stats/routing)
+    std::uint64_t tag = 0;      //!< opaque client cookie
+    /**
+     * Latency-critical request (page-table walk steps). The scheduler
+     * prefers these over bulk DMA traffic, as real memory controllers
+     * do for translation fetches — a walk is 2-4 serial reads gating
+     * thousands of coalesced transactions.
+     */
+    bool priority = false;
+};
+
+/** Completion callback: the request and the cycle its data finished. */
+using DramCallback = std::function<void(const DramRequest &, Cycle)>;
+
+class DramChannel
+{
+  public:
+    /**
+     * @param timing       device parameters
+     * @param mapping      channel-local address decomposition
+     * @param queue_depth  max outstanding transactions in the queue
+     * @param name         stats group name (e.g. "dram.ch0")
+     */
+    DramChannel(const DramTiming &timing, const AddressMapping &mapping,
+                std::uint32_t queue_depth, const std::string &name);
+
+    /**
+     * @return true if the transaction queue has room. A few slots are
+     * reserved for priority (walk) requests so bulk DMA traffic cannot
+     * lock translation fetches out of a saturated queue.
+     */
+    bool canAccept(bool priority) const
+    {
+        std::uint32_t limit =
+            priority ? queueDepth_
+                     : queueDepth_ - std::min<std::uint32_t>(
+                                         kPriorityReserve, queueDepth_ - 1);
+        return queue_.size() < limit;
+    }
+
+    /**
+     * Queue a transaction with channel-local address @p local_addr.
+     * Caller must have checked canAccept().
+     */
+    void enqueue(const DramRequest &request, Addr local_addr, Cycle now);
+
+    /** Advance to global cycle @p now; fire completions via callback. */
+    void tick(Cycle now);
+
+    /** @return true while any transaction is queued or in flight. */
+    bool busy() const { return !queue_.empty() || !completions_.empty(); }
+
+    /** Earliest future cycle at which tick() could do work. */
+    Cycle nextEventCycle(Cycle now) const;
+
+    void setCallback(DramCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
+
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+    /**
+     * Energy consumed by this channel in picojoules: command energy
+     * (ACT/PRE pairs, column reads/writes, refreshes) plus standby
+     * background power integrated over @p elapsed_cycles.
+     */
+    double energyPj(Cycle elapsed_cycles) const;
+
+  private:
+    static constexpr std::uint32_t kPriorityReserve = 4;
+
+    struct QueueEntry
+    {
+        DramRequest request;
+        DramCoord coord;
+        Cycle arrival;
+        bool causedActivate = false;
+    };
+
+    struct BankState
+    {
+        std::int64_t openRow = -1;
+        Cycle nextActivate = 0;
+        Cycle nextColumn = 0;    //!< earliest read/write after ACT (tRCD)
+        Cycle nextPrecharge = 0;
+    };
+
+    struct RankState
+    {
+        std::vector<Cycle> actWindow; //!< last tFAW-window activations
+        std::size_t actPtr = 0;
+        Cycle nextActivate = 0;       //!< tRRD gate
+        Cycle refreshDueAt = 0;
+        Cycle refreshingUntil = 0;
+    };
+
+    struct Completion
+    {
+        Cycle at;
+        DramRequest request;
+        bool operator>(const Completion &other) const
+        {
+            return at > other.at;
+        }
+    };
+
+    bool rankCanActivate(const RankState &rank, Cycle now) const;
+    void recordActivate(RankState &rank, Cycle now);
+    void maybeRefresh(Cycle now);
+    bool tryIssueColumn(Cycle now);
+    bool tryIssueRowCommand(Cycle now);
+    bool olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
+                        std::int64_t row) const;
+
+    DramTiming timing_;
+    AddressMapping mapping_;
+    std::uint32_t queueDepth_;
+
+    std::deque<QueueEntry> queue_;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions_;
+
+    std::vector<BankState> banks_;
+    std::vector<RankState> ranks_;
+
+    Cycle nextColumnSame_ = 0;   //!< tCCD / bus occupancy gate
+    Cycle nextColumnSwitch_ = 0; //!< gate when switching read<->write
+    bool lastOpWasWrite_ = false;
+
+    DramCallback callback_;
+    StatGroup stats_;
+    Counter &reads_;
+    Counter &writes_;
+    Counter &rowHits_;
+    Counter &rowMisses_;
+    Counter &bytes_;
+    Counter &refreshes_;
+    Counter &activates_;
+    Distribution &queueLatency_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_DRAM_DRAM_CHANNEL_HH

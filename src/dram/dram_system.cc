@@ -1,0 +1,312 @@
+#include "dram/dram_system.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+DramSystem::DramSystem(const DramTiming &timing, std::uint32_t num_channels,
+                       std::uint32_t num_cores, std::uint32_t queue_depth,
+                       const std::string &mapping_order)
+    : timing_(timing),
+      offsetBits_(floorLog2(timing.transactionBytes())),
+      partitions_(num_cores),
+      buckets_(num_cores),
+      coreBytes_(num_cores, 0),
+      coreWalkBytes_(num_cores, 0)
+{
+    if (num_channels == 0)
+        fatal("DRAM system needs at least one channel");
+    if (num_cores == 0)
+        fatal("DRAM system needs at least one core");
+    timing.validate();
+    AddressMapping mapping(timing, mapping_order);
+    channels_.reserve(num_channels);
+    for (std::uint32_t c = 0; c < num_channels; ++c) {
+        channels_.push_back(std::make_unique<DramChannel>(
+            timing, mapping, queue_depth, "dram.ch" + std::to_string(c)));
+        channels_.back()->setCallback(
+            [this](const DramRequest &request, Cycle at) {
+                onCompletion(request, at);
+            });
+    }
+    shareAllChannels();
+}
+
+void
+DramSystem::setPartition(CoreId core, std::vector<std::uint32_t> channels)
+{
+    if (core >= partitions_.size())
+        fatal("setPartition: core ", core, " out of range");
+    if (channels.empty())
+        fatal("setPartition: core ", core, " must own >= 1 channel");
+    for (auto channel_id : channels) {
+        if (channel_id >= channels_.size())
+            fatal("setPartition: channel ", channel_id, " out of range");
+    }
+    partitions_[core] = std::move(channels);
+}
+
+void
+DramSystem::shareAllChannels()
+{
+    std::vector<std::uint32_t> all(channels_.size());
+    std::iota(all.begin(), all.end(), 0);
+    for (auto &partition : partitions_)
+        partition = all;
+}
+
+void
+DramSystem::partitionByCounts(const std::vector<std::uint32_t> &counts)
+{
+    if (counts.size() != partitions_.size())
+        fatal("partitionByCounts: need one count per core");
+    std::uint32_t total = 0;
+    for (auto count : counts)
+        total += count;
+    if (total != channels_.size())
+        fatal("partitionByCounts: counts sum to ", total, " but system has ",
+              channels_.size(), " channels");
+    std::uint32_t next = 0;
+    for (CoreId core = 0; core < counts.size(); ++core) {
+        if (counts[core] == 0)
+            fatal("partitionByCounts: core ", core, " must own >= 1 channel");
+        std::vector<std::uint32_t> channels(counts[core]);
+        std::iota(channels.begin(), channels.end(), next);
+        next += counts[core];
+        partitions_[core] = std::move(channels);
+    }
+}
+
+DramSystem::Route
+DramSystem::route(const DramRequest &request) const
+{
+    if (request.core >= partitions_.size())
+        fatal("DRAM request from unknown core ", request.core);
+    const auto &set = partitions_[request.core];
+    Addr tx = request.paddr >> offsetBits_;
+    auto set_size = static_cast<Addr>(set.size());
+    std::uint32_t channel = set[static_cast<std::size_t>(tx % set_size)];
+    Addr offset_mask = (Addr{1} << offsetBits_) - 1;
+    Addr local = ((tx / set_size) << offsetBits_) |
+                 (request.paddr & offset_mask);
+    return Route{channel, local};
+}
+
+void
+DramSystem::setBandwidthShares(const std::vector<std::uint32_t> &shares)
+{
+    if (shares.empty()) {
+        for (auto &bucket : buckets_)
+            bucket = TokenBucket{};
+        return;
+    }
+    if (shares.size() != buckets_.size())
+        fatal("setBandwidthShares: need one share per core");
+    std::uint64_t total = 0;
+    for (auto share : shares)
+        total += share;
+    if (total == 0)
+        fatal("setBandwidthShares: shares sum to zero");
+    // Peak bytes per global (DRAM) cycle across the whole system: the
+    // bus moves 2 beats/cycle (DDR) of busBytes per channel.
+    double peak_per_cycle = 2.0 * timing_.busBytes *
+                            static_cast<double>(channels_.size());
+    for (CoreId core = 0; core < buckets_.size(); ++core) {
+        TokenBucket &bucket = buckets_[core];
+        if (shares[core] == 0)
+            fatal("setBandwidthShares: core ", core, " share must be > 0");
+        bucket.enabled = true;
+        bucket.ratePerCycle = peak_per_cycle *
+                              static_cast<double>(shares[core]) /
+                              static_cast<double>(total);
+        bucket.burstCap = std::max<double>(
+            bucket.ratePerCycle * 8,
+            static_cast<double>(timing_.transactionBytes()));
+        bucket.tokens = bucket.burstCap;
+        bucket.lastRefill = 0;
+    }
+}
+
+bool
+DramSystem::canAccept(const DramRequest &request) const
+{
+    return channels_[route(request).channel]->canAccept(request.priority);
+}
+
+bool
+DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
+{
+    Route r = route(request);
+    DramChannel &channel = *channels_[r.channel];
+    if (!channel.canAccept(request.priority))
+        return false;
+    if (request.core < buckets_.size()) {
+        TokenBucket &bucket = buckets_[request.core];
+        if (bucket.enabled) {
+            if (now > bucket.lastRefill) {
+                bucket.tokens = std::min(
+                    bucket.burstCap,
+                    bucket.tokens +
+                        bucket.ratePerCycle *
+                            static_cast<double>(now - bucket.lastRefill));
+                bucket.lastRefill = now;
+            }
+            auto cost = static_cast<double>(timing_.transactionBytes());
+            if (bucket.tokens < cost)
+                return false;
+            bucket.tokens -= cost;
+        }
+    }
+    channel.enqueue(request, r.localAddr, now);
+    if (startLog_.enabled()) {
+        startLog_.row(now, request.core, r.channel, request.paddr,
+                      toString(request.op),
+                      request.priority ? "walk" : "data");
+    }
+    return true;
+}
+
+void
+DramSystem::enableRequestLog(const std::string &dir)
+{
+    startLog_.open(dir + "/dram.log",
+                   "start_cycle,core,channel,paddr,op,kind");
+    endLog_.open(dir + "/dramreq.log", "end_cycle,core,paddr,op");
+}
+
+void
+DramSystem::flushRequestLogs()
+{
+    startLog_.flush();
+    endLog_.flush();
+}
+
+void
+DramSystem::tick(Cycle now)
+{
+    for (auto &channel : channels_) {
+        if (channel->busy())
+            channel->tick(now);
+    }
+}
+
+bool
+DramSystem::busy() const
+{
+    return std::any_of(channels_.begin(), channels_.end(),
+                       [](const auto &channel) { return channel->busy(); });
+}
+
+Cycle
+DramSystem::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto &channel : channels_)
+        next = std::min(next, channel->nextEventCycle(now));
+    return next;
+}
+
+void
+DramSystem::setCallback(DramCallback callback)
+{
+    clientCallback_ = std::move(callback);
+}
+
+void
+DramSystem::onCompletion(const DramRequest &request, Cycle at)
+{
+    std::uint64_t bytes = timing_.transactionBytes();
+    if (request.core < coreBytes_.size()) {
+        coreBytes_[request.core] += bytes;
+        if (request.priority)
+            coreWalkBytes_[request.core] += bytes;
+    }
+    if (totalTracer_) {
+        totalTracer_->record(at, bytes);
+        if (request.core < coreTracers_.size())
+            coreTracers_[request.core].record(at, bytes);
+    }
+    if (endLog_.enabled())
+        endLog_.row(at, request.core, request.paddr, toString(request.op));
+    if (clientCallback_)
+        clientCallback_(request, at);
+}
+
+void
+DramSystem::enableTelemetry(Cycle window_cycles)
+{
+    totalTracer_.emplace(window_cycles);
+    coreTracers_.clear();
+    for (std::size_t core = 0; core < partitions_.size(); ++core)
+        coreTracers_.emplace_back(window_cycles);
+}
+
+void
+DramSystem::finalizeTelemetry()
+{
+    if (!totalTracer_)
+        return;
+    totalTracer_->finalize();
+    for (auto &tracer : coreTracers_)
+        tracer.finalize();
+}
+
+const IntervalTracer &
+DramSystem::coreTelemetry(CoreId core) const
+{
+    mnpu_assert(!coreTracers_.empty(), "telemetry not enabled");
+    mnpu_assert(core < coreTracers_.size());
+    return coreTracers_[core];
+}
+
+const IntervalTracer &
+DramSystem::totalTelemetry() const
+{
+    mnpu_assert(totalTracer_.has_value(), "telemetry not enabled");
+    return *totalTracer_;
+}
+
+std::uint64_t
+DramSystem::coreBytes(CoreId core) const
+{
+    mnpu_assert(core < coreBytes_.size());
+    return coreBytes_[core];
+}
+
+std::uint64_t
+DramSystem::coreWalkBytes(CoreId core) const
+{
+    mnpu_assert(core < coreWalkBytes_.size());
+    return coreWalkBytes_[core];
+}
+
+std::uint64_t
+DramSystem::totalCounter(const std::string &stat_name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel->stats().counterValue(stat_name);
+    return total;
+}
+
+double
+DramSystem::peakBandwidthBytesPerSec() const
+{
+    return timing_.peakBandwidthBytesPerSec() *
+           static_cast<double>(channels_.size());
+}
+
+double
+DramSystem::totalEnergyPj(Cycle elapsed_cycles) const
+{
+    double total = 0;
+    for (const auto &channel : channels_)
+        total += channel->energyPj(elapsed_cycles);
+    return total;
+}
+
+} // namespace mnpu

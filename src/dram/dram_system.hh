@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Multi-channel DRAM system with per-core channel partitioning.
+ *
+ * Bandwidth sharing levels from the paper map onto channel sets:
+ *  - shared (+D): every core interleaves over every channel;
+ *  - static p:q:  disjoint channel subsets per core (Fig. 9's 1:7 … 7:1
+ *    ratios are channel counts out of 8);
+ *  - Ideal: one core owns all channels with no co-runner.
+ */
+
+#ifndef MNPU_DRAM_DRAM_SYSTEM_HH
+#define MNPU_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/interval_tracer.hh"
+#include "common/request_log.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_channel.hh"
+
+namespace mnpu
+{
+
+class DramSystem
+{
+  public:
+    /**
+     * @param timing        per-channel device parameters
+     * @param num_channels  channels in the system (need not be 2^k)
+     * @param num_cores     NPU cores that may issue requests
+     * @param queue_depth   per-channel transaction queue depth
+     * @param mapping_order address interleaving within a channel
+     */
+    DramSystem(const DramTiming &timing, std::uint32_t num_channels,
+               std::uint32_t num_cores, std::uint32_t queue_depth = 32,
+               const std::string &mapping_order = "ro-ra-bg-ba-co");
+
+    /** Give @p core exclusive use of the listed channels. */
+    void setPartition(CoreId core, std::vector<std::uint32_t> channels);
+
+    /** Every core interleaves across all channels (dynamic sharing). */
+    void shareAllChannels();
+
+    /** Split channels contiguously by @p counts (must sum to total). */
+    void partitionByCounts(const std::vector<std::uint32_t> &counts);
+
+    /**
+     * Static bandwidth partitioning the mNPUsim way: the DRAM structure
+     * stays fully shared ("DRAM is always shared by all NPUs"), but
+     * each core's enqueue rate is capped by a token bucket at
+     * @p shares[core] / sum(shares) of the system's peak bandwidth.
+     * Pass an empty vector to remove all caps (dynamic sharing).
+     */
+    void setBandwidthShares(const std::vector<std::uint32_t> &shares);
+
+    /**
+     * Try to queue a transaction. @return false when the target channel
+     * queue is full (caller retries later).
+     */
+    bool tryEnqueue(const DramRequest &request, Cycle now);
+
+    /** @return true if the target channel could accept @p request now. */
+    bool canAccept(const DramRequest &request) const;
+
+    /** Advance all busy channels to global cycle @p now. */
+    void tick(Cycle now);
+
+    bool busy() const;
+
+    /** Earliest future cycle any channel could make progress. */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Completion callback for reads and writes (data-done cycle). */
+    void setCallback(DramCallback callback);
+
+    /**
+     * Start recording per-core and total traffic per @p window_cycles
+     * window (Figure 12 telemetry). Bytes are attributed to the window
+     * of the completion cycle.
+     */
+    void enableTelemetry(Cycle window_cycles);
+
+    /** Flush telemetry windows; call once after simulation. */
+    void finalizeTelemetry();
+
+    /**
+     * Write request logs under @p dir (§3.2.2): `dram.log` records the
+     * start cycle of every accepted request and `dramreq.log` the end
+     * cycle, both with core, channel, address, and operation.
+     */
+    void enableRequestLog(const std::string &dir);
+
+    /** Flush request logs to disk (call after the simulation). */
+    void flushRequestLogs();
+
+    /** Per-core traffic tracer (telemetry must be enabled). */
+    const IntervalTracer &coreTelemetry(CoreId core) const;
+
+    /** Whole-system traffic tracer (telemetry must be enabled). */
+    const IntervalTracer &totalTelemetry() const;
+
+    std::uint32_t numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(partitions_.size());
+    }
+
+    const DramTiming &timing() const { return timing_; }
+
+    /** Total bytes completed for @p core (data + walk traffic). */
+    std::uint64_t coreBytes(CoreId core) const;
+
+    /** Bytes of page-table-walk traffic completed for @p core. */
+    std::uint64_t coreWalkBytes(CoreId core) const;
+
+    /** Aggregate stats across channels (reads/writes/hits/misses). */
+    std::uint64_t totalCounter(const std::string &stat_name) const;
+
+    const DramChannel &channel(std::uint32_t index) const
+    {
+        return *channels_[index];
+    }
+
+    /** Peak bandwidth of the whole system in bytes/sec. */
+    double peakBandwidthBytesPerSec() const;
+
+    /** Total DRAM energy over @p elapsed_cycles, picojoules. */
+    double totalEnergyPj(Cycle elapsed_cycles) const;
+
+  private:
+    struct Route
+    {
+        std::uint32_t channel;
+        Addr localAddr;
+    };
+    Route route(const DramRequest &request) const;
+    void onCompletion(const DramRequest &request, Cycle at);
+
+    struct TokenBucket
+    {
+        bool enabled = false;
+        double tokens = 0;        //!< bytes available to spend
+        double ratePerCycle = 0;  //!< bytes replenished per global cycle
+        double burstCap = 0;      //!< bucket capacity in bytes
+        Cycle lastRefill = 0;
+    };
+
+    DramTiming timing_;
+    std::uint32_t offsetBits_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    std::vector<std::vector<std::uint32_t>> partitions_; //!< per core
+    std::vector<TokenBucket> buckets_;                   //!< per core
+    DramCallback clientCallback_;
+
+    std::vector<std::uint64_t> coreBytes_;
+    std::vector<std::uint64_t> coreWalkBytes_;
+    std::vector<IntervalTracer> coreTracers_;
+    std::optional<IntervalTracer> totalTracer_;
+    RequestLog startLog_;
+    RequestLog endLog_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,148 @@
+#include "dram/dram_timing.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+double
+DramTiming::peakBandwidthBytesPerSec() const
+{
+    // DDR: two beats per clock; busBytes per beat.
+    return static_cast<double>(busBytes) * 2.0 * clockMhz * 1e6;
+}
+
+void
+DramTiming::validate() const
+{
+    if (!isPowerOfTwo(rowBytes) || !isPowerOfTwo(busBytes) ||
+        !isPowerOfTwo(rows) || !isPowerOfTwo(bankGroups) ||
+        !isPowerOfTwo(banksPerGroup) || !isPowerOfTwo(ranks)) {
+        fatal("DRAM geometry values must be powers of two (", name, ")");
+    }
+    if (!isPowerOfTwo(burstLength))
+        fatal("DRAM burst length must be a power of two (", name, ")");
+    if (transactionBytes() > rowBytes)
+        fatal("DRAM transaction larger than a row (", name, ")");
+    if (clockMhz == 0)
+        fatal("DRAM clock must be nonzero (", name, ")");
+    if (tRAS < tRCD)
+        fatal("DRAM tRAS must cover tRCD (", name, ")");
+}
+
+DramTiming
+DramTiming::hbm2()
+{
+    DramTiming t;
+    t.name = "hbm2";
+    t.ranks = 1;
+    t.bankGroups = 4;
+    t.banksPerGroup = 4;
+    t.rows = 16384;
+    t.rowBytes = 2048;
+    t.busBytes = 16;   // 128-bit channel
+    t.burstLength = 4; // BL4 -> 64B transaction
+    t.clockMhz = 1000;
+    t.tCL = 14;
+    t.tCWL = 4;
+    t.tRCD = 14;
+    t.tRP = 14;
+    t.tRAS = 33;
+    t.tWR = 15;
+    t.tRTP = 7;
+    t.tCCD = 2;
+    t.tRRD = 4;
+    t.tFAW = 16;
+    t.tWTR = 8;
+    t.tRTW = 3;
+    t.tREFI = 3900;
+    t.tRFC = 350;
+    t.validate();
+    return t;
+}
+
+DramTiming
+DramTiming::ddr4()
+{
+    DramTiming t;
+    t.name = "ddr4";
+    t.ranks = 2;
+    t.bankGroups = 4;
+    t.banksPerGroup = 4;
+    t.rows = 32768;
+    t.rowBytes = 8192;
+    t.busBytes = 8;    // 64-bit channel
+    t.burstLength = 8; // BL8 -> 64B transaction
+    t.clockMhz = 1200; // DDR4-2400
+    t.tCL = 16;
+    t.tCWL = 12;
+    t.tRCD = 16;
+    t.tRP = 16;
+    t.tRAS = 39;
+    t.tWR = 18;
+    t.tRTP = 9;
+    t.tCCD = 4;
+    t.tRRD = 4;
+    t.tFAW = 26;
+    t.tWTR = 9;
+    t.tRTW = 4;
+    t.tREFI = 9360;
+    t.tRFC = 420;
+    t.validate();
+    return t;
+}
+
+DramTiming
+DramTiming::preset(const std::string &preset_name)
+{
+    if (iequals(preset_name, "hbm2"))
+        return hbm2();
+    if (iequals(preset_name, "ddr4"))
+        return ddr4();
+    fatal("unknown DRAM preset '", preset_name, "'");
+}
+
+DramTiming
+DramTiming::fromConfig(const ConfigFile &config, const std::string &prefix)
+{
+    DramTiming t = preset(config.getString(prefix + "protocol", "hbm2"));
+
+    auto u32 = [&](const char *key, std::uint32_t current) {
+        return static_cast<std::uint32_t>(
+            config.getUint(prefix + key, current));
+    };
+    t.ranks = u32("ranks", t.ranks);
+    t.bankGroups = u32("bank_groups", t.bankGroups);
+    t.banksPerGroup = u32("banks_per_group", t.banksPerGroup);
+    t.rows = u32("rows", t.rows);
+    t.rowBytes = config.getUint(prefix + "row_bytes", t.rowBytes);
+    t.busBytes = u32("bus_bytes", t.busBytes);
+    t.burstLength = u32("burst_length", t.burstLength);
+    t.clockMhz = config.getUint(prefix + "clock_mhz", t.clockMhz);
+    t.tCL = u32("tCL", t.tCL);
+    t.tCWL = u32("tCWL", t.tCWL);
+    t.tRCD = u32("tRCD", t.tRCD);
+    t.tRP = u32("tRP", t.tRP);
+    t.tRAS = u32("tRAS", t.tRAS);
+    t.tWR = u32("tWR", t.tWR);
+    t.tRTP = u32("tRTP", t.tRTP);
+    t.tCCD = u32("tCCD", t.tCCD);
+    t.tRRD = u32("tRRD", t.tRRD);
+    t.tFAW = u32("tFAW", t.tFAW);
+    t.tWTR = u32("tWTR", t.tWTR);
+    t.tRTW = u32("tRTW", t.tRTW);
+    t.tREFI = u32("tREFI", t.tREFI);
+    t.tRFC = u32("tRFC", t.tRFC);
+    std::string policy = config.getString(prefix + "row_policy", "open");
+    if (iequals(policy, "open"))
+        t.rowPolicy = RowPolicy::Open;
+    else if (iequals(policy, "closed"))
+        t.rowPolicy = RowPolicy::Closed;
+    else
+        fatal("unknown row policy '", policy, "'");
+    t.validate();
+    return t;
+}
+
+} // namespace mnpu

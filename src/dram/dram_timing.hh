@@ -1,0 +1,125 @@
+/**
+ * @file
+ * DRAM device geometry and timing parameters, plus presets.
+ *
+ * This is the repo's substitute for DRAMsim3's .ini device files. All
+ * timing values are in DRAM command-clock cycles. The HBM2 preset is sized
+ * so that one channel delivers 32 GB/s at 1 GHz (128-bit bus, DDR), i.e.
+ * four channels make the paper's 128 GB/s-per-NPU budget (Table 2).
+ */
+
+#ifndef MNPU_DRAM_DRAM_TIMING_HH
+#define MNPU_DRAM_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+
+namespace mnpu
+{
+
+/**
+ * Row-buffer management policy: open-page keeps a row active for
+ * subsequent hits; closed-page auto-precharges after the last pending
+ * access to the row, trading hit latency for conflict latency.
+ */
+enum class RowPolicy { Open, Closed };
+
+/** Geometry + timing of one DRAM channel. */
+struct DramTiming
+{
+    std::string name = "custom";
+    RowPolicy rowPolicy = RowPolicy::Open;
+
+    // --- geometry (per channel) ---
+    std::uint32_t ranks = 1;
+    std::uint32_t bankGroups = 4;
+    std::uint32_t banksPerGroup = 4;
+    std::uint32_t rows = 16384;
+    std::uint64_t rowBytes = 2048;        //!< row-buffer (page) size
+    std::uint32_t busBytes = 16;          //!< data bus width in bytes
+    std::uint32_t burstLength = 4;        //!< beats per column command
+
+    // --- frequency ---
+    std::uint64_t clockMhz = 1000;        //!< command clock
+
+    // --- timing (command-clock cycles) ---
+    std::uint32_t tCL = 14;    //!< read column to data start
+    std::uint32_t tCWL = 4;    //!< write column to data start
+    std::uint32_t tRCD = 14;   //!< activate to column
+    std::uint32_t tRP = 14;    //!< precharge to activate
+    std::uint32_t tRAS = 33;   //!< activate to precharge
+    std::uint32_t tWR = 15;    //!< end of write data to precharge
+    std::uint32_t tRTP = 7;    //!< read to precharge
+    std::uint32_t tCCD = 2;    //!< column to column (same bank group)
+    std::uint32_t tRRD = 4;    //!< activate to activate (different banks)
+    std::uint32_t tFAW = 16;   //!< four-activate window
+    std::uint32_t tWTR = 8;    //!< write data to read command
+    std::uint32_t tRTW = 3;    //!< read to write turnaround
+    std::uint32_t tREFI = 3900; //!< refresh interval
+    std::uint32_t tRFC = 350;  //!< refresh cycle time
+
+    // --- energy (representative values; DRAMsim3 is "thermal-capable"
+    // and this substitute provides the matching energy accounting) ---
+    double eActPrePj = 1500;   //!< one ACT+PRE pair, pJ
+    double eReadPj = 2000;     //!< one read column cmd incl. IO, pJ
+    double eWritePj = 2000;    //!< one write column cmd incl. IO, pJ
+    double eRefreshPj = 30000; //!< one all-bank refresh, pJ
+    double backgroundMw = 80;  //!< standby power per channel, mW
+
+    /** Bytes moved by one column command (one transaction). */
+    std::uint64_t transactionBytes() const
+    {
+        return static_cast<std::uint64_t>(busBytes) * burstLength;
+    }
+
+    /** Data-bus occupancy of one transaction in clock cycles (DDR). */
+    std::uint32_t burstCycles() const
+    {
+        std::uint32_t cycles = burstLength / 2;
+        return cycles == 0 ? 1 : cycles;
+    }
+
+    /** Total banks per channel. */
+    std::uint32_t banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Peak bandwidth of one channel in bytes per second. */
+    double peakBandwidthBytesPerSec() const;
+
+    /** Columns (transactions) per row. */
+    std::uint64_t columnsPerRow() const
+    {
+        return rowBytes / transactionBytes();
+    }
+
+    /** Per-channel capacity in bytes. */
+    std::uint64_t channelCapacityBytes() const
+    {
+        return static_cast<std::uint64_t>(ranks) * banksPerRank() * rows *
+               rowBytes;
+    }
+
+    /** Validate internal consistency; fatal() on nonsense. */
+    void validate() const;
+
+    /** HBM2 pseudo-channel: 128-bit bus, BL4, 1 GHz -> 32 GB/s. */
+    static DramTiming hbm2();
+
+    /** DDR4-2400-ish single channel: 64-bit bus, BL8 -> 19.2 GB/s. */
+    static DramTiming ddr4();
+
+    /** Look up a preset by name ("hbm2", "ddr4"); fatal() if unknown. */
+    static DramTiming preset(const std::string &preset_name);
+
+    /**
+     * Build from a config file: `protocol = hbm2` selects a preset whose
+     * fields individual keys (e.g. `tCL = 17`) may then override.
+     */
+    static DramTiming fromConfig(const ConfigFile &config,
+                                 const std::string &prefix = "dram.");
+};
+
+} // namespace mnpu
+
+#endif // MNPU_DRAM_DRAM_TIMING_HH

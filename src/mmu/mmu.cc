@@ -1,0 +1,428 @@
+#include "mmu/mmu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+Mmu::Mmu(const MmuConfig &config, PageAllocator &allocator,
+         PageTableModel &page_table, DramSystem &dram)
+    : config_(config),
+      allocator_(allocator),
+      pageTable_(page_table),
+      dram_(dram),
+      pending_(config.numCores),
+      walkQueues_(config.numCores),
+      walkers_(config.totalPtws),
+      inFlightPerCore_(config.numCores, 0),
+      stats_("mmu"),
+      translations_(stats_.counter("translations")),
+      tlbHits_(stats_.counter("tlb_hits")),
+      tlbMisses_(stats_.counter("tlb_misses")),
+      walks_(stats_.counter("walks")),
+      mshrAttaches_(stats_.counter("mshr_attaches")),
+      walkLatency_(stats_.distribution("walk_latency")),
+      walkQueueDelay_(stats_.distribution("walk_queue_delay"))
+{
+    if (config.numCores == 0)
+        fatal("MMU needs at least one core");
+    if (config.totalPtws == 0 && config.translationEnabled)
+        fatal("MMU needs at least one page-table walker");
+
+    if (config.sharedTlb) {
+        tlbs_.push_back(std::make_unique<Tlb>(
+            config.tlbEntriesPerCore * config.numCores, config.tlbWays,
+            "mmu.tlb_shared"));
+    } else {
+        for (CoreId core = 0; core < config.numCores; ++core) {
+            tlbs_.push_back(std::make_unique<Tlb>(
+                config.tlbEntriesPerCore, config.tlbWays,
+                "mmu.tlb" + std::to_string(core)));
+        }
+    }
+
+    switch (config.ptwMode) {
+      case PtwPartitionMode::Static:
+      case PtwPartitionMode::Stealing:
+        if (config.ptwQuota.empty()) {
+            staticQuota_.assign(config.numCores,
+                                config.totalPtws / config.numCores);
+            std::uint32_t remainder = config.totalPtws % config.numCores;
+            for (std::uint32_t i = 0; i < remainder; ++i)
+                ++staticQuota_[i];
+        } else {
+            if (config.ptwQuota.size() != config.numCores)
+                fatal("ptwQuota needs one entry per core");
+            staticQuota_ = config.ptwQuota;
+            std::uint32_t sum = 0;
+            for (auto quota : staticQuota_)
+                sum += quota;
+            if (sum != config.totalPtws)
+                fatal("ptwQuota sums to ", sum, ", expected ",
+                      config.totalPtws);
+        }
+        for (auto quota : staticQuota_) {
+            if (quota == 0)
+                fatal("static PTW quota of 0 would starve a core");
+        }
+        break;
+      case PtwPartitionMode::Shared:
+        break;
+      case PtwPartitionMode::Bounded:
+        if (config.ptwMin.size() != config.numCores ||
+            config.ptwMax.size() != config.numCores) {
+            fatal("bounded PTW mode needs per-core min and max");
+        }
+        {
+            std::uint32_t min_sum = 0;
+            for (CoreId core = 0; core < config.numCores; ++core) {
+                if (config.ptwMin[core] > config.ptwMax[core])
+                    fatal("PTW min > max for core ", core);
+                min_sum += config.ptwMin[core];
+            }
+            if (min_sum > config.totalPtws)
+                fatal("PTW minimum reservations exceed the pool");
+        }
+        break;
+    }
+}
+
+Tlb &
+Mmu::tlbFor(CoreId core)
+{
+    return config_.sharedTlb ? *tlbs_[0] : *tlbs_[core];
+}
+
+const Tlb &
+Mmu::tlbForCore(CoreId core) const
+{
+    return config_.sharedTlb ? *tlbs_[0] : *tlbs_[core];
+}
+
+std::uint32_t
+Mmu::walkersInFlight(CoreId core) const
+{
+    mnpu_assert(core < inFlightPerCore_.size());
+    return inFlightPerCore_[core];
+}
+
+void
+Mmu::enableRequestLog(const std::string &dir)
+{
+    tlbLogs_.resize(config_.numCores);
+    ptwLogs_.resize(config_.numCores);
+    for (CoreId core = 0; core < config_.numCores; ++core) {
+        tlbLogs_[core].open(dir + "/tlb" + std::to_string(core) + ".log",
+                            "cycle,vpn,result");
+        ptwLogs_[core].open(
+            dir + "/tlb" + std::to_string(core) + "_ptw.log",
+            "start_cycle,finish_cycle,vpn");
+    }
+}
+
+void
+Mmu::flushRequestLogs()
+{
+    for (auto &log : tlbLogs_)
+        log.flush();
+    for (auto &log : ptwLogs_)
+        log.flush();
+}
+
+bool
+Mmu::requestTranslation(CoreId core, Asid asid, Addr vaddr,
+                        std::uint64_t tag, Cycle now)
+{
+    mnpu_assert(core < config_.numCores, "translation from unknown core");
+    mnpu_assert(!isWalkTag(tag), "client tag collides with walker tags");
+    if (pending_[core].size() >= config_.maxPendingPerCore)
+        return false;
+    pending_[core].push_back(
+        PendingXlat{asid, vaddr, tag, now + config_.tlbLatency});
+    return true;
+}
+
+void
+Mmu::completeTranslation(const PendingXlat &xlat, Cycle when)
+{
+    translations_.inc();
+    Addr paddr = allocator_.translate(xlat.asid, xlat.vaddr);
+    if (callback_)
+        callback_(xlat.tag, paddr, when);
+}
+
+bool
+Mmu::canGrabWalker(CoreId core) const
+{
+    if (totalInFlight_ >= config_.totalPtws)
+        return false;
+    switch (config_.ptwMode) {
+      case PtwPartitionMode::Static:
+        return inFlightPerCore_[core] < staticQuota_[core];
+      case PtwPartitionMode::Stealing: {
+        if (inFlightPerCore_[core] < staticQuota_[core])
+            return true;
+        // Beyond quota: steal only while no other core has demand.
+        for (CoreId other = 0; other < config_.numCores; ++other) {
+            if (other != core && !walkQueues_[other].empty())
+                return false;
+        }
+        return true;
+      }
+      case PtwPartitionMode::Shared:
+        return true;
+      case PtwPartitionMode::Bounded: {
+        if (inFlightPerCore_[core] >= config_.ptwMax[core])
+            return false;
+        // Keep enough free walkers to honor other cores' minimums.
+        std::uint32_t reserved = 0;
+        for (CoreId other = 0; other < config_.numCores; ++other) {
+            if (other == core)
+                continue;
+            if (inFlightPerCore_[other] < config_.ptwMin[other])
+                reserved += config_.ptwMin[other] - inFlightPerCore_[other];
+        }
+        std::uint32_t free_after =
+            config_.totalPtws - totalInFlight_ - 1;
+        return free_after >= reserved;
+      }
+    }
+    return false;
+}
+
+void
+Mmu::releaseFinishedWalkers(Cycle now)
+{
+    for (std::uint32_t id = 0; id < walkers_.size(); ++id) {
+        Walker &walker = walkers_[id];
+        if (walker.state != WalkerState::Finished ||
+            walker.finishedAt > now) {
+            continue;
+        }
+        tlbFor(walker.core).insert(walker.asid, walker.vpn);
+        walkLatency_.sample(
+            static_cast<double>(walker.finishedAt - walker.startedAt));
+        if (!ptwLogs_.empty()) {
+            ptwLogs_[walker.core].row(walker.startedAt, walker.finishedAt,
+                                      walker.vpn);
+        }
+        auto it = mshrs_.find(mshrKey(walker.asid, walker.vpn));
+        mnpu_assert(it != mshrs_.end(), "walker finished with no MSHR");
+        for (const PendingXlat &waiting : it->second)
+            completeTranslation(waiting, walker.finishedAt);
+        mshrs_.erase(it);
+        mnpu_assert(inFlightPerCore_[walker.core] > 0);
+        --inFlightPerCore_[walker.core];
+        --totalInFlight_;
+        walker.state = WalkerState::Idle;
+    }
+}
+
+void
+Mmu::processPending(Cycle now)
+{
+    // Shared TLB: one bandwidth budget round-robined across cores.
+    // Private TLBs: an independent budget per core.
+    if (config_.sharedTlb) {
+        std::uint32_t budget = config_.tlbBandwidth;
+        CoreId start = pendingRoundRobin_;
+        pendingRoundRobin_ = (pendingRoundRobin_ + 1) % config_.numCores;
+        bool progressed = true;
+        while (budget > 0 && progressed) {
+            progressed = false;
+            for (std::uint32_t i = 0;
+                 i < config_.numCores && budget > 0; ++i) {
+                CoreId core = (start + i) % config_.numCores;
+                auto &queue = pending_[core];
+                if (queue.empty() || queue.front().readyAt > now)
+                    continue;
+                PendingXlat xlat = queue.front();
+                queue.pop_front();
+                --budget;
+                progressed = true;
+                Addr vpn = allocator_.vpn(xlat.vaddr);
+                if (!config_.translationEnabled ||
+                    tlbFor(core).lookup(xlat.asid, vpn)) {
+                    if (config_.translationEnabled) {
+                        tlbHits_.inc();
+                        if (!tlbLogs_.empty())
+                            tlbLogs_[core].row(now, vpn, "hit");
+                    }
+                    completeTranslation(xlat, now);
+                    continue;
+                }
+                tlbMisses_.inc();
+                if (!tlbLogs_.empty())
+                    tlbLogs_[core].row(now, vpn, "miss");
+                auto [it, inserted] =
+                    mshrs_.try_emplace(mshrKey(xlat.asid, vpn));
+                it->second.push_back(xlat);
+                if (inserted) {
+                    walkQueues_[core].push_back(
+                        WalkRequest{core, xlat.asid, vpn, xlat.vaddr, now});
+                } else {
+                    mshrAttaches_.inc();
+                }
+            }
+        }
+        return;
+    }
+
+    CoreId start = pendingRoundRobin_;
+    pendingRoundRobin_ = (pendingRoundRobin_ + 1) % config_.numCores;
+    for (CoreId i = 0; i < config_.numCores; ++i) {
+        CoreId core = (start + i) % config_.numCores;
+        std::uint32_t budget = config_.tlbBandwidth;
+        auto &queue = pending_[core];
+        while (budget > 0 && !queue.empty() &&
+               queue.front().readyAt <= now) {
+            PendingXlat xlat = queue.front();
+            queue.pop_front();
+            --budget;
+            Addr vpn = allocator_.vpn(xlat.vaddr);
+            if (!config_.translationEnabled ||
+                tlbFor(core).lookup(xlat.asid, vpn)) {
+                if (config_.translationEnabled) {
+                    tlbHits_.inc();
+                    if (!tlbLogs_.empty())
+                        tlbLogs_[core].row(now, vpn, "hit");
+                }
+                completeTranslation(xlat, now);
+                continue;
+            }
+            tlbMisses_.inc();
+            if (!tlbLogs_.empty())
+                tlbLogs_[core].row(now, vpn, "miss");
+            auto [it, inserted] =
+                mshrs_.try_emplace(mshrKey(xlat.asid, vpn));
+            it->second.push_back(xlat);
+            if (inserted) {
+                walkQueues_[core].push_back(
+                    WalkRequest{core, xlat.asid, vpn, xlat.vaddr, now});
+            } else {
+                mshrAttaches_.inc();
+            }
+        }
+    }
+}
+
+void
+Mmu::startWalks(Cycle now)
+{
+    if (totalInFlight_ >= config_.totalPtws)
+        return;
+    // Round-robin grants across cores (FCFS within a core): cores take
+    // turns grabbing free walkers so a walk-heavy core cannot head-block
+    // a bursty co-runner, yet unclaimed walkers flow to whoever has
+    // demand.
+    const CoreId n = config_.numCores;
+    bool granted = true;
+    while (granted && totalInFlight_ < config_.totalPtws) {
+        granted = false;
+        for (CoreId i = 0; i < n; ++i) {
+            CoreId core = (walkRoundRobin_ + i) % n;
+            auto &queue = walkQueues_[core];
+            if (queue.empty() || !canGrabWalker(core))
+                continue;
+            if (totalInFlight_ >= config_.totalPtws)
+                break;
+            const WalkRequest &request = queue.front();
+            auto walker_it =
+                std::find_if(walkers_.begin(), walkers_.end(),
+                             [](const Walker &w) {
+                                 return w.state == WalkerState::Idle;
+                             });
+            mnpu_assert(walker_it != walkers_.end(),
+                        "occupancy says a walker is free but none is idle");
+            Walker &walker = *walker_it;
+            walker.state = WalkerState::WaitIssue;
+            walker.core = request.core;
+            walker.asid = request.asid;
+            walker.vpn = request.vpn;
+            walker.path = pageTable_.walkPath(request.asid, request.vaddr);
+            walker.level = 0;
+            walker.startedAt = now;
+            walkQueueDelay_.sample(
+                static_cast<double>(now - request.enqueuedAt));
+            walks_.inc();
+            ++inFlightPerCore_[request.core];
+            ++totalInFlight_;
+            queue.pop_front();
+            granted = true;
+        }
+        walkRoundRobin_ = (walkRoundRobin_ + 1) % n;
+    }
+}
+
+void
+Mmu::driveWalkers(Cycle now)
+{
+    for (std::uint32_t id = 0; id < walkers_.size(); ++id) {
+        Walker &walker = walkers_[id];
+        if (walker.state != WalkerState::WaitIssue)
+            continue;
+        DramRequest request;
+        request.paddr = walker.path[walker.level];
+        request.op = MemOp::Read;
+        request.core = walker.core;
+        request.tag = walkTag(id);
+        request.priority = true;
+        if (dram_.tryEnqueue(request, now))
+            walker.state = WalkerState::WaitDram;
+        // else: channel queue full; retry next tick.
+    }
+}
+
+void
+Mmu::tick(Cycle now)
+{
+    releaseFinishedWalkers(now);
+    processPending(now);
+    startWalks(now);
+    driveWalkers(now);
+}
+
+void
+Mmu::onDramCompletion(std::uint64_t tag, Cycle at)
+{
+    mnpu_assert(isWalkTag(tag));
+    auto id = static_cast<std::uint32_t>(tag & 0xffffffffULL);
+    mnpu_assert(id < walkers_.size());
+    Walker &walker = walkers_[id];
+    mnpu_assert(walker.state == WalkerState::WaitDram,
+                "DRAM completion for a walker that is not waiting");
+    ++walker.level;
+    if (walker.level >= walker.path.size()) {
+        walker.state = WalkerState::Finished;
+        walker.finishedAt = at;
+    } else {
+        walker.state = WalkerState::WaitIssue;
+    }
+}
+
+bool
+Mmu::busy() const
+{
+    for (const auto &queue : walkQueues_)
+        if (!queue.empty())
+            return true;
+    if (totalInFlight_ > 0 || !mshrs_.empty())
+        return true;
+    for (const auto &queue : pending_)
+        if (!queue.empty())
+            return true;
+    for (const auto &walker : walkers_)
+        if (walker.state != WalkerState::Idle)
+            return true;
+    return false;
+}
+
+Cycle
+Mmu::nextEventCycle(Cycle now) const
+{
+    return busy() ? now + 1 : kCycleNever;
+}
+
+} // namespace mnpu

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The shared memory-management unit of the multi-core NPU (Figure 1 of
+ * the paper): per-core or shared TLBs in front of a pool of page-table
+ * walkers whose walk steps are real DRAM reads.
+ *
+ * The walker pool supports the paper's partitioning schemes:
+ *  - Static: each core owns a fixed quota of walkers (equal split or an
+ *    explicit ratio such as Fig. 13's 2:14);
+ *  - Shared: one first-come-first-served pool (+W sharing level);
+ *  - Bounded: per-core [min,max] occupancy bounds (misc_config's "shared
+ *    partition options of page table walkers").
+ *
+ * Misses to the same page coalesce in an MSHR, so a burst of 64-byte DMA
+ * transactions touching one new page triggers exactly one walk.
+ */
+
+#ifndef MNPU_MMU_MMU_HH
+#define MNPU_MMU_MMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/request_log.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+#include "mmu/paging.hh"
+#include "mmu/tlb.hh"
+
+namespace mnpu
+{
+
+/**
+ * How the walker pool is divided among cores:
+ *  - Static: hard per-core quotas (equal split or explicit ratio);
+ *  - Shared: one pool, round-robin grant arbitration, no reservations;
+ *  - Bounded: per-core [min, max] occupancy bounds;
+ *  - Stealing: DWS-style (Pratheek et al., HPCA'21) — static quotas,
+ *    but a core may exceed its quota by stealing walkers while every
+ *    other core's walk queue is empty.
+ */
+enum class PtwPartitionMode { Static, Shared, Bounded, Stealing };
+
+struct MmuConfig
+{
+    std::uint32_t numCores = 1;
+    std::uint32_t tlbEntriesPerCore = 2048;
+    std::uint32_t tlbWays = 8;
+    bool sharedTlb = false;       //!< one big TLB (+T) vs per-core TLBs
+    std::uint32_t totalPtws = 8;  //!< walkers across the whole MMU
+    PtwPartitionMode ptwMode = PtwPartitionMode::Static;
+    /** Static mode per-core walker quota; empty = equal split. */
+    std::vector<std::uint32_t> ptwQuota;
+    /** Bounded mode per-core occupancy bounds. */
+    std::vector<std::uint32_t> ptwMin;
+    std::vector<std::uint32_t> ptwMax;
+    std::uint32_t tlbLatency = 1;    //!< global cycles per lookup
+    std::uint32_t tlbBandwidth = 32; //!< lookups per cycle per TLB
+    std::uint32_t maxPendingPerCore = 4096;
+    bool translationEnabled = true;  //!< false = Fig. 9/10 bypass mode
+};
+
+/**
+ * Translation completion: the client tag, the physical address, and the
+ * global cycle the translation finished.
+ */
+using MmuCallback =
+    std::function<void(std::uint64_t tag, Addr paddr, Cycle when)>;
+
+class Mmu
+{
+  public:
+    Mmu(const MmuConfig &config, PageAllocator &allocator,
+        PageTableModel &page_table, DramSystem &dram);
+
+    /** Set the translation-completion callback (typically the DMA). */
+    void setCallback(MmuCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
+
+    /**
+     * Request a translation. @return false when the core's pending queue
+     * is full — the caller must retry later.
+     */
+    bool requestTranslation(CoreId core, Asid asid, Addr vaddr,
+                            std::uint64_t tag, Cycle now);
+
+    /** Advance one global cycle; completes lookups and drives walkers. */
+    void tick(Cycle now);
+
+    /**
+     * Hand a DRAM completion whose tag says "walker step" back to the
+     * MMU. @p tag must satisfy isWalkTag().
+     */
+    void onDramCompletion(std::uint64_t tag, Cycle at);
+
+    /** Tags of DRAM requests issued by walkers carry the top bit. */
+    static bool isWalkTag(std::uint64_t tag) { return (tag >> 63) != 0; }
+
+    bool busy() const;
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Translate without timing (also used when translation is off). */
+    Addr translateFunctional(Asid asid, Addr vaddr)
+    {
+        return allocator_.translate(asid, vaddr);
+    }
+
+    const Tlb &tlbForCore(CoreId core) const;
+    const MmuConfig &config() const { return config_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Walkers currently active for @p core (tests/telemetry). */
+    std::uint32_t walkersInFlight(CoreId core) const;
+
+    /**
+     * Write per-core request logs under @p dir (§3.2.2): tlb<i>.log
+     * records every lookup (cycle, vpn, hit/miss) and tlb<i>_ptw.log
+     * every walk with its start/finish cycles.
+     */
+    void enableRequestLog(const std::string &dir);
+
+    /** Flush request logs to disk (call after the simulation). */
+    void flushRequestLogs();
+
+  private:
+    struct PendingXlat
+    {
+        Asid asid;
+        Addr vaddr;
+        std::uint64_t tag;
+        Cycle readyAt;
+    };
+
+    struct WalkRequest
+    {
+        CoreId core;
+        Asid asid;
+        Addr vpn;
+        Addr vaddr; //!< representative address for walkPath()
+        Cycle enqueuedAt;
+    };
+
+    enum class WalkerState { Idle, WaitIssue, WaitDram, Finished };
+
+    struct Walker
+    {
+        WalkerState state = WalkerState::Idle;
+        CoreId core = kCoreInvalid;
+        Asid asid = 0;
+        Addr vpn = 0;
+        std::vector<Addr> path;
+        std::uint32_t level = 0;
+        Cycle startedAt = 0;
+        Cycle finishedAt = 0;
+    };
+
+    static std::uint64_t mshrKey(Asid asid, Addr vpn)
+    {
+        return (static_cast<std::uint64_t>(asid) << 48) | vpn;
+    }
+    static std::uint64_t walkTag(std::uint32_t walker_id)
+    {
+        return (std::uint64_t{1} << 63) | walker_id;
+    }
+
+    Tlb &tlbFor(CoreId core);
+    bool canGrabWalker(CoreId core) const;
+    void completeTranslation(const PendingXlat &xlat, Cycle when);
+    void releaseFinishedWalkers(Cycle now);
+    void processPending(Cycle now);
+    void startWalks(Cycle now);
+    void driveWalkers(Cycle now);
+
+    MmuConfig config_;
+    PageAllocator &allocator_;
+    PageTableModel &pageTable_;
+    DramSystem &dram_;
+    MmuCallback callback_;
+
+    std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::deque<PendingXlat>> pending_; //!< per core
+    std::unordered_map<std::uint64_t, std::vector<PendingXlat>> mshrs_;
+    /**
+     * Per-core walk queues, FCFS within a core. Walker grants rotate
+     * round-robin across cores: "dynamic sharing without any control"
+     * means no reservations, not a single global FIFO that would let a
+     * walk-heavy core head-block a bursty co-runner.
+     */
+    std::vector<std::deque<WalkRequest>> walkQueues_;
+    CoreId walkRoundRobin_ = 0;
+    std::vector<Walker> walkers_;
+    std::vector<std::uint32_t> inFlightPerCore_;
+    std::uint32_t totalInFlight_ = 0;
+    std::vector<std::uint32_t> staticQuota_;
+    CoreId pendingRoundRobin_ = 0;
+
+    std::vector<RequestLog> tlbLogs_; //!< per core
+    std::vector<RequestLog> ptwLogs_; //!< per core
+
+    StatGroup stats_;
+    Counter &translations_;
+    Counter &tlbHits_;
+    Counter &tlbMisses_;
+    Counter &walks_;
+    Counter &mshrAttaches_;
+    Distribution &walkLatency_;
+    Distribution &walkQueueDelay_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_MMU_MMU_HH

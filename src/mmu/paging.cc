@@ -1,0 +1,92 @@
+#include "mmu/paging.hh"
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+std::uint32_t
+walkLevelsForPageSize(std::uint64_t page_bytes)
+{
+    if (!isPowerOfTwo(page_bytes) || page_bytes < 4096)
+        fatal("page size must be a power of two >= 4 KB, got ", page_bytes);
+    std::uint32_t page_shift = floorLog2(page_bytes);
+    std::uint32_t index_bits = page_shift - 3; // 8-byte PTEs
+    std::uint32_t va_bits = 48;
+    std::uint32_t vpn_bits = va_bits - page_shift;
+    return static_cast<std::uint32_t>(ceilDiv(vpn_bits, index_bits));
+}
+
+PageAllocator::PageAllocator(Addr phys_base, std::uint64_t phys_bytes,
+                             std::uint64_t page_bytes)
+    : physBase_(phys_base), pageBytes_(page_bytes)
+{
+    if (!isPowerOfTwo(page_bytes) || page_bytes < 4096)
+        fatal("page size must be a power of two >= 4 KB, got ", page_bytes);
+    if (phys_bytes < page_bytes)
+        fatal("physical pool smaller than one page");
+    if (phys_base % page_bytes != 0)
+        fatal("physical base must be page aligned");
+    totalFrames_ = phys_bytes / page_bytes;
+}
+
+Addr
+PageAllocator::translate(Asid asid, Addr vaddr)
+{
+    Addr page = vaddr / pageBytes_;
+    auto [it, inserted] = frames_.try_emplace(key(asid, page), 0);
+    if (inserted)
+        it->second = allocFrame();
+    return it->second + (vaddr % pageBytes_);
+}
+
+bool
+PageAllocator::isMapped(Asid asid, Addr vaddr) const
+{
+    return frames_.count(key(asid, vaddr / pageBytes_)) != 0;
+}
+
+Addr
+PageAllocator::allocFrame()
+{
+    if (nextFrame_ >= totalFrames_)
+        fatal("physical memory exhausted after ", nextFrame_, " frames");
+    return physBase_ + (nextFrame_++) * pageBytes_;
+}
+
+PageTableModel::PageTableModel(PageAllocator &allocator)
+    : allocator_(allocator),
+      levels_(walkLevelsForPageSize(allocator.pageBytes())),
+      indexBits_(floorLog2(allocator.pageBytes()) - 3)
+{
+}
+
+Addr
+PageTableModel::nodeFrame(const NodeKey &node_key)
+{
+    auto [it, inserted] = nodes_.try_emplace(node_key, 0);
+    if (inserted)
+        it->second = allocator_.allocFrame();
+    return it->second;
+}
+
+std::vector<Addr>
+PageTableModel::walkPath(Asid asid, Addr vaddr)
+{
+    Addr vpn = allocator_.vpn(vaddr);
+    std::uint64_t index_mask = (1ULL << indexBits_) - 1;
+    std::vector<Addr> path;
+    path.reserve(levels_);
+    for (std::uint32_t level = 0; level < levels_; ++level) {
+        // Node at `level` is identified by the VPN bits above its index.
+        std::uint32_t below = (levels_ - level) * indexBits_;
+        Addr prefix = below >= 64 ? 0 : (vpn >> below);
+        Addr node = nodeFrame(NodeKey{asid, level, prefix});
+        std::uint32_t entry_shift = (levels_ - 1 - level) * indexBits_;
+        std::uint64_t index = (vpn >> entry_shift) & index_mask;
+        path.push_back(node + index * 8);
+    }
+    return path;
+}
+
+} // namespace mnpu

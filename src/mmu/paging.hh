@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Virtual-memory backing for the simulated NPUs: a physical frame
+ * allocator and a lazily-built radix page-table model.
+ *
+ * The simulator never stores data; translation exists to model *timing*.
+ * The allocator assigns distinct physical frames on first touch (so
+ * co-running workloads occupy distinct banks/rows), and the page-table
+ * model yields the physical addresses a walker must read at each level,
+ * giving page-table walks realistic DRAM locality.
+ *
+ * Walk depth follows the page size: with page-sized table nodes holding
+ * 8-byte entries, levels = ceil((48 - log2(page)) / log2(page/8)), which
+ * reproduces the paper's §4.5 setup: 4 KB -> 4 levels, 64 KB -> 3,
+ * 1 MB -> 2.
+ */
+
+#ifndef MNPU_MMU_PAGING_HH
+#define MNPU_MMU_PAGING_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+/** Number of radix levels for a given page size (48-bit VA). */
+std::uint32_t walkLevelsForPageSize(std::uint64_t page_bytes);
+
+/**
+ * First-touch physical frame allocator shared by all address spaces.
+ * Frames are handed out in touch order from a single pool, so pages from
+ * co-running workloads interleave in physical memory.
+ */
+class PageAllocator
+{
+  public:
+    /**
+     * @param phys_base   first usable physical address
+     * @param phys_bytes  pool size; fatal() on exhaustion
+     * @param page_bytes  page/frame size (power of two, >= 4 KB)
+     */
+    PageAllocator(Addr phys_base, std::uint64_t phys_bytes,
+                  std::uint64_t page_bytes);
+
+    /** Translate, allocating a frame on first touch. */
+    Addr translate(Asid asid, Addr vaddr);
+
+    /** @return true if the page holding @p vaddr is already mapped. */
+    bool isMapped(Asid asid, Addr vaddr) const;
+
+    /** Allocate a raw frame (used for page-table nodes). */
+    Addr allocFrame();
+
+    std::uint64_t pageBytes() const { return pageBytes_; }
+    std::uint64_t framesAllocated() const { return nextFrame_; }
+    std::uint64_t framesAvailable() const
+    {
+        return totalFrames_ - nextFrame_;
+    }
+
+    /** Virtual page number of @p vaddr. */
+    Addr vpn(Addr vaddr) const { return vaddr / pageBytes_; }
+
+  private:
+    static std::uint64_t key(Asid asid, Addr vpn)
+    {
+        return (static_cast<std::uint64_t>(asid) << 48) | vpn;
+    }
+
+    Addr physBase_;
+    std::uint64_t pageBytes_;
+    std::uint64_t totalFrames_;
+    std::uint64_t nextFrame_ = 0;
+    std::unordered_map<std::uint64_t, Addr> frames_; //!< (asid,vpn) -> PA
+};
+
+/**
+ * Radix page-table model: returns the per-level PTE physical addresses a
+ * walker reads for a given virtual address. Table nodes are page-sized
+ * and allocated lazily from the same PageAllocator pool.
+ */
+class PageTableModel
+{
+  public:
+    explicit PageTableModel(PageAllocator &allocator);
+
+    /** Radix depth for this allocator's page size. */
+    std::uint32_t levels() const { return levels_; }
+
+    /**
+     * Physical addresses of the PTEs read while walking @p vaddr,
+     * root first. Allocates missing interior nodes.
+     */
+    std::vector<Addr> walkPath(Asid asid, Addr vaddr);
+
+    /** Interior + root nodes allocated so far (all ASIDs). */
+    std::uint64_t nodesAllocated() const
+    {
+        return static_cast<std::uint64_t>(nodes_.size());
+    }
+
+  private:
+    struct NodeKey
+    {
+        Asid asid;
+        std::uint32_t level;
+        Addr prefix;
+        bool operator==(const NodeKey &) const = default;
+    };
+    struct NodeKeyHash
+    {
+        std::size_t operator()(const NodeKey &k) const
+        {
+            std::uint64_t h = k.prefix;
+            h ^= (static_cast<std::uint64_t>(k.asid) << 52) ^
+                 (static_cast<std::uint64_t>(k.level) << 48);
+            h *= 0x9e3779b97f4a7c15ULL;
+            return static_cast<std::size_t>(h ^ (h >> 32));
+        }
+    };
+
+    Addr nodeFrame(const NodeKey &node_key);
+
+    PageAllocator &allocator_;
+    std::uint32_t levels_;
+    std::uint32_t indexBits_;
+    std::unordered_map<NodeKey, Addr, NodeKeyHash> nodes_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_MMU_PAGING_HH

@@ -1,0 +1,98 @@
+#include "mmu/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t ways, const std::string &name)
+    : entries_(entries),
+      ways_(ways),
+      stats_(name),
+      hits_(stats_.counter("hits")),
+      misses_(stats_.counter("misses")),
+      evictions_(stats_.counter("evictions"))
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        fatal("TLB entries (", entries, ") must be a nonzero multiple of ",
+              "ways (", ways, ")");
+    sets_ = entries / ways;
+    setsIsPow2_ = isPowerOfTwo(sets_);
+    table_.resize(entries_);
+}
+
+bool
+Tlb::lookup(Asid asid, Addr vpn)
+{
+    Entry *base = &table_[setIndex(vpn) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+            entry.lastUse = ++useClock_;
+            hits_.inc();
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+void
+Tlb::insert(Asid asid, Addr vpn)
+{
+    Entry *base = &table_[setIndex(vpn) * ways_];
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.asid == asid && entry.vpn == vpn) {
+            entry.lastUse = ++useClock_; // already present; refresh
+            return;
+        }
+        if (!entry.valid) {
+            if (victim == nullptr || victim->valid)
+                victim = &entry;
+        } else if (victim == nullptr ||
+                   (victim->valid && entry.lastUse < victim->lastUse)) {
+            victim = &entry;
+        }
+    }
+    mnpu_assert(victim != nullptr);
+    if (victim->valid)
+        evictions_.inc();
+    victim->valid = true;
+    victim->asid = asid;
+    victim->vpn = vpn;
+    victim->lastUse = ++useClock_;
+}
+
+bool
+Tlb::contains(Asid asid, Addr vpn) const
+{
+    const Entry *base = &table_[setIndex(vpn) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Entry &entry = base[w];
+        if (entry.valid && entry.asid == asid && entry.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::flushAsid(Asid asid)
+{
+    for (auto &entry : table_) {
+        if (entry.valid && entry.asid == asid)
+            entry.valid = false;
+    }
+}
+
+double
+Tlb::hitRate() const
+{
+    std::uint64_t total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) /
+                            static_cast<double>(total);
+}
+
+} // namespace mnpu

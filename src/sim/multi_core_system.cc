@@ -1,0 +1,253 @@
+#include "sim/multi_core_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(SharingLevel level)
+{
+    switch (level) {
+      case SharingLevel::Ideal:
+        return "Ideal";
+      case SharingLevel::Static:
+        return "Static";
+      case SharingLevel::ShareD:
+        return "+D";
+      case SharingLevel::ShareDW:
+        return "+DW";
+      case SharingLevel::ShareDWT:
+        return "+DWT";
+    }
+    return "?";
+}
+
+MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
+                                 std::vector<CoreBinding> bindings)
+    : config_(config), bindings_(std::move(bindings))
+{
+    const auto num_cores = static_cast<std::uint32_t>(bindings_.size());
+    if (num_cores == 0)
+        fatal("system needs at least one core");
+    for (const auto &binding : bindings_) {
+        if (!binding.trace)
+            fatal("core binding without a trace");
+    }
+    if (config.level == SharingLevel::Ideal) {
+        if (num_cores != 1)
+            fatal("Ideal runs take exactly one core (it monopolizes the ",
+                  "whole resource budget)");
+        if (config.idealResourceMultiplier == 0)
+            fatal("idealResourceMultiplier must be >= 1");
+    } else if (config.idealResourceMultiplier != 1) {
+        fatal("idealResourceMultiplier only applies to Ideal runs");
+    }
+
+    const std::uint32_t total_npus =
+        config.level == SharingLevel::Ideal
+            ? config.idealResourceMultiplier
+            : num_cores;
+    const NpuMemConfig &mem = config.mem;
+
+    // --- DRAM: the structure is always shared (as in mNPUsim); Static
+    // and the Fig. 9 ratio sweeps cap per-core bandwidth instead. ---
+    const std::uint32_t channels = mem.channelsPerNpu * total_npus;
+    dram_ = std::make_unique<DramSystem>(mem.timing, channels, num_cores,
+                                         mem.dramQueueDepth);
+    dram_->shareAllChannels();
+    if (config.dramBandwidthShares) {
+        dram_->setBandwidthShares(*config.dramBandwidthShares);
+    } else if (config.level == SharingLevel::Static) {
+        dram_->setBandwidthShares(
+            std::vector<std::uint32_t>(num_cores, 1));
+    }
+    if (config.telemetryWindow != 0)
+        dram_->enableTelemetry(config.telemetryWindow);
+
+    // --- Paging: one flat physical pool sized to the device budget. ---
+    std::uint64_t capacity = mem.dramCapacityPerNpu * total_npus;
+    std::uint64_t device_capacity =
+        mem.timing.channelCapacityBytes() * channels;
+    capacity = std::min(capacity, device_capacity);
+    allocator_ =
+        std::make_unique<PageAllocator>(0, capacity, mem.pageBytes);
+    pageTable_ = std::make_unique<PageTableModel>(*allocator_);
+
+    // --- MMU: TLB/PTW budgets scale with the NPU count. ---
+    MmuConfig mmu_config;
+    mmu_config.numCores = num_cores;
+    mmu_config.tlbEntriesPerCore =
+        mem.tlbEntriesPerNpu *
+        (config.level == SharingLevel::Ideal
+             ? config.idealResourceMultiplier
+             : 1);
+    mmu_config.tlbWays = mem.tlbWays;
+    mmu_config.sharedTlb = config.level == SharingLevel::ShareDWT;
+    mmu_config.totalPtws = mem.ptwPerNpu * total_npus;
+    mmu_config.translationEnabled = mem.translationEnabled;
+    if (config.ptwMin || config.ptwMax) {
+        if (!config.ptwMin || !config.ptwMax)
+            fatal("bounded PTW sharing needs both ptwMin and ptwMax");
+        mmu_config.ptwMode = PtwPartitionMode::Bounded;
+        mmu_config.ptwMin = *config.ptwMin;
+        mmu_config.ptwMax = *config.ptwMax;
+    } else if (config.ptwStealing) {
+        mmu_config.ptwMode = PtwPartitionMode::Stealing;
+        if (config.ptwQuota)
+            mmu_config.ptwQuota = *config.ptwQuota;
+    } else if (config.ptwQuota) {
+        mmu_config.ptwMode = PtwPartitionMode::Static;
+        mmu_config.ptwQuota = *config.ptwQuota;
+    } else if (config.level == SharingLevel::ShareDW ||
+               config.level == SharingLevel::ShareDWT ||
+               config.level == SharingLevel::Ideal) {
+        mmu_config.ptwMode = PtwPartitionMode::Shared;
+    } else {
+        mmu_config.ptwMode = PtwPartitionMode::Static;
+    }
+    mmu_ = std::make_unique<Mmu>(mmu_config, *allocator_, *pageTable_,
+                                 *dram_);
+    if (!config.requestLogDir.empty()) {
+        dram_->enableRequestLog(config.requestLogDir);
+        mmu_->enableRequestLog(config.requestLogDir);
+    }
+
+    // --- Cores and clock domains. ---
+    for (CoreId id = 0; id < num_cores; ++id) {
+        const CoreBinding &binding = bindings_[id];
+        CoreConfig core_config;
+        core_config.id = id;
+        core_config.asid = id;
+        core_config.startCycleGlobal = binding.startCycleGlobal;
+        core_config.iterations = binding.iterations;
+        ClockDomain clock(binding.trace->arch().freqMhz,
+                          mem.timing.clockMhz);
+        cores_.push_back(std::make_unique<NpuCore>(
+            core_config, *binding.trace, *mmu_, *dram_, clock));
+        if (config.requestTraceWindow != 0)
+            cores_.back()->enableRequestTrace(config.requestTraceWindow);
+    }
+
+    // --- Completion routing. ---
+    dram_->setCallback([this](const DramRequest &request, Cycle at) {
+        if (Mmu::isWalkTag(request.tag))
+            mmu_->onDramCompletion(request.tag, at);
+        else
+            cores_[request.core]->onDramCompletion(request.tag, at);
+    });
+    mmu_->setCallback([this](std::uint64_t tag, Addr paddr, Cycle at) {
+        cores_[NpuCore::coreOfTag(tag)]->onTranslation(tag, paddr, at);
+    });
+}
+
+bool
+MultiCoreSystem::allDone() const
+{
+    return std::all_of(cores_.begin(), cores_.end(),
+                       [](const auto &core) { return core->done(); });
+}
+
+SimResult
+MultiCoreSystem::run()
+{
+    mnpu_assert(!ran_, "MultiCoreSystem::run() called twice");
+    ran_ = true;
+
+    Cycle now = 0;
+    while (!allDone()) {
+        dram_->tick(now);
+        mmu_->tick(now);
+        // Rotate the service order so no core gets a standing first-
+        // issuer advantage into the shared MMU/DRAM queues.
+        const auto n = cores_.size();
+        const std::size_t first = static_cast<std::size_t>(now % n);
+        for (std::size_t i = 0; i < n; ++i)
+            cores_[(first + i) % n]->tick(now);
+
+        if (allDone())
+            break;
+
+        Cycle next = dram_->nextEventCycle(now);
+        next = std::min(next, mmu_->nextEventCycle(now));
+        for (auto &core : cores_)
+            next = std::min(next, core->nextEventCycle(now));
+        if (next == kCycleNever) {
+            mnpu_panic("simulation deadlock at global cycle ", now,
+                       " with unfinished cores");
+        }
+        mnpu_assert(next > now, "time must advance");
+        now = next;
+        if (config_.maxGlobalCycles != 0 && now > config_.maxGlobalCycles)
+            fatal("simulation exceeded maxGlobalCycles (",
+                  config_.maxGlobalCycles, ")");
+    }
+
+    dram_->finalizeTelemetry();
+    dram_->flushRequestLogs();
+    mmu_->flushRequestLogs();
+    for (auto &core : cores_)
+        core->finalizeRequestTrace();
+
+    SimResult result;
+    result.globalCycles = 0;
+    for (CoreId id = 0; id < cores_.size(); ++id) {
+        const NpuCore &core = *cores_[id];
+        CoreResult core_result;
+        core_result.workloadName = bindings_[id].trace->networkName();
+        core_result.localCycles = core.totalLocalCycles();
+        core_result.finishedAtGlobal = core.finishedAtGlobal();
+        core_result.peUtilization = core.peUtilization();
+        core_result.trafficBytes = dram_->coreBytes(id);
+        core_result.walkBytes = dram_->coreWalkBytes(id);
+        const Tlb &tlb = mmu_->tlbForCore(id);
+        core_result.tlbHits = tlb.hits();
+        core_result.tlbMisses = tlb.misses();
+        core_result.walks = mmu_->stats().counterValue("walks");
+        core_result.layerFinishLocal = core.layerFinishLocal();
+        result.globalCycles =
+            std::max(result.globalCycles, core.finishedAtGlobal());
+        result.cores.push_back(std::move(core_result));
+    }
+    result.dramEnergyPj = dram_->totalEnergyPj(result.globalCycles);
+    result.dramRowHits = dram_->totalCounter("row_hits");
+    result.dramRowMisses = dram_->totalCounter("row_misses");
+    return result;
+}
+
+SimResult
+runIdeal(std::shared_ptr<const TraceGenerator> trace,
+         std::uint32_t resource_multiplier, const NpuMemConfig &mem)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.idealResourceMultiplier = resource_multiplier;
+    config.mem = mem;
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = std::move(trace);
+    MultiCoreSystem system(config, std::move(bindings));
+    return system.run();
+}
+
+SimResult
+runMix(SharingLevel level,
+       std::vector<std::shared_ptr<const TraceGenerator>> traces,
+       const NpuMemConfig &mem)
+{
+    SystemConfig config;
+    config.level = level;
+    config.mem = mem;
+    std::vector<CoreBinding> bindings;
+    bindings.reserve(traces.size());
+    for (auto &trace : traces) {
+        CoreBinding binding;
+        binding.trace = std::move(trace);
+        bindings.push_back(std::move(binding));
+    }
+    MultiCoreSystem system(config, std::move(bindings));
+    return system.run();
+}
+
+} // namespace mnpu

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The multi-core NPU system: instantiates cores, the shared MMU, and
+ * the DRAM system according to a SystemConfig, wires completion paths,
+ * and runs the global-clock event loop with idle fast-forward.
+ */
+
+#ifndef MNPU_SIM_MULTI_CORE_SYSTEM_HH
+#define MNPU_SIM_MULTI_CORE_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/npu_core.hh"
+#include "dram/dram_system.hh"
+#include "mmu/mmu.hh"
+#include "sim/system_config.hh"
+#include "sw/trace_generator.hh"
+
+namespace mnpu
+{
+
+/** Per-core outcome of a simulation. */
+struct CoreResult
+{
+    std::string workloadName;
+    Cycle localCycles = 0;       //!< end-to-end cycles in the NPU clock
+    Cycle finishedAtGlobal = 0;
+    double peUtilization = 0.0;
+    std::uint64_t trafficBytes = 0; //!< DRAM bytes moved for this core
+    std::uint64_t walkBytes = 0;    //!< of which page-table-walk reads
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t walks = 0;
+    std::vector<Cycle> layerFinishLocal;
+};
+
+struct SimResult
+{
+    std::vector<CoreResult> cores;
+    Cycle globalCycles = 0; //!< when the last core finished
+    double dramEnergyPj = 0; //!< DRAM energy over the whole run
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+};
+
+/** One workload bound to one core. */
+struct CoreBinding
+{
+    std::shared_ptr<const TraceGenerator> trace;
+    Cycle startCycleGlobal = 0;
+    std::uint32_t iterations = 1;
+};
+
+class MultiCoreSystem
+{
+  public:
+    MultiCoreSystem(const SystemConfig &config,
+                    std::vector<CoreBinding> bindings);
+
+    /** Run to completion and collect results. */
+    SimResult run();
+
+    /** Component access for telemetry readouts after run(). */
+    const DramSystem &dram() const { return *dram_; }
+    const Mmu &mmu() const { return *mmu_; }
+    const NpuCore &core(CoreId id) const { return *cores_[id]; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    bool allDone() const;
+
+    SystemConfig config_;
+    std::vector<CoreBinding> bindings_;
+    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<PageAllocator> allocator_;
+    std::unique_ptr<PageTableModel> pageTable_;
+    std::unique_ptr<Mmu> mmu_;
+    std::vector<std::unique_ptr<NpuCore>> cores_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience: run @p trace alone on an Ideal system holding
+ * @p resource_multiplier NPUs' worth of shareable resources.
+ */
+SimResult runIdeal(std::shared_ptr<const TraceGenerator> trace,
+                   std::uint32_t resource_multiplier,
+                   const NpuMemConfig &mem = NpuMemConfig::cloudNpu());
+
+/** Convenience: co-run traces at a sharing level with default knobs. */
+SimResult runMix(SharingLevel level,
+                 std::vector<std::shared_ptr<const TraceGenerator>> traces,
+                 const NpuMemConfig &mem = NpuMemConfig::cloudNpu());
+
+} // namespace mnpu
+
+#endif // MNPU_SIM_MULTI_CORE_SYSTEM_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's sharing levels (§4.1.3) and
+ * per-NPU memory-side resource budgets (Table 2), plus the partition-
+ * ratio overrides used by the Fig. 9/13 sweeps.
+ */
+
+#ifndef MNPU_SIM_SYSTEM_CONFIG_HH
+#define MNPU_SIM_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram_timing.hh"
+
+namespace mnpu
+{
+
+/**
+ * Cumulative sharing levels: Static partitions everything equally; +D
+ * shares DRAM bandwidth; +DW also shares page-table walkers; +DWT also
+ * shares the TLB. Ideal gives one core the whole multi-NPU resource
+ * budget with no co-runner.
+ */
+enum class SharingLevel { Ideal, Static, ShareD, ShareDW, ShareDWT };
+
+const char *toString(SharingLevel level);
+
+/** Per-NPU memory-side budgets; totals scale with the core count. */
+struct NpuMemConfig
+{
+    DramTiming timing = DramTiming::hbm2();
+    std::uint32_t channelsPerNpu = 4;    //!< 4 x 32 GB/s = 128 GB/s
+    std::uint64_t dramCapacityPerNpu = 4ULL << 30;
+    std::uint32_t tlbEntriesPerNpu = 2048;
+    std::uint32_t tlbWays = 8;
+    std::uint32_t ptwPerNpu = 8;
+    std::uint64_t pageBytes = 4096;
+    std::uint32_t dramQueueDepth = 32;
+    bool translationEnabled = true;
+
+    /** Table 2's cloud-scale configuration (the defaults). */
+    static NpuMemConfig cloudNpu() { return NpuMemConfig{}; }
+};
+
+struct SystemConfig
+{
+    SharingLevel level = SharingLevel::ShareDWT;
+    NpuMemConfig mem;
+
+    /**
+     * Ideal runs give the single core this many NPUs' worth of every
+     * shareable resource (e.g. 2 for the dual-core Ideal baseline).
+     * Must be 1 unless level == Ideal.
+     */
+    std::uint32_t idealResourceMultiplier = 1;
+
+    /**
+     * Fig. 9: explicit static bandwidth shares (e.g. {1,7} splits the
+     * shared DRAM's peak bandwidth 1:7 via per-core rate caps). The DRAM
+     * structure itself stays shared, as in mNPUsim.
+     */
+    std::optional<std::vector<std::uint32_t>> dramBandwidthShares;
+
+    /** Fig. 13: explicit per-core PTW quotas (static ratios). */
+    std::optional<std::vector<std::uint32_t>> ptwQuota;
+
+    /** Bounded PTW sharing (per-core min/max occupancy). */
+    std::optional<std::vector<std::uint32_t>> ptwMin;
+    std::optional<std::vector<std::uint32_t>> ptwMax;
+
+    /**
+     * DWS-style walker stealing: static quotas, but a core may exceed
+     * its quota while every other core's walk queue is idle. Overrides
+     * the level's default PTW mode.
+     */
+    bool ptwStealing = false;
+
+    /** DRAM bandwidth telemetry window (0 = disabled), Fig. 12. */
+    Cycle telemetryWindow = 0;
+
+    /** Per-core DMA request-rate trace window (0 = disabled), Fig. 2b. */
+    Cycle requestTraceWindow = 0;
+
+    /** Safety cap; fatal() when exceeded (0 = unlimited). */
+    Cycle maxGlobalCycles = 0;
+
+    /**
+     * When non-empty, write §3.2.2 request logs (dram.log, dramreq.log,
+     * tlb<i>.log, tlb<i>_ptw.log) into this directory.
+     */
+    std::string requestLogDir;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SIM_SYSTEM_CONFIG_HH

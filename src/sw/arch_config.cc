@@ -1,0 +1,103 @@
+#include "sw/arch_config.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+void
+ArchConfig::validate() const
+{
+    if (arrayRows == 0 || arrayCols == 0)
+        fatal("systolic array dimensions must be nonzero");
+    if (spmBytes < 2 * busBytes)
+        fatal("SPM too small for double buffering");
+    if (dataBytes == 0 || dataBytes > 8)
+        fatal("data element size must be 1..8 bytes");
+    if (freqMhz == 0)
+        fatal("NPU frequency must be nonzero");
+    if (dmaIssueWidth == 0 || dmaMaxOutstanding == 0)
+        fatal("DMA limits must be nonzero");
+    if (!isPowerOfTwo(busBytes))
+        fatal("DMA bus width must be a power of two");
+}
+
+ArchConfig
+ArchConfig::cloudNpu()
+{
+    ArchConfig arch;
+    arch.name = "tpu";
+    arch.arrayRows = 128;
+    arch.arrayCols = 128;
+    arch.spmBytes = 36ULL << 20;
+    arch.dataBytes = 1;
+    arch.freqMhz = 1000;
+    arch.validate();
+    return arch;
+}
+
+ArchConfig
+ArchConfig::miniNpu()
+{
+    ArchConfig arch;
+    arch.name = "tpu_mini";
+    arch.arrayRows = 128;
+    arch.arrayCols = 128;
+    arch.spmBytes = 8ULL << 20;
+    arch.dataBytes = 1;
+    arch.freqMhz = 1000;
+    arch.validate();
+    return arch;
+}
+
+ArchConfig
+ArchConfig::fromConfig(const ConfigFile &config, const std::string &prefix)
+{
+    ArchConfig arch;
+    arch.name = config.getString(prefix + "name", arch.name);
+    arch.arrayRows = static_cast<std::uint32_t>(
+        config.getUint(prefix + "array_rows", arch.arrayRows));
+    arch.arrayCols = static_cast<std::uint32_t>(
+        config.getUint(prefix + "array_cols", arch.arrayCols));
+    if (config.has(prefix + "spm_size")) {
+        arch.spmBytes =
+            ConfigFile::parseSize(config.requireString(prefix + "spm_size"));
+    }
+    arch.dataBytes = static_cast<std::uint32_t>(
+        config.getUint(prefix + "data_bytes", arch.dataBytes));
+    arch.freqMhz = config.getUint(prefix + "freq_mhz", arch.freqMhz);
+    arch.dmaIssueWidth = static_cast<std::uint32_t>(
+        config.getUint(prefix + "dma_issue_width", arch.dmaIssueWidth));
+    arch.dmaMaxOutstanding = static_cast<std::uint32_t>(config.getUint(
+        prefix + "dma_max_outstanding", arch.dmaMaxOutstanding));
+    arch.busBytes = static_cast<std::uint32_t>(
+        config.getUint(prefix + "bus_bytes", arch.busBytes));
+    std::string dataflow =
+        config.getString(prefix + "dataflow", "output_stationary");
+    if (iequals(dataflow, "output_stationary") || iequals(dataflow, "os")) {
+        arch.dataflow = Dataflow::OutputStationary;
+    } else if (iequals(dataflow, "weight_stationary") ||
+               iequals(dataflow, "ws")) {
+        arch.dataflow = Dataflow::WeightStationary;
+    } else {
+        fatal("unsupported dataflow '", dataflow,
+              "' (expected output_stationary or weight_stationary)");
+    }
+    arch.validate();
+    return arch;
+}
+
+const char *
+toString(Dataflow dataflow)
+{
+    switch (dataflow) {
+      case Dataflow::OutputStationary:
+        return "output_stationary";
+      case Dataflow::WeightStationary:
+        return "weight_stationary";
+    }
+    return "?";
+}
+
+} // namespace mnpu

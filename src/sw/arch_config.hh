@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Per-core NPU hardware parameters (the paper's arch_config): systolic
+ * array geometry, scratchpad size, data width, clock, and DMA limits.
+ */
+
+#ifndef MNPU_SW_ARCH_CONFIG_HH
+#define MNPU_SW_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+
+namespace mnpu
+{
+
+/**
+ * Dataflows of the systolic array. The paper implements output
+ * stationary and lists weight stationary as future work; this library
+ * provides both (see gemm_mapping.hh for the cycle models).
+ */
+enum class Dataflow { OutputStationary, WeightStationary };
+
+const char *toString(Dataflow dataflow);
+
+struct ArchConfig
+{
+    std::string name = "tpu";
+    std::uint32_t arrayRows = 128;    //!< systolic array height (M dim)
+    std::uint32_t arrayCols = 128;    //!< systolic array width (N dim)
+    std::uint64_t spmBytes = 36ULL << 20; //!< on-chip scratchpad
+    std::uint32_t dataBytes = 1;      //!< element size (int8 default)
+    std::uint64_t freqMhz = 1000;     //!< NPU core clock
+    Dataflow dataflow = Dataflow::OutputStationary;
+
+    // DMA engine limits (per core, local-clock cycles).
+    std::uint32_t dmaIssueWidth = 16;     //!< translations issued/cycle
+    std::uint32_t dmaMaxOutstanding = 4096; //!< in-flight transactions
+    std::uint32_t busBytes = 64;          //!< transaction granularity
+
+    /** Half of the SPM: the double-buffering working-set budget. */
+    std::uint64_t halfSpmBytes() const { return spmBytes / 2; }
+
+    void validate() const;
+
+    /** The paper's Table 2 cloud-scale NPU (TPUv4-like). */
+    static ArchConfig cloudNpu();
+
+    /**
+     * Laptop-scale profile used by the bench harness: same array but a
+     * 4 MB SPM so tiles (and simulations) shrink proportionally while
+     * pages-per-tile stays far above the walker count.
+     */
+    static ArchConfig miniNpu();
+
+    /** Build from ini-style keys under @p prefix (e.g. "arch."). */
+    static ArchConfig fromConfig(const ConfigFile &config,
+                                 const std::string &prefix = "arch.");
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SW_ARCH_CONFIG_HH

@@ -1,0 +1,160 @@
+#include "sw/gemm_mapping.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+std::uint64_t
+GemmTiling::tilesM(const GemmShape &shape) const
+{
+    return ceilDiv(shape.m, tileM);
+}
+
+std::uint64_t
+GemmTiling::tilesN(const GemmShape &shape) const
+{
+    return ceilDiv(shape.n, tileN);
+}
+
+std::uint64_t
+GemmTiling::tilesK(const GemmShape &shape) const
+{
+    return ceilDiv(shape.k, tileK);
+}
+
+std::uint64_t
+GemmTiling::totalTiles(const GemmShape &shape) const
+{
+    return tilesM(shape) * tilesN(shape) * tilesK(shape);
+}
+
+std::uint64_t
+GemmTiling::footprintBytes(std::uint32_t data_bytes) const
+{
+    return (tileM * tileK + tileK * tileN + tileM * tileN) * data_bytes;
+}
+
+GemmTiling
+chooseTiling(const GemmShape &shape, const ArchConfig &arch)
+{
+    const std::uint64_t budget = arch.halfSpmBytes();
+    const std::uint64_t bytes = arch.dataBytes;
+
+    GemmTiling tiling;
+    tiling.tileM = std::min<std::uint64_t>(shape.m, arch.arrayRows);
+    tiling.tileN = std::min<std::uint64_t>(shape.n, arch.arrayCols);
+    tiling.tileK = shape.k;
+
+    auto fits = [&](const GemmTiling &t) {
+        return t.footprintBytes(arch.dataBytes) <= budget;
+    };
+
+    // Shrink K until one systolic tile's streams fit.
+    while (!fits(tiling) && tiling.tileK > 1) {
+        std::uint64_t per_k = (tiling.tileM + tiling.tileN) * bytes;
+        std::uint64_t fixed = tiling.tileM * tiling.tileN * bytes;
+        std::uint64_t max_k =
+            budget > fixed ? (budget - fixed) / per_k : 1;
+        tiling.tileK = std::max<std::uint64_t>(
+            1, std::min(tiling.tileK - 1, max_k));
+    }
+    if (!fits(tiling)) {
+        fatal("GEMM tile of even one systolic pass (", tiling.tileM, "x",
+              tiling.tileN, "x1) cannot fit half the SPM (", budget,
+              " B); enlarge the SPM or shrink the array");
+    }
+
+    // Grow M and N in array-sized steps while the footprint allows;
+    // prefer square-ish growth for reuse balance.
+    bool grew = true;
+    while (grew) {
+        grew = false;
+        if (tiling.tileM < shape.m) {
+            GemmTiling bigger = tiling;
+            bigger.tileM = std::min<std::uint64_t>(
+                shape.m, tiling.tileM + arch.arrayRows);
+            if (fits(bigger) && bigger.tileM != tiling.tileM) {
+                tiling = bigger;
+                grew = true;
+            }
+        }
+        if (tiling.tileN < shape.n) {
+            GemmTiling bigger = tiling;
+            bigger.tileN = std::min<std::uint64_t>(
+                shape.n, tiling.tileN + arch.arrayCols);
+            if (fits(bigger) && bigger.tileN != tiling.tileN) {
+                tiling = bigger;
+                grew = true;
+            }
+        }
+    }
+    return tiling;
+}
+
+namespace
+{
+
+/**
+ * Output stationary: each array-sized output sub-tile accumulates its
+ * K products in place; cycles = tk stream + skew fill/drain.
+ */
+std::uint64_t
+outputStationaryCycles(std::uint64_t tm, std::uint64_t tn,
+                       std::uint64_t tk, const ArchConfig &arch)
+{
+    std::uint64_t cycles = 0;
+    for (std::uint64_t r = 0; r < tm; r += arch.arrayRows) {
+        std::uint64_t sub_rows = std::min<std::uint64_t>(
+            arch.arrayRows, tm - r);
+        for (std::uint64_t c = 0; c < tn; c += arch.arrayCols) {
+            std::uint64_t sub_cols = std::min<std::uint64_t>(
+                arch.arrayCols, tn - c);
+            cycles += tk + sub_rows + sub_cols - 2;
+        }
+    }
+    return cycles;
+}
+
+/**
+ * Weight stationary: an arrayRows x arrayCols block of B (K rows by N
+ * cols) is pinned in the PEs; all tm activation rows stream through
+ * before the next weight fold loads. Per fold:
+ *   cycles = sub_k (weight fill) + tm (stream) + sub_n - 1 (drain).
+ */
+std::uint64_t
+weightStationaryCycles(std::uint64_t tm, std::uint64_t tn,
+                       std::uint64_t tk, const ArchConfig &arch)
+{
+    std::uint64_t cycles = 0;
+    for (std::uint64_t k = 0; k < tk; k += arch.arrayRows) {
+        std::uint64_t sub_k = std::min<std::uint64_t>(
+            arch.arrayRows, tk - k);
+        for (std::uint64_t c = 0; c < tn; c += arch.arrayCols) {
+            std::uint64_t sub_n = std::min<std::uint64_t>(
+                arch.arrayCols, tn - c);
+            cycles += sub_k + tm + sub_n - 1;
+        }
+    }
+    return cycles;
+}
+
+} // namespace
+
+std::uint64_t
+tileComputeCycles(std::uint64_t tm, std::uint64_t tn, std::uint64_t tk,
+                  const ArchConfig &arch)
+{
+    switch (arch.dataflow) {
+      case Dataflow::OutputStationary:
+        return outputStationaryCycles(tm, tn, tk, arch);
+      case Dataflow::WeightStationary:
+        return weightStationaryCycles(tm, tn, tk, arch);
+    }
+    return outputStationaryCycles(tm, tn, tk, arch);
+}
+
+} // namespace mnpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GEMM tiling for the double-buffered scratchpad and the SCALE-Sim-style
+ * output-stationary cycle model.
+ *
+ * A GEMM (M x K) * (K x N) is blocked into (Tm, Tn, Tk) tiles whose
+ * streaming working set — A block + B block + C block — fits in half of
+ * the SPM (the other half prefetches the next tile, §2.3 of the paper).
+ * The K loop runs innermost so partial sums stay resident; C is written
+ * back on the last K step only.
+ */
+
+#ifndef MNPU_SW_GEMM_MAPPING_HH
+#define MNPU_SW_GEMM_MAPPING_HH
+
+#include <cstdint>
+
+#include "sw/arch_config.hh"
+#include "sw/network.hh"
+
+namespace mnpu
+{
+
+/** Chosen blocking factors for one GEMM. */
+struct GemmTiling
+{
+    std::uint64_t tileM = 0;
+    std::uint64_t tileN = 0;
+    std::uint64_t tileK = 0;
+
+    std::uint64_t tilesM(const GemmShape &shape) const;
+    std::uint64_t tilesN(const GemmShape &shape) const;
+    std::uint64_t tilesK(const GemmShape &shape) const;
+
+    /** Total tiles in the loop nest. */
+    std::uint64_t totalTiles(const GemmShape &shape) const;
+
+    /** Streaming footprint of a full tile in bytes. */
+    std::uint64_t footprintBytes(std::uint32_t data_bytes) const;
+};
+
+/**
+ * Choose blocking factors for @p shape on @p arch.
+ *
+ * Policy: start from one systolic tile (arrayRows x arrayCols) with the
+ * whole K; shrink K until the footprint fits half the SPM; then grow Tm
+ * and Tn in array-sized steps while it still fits. Guarantees the result
+ * fits halfSpmBytes() (or is the minimal legal tile if even that does
+ * not fit, which validate()d configs prevent).
+ */
+GemmTiling chooseTiling(const GemmShape &shape, const ArchConfig &arch);
+
+/**
+ * Compute cycles for one (tm x tn x tk) tile under the arch's dataflow.
+ *
+ * Output stationary: array-sized output sub-tiles, each streaming tk
+ * MACs per PE plus skew fill/drain: cycles(sub) = tk + rows + cols - 2.
+ *
+ * Weight stationary: array-sized K x N weight folds pinned in the PEs;
+ * all tm activation rows stream per fold:
+ * cycles(fold) = subK + tm + subN - 1.
+ */
+std::uint64_t tileComputeCycles(std::uint64_t tm, std::uint64_t tn,
+                                std::uint64_t tk, const ArchConfig &arch);
+
+/** Exact MAC count of a (tm x tn x tk) tile. */
+inline std::uint64_t
+tileMacs(std::uint64_t tm, std::uint64_t tn, std::uint64_t tk)
+{
+    return tm * tn * tk;
+}
+
+} // namespace mnpu
+
+#endif // MNPU_SW_GEMM_MAPPING_HH

@@ -1,0 +1,298 @@
+#include "sw/network.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return "conv";
+      case LayerKind::FullyConnected:
+        return "fc";
+      case LayerKind::Gemm:
+        return "gemm";
+      case LayerKind::Embedding:
+        return "embedding";
+    }
+    return "?";
+}
+
+std::uint32_t
+Layer::outH() const
+{
+    return (inH + 2 * padH - kH) / strideH + 1;
+}
+
+std::uint32_t
+Layer::outW() const
+{
+    return (inW + 2 * padW - kW) / strideW + 1;
+}
+
+void
+Layer::validate() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        if (inH == 0 || inW == 0 || inC == 0 || kH == 0 || kW == 0 ||
+            outC == 0 || strideH == 0 || strideW == 0 || batch == 0) {
+            fatal("conv layer '", name, "' has a zero dimension");
+        }
+        if (inH + 2 * padH < kH || inW + 2 * padW < kW)
+            fatal("conv layer '", name, "' kernel larger than padded input");
+        break;
+      case LayerKind::FullyConnected:
+        if (inFeatures == 0 || outFeatures == 0 || batch == 0)
+            fatal("fc layer '", name, "' has a zero dimension");
+        break;
+      case LayerKind::Gemm:
+        if (gemmM == 0 || gemmN == 0 || gemmK == 0)
+            fatal("gemm layer '", name, "' has a zero dimension");
+        break;
+      case LayerKind::Embedding:
+        if (tableRows == 0 || rowElems == 0 || numLookups == 0 ||
+            batch == 0) {
+            fatal("embedding layer '", name, "' has a zero dimension");
+        }
+        break;
+    }
+}
+
+Layer
+Layer::conv(std::string name, std::uint32_t in_h, std::uint32_t in_w,
+            std::uint32_t in_c, std::uint32_t k, std::uint32_t out_c,
+            std::uint32_t stride, std::uint32_t pad, std::uint32_t batch)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::Conv;
+    layer.inH = in_h;
+    layer.inW = in_w;
+    layer.inC = in_c;
+    layer.kH = k;
+    layer.kW = k;
+    layer.outC = out_c;
+    layer.strideH = stride;
+    layer.strideW = stride;
+    layer.padH = pad;
+    layer.padW = pad;
+    layer.batch = batch;
+    layer.validate();
+    return layer;
+}
+
+Layer
+Layer::fullyConnected(std::string name, std::uint32_t in_features,
+                      std::uint32_t out_features, std::uint32_t batch)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::FullyConnected;
+    layer.inFeatures = in_features;
+    layer.outFeatures = out_features;
+    layer.batch = batch;
+    layer.validate();
+    return layer;
+}
+
+Layer
+Layer::gemm(std::string name, std::uint64_t m, std::uint64_t n,
+            std::uint64_t k)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::Gemm;
+    layer.gemmM = m;
+    layer.gemmN = n;
+    layer.gemmK = k;
+    layer.validate();
+    return layer;
+}
+
+Layer
+Layer::embedding(std::string name, std::uint64_t table_rows,
+                 std::uint32_t row_elems, std::uint32_t num_lookups,
+                 std::uint32_t batch)
+{
+    Layer layer;
+    layer.name = std::move(name);
+    layer.kind = LayerKind::Embedding;
+    layer.tableRows = table_rows;
+    layer.rowElems = row_elems;
+    layer.numLookups = num_lookups;
+    layer.batch = batch;
+    layer.validate();
+    return layer;
+}
+
+void
+Network::validate() const
+{
+    if (layers.empty())
+        fatal("network '", name, "' has no layers");
+    for (const auto &layer : layers)
+        layer.validate();
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers) {
+        if (layer.kind == LayerKind::Embedding) {
+            // Gathers perform no MACs; count element moves as 1 op each.
+            total += static_cast<std::uint64_t>(layer.numLookups) *
+                     layer.rowElems * layer.batch;
+        } else {
+            total += toGemm(layer).macs();
+        }
+    }
+    return total;
+}
+
+GemmShape
+toGemm(const Layer &layer)
+{
+    GemmShape shape;
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        shape.m = static_cast<std::uint64_t>(layer.outH()) * layer.outW() *
+                  layer.batch;
+        shape.n = layer.outC;
+        shape.k = static_cast<std::uint64_t>(layer.kH) * layer.kW *
+                  layer.inC;
+        break;
+      case LayerKind::FullyConnected:
+        shape.m = layer.batch;
+        shape.n = layer.outFeatures;
+        shape.k = layer.inFeatures;
+        break;
+      case LayerKind::Gemm:
+        shape.m = layer.gemmM;
+        shape.n = layer.gemmN;
+        shape.k = layer.gemmK;
+        break;
+      case LayerKind::Embedding:
+        fatal("embedding layer '", layer.name, "' has no GEMM form");
+    }
+    return shape;
+}
+
+namespace
+{
+
+std::uint64_t
+cellUint(const std::vector<std::string> &row, std::size_t index,
+         const std::string &context)
+{
+    if (index >= row.size())
+        fatal("CSV layer '", context, "': missing column ", index);
+    try {
+        return std::stoull(row[index]);
+    } catch (const std::exception &) {
+        fatal("CSV layer '", context, "': bad number '", row[index], "'");
+    }
+}
+
+std::uint64_t
+cellUintOr(const std::vector<std::string> &row, std::size_t index,
+           std::uint64_t fallback, const std::string &context)
+{
+    if (index >= row.size() || row[index].empty())
+        return fallback;
+    return cellUint(row, index, context);
+}
+
+} // namespace
+
+Network
+Network::fromCsvString(const std::string &text,
+                       const std::string &network_name)
+{
+    Network network;
+    network.name = network_name;
+    for (const auto &row : CsvReader::fromString(text)) {
+        if (row.size() < 2)
+            fatal("CSV network '", network_name, "': row too short");
+        const std::string &layer_name = row[0];
+        if (iequals(layer_name, "name")) // header row
+            continue;
+        const std::string &kind = row[1];
+        if (iequals(kind, "conv")) {
+            auto layer = Layer::conv(
+                layer_name,
+                static_cast<std::uint32_t>(cellUint(row, 2, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 3, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 4, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 5, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 6, layer_name)),
+                static_cast<std::uint32_t>(
+                    cellUintOr(row, 7, 1, layer_name)),
+                static_cast<std::uint32_t>(
+                    cellUintOr(row, 8, 0, layer_name)),
+                static_cast<std::uint32_t>(
+                    cellUintOr(row, 9, 1, layer_name)));
+            network.layers.push_back(layer);
+        } else if (iequals(kind, "fc")) {
+            network.layers.push_back(Layer::fullyConnected(
+                layer_name,
+                static_cast<std::uint32_t>(cellUint(row, 2, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 3, layer_name)),
+                static_cast<std::uint32_t>(
+                    cellUintOr(row, 4, 1, layer_name))));
+        } else if (iequals(kind, "gemm")) {
+            network.layers.push_back(
+                Layer::gemm(layer_name, cellUint(row, 2, layer_name),
+                            cellUint(row, 3, layer_name),
+                            cellUint(row, 4, layer_name)));
+        } else if (iequals(kind, "embedding")) {
+            network.layers.push_back(Layer::embedding(
+                layer_name, cellUint(row, 2, layer_name),
+                static_cast<std::uint32_t>(cellUint(row, 3, layer_name)),
+                static_cast<std::uint32_t>(cellUint(row, 4, layer_name)),
+                static_cast<std::uint32_t>(
+                    cellUintOr(row, 5, 1, layer_name))));
+        } else {
+            fatal("CSV network '", network_name, "': unknown layer kind '",
+                  kind, "'");
+        }
+    }
+    network.validate();
+    return network;
+}
+
+Network
+Network::fromCsvFile(const std::string &path)
+{
+    std::string network_name = path;
+    auto slash = network_name.find_last_of('/');
+    if (slash != std::string::npos)
+        network_name = network_name.substr(slash + 1);
+    auto dot = network_name.find_last_of('.');
+    if (dot != std::string::npos)
+        network_name = network_name.substr(0, dot);
+
+    std::ostringstream unused;
+    Network network;
+    // Reuse the string path for parsing; CsvReader handles file errors.
+    std::string text;
+    {
+        std::ifstream file(path);
+        if (!file)
+            fatal("cannot open network CSV '", path, "'");
+        std::ostringstream buffer;
+        buffer << file.rdbuf();
+        text = buffer.str();
+    }
+    return fromCsvString(text, network_name);
+}
+
+} // namespace mnpu

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * DNN topology intermediate representation (the paper's network_config).
+ *
+ * A Network is an ordered list of layers. Convolution and fully-connected
+ * layers lower to GEMM via im2col (§3.1 of the paper, "early im2col on
+ * CPU"); embedding layers model the gather-dominated access pattern of
+ * recommendation models (DLRM/NCF). Topologies can be built in code or
+ * parsed from SCALE-Sim-style CSV.
+ */
+
+#ifndef MNPU_SW_NETWORK_HH
+#define MNPU_SW_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnpu
+{
+
+enum class LayerKind { Conv, FullyConnected, Gemm, Embedding };
+
+const char *toString(LayerKind kind);
+
+/**
+ * One layer. Only the fields of the active kind are meaningful; the
+ * factory functions below keep construction mistake-proof.
+ */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Gemm;
+
+    // Conv fields.
+    std::uint32_t inH = 0, inW = 0, inC = 0;
+    std::uint32_t kH = 0, kW = 0;
+    std::uint32_t outC = 0;
+    std::uint32_t strideH = 1, strideW = 1;
+    std::uint32_t padH = 0, padW = 0;
+
+    // FullyConnected fields.
+    std::uint32_t inFeatures = 0, outFeatures = 0;
+
+    // Gemm fields.
+    std::uint64_t gemmM = 0, gemmN = 0, gemmK = 0;
+
+    // Embedding fields.
+    std::uint64_t tableRows = 0;   //!< rows in the embedding table
+    std::uint32_t rowElems = 0;    //!< elements per row
+    std::uint32_t numLookups = 0;  //!< gathers per inference
+
+    std::uint32_t batch = 1;
+
+    /**
+     * Layers with the same non-empty tag share one weight tensor (e.g.
+     * an RNN cell applied every timestep); their K x N shapes must match.
+     */
+    std::string weightTag;
+
+    std::uint32_t outH() const;
+    std::uint32_t outW() const;
+
+    /** Validate dimensional sanity; fatal() with the layer name. */
+    void validate() const;
+
+    static Layer conv(std::string name, std::uint32_t in_h,
+                      std::uint32_t in_w, std::uint32_t in_c,
+                      std::uint32_t k, std::uint32_t out_c,
+                      std::uint32_t stride = 1, std::uint32_t pad = 0,
+                      std::uint32_t batch = 1);
+    static Layer fullyConnected(std::string name, std::uint32_t in_features,
+                                std::uint32_t out_features,
+                                std::uint32_t batch = 1);
+    static Layer gemm(std::string name, std::uint64_t m, std::uint64_t n,
+                      std::uint64_t k);
+    static Layer embedding(std::string name, std::uint64_t table_rows,
+                           std::uint32_t row_elems,
+                           std::uint32_t num_lookups,
+                           std::uint32_t batch = 1);
+};
+
+/** An ordered DNN topology. */
+struct Network
+{
+    std::string name;
+    std::vector<Layer> layers;
+
+    /** Validate every layer. */
+    void validate() const;
+
+    /** Total multiply-accumulates over all layers. */
+    std::uint64_t totalMacs() const;
+
+    /**
+     * Parse a CSV topology. Row formats (header row optional):
+     *   name, conv, inH, inW, inC, k, outC, stride, pad[, batch]
+     *   name, fc, inFeatures, outFeatures[, batch]
+     *   name, gemm, M, N, K
+     *   name, embedding, tableRows, rowElems, numLookups[, batch]
+     */
+    static Network fromCsvString(const std::string &text,
+                                 const std::string &network_name);
+    static Network fromCsvFile(const std::string &path);
+};
+
+/** GEMM dimensions after im2col lowering. */
+struct GemmShape
+{
+    std::uint64_t m = 0;
+    std::uint64_t n = 0;
+    std::uint64_t k = 0;
+
+    std::uint64_t macs() const { return m * n * k; }
+};
+
+/**
+ * Lower a Conv/FC/Gemm layer to GEMM dimensions (im2col for conv:
+ * M = outH*outW*batch, K = kH*kW*inC, N = outC). fatal() for Embedding.
+ */
+GemmShape toGemm(const Layer &layer);
+
+} // namespace mnpu
+
+#endif // MNPU_SW_NETWORK_HH

@@ -1,0 +1,206 @@
+#include "sw/trace_generator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+/** Tensor regions are page-aligned at the smallest supported page. */
+constexpr Addr kTensorAlign = 4096;
+
+/** Deterministic hash for embedding row selection. */
+std::uint64_t
+mixHash(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ULL + b;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const ArchConfig &arch, const Network &network)
+    : arch_(arch), networkName_(network.name)
+{
+    arch.validate();
+    network.validate();
+    layers_.reserve(network.layers.size());
+    for (std::uint32_t i = 0; i < network.layers.size(); ++i) {
+        const Layer &layer = network.layers[i];
+        LayerTrace layer_trace;
+        layer_trace.name = layer.name;
+        layer_trace.firstTile = tiles_.size();
+        layers_.push_back(layer_trace);
+        if (layer.kind == LayerKind::Embedding)
+            emitEmbeddingLayer(i, layer);
+        else
+            emitGemmLayer(i, layer);
+        layers_.back().tileCount = tiles_.size() - layers_.back().firstTile;
+    }
+    if (tiles_.empty())
+        fatal("network '", network.name, "' produced no tiles");
+}
+
+Addr
+TraceGenerator::allocTensor(std::uint64_t bytes)
+{
+    Addr base = cursor_;
+    cursor_ = alignUp(cursor_ + bytes, kTensorAlign);
+    return base;
+}
+
+void
+TraceGenerator::appendRange(std::vector<AccessRange> &ranges, Addr vaddr,
+                            std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return;
+    if (!ranges.empty()) {
+        AccessRange &last = ranges.back();
+        if (last.vaddr + last.bytes == vaddr) {
+            last.bytes += bytes;
+            return;
+        }
+    }
+    ranges.push_back(AccessRange{vaddr, bytes});
+}
+
+void
+TraceGenerator::finishTile(TileTrace &&tile)
+{
+    for (const auto &range : tile.reads)
+        tile.readBytes += range.bytes;
+    for (const auto &range : tile.writes)
+        tile.writeBytes += range.bytes;
+
+    LayerTrace &layer = layers_.back();
+    layer.macs += tile.macs;
+    layer.readBytes += tile.readBytes;
+    layer.writeBytes += tile.writeBytes;
+    layer.computeCycles += tile.computeCycles;
+
+    totalMacs_ += tile.macs;
+    totalTraffic_ += tile.readBytes + tile.writeBytes;
+    totalComputeCycles_ += tile.computeCycles;
+    tiles_.push_back(std::move(tile));
+}
+
+void
+TraceGenerator::emitGemmLayer(std::uint32_t layer_index, const Layer &layer)
+{
+    const GemmShape shape = toGemm(layer);
+    const GemmTiling tiling = chooseTiling(shape, arch_);
+    const std::uint64_t bytes = arch_.dataBytes;
+
+    // Fresh tensors per layer: A (im2col'd input), B (weights), C (out).
+    // Layers sharing a weightTag reuse one B tensor (RNN cells etc.).
+    const Addr a_base = allocTensor(shape.m * shape.k * bytes);
+    const std::uint64_t b_bytes = shape.k * shape.n * bytes;
+    Addr b_base;
+    if (layer.weightTag.empty()) {
+        b_base = allocTensor(b_bytes);
+    } else {
+        auto [it, inserted] = sharedWeights_.try_emplace(
+            layer.weightTag, std::pair<Addr, std::uint64_t>{0, b_bytes});
+        if (inserted) {
+            it->second.first = allocTensor(b_bytes);
+        } else if (it->second.second != b_bytes) {
+            fatal("layer '", layer.name, "': weightTag '", layer.weightTag,
+                  "' reused with a different weight shape");
+        }
+        b_base = it->second.first;
+    }
+    const Addr c_base = allocTensor(shape.m * shape.n * bytes);
+
+    const std::uint64_t tiles_k = tiling.tilesK(shape);
+    for (std::uint64_t mt = 0; mt < tiling.tilesM(shape); ++mt) {
+        const std::uint64_t m0 = mt * tiling.tileM;
+        const std::uint64_t mw =
+            std::min(tiling.tileM, shape.m - m0);
+        for (std::uint64_t nt = 0; nt < tiling.tilesN(shape); ++nt) {
+            const std::uint64_t n0 = nt * tiling.tileN;
+            const std::uint64_t nw =
+                std::min(tiling.tileN, shape.n - n0);
+            for (std::uint64_t kt = 0; kt < tiles_k; ++kt) {
+                const std::uint64_t k0 = kt * tiling.tileK;
+                const std::uint64_t kw =
+                    std::min(tiling.tileK, shape.k - k0);
+
+                TileTrace tile;
+                tile.layerIndex = layer_index;
+                tile.computeCycles =
+                    tileComputeCycles(mw, nw, kw, arch_);
+                tile.macs = tileMacs(mw, nw, kw);
+
+                // A block: rows [m0, m0+mw), cols [k0, k0+kw).
+                for (std::uint64_t r = 0; r < mw; ++r) {
+                    appendRange(tile.reads,
+                                a_base + ((m0 + r) * shape.k + k0) * bytes,
+                                kw * bytes);
+                }
+                // B block: rows [k0, k0+kw), cols [n0, n0+nw).
+                for (std::uint64_t r = 0; r < kw; ++r) {
+                    appendRange(tile.reads,
+                                b_base + ((k0 + r) * shape.n + n0) * bytes,
+                                nw * bytes);
+                }
+                // C block written back on the last K step only.
+                if (kt + 1 == tiles_k) {
+                    for (std::uint64_t r = 0; r < mw; ++r) {
+                        appendRange(
+                            tile.writes,
+                            c_base + ((m0 + r) * shape.n + n0) * bytes,
+                            nw * bytes);
+                    }
+                }
+                finishTile(std::move(tile));
+            }
+        }
+    }
+}
+
+void
+TraceGenerator::emitEmbeddingLayer(std::uint32_t layer_index,
+                                   const Layer &layer)
+{
+    const std::uint64_t bytes = arch_.dataBytes;
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(layer.rowElems) * bytes;
+    const Addr table_base = allocTensor(layer.tableRows * row_bytes);
+    const std::uint64_t lookups =
+        static_cast<std::uint64_t>(layer.numLookups) * layer.batch;
+    const Addr out_base = allocTensor(lookups * row_bytes);
+
+    // Group gathers so the in+out working set fits half the SPM.
+    std::uint64_t per_lookup = 2 * row_bytes;
+    std::uint64_t group = std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(arch_.halfSpmBytes() / per_lookup,
+                                   4096));
+    for (std::uint64_t base = 0; base < lookups; base += group) {
+        std::uint64_t count = std::min(group, lookups - base);
+        TileTrace tile;
+        tile.layerIndex = layer_index;
+        // Gathers run at vector rate: one row element per lane per cycle.
+        tile.computeCycles = ceilDiv(count * layer.rowElems,
+                                     arch_.arrayCols);
+        tile.macs = count * layer.rowElems; // element moves, not MACs
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t row = mixHash(layer_index * 1000003ULL + base,
+                                        i) %
+                                layer.tableRows;
+            appendRange(tile.reads, table_base + row * row_bytes,
+                        row_bytes);
+        }
+        appendRange(tile.writes, out_base + base * row_bytes,
+                    count * row_bytes);
+        finishTile(std::move(tile));
+    }
+}
+
+} // namespace mnpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The SW request generator (Figure 3 of the paper): lowers a Network on
+ * an ArchConfig into per-tile traces — compute cycles plus the exact
+ * virtual-address ranges the DMA must read before and write after each
+ * tile. The HW simulator consumes these traces.
+ *
+ * Tensor placement: every layer's operands (im2col'd activations,
+ * weights, outputs, embedding tables) get fresh page-aligned regions in
+ * the core's virtual address space, matching the paper's "early im2col
+ * computation on CPU" convention.
+ */
+
+#ifndef MNPU_SW_TRACE_GENERATOR_HH
+#define MNPU_SW_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sw/arch_config.hh"
+#include "sw/gemm_mapping.hh"
+#include "sw/network.hh"
+
+namespace mnpu
+{
+
+/** A contiguous virtual-address range accessed by a tile. */
+struct AccessRange
+{
+    Addr vaddr = 0;
+    std::uint64_t bytes = 0;
+};
+
+/** One double-buffered execution unit: loads, compute, stores. */
+struct TileTrace
+{
+    std::uint32_t layerIndex = 0;
+    Cycle computeCycles = 0; //!< NPU local-clock cycles
+    std::uint64_t macs = 0;
+    std::vector<AccessRange> reads;
+    std::vector<AccessRange> writes;
+
+    std::uint64_t readBytes = 0;  //!< sum of reads[].bytes
+    std::uint64_t writeBytes = 0; //!< sum of writes[].bytes
+};
+
+/** Aggregates for one layer (per-layer execution cycle reporting). */
+struct LayerTrace
+{
+    std::string name;
+    std::size_t firstTile = 0;
+    std::size_t tileCount = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    Cycle computeCycles = 0;
+};
+
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const ArchConfig &arch, const Network &network);
+
+    const std::vector<TileTrace> &tiles() const { return tiles_; }
+    const std::vector<LayerTrace> &layers() const { return layers_; }
+    const ArchConfig &arch() const { return arch_; }
+    const std::string &networkName() const { return networkName_; }
+
+    /** Bytes of virtual address space the workload touches. */
+    std::uint64_t footprintBytes() const { return cursor_; }
+
+    std::uint64_t totalMacs() const { return totalMacs_; }
+    Cycle totalComputeCycles() const { return totalComputeCycles_; }
+
+    /** Total DMA traffic (reads + writes) in bytes. */
+    std::uint64_t totalTrafficBytes() const { return totalTraffic_; }
+
+    /**
+     * Compute-only lower bound on execution: the sum of tile compute
+     * cycles (a perfectly hidden memory system).
+     */
+    Cycle computeLowerBoundCycles() const { return totalComputeCycles_; }
+
+  private:
+    Addr allocTensor(std::uint64_t bytes);
+    void emitGemmLayer(std::uint32_t layer_index, const Layer &layer);
+    void emitEmbeddingLayer(std::uint32_t layer_index, const Layer &layer);
+    void appendRange(std::vector<AccessRange> &ranges, Addr vaddr,
+                     std::uint64_t bytes) const;
+    void finishTile(TileTrace &&tile);
+
+    ArchConfig arch_;
+    std::string networkName_;
+    Addr cursor_ = 0;
+    std::map<std::string, std::pair<Addr, std::uint64_t>> sharedWeights_;
+    std::vector<TileTrace> tiles_;
+    std::vector<LayerTrace> layers_;
+    std::uint64_t totalMacs_ = 0;
+    std::uint64_t totalTraffic_ = 0;
+    Cycle totalComputeCycles_ = 0;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SW_TRACE_GENERATOR_HH

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * The mnpusim executable: six positional parameters as documented in
+ * the paper's artifact appendix (§7.3).
+ */
+
+#include "sim/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return mnpu::mnpusimMain(argc, argv);
+}

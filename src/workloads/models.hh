@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Built-in topologies for the paper's eight benchmark models (Table 1):
+ * ResNet-50 (res), YOLO-tiny (yt), AlexNet (alex), Selfish-RNN (sfrnn),
+ * DeepSpeech2 (ds2), DLRM (dlrm), NCF (ncf), and GPT-2 (gpt2).
+ *
+ * The layer dimensions are written from the public model descriptions
+ * (the paper bases its versions on SCALE-Sim topologies). Each model has
+ * two scales:
+ *  - Full: the published dimensions (batch 1 / inference settings);
+ *  - Mini: proportionally reduced depth/width used by the bench harness
+ *    so the full mix sweeps run on a laptop. Mini variants keep each
+ *    model's compute/memory character (convs stay compute-bound, RNN and
+ *    recommendation models stay memory/translation-bound).
+ */
+
+#ifndef MNPU_WORKLOADS_MODELS_HH
+#define MNPU_WORKLOADS_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "sw/network.hh"
+
+namespace mnpu
+{
+
+enum class ModelScale { Full, Mini };
+
+/** The paper's eight model short names, in Table 1 order. */
+const std::vector<std::string> &modelNames();
+
+/** Build a model by short name; fatal() for unknown names. */
+Network buildModel(const std::string &short_name, ModelScale scale);
+
+/** All eight models at the given scale, in modelNames() order. */
+std::vector<Network> buildAllModels(ModelScale scale);
+
+} // namespace mnpu
+
+#endif // MNPU_WORKLOADS_MODELS_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * DeepSniffer-style random network generator (§4.6.1 of the paper): the
+ * co-runner performance predictor is trained on randomly generated
+ * conv/GEMM stacks with dimensions in realistic ranges, disjoint from
+ * the eight evaluation models.
+ */
+
+#ifndef MNPU_WORKLOADS_RANDOM_NETWORK_HH
+#define MNPU_WORKLOADS_RANDOM_NETWORK_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "sw/network.hh"
+
+namespace mnpu
+{
+
+struct RandomNetOptions
+{
+    std::uint32_t minLayers = 3;
+    std::uint32_t maxLayers = 10;
+    std::uint32_t minSpatial = 14;   //!< conv input sizes
+    std::uint32_t maxSpatial = 112;
+    std::uint32_t minChannels = 16;
+    std::uint32_t maxChannels = 384;
+    std::uint64_t minGemmDim = 64;   //!< GEMM M/N/K range
+    std::uint64_t maxGemmDim = 2048;
+    double convProbability = 0.5;    //!< conv vs GEMM per layer
+};
+
+/** Generate a random topology; deterministic for a given RNG state. */
+Network randomNetwork(Rng &rng, const RandomNetOptions &options = {});
+
+} // namespace mnpu
+
+#endif // MNPU_WORKLOADS_RANDOM_NETWORK_HH

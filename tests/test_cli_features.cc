@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the newer feature surface: the paper-style CLI config
+ * loader and result writer, request logs, the weight-stationary
+ * dataflow, the closed-page row policy, and PTW stealing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/request_log.hh"
+#include "sim/cli.hh"
+#include "sw/gemm_mapping.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Temp directory fixture with config-writing helpers. */
+class CliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("mnpu_cli_test_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string
+    write(const std::string &name, const std::string &content)
+    {
+        fs::path path = dir_ / name;
+        std::ofstream file(path);
+        file << content;
+        return path.string();
+    }
+
+    /** Standard dual-core tiny setup; returns the 5 config paths. */
+    std::vector<std::string>
+    dualCoreConfigs(const std::string &dram_extra = "",
+                    const std::string &misc_extra = "")
+    {
+        std::string arch = write("tiny.cfg",
+                                 "arch.name = tiny\n"
+                                 "arch.array_rows = 16\n"
+                                 "arch.array_cols = 16\n"
+                                 "arch.spm_size = 64KB\n");
+        std::string net = write("net.csv",
+                                "g0, gemm, 128, 128, 128\n"
+                                "g1, gemm, 128, 128, 128\n");
+        std::string arch_list =
+            write("archs.txt", arch + "\n" + arch + "\n");
+        std::string net_list = write("nets.txt", net + "\n" + net + "\n");
+        std::string npumem = write("npumem.cfg",
+                                   "tlb_entries = 64\n"
+                                   "tlb_ways = 8\n"
+                                   "ptw = 4\n"
+                                   "page_size = 4KB\n");
+        std::string npumem_list =
+            write("npumems.txt", npumem + "\n" + npumem + "\n");
+        std::string dram = write("dram.cfg",
+                                 "dram.protocol = hbm2\n"
+                                 "channels_per_npu = 2\n"
+                                 "capacity_per_npu = 64MB\n"
+                                 "sharing = dwt\n" +
+                                     dram_extra);
+        std::string misc =
+            write("misc.cfg", "iterations = 1\n" + misc_extra);
+        return {arch_list, net_list, dram, npumem_list, misc};
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(CliTest, LoadsDualCoreRun)
+{
+    auto paths = dualCoreConfigs();
+    CliRun run =
+        loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
+    ASSERT_EQ(run.bindings.size(), 2u);
+    EXPECT_EQ(run.config.level, SharingLevel::ShareDWT);
+    EXPECT_EQ(run.config.mem.channelsPerNpu, 2u);
+    EXPECT_EQ(run.config.mem.tlbEntriesPerNpu, 64u);
+    EXPECT_EQ(run.config.mem.ptwPerNpu, 4u);
+    EXPECT_EQ(run.coreLabels[0], "tiny0_net0");
+    EXPECT_EQ(run.coreLabels[1], "tiny1_net1");
+}
+
+TEST_F(CliTest, RunsAndWritesAppendixResultFiles)
+{
+    auto paths = dualCoreConfigs();
+    CliRun run =
+        loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
+    MultiCoreSystem system(run.config,
+                           std::vector<CoreBinding>(run.bindings));
+    SimResult result = system.run();
+    std::string out = (dir_ / "out").string();
+    writeResults(out, run, result);
+
+    for (const char *prefix : {"avg_cycle", "memory_footprint",
+                               "execution_cycle", "utilization"}) {
+        for (int core = 0; core < 2; ++core) {
+            fs::path file = fs::path(out) / "result" /
+                            (std::string(prefix) + "_tiny" +
+                             std::to_string(core) + "_net" +
+                             std::to_string(core) + ".txt");
+            EXPECT_TRUE(fs::exists(file)) << file;
+        }
+    }
+    // avg_cycle's last line is the cycle count (the appendix workflow
+    // reads it with tail -1).
+    std::ifstream avg(fs::path(out) / "result" /
+                      "avg_cycle_tiny0_net0.txt");
+    std::string line, last;
+    while (std::getline(avg, line))
+        if (!line.empty())
+            last = line;
+    EXPECT_EQ(std::stoull(last), result.cores[0].localCycles);
+}
+
+TEST_F(CliTest, SharingLevelsAndRatiosParse)
+{
+    auto paths = dualCoreConfigs("bandwidth_shares = 1:7\n");
+    std::string dram_static = write("dram_static.cfg",
+                                    "dram.protocol = hbm2\n"
+                                    "channels_per_npu = 2\n"
+                                    "sharing = static\n");
+    CliRun ratio =
+        loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
+    ASSERT_TRUE(ratio.config.dramBandwidthShares.has_value());
+    EXPECT_EQ((*ratio.config.dramBandwidthShares)[0], 1u);
+    EXPECT_EQ((*ratio.config.dramBandwidthShares)[1], 7u);
+
+    CliRun stat = loadCliRun(paths[0], paths[1], dram_static, paths[3],
+                             paths[4]);
+    EXPECT_EQ(stat.config.level, SharingLevel::Static);
+}
+
+TEST_F(CliTest, PtwOptionsParse)
+{
+    auto paths =
+        dualCoreConfigs("", "ptw_quota = 2:6\ntelemetry_window = 500\n");
+    CliRun run =
+        loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
+    ASSERT_TRUE(run.config.ptwQuota.has_value());
+    EXPECT_EQ((*run.config.ptwQuota)[1], 6u);
+    EXPECT_EQ(run.config.telemetryWindow, 500u);
+}
+
+TEST_F(CliTest, MismatchedListLengthsFatal)
+{
+    auto paths = dualCoreConfigs();
+    std::string short_list = write("one.txt", "tiny.cfg\n");
+    EXPECT_THROW(
+        loadCliRun(short_list, paths[1], paths[2], paths[3], paths[4]),
+        FatalError);
+}
+
+TEST_F(CliTest, BuiltinNetworkEntries)
+{
+    auto paths = dualCoreConfigs();
+    std::string net_list =
+        write("nets_builtin.txt", "builtin:ncf@mini\nbuiltin:ncf\n");
+    std::string arch = write("mini.cfg", "arch.name = tpu_mini\n"
+                                         "arch.spm_size = 8MB\n");
+    std::string arch_list = write("archs2.txt", arch + "\n" + arch + "\n");
+    CliRun run = loadCliRun(arch_list, net_list, paths[2], paths[3],
+                            paths[4]);
+    EXPECT_EQ(run.coreLabels[0], "tpu_mini0_ncf0");
+
+    std::string bad =
+        write("nets_bad.txt", "builtin:vgg\nbuiltin:ncf\n");
+    EXPECT_THROW(
+        loadCliRun(arch_list, bad, paths[2], paths[3], paths[4]),
+        FatalError);
+}
+
+TEST_F(CliTest, RequestLogsWrittenWhenEnabled)
+{
+    auto paths = dualCoreConfigs("", "request_logs = true\n");
+    CliRun run =
+        loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
+    EXPECT_TRUE(run.requestLogs);
+    run.config.requestLogDir = (dir_ / "logs").string();
+    MultiCoreSystem system(run.config,
+                           std::vector<CoreBinding>(run.bindings));
+    system.run();
+    for (const char *name : {"dram.log", "dramreq.log", "tlb0.log",
+                             "tlb1.log", "tlb0_ptw.log", "tlb1_ptw.log"}) {
+        fs::path file = dir_ / "logs" / name;
+        ASSERT_TRUE(fs::exists(file)) << name;
+        EXPECT_GT(fs::file_size(file), 20u) << name; // header + rows
+    }
+    // dram.log and dramreq.log must have the same number of rows:
+    // every started request completes.
+    auto count_lines = [&](const char *name) {
+        std::ifstream file(dir_ / "logs" / name);
+        std::string line;
+        std::size_t lines = 0;
+        while (std::getline(file, line))
+            ++lines;
+        return lines;
+    };
+    EXPECT_EQ(count_lines("dram.log"), count_lines("dramreq.log"));
+}
+
+// --- request log unit behavior ---
+
+TEST(RequestLogTest, DisabledLogIsNoop)
+{
+    RequestLog log;
+    EXPECT_FALSE(log.enabled());
+    log.row(1, 2, "x"); // must not crash
+    log.flush();
+}
+
+TEST(RequestLogTest, WritesCsvRows)
+{
+    fs::path path = fs::temp_directory_path() / "mnpu_reqlog_test.csv";
+    {
+        RequestLog log;
+        log.open(path.string(), "a,b,c");
+        log.row(1, 0xff, "read");
+        log.row(2, 0x100, "write");
+        log.flush();
+    }
+    std::ifstream file(path);
+    std::string line;
+    std::getline(file, line);
+    EXPECT_EQ(line, "a,b,c");
+    std::getline(file, line);
+    EXPECT_EQ(line, "1,255,read");
+    fs::remove(path);
+}
+
+// --- weight-stationary dataflow ---
+
+TEST(DataflowTest, WeightStationaryFormula)
+{
+    ArchConfig arch;
+    arch.arrayRows = 32;
+    arch.arrayCols = 32;
+    arch.spmBytes = 256 << 10;
+    arch.dataflow = Dataflow::WeightStationary;
+    arch.validate();
+    // One 32x32 weight fold, streaming 100 rows:
+    EXPECT_EQ(tileComputeCycles(100, 32, 32, arch), 32u + 100 + 32 - 1);
+    // Two K folds double the cost.
+    EXPECT_EQ(tileComputeCycles(100, 32, 64, arch),
+              2 * (32u + 100 + 32 - 1));
+}
+
+TEST(DataflowTest, WsBeatsOsForTallGemmsAndLosesForSkinny)
+{
+    ArchConfig os;
+    os.arrayRows = 32;
+    os.arrayCols = 32;
+    os.spmBytes = 256 << 10;
+    ArchConfig ws = os;
+    ws.dataflow = Dataflow::WeightStationary;
+
+    // Tall: M = 4096, small K. WS streams all rows per fold.
+    EXPECT_LT(tileComputeCycles(4096, 32, 32, ws),
+              tileComputeCycles(4096, 32, 32, os));
+    // Skinny RNN step: M = 1, deep K. OS accumulates in place.
+    EXPECT_GT(tileComputeCycles(1, 32, 4096, ws),
+              tileComputeCycles(1, 32, 4096, os));
+}
+
+TEST(DataflowTest, EndToEndWeightStationaryRuns)
+{
+    ArchConfig arch;
+    arch.arrayRows = 16;
+    arch.arrayCols = 16;
+    arch.spmBytes = 64 << 10;
+    arch.dataflow = Dataflow::WeightStationary;
+    Network net;
+    net.name = "ws";
+    net.layers.push_back(Layer::gemm("g", 256, 128, 64));
+    auto trace = std::make_shared<TraceGenerator>(arch, net);
+    NpuMemConfig mem;
+    mem.channelsPerNpu = 2;
+    mem.dramCapacityPerNpu = 64ULL << 20;
+    auto result = runIdeal(trace, 1, mem);
+    EXPECT_GT(result.cores[0].localCycles, 0u);
+    EXPECT_LE(result.cores[0].peUtilization, 1.0);
+}
+
+// --- row policy ---
+
+TEST(RowPolicyTest, ClosedPageReducesRowHits)
+{
+    auto run_policy = [](RowPolicy policy) {
+        NpuMemConfig mem;
+        mem.channelsPerNpu = 2;
+        mem.dramCapacityPerNpu = 64ULL << 20;
+        mem.timing.rowPolicy = policy;
+        ArchConfig arch;
+        arch.arrayRows = 16;
+        arch.arrayCols = 16;
+        arch.spmBytes = 64 << 10;
+        Network net;
+        net.name = "n";
+        net.layers.push_back(Layer::gemm("g", 256, 256, 256));
+        auto trace = std::make_shared<TraceGenerator>(arch, net);
+        return runIdeal(trace, 1, mem);
+    };
+    auto open_result = run_policy(RowPolicy::Open);
+    auto closed_result = run_policy(RowPolicy::Closed);
+    EXPECT_LT(closed_result.dramRowHits, open_result.dramRowHits);
+    EXPECT_GT(closed_result.dramRowMisses, open_result.dramRowMisses);
+}
+
+TEST(RowPolicyTest, ConfigParses)
+{
+    auto config = ConfigFile::fromString(
+        "dram.protocol = hbm2\ndram.row_policy = closed\n");
+    EXPECT_EQ(DramTiming::fromConfig(config).rowPolicy,
+              RowPolicy::Closed);
+    auto bad = ConfigFile::fromString("dram.row_policy = adaptive\n");
+    EXPECT_THROW(DramTiming::fromConfig(bad), FatalError);
+}
+
+} // namespace
+} // namespace mnpu

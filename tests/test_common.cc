@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Unit tests for the common substrate: config parsing, stats, clock
+ * domains, RNG determinism, and interval tracing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/clock_domain.hh"
+#include "common/config.hh"
+#include "common/interval_tracer.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+// --- types.hh helpers ---
+
+TEST(TypesTest, AlignmentHelpers)
+{
+    EXPECT_EQ(alignUp(0, 64), 0u);
+    EXPECT_EQ(alignUp(1, 64), 64u);
+    EXPECT_EQ(alignUp(64, 64), 64u);
+    EXPECT_EQ(alignUp(65, 64), 128u);
+    EXPECT_EQ(alignDown(63, 64), 0u);
+    EXPECT_EQ(alignDown(64, 64), 64u);
+    EXPECT_EQ(alignDown(127, 64), 64u);
+}
+
+TEST(TypesTest, PowerOfTwoAndLog)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+}
+
+// --- config ---
+
+TEST(ConfigTest, ParsesSectionsAndComments)
+{
+    auto config = ConfigFile::fromString(
+        "top = 1\n"
+        "[dram]\n"
+        "# a comment\n"
+        "protocol = hbm2  ; trailing comment\n"
+        "tCL = 14\n");
+    EXPECT_EQ(config.getInt("top", 0), 1);
+    EXPECT_EQ(config.getString("dram.protocol", ""), "hbm2");
+    EXPECT_EQ(config.getInt("dram.tCL", 0), 14);
+}
+
+TEST(ConfigTest, TypedAccessorsAndDefaults)
+{
+    auto config = ConfigFile::fromString(
+        "count = 0x10\nratio = 2.5\nflag_on = yes\nflag_off = 0\n"
+        "big = 3k\n");
+    EXPECT_EQ(config.getInt("count", 0), 16);
+    EXPECT_DOUBLE_EQ(config.getDouble("ratio", 0.0), 2.5);
+    EXPECT_TRUE(config.getBool("flag_on", false));
+    EXPECT_FALSE(config.getBool("flag_off", true));
+    EXPECT_EQ(config.getInt("big", 0), 3000);
+    EXPECT_EQ(config.getInt("absent", 42), 42);
+    EXPECT_EQ(config.getString("absent", "x"), "x");
+}
+
+TEST(ConfigTest, RequiredKeyErrors)
+{
+    auto config = ConfigFile::fromString("a = 1\n");
+    EXPECT_THROW(config.requireString("missing"), FatalError);
+    EXPECT_THROW(config.requireInt("missing"), FatalError);
+    auto bad = ConfigFile::fromString("a = notanumber\n");
+    EXPECT_THROW(bad.requireInt("a"), FatalError);
+    EXPECT_THROW(bad.getBool("a", true), FatalError);
+}
+
+TEST(ConfigTest, MalformedLinesFatal)
+{
+    EXPECT_THROW(ConfigFile::fromString("novalue\n"), FatalError);
+    EXPECT_THROW(ConfigFile::fromString("[unclosed\n"), FatalError);
+    EXPECT_THROW(ConfigFile::fromString("= 3\n"), FatalError);
+}
+
+TEST(ConfigTest, NegativeRejectedByUint)
+{
+    auto config = ConfigFile::fromString("a = -5\n");
+    EXPECT_EQ(config.getInt("a", 0), -5);
+    EXPECT_THROW(config.getUint("a", 0), FatalError);
+}
+
+TEST(ConfigTest, ParseSizeUnits)
+{
+    EXPECT_EQ(ConfigFile::parseSize("128"), 128u);
+    EXPECT_EQ(ConfigFile::parseSize("4kb"), 4096u);
+    EXPECT_EQ(ConfigFile::parseSize("36MB"), 36ull << 20);
+    EXPECT_EQ(ConfigFile::parseSize("2GiB"), 2ull << 30);
+    EXPECT_EQ(ConfigFile::parseSize(" 1 K "), 1024u);
+    EXPECT_THROW(ConfigFile::parseSize("abc"), FatalError);
+    EXPECT_THROW(ConfigFile::parseSize("4tb"), FatalError);
+}
+
+TEST(ConfigTest, SetOverwritesAndKeepsOrder)
+{
+    ConfigFile config;
+    config.set("b", "1");
+    config.set("a", "2");
+    config.set("b", "3");
+    EXPECT_EQ(config.keys().size(), 2u);
+    EXPECT_EQ(config.keys()[0], "b");
+    EXPECT_EQ(config.getInt("b", 0), 3);
+}
+
+TEST(CsvTest, ParsesRowsSkippingComments)
+{
+    auto rows = CsvReader::fromString(
+        "# header comment\n"
+        "conv1, conv, 224 , 224, 3\n"
+        "\n"
+        "fc1,fc,512,10\n");
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][2], "224");
+    EXPECT_EQ(rows[1][0], "fc1");
+}
+
+TEST(StringTest, TrimSplitIequals)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    auto pieces = split("a, b ,c", ',');
+    ASSERT_EQ(pieces.size(), 3u);
+    EXPECT_EQ(pieces[1], "b");
+    EXPECT_TRUE(iequals("HBm2", "hbM2"));
+    EXPECT_FALSE(iequals("a", "ab"));
+}
+
+// --- stats ---
+
+TEST(StatsTest, CounterAndDistribution)
+{
+    StatGroup group("g");
+    group.counter("events").inc(3);
+    group.counter("events").inc();
+    EXPECT_EQ(group.counterValue("events"), 4u);
+    EXPECT_EQ(group.counterValue("absent"), 0u);
+
+    Distribution &dist = group.distribution("lat");
+    dist.sample(1.0);
+    dist.sample(3.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 3.0);
+    EXPECT_DOUBLE_EQ(dist.stddev(), 1.0);
+}
+
+TEST(StatsTest, DumpAndReset)
+{
+    StatGroup group("g");
+    group.counter("a").inc(7);
+    std::ostringstream out;
+    group.dump(out);
+    EXPECT_NE(out.str().find("g.a 7"), std::string::npos);
+    group.resetAll();
+    EXPECT_EQ(group.counterValue("a"), 0u);
+}
+
+TEST(StatsTest, HistogramBuckets)
+{
+    Histogram histogram(10.0, 4);
+    histogram.sample(5);
+    histogram.sample(15);
+    histogram.sample(39.9);
+    histogram.sample(40);   // overflow
+    histogram.sample(-1);   // negative -> overflow
+    EXPECT_EQ(histogram.buckets()[0], 1u);
+    EXPECT_EQ(histogram.buckets()[1], 1u);
+    EXPECT_EQ(histogram.buckets()[3], 1u);
+    EXPECT_EQ(histogram.overflow(), 2u);
+    EXPECT_EQ(histogram.count(), 5u);
+}
+
+// --- clock domains ---
+
+TEST(ClockDomainTest, UnityIsIdentity)
+{
+    ClockDomain clock(1000, 1000);
+    EXPECT_TRUE(clock.isUnity());
+    EXPECT_EQ(clock.toGlobal(123), 123u);
+    EXPECT_EQ(clock.toLocal(456), 456u);
+    EXPECT_EQ(clock.toLocalFloor(456), 456u);
+}
+
+TEST(ClockDomainTest, NeverPassesThrough)
+{
+    ClockDomain clock(700, 1000);
+    EXPECT_EQ(clock.toGlobal(kCycleNever), kCycleNever);
+    EXPECT_EQ(clock.toLocal(kCycleNever), kCycleNever);
+}
+
+TEST(ClockDomainTest, ZeroFrequencyRejected)
+{
+    EXPECT_THROW(ClockDomain(0, 1000), FatalError);
+    EXPECT_THROW(ClockDomain(1000, 0), FatalError);
+}
+
+struct ClockRatioCase
+{
+    std::uint64_t local, global;
+};
+
+class ClockRatioTest : public ::testing::TestWithParam<ClockRatioCase>
+{
+};
+
+TEST_P(ClockRatioTest, RoundTripNeverEarly)
+{
+    ClockDomain clock(GetParam().local, GetParam().global);
+    for (Cycle local = 0; local < 1000; ++local) {
+        Cycle global = clock.toGlobal(local);
+        // The global cycle must be at least as late in wall time.
+        EXPECT_GE(global * GetParam().local,
+                  local * GetParam().global);
+        // Converting back never lands before the original cycle.
+        EXPECT_GE(clock.toLocal(global), local);
+        // Floor conversion is monotone and <= ceiling conversion.
+        EXPECT_LE(clock.toLocalFloor(global), clock.toLocal(global));
+    }
+}
+
+TEST_P(ClockRatioTest, MonotoneConversion)
+{
+    ClockDomain clock(GetParam().local, GetParam().global);
+    Cycle previous = 0;
+    for (Cycle global = 0; global < 1000; ++global) {
+        Cycle local = clock.toLocalFloor(global);
+        EXPECT_GE(local, previous);
+        previous = local;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, ClockRatioTest,
+    ::testing::Values(ClockRatioCase{1000, 1000},
+                      ClockRatioCase{500, 1000},
+                      ClockRatioCase{2000, 1000},
+                      ClockRatioCase{700, 1000},
+                      ClockRatioCase{1000, 1200},
+                      ClockRatioCase{933, 1600}));
+
+// --- rng ---
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, RangeInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t value = rng.range(3, 6);
+        EXPECT_GE(value, 3u);
+        EXPECT_LE(value, 6u);
+        saw_lo = saw_lo || value == 3;
+        saw_hi = saw_hi || value == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double value = rng.uniform();
+        EXPECT_GE(value, 0.0);
+        EXPECT_LT(value, 1.0);
+        sum += value;
+    }
+    EXPECT_NEAR(sum / 1000, 0.5, 0.05);
+}
+
+// --- interval tracer ---
+
+TEST(IntervalTracerTest, AccumulatesPerWindow)
+{
+    IntervalTracer tracer(100);
+    tracer.record(5, 2);
+    tracer.record(50, 3);
+    tracer.record(150, 7);
+    tracer.record(320, 1);
+    tracer.finalize();
+    const auto &windows = tracer.windows();
+    ASSERT_EQ(windows.size(), 4u);
+    EXPECT_EQ(windows[0], 5u);
+    EXPECT_EQ(windows[1], 7u);
+    EXPECT_EQ(windows[2], 0u);
+    EXPECT_EQ(windows[3], 1u);
+}
+
+TEST(IntervalTracerTest, OutOfOrderFoldsIntoClosedWindow)
+{
+    IntervalTracer tracer(100);
+    tracer.record(150, 1);
+    tracer.record(90, 4); // completion retired late
+    tracer.finalize();
+    EXPECT_EQ(tracer.windows()[0], 4u);
+    EXPECT_EQ(tracer.windows()[1], 1u);
+}
+
+TEST(IntervalTracerTest, MovingAverageSpansWindows)
+{
+    IntervalTracer tracer(10);
+    for (Cycle c = 0; c < 40; c += 10)
+        tracer.record(c, c / 10 + 1); // windows: 1 2 3 4
+    tracer.finalize();
+    auto averaged = tracer.movingAverage(2);
+    ASSERT_EQ(averaged.size(), 4u);
+    EXPECT_DOUBLE_EQ(averaged[0], 1.0);
+    EXPECT_DOUBLE_EQ(averaged[1], 1.5);
+    EXPECT_DOUBLE_EQ(averaged[2], 2.5);
+    EXPECT_DOUBLE_EQ(averaged[3], 3.5);
+}
+
+TEST(IntervalTracerTest, ZeroWindowRejected)
+{
+    EXPECT_THROW(IntervalTracer(0), FatalError);
+}
+
+// --- logging ---
+
+TEST(LoggingTest, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad ", 42, " thing");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &error) {
+        EXPECT_STREQ(error.what(), "bad 42 thing");
+    }
+}
+
+TEST(LoggingTest, QuietToggle)
+{
+    bool before = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(before);
+}
+
+} // namespace
+} // namespace mnpu

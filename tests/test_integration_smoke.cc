@@ -1,0 +1,144 @@
+/**
+ * @file
+ * End-to-end smoke tests: tiny networks through the full stack
+ * (trace generator -> cores -> MMU -> DRAM) at every sharing level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
+#include "sw/network.hh"
+#include "sw/trace_generator.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+ArchConfig
+tinyArch()
+{
+    ArchConfig arch;
+    arch.name = "tiny";
+    arch.arrayRows = 16;
+    arch.arrayCols = 16;
+    arch.spmBytes = 64 << 10;
+    arch.dataBytes = 1;
+    arch.freqMhz = 1000;
+    arch.validate();
+    return arch;
+}
+
+NpuMemConfig
+tinyMem()
+{
+    NpuMemConfig mem;
+    mem.channelsPerNpu = 2;
+    mem.dramCapacityPerNpu = 64ULL << 20;
+    mem.tlbEntriesPerNpu = 64;
+    mem.tlbWays = 8;
+    mem.ptwPerNpu = 4;
+    return mem;
+}
+
+std::shared_ptr<const TraceGenerator>
+tinyTrace(const std::string &name, std::uint64_t m = 256,
+          std::uint64_t n = 256, std::uint64_t k = 256)
+{
+    Network net;
+    net.name = name;
+    net.layers.push_back(Layer::gemm("g0", m, n, k));
+    net.layers.push_back(Layer::gemm("g1", m, n, k));
+    return std::make_shared<TraceGenerator>(tinyArch(), net);
+}
+
+TEST(IntegrationSmoke, SingleCoreIdealCompletes)
+{
+    auto result = runIdeal(tinyTrace("solo"), 1, tinyMem());
+    ASSERT_EQ(result.cores.size(), 1u);
+    EXPECT_GT(result.cores[0].localCycles, 0u);
+    EXPECT_GT(result.cores[0].trafficBytes, 0u);
+    EXPECT_GT(result.cores[0].peUtilization, 0.0);
+    EXPECT_LE(result.cores[0].peUtilization, 1.0);
+}
+
+TEST(IntegrationSmoke, AllSharingLevelsCompleteDualCore)
+{
+    for (SharingLevel level :
+         {SharingLevel::Static, SharingLevel::ShareD, SharingLevel::ShareDW,
+          SharingLevel::ShareDWT}) {
+        auto result = runMix(
+            level, {tinyTrace("a"), tinyTrace("b")}, tinyMem());
+        ASSERT_EQ(result.cores.size(), 2u) << toString(level);
+        EXPECT_GT(result.cores[0].localCycles, 0u) << toString(level);
+        EXPECT_GT(result.cores[1].localCycles, 0u) << toString(level);
+    }
+}
+
+TEST(IntegrationSmoke, ExecutionIsDeterministic)
+{
+    auto first = runMix(SharingLevel::ShareDWT,
+                        {tinyTrace("a"), tinyTrace("b")}, tinyMem());
+    auto second = runMix(SharingLevel::ShareDWT,
+                         {tinyTrace("a"), tinyTrace("b")}, tinyMem());
+    ASSERT_EQ(first.cores.size(), second.cores.size());
+    for (std::size_t i = 0; i < first.cores.size(); ++i) {
+        EXPECT_EQ(first.cores[i].localCycles, second.cores[i].localCycles);
+        EXPECT_EQ(first.cores[i].trafficBytes,
+                  second.cores[i].trafficBytes);
+    }
+}
+
+TEST(IntegrationSmoke, ContentionSlowsCoresDown)
+{
+    auto solo = runIdeal(tinyTrace("solo"), 2, tinyMem());
+    auto mix = runMix(SharingLevel::ShareDWT,
+                      {tinyTrace("a"), tinyTrace("b")}, tinyMem());
+    // Co-running with a twin on shared resources can never be faster
+    // than monopolizing the doubled resources.
+    EXPECT_GE(mix.cores[0].localCycles, solo.cores[0].localCycles);
+    EXPECT_GE(mix.cores[1].localCycles, solo.cores[0].localCycles);
+}
+
+TEST(IntegrationSmoke, TranslationDisabledIsFaster)
+{
+    NpuMemConfig mem = tinyMem();
+    auto with_xlat = runIdeal(tinyTrace("solo"), 1, mem);
+    mem.translationEnabled = false;
+    auto without = runIdeal(tinyTrace("solo"), 1, mem);
+    EXPECT_LE(without.cores[0].localCycles,
+              with_xlat.cores[0].localCycles);
+}
+
+TEST(IntegrationSmoke, IterationsRepeatWork)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.mem = tinyMem();
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = tinyTrace("solo");
+    bindings[0].iterations = 2;
+    MultiCoreSystem system(config, std::move(bindings));
+    auto twice = system.run();
+
+    auto once = runIdeal(tinyTrace("solo"), 1, tinyMem());
+    EXPECT_GT(twice.cores[0].localCycles,
+              once.cores[0].localCycles * 3 / 2);
+}
+
+TEST(IntegrationSmoke, StartDelayHonored)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.mem = tinyMem();
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = tinyTrace("solo");
+    bindings[0].startCycleGlobal = 5000;
+    MultiCoreSystem system(config, std::move(bindings));
+    auto result = system.run();
+    EXPECT_GE(result.cores[0].finishedAtGlobal, 5000u);
+}
+
+} // namespace
+} // namespace mnpu

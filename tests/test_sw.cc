@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Tests for the SW request generator: network IR, im2col lowering, GEMM
+ * tiling, the systolic cycle model, and tile-trace invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "sw/arch_config.hh"
+#include "sw/gemm_mapping.hh"
+#include "sw/network.hh"
+#include "sw/trace_generator.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+ArchConfig
+smallArch(std::uint64_t spm_bytes = 256 << 10)
+{
+    ArchConfig arch;
+    arch.name = "small";
+    arch.arrayRows = 32;
+    arch.arrayCols = 32;
+    arch.spmBytes = spm_bytes;
+    arch.validate();
+    return arch;
+}
+
+// --- layer IR / im2col ---
+
+TEST(NetworkTest, ConvOutputDims)
+{
+    Layer conv = Layer::conv("c", 224, 224, 3, 7, 64, 2, 3);
+    EXPECT_EQ(conv.outH(), 112u);
+    EXPECT_EQ(conv.outW(), 112u);
+    Layer same = Layer::conv("s", 13, 13, 256, 3, 384, 1, 1);
+    EXPECT_EQ(same.outH(), 13u);
+}
+
+TEST(NetworkTest, Im2colGemmShapes)
+{
+    GemmShape conv = toGemm(Layer::conv("c", 27, 27, 96, 5, 256, 1, 2));
+    EXPECT_EQ(conv.m, 27u * 27u);
+    EXPECT_EQ(conv.n, 256u);
+    EXPECT_EQ(conv.k, 5u * 5u * 96u);
+
+    GemmShape fc = toGemm(Layer::fullyConnected("f", 9216, 4096, 4));
+    EXPECT_EQ(fc.m, 4u);
+    EXPECT_EQ(fc.n, 4096u);
+    EXPECT_EQ(fc.k, 9216u);
+
+    GemmShape raw = toGemm(Layer::gemm("g", 10, 20, 30));
+    EXPECT_EQ(raw.macs(), 6000u);
+
+    EXPECT_THROW(toGemm(Layer::embedding("e", 100, 64, 4)), FatalError);
+}
+
+TEST(NetworkTest, ValidationCatchesNonsense)
+{
+    EXPECT_THROW(Layer::conv("c", 0, 10, 3, 3, 8), FatalError);
+    EXPECT_THROW(Layer::conv("c", 2, 2, 3, 5, 8), FatalError); // k > in
+    EXPECT_THROW(Layer::gemm("g", 0, 1, 1), FatalError);
+    EXPECT_THROW(Layer::fullyConnected("f", 0, 10), FatalError);
+    EXPECT_THROW(Layer::embedding("e", 0, 64, 1), FatalError);
+
+    Network empty;
+    empty.name = "empty";
+    EXPECT_THROW(empty.validate(), FatalError);
+}
+
+TEST(NetworkTest, CsvRoundTrip)
+{
+    Network net = Network::fromCsvString(
+        "name,type\n"
+        "conv1, conv, 224, 224, 3, 7, 64, 2, 3\n"
+        "fc1, fc, 2048, 1000\n"
+        "g1, gemm, 128, 256, 512\n"
+        "emb1, embedding, 100000, 64, 4, 16\n",
+        "csvnet");
+    ASSERT_EQ(net.layers.size(), 4u);
+    EXPECT_EQ(net.layers[0].kind, LayerKind::Conv);
+    EXPECT_EQ(net.layers[0].strideH, 2u);
+    EXPECT_EQ(net.layers[1].outFeatures, 1000u);
+    EXPECT_EQ(net.layers[2].gemmK, 512u);
+    EXPECT_EQ(net.layers[3].batch, 16u);
+    EXPECT_THROW(Network::fromCsvString("x, pool, 1, 2\n", "bad"),
+                 FatalError);
+    EXPECT_THROW(Network::fromCsvString("x, conv, 1\n", "short"),
+                 FatalError);
+}
+
+// --- tiling ---
+
+struct TilingCase
+{
+    std::uint64_t m, n, k;
+    std::uint64_t spmKb;
+};
+
+class TilingPropertyTest : public ::testing::TestWithParam<TilingCase>
+{
+};
+
+TEST_P(TilingPropertyTest, TileFitsHalfSpmAndCoversGemm)
+{
+    ArchConfig arch = smallArch(GetParam().spmKb << 10);
+    GemmShape shape{GetParam().m, GetParam().n, GetParam().k};
+    GemmTiling tiling = chooseTiling(shape, arch);
+    EXPECT_LE(tiling.footprintBytes(arch.dataBytes),
+              arch.halfSpmBytes());
+    EXPECT_GE(tiling.tileM, 1u);
+    EXPECT_GE(tiling.tileN, 1u);
+    EXPECT_GE(tiling.tileK, 1u);
+    EXPECT_LE(tiling.tileM, shape.m);
+    EXPECT_LE(tiling.tileN, shape.n);
+    EXPECT_LE(tiling.tileK, shape.k);
+    // Loop nest covers the full problem.
+    EXPECT_GE(tiling.tilesM(shape) * tiling.tileM, shape.m);
+    EXPECT_GE(tiling.tilesN(shape) * tiling.tileN, shape.n);
+    EXPECT_GE(tiling.tilesK(shape) * tiling.tileK, shape.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TilingPropertyTest,
+    ::testing::Values(TilingCase{1, 6000, 3000, 256},
+                      TilingCase{128, 128, 128, 256},
+                      TilingCase{4096, 4096, 4096, 256},
+                      TilingCase{1, 1, 1, 256},
+                      TilingCase{50176, 64, 147, 256},
+                      TilingCase{17, 33, 65537, 256},
+                      TilingCase{100000, 8, 8, 64},
+                      TilingCase{512, 50257, 768, 512}));
+
+TEST(TilingTest, SmallGemmSingleTile)
+{
+    ArchConfig arch = smallArch();
+    GemmShape shape{16, 16, 16};
+    GemmTiling tiling = chooseTiling(shape, arch);
+    EXPECT_EQ(tiling.totalTiles(shape), 1u);
+}
+
+TEST(TilingTest, ImpossibleTileIsFatal)
+{
+    ArchConfig arch = smallArch();
+    arch.spmBytes = 2048; // half = 1 KB < one 32x32 pass footprint
+    GemmShape shape{64, 64, 64};
+    EXPECT_THROW(chooseTiling(shape, arch), FatalError);
+}
+
+// --- systolic cycle model ---
+
+TEST(CycleModelTest, SingleSubtileFormula)
+{
+    ArchConfig arch = smallArch();
+    // One full 32x32 output subtile streaming K=100:
+    // K + rows + cols - 2.
+    EXPECT_EQ(tileComputeCycles(32, 32, 100, arch), 100u + 32 + 32 - 2);
+    // Edge subtile uses only the live rows/cols.
+    EXPECT_EQ(tileComputeCycles(1, 1, 100, arch), 100u);
+}
+
+TEST(CycleModelTest, SubtileCountScalesCycles)
+{
+    ArchConfig arch = smallArch();
+    std::uint64_t one = tileComputeCycles(32, 32, 64, arch);
+    EXPECT_EQ(tileComputeCycles(64, 64, 64, arch), 4 * one);
+}
+
+TEST(CycleModelTest, UtilizationBoundedByOne)
+{
+    ArchConfig arch = smallArch();
+    for (std::uint64_t k : {1ull, 32ull, 1000ull}) {
+        std::uint64_t cycles = tileComputeCycles(32, 32, k, arch);
+        double util = static_cast<double>(tileMacs(32, 32, k)) /
+                      (32.0 * 32.0 * cycles);
+        EXPECT_LE(util, 1.0);
+        EXPECT_GT(util, 0.0);
+    }
+}
+
+// --- trace generation invariants ---
+
+TEST(TraceGeneratorTest, GemmTrafficMatchesTensorSizes)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "one";
+    net.layers.push_back(Layer::gemm("g", 64, 48, 40)); // single tile
+    TraceGenerator trace(arch, net);
+    ASSERT_EQ(trace.tiles().size(), 1u);
+    const TileTrace &tile = trace.tiles()[0];
+    EXPECT_EQ(tile.readBytes, 64u * 40 + 40u * 48);
+    EXPECT_EQ(tile.writeBytes, 64u * 48);
+    EXPECT_EQ(tile.macs, 64u * 48 * 40);
+    EXPECT_EQ(trace.totalMacs(), net.totalMacs());
+}
+
+TEST(TraceGeneratorTest, KSplitWritesOutputOnce)
+{
+    ArchConfig arch = smallArch(16 << 10); // force K splitting
+    Network net;
+    net.name = "ksplit";
+    net.layers.push_back(Layer::gemm("g", 32, 32, 100000));
+    TraceGenerator trace(arch, net);
+    ASSERT_GT(trace.tiles().size(), 1u);
+    std::uint64_t write_bytes = 0;
+    for (const auto &tile : trace.tiles())
+        write_bytes += tile.writeBytes;
+    EXPECT_EQ(write_bytes, 32u * 32); // C written exactly once
+}
+
+TEST(TraceGeneratorTest, ReadsCoverAllInputBytesAtLeastOnce)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "big";
+    net.layers.push_back(Layer::gemm("g", 300, 200, 500));
+    TraceGenerator trace(arch, net);
+    std::uint64_t read_bytes = 0;
+    for (const auto &tile : trace.tiles())
+        read_bytes += tile.readBytes;
+    EXPECT_GE(read_bytes, 300u * 500 + 500u * 200);
+}
+
+TEST(TraceGeneratorTest, RangesStayInsideFootprint)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "multi";
+    net.layers.push_back(Layer::conv("c", 28, 28, 32, 3, 64, 1, 1));
+    net.layers.push_back(Layer::fullyConnected("f", 1024, 256));
+    TraceGenerator trace(arch, net);
+    for (const auto &tile : trace.tiles()) {
+        for (const auto &range : tile.reads) {
+            EXPECT_LE(range.vaddr + range.bytes, trace.footprintBytes());
+            EXPECT_GT(range.bytes, 0u);
+        }
+        for (const auto &range : tile.writes)
+            EXPECT_LE(range.vaddr + range.bytes, trace.footprintBytes());
+    }
+}
+
+TEST(TraceGeneratorTest, LayerSummariesTileTheTrace)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "layers";
+    net.layers.push_back(Layer::gemm("a", 64, 64, 64));
+    net.layers.push_back(Layer::gemm("b", 128, 128, 128));
+    net.layers.push_back(Layer::embedding("e", 10000, 64, 8, 4));
+    TraceGenerator trace(arch, net);
+    ASSERT_EQ(trace.layers().size(), 3u);
+    std::size_t expected_first = 0;
+    for (const auto &layer : trace.layers()) {
+        EXPECT_EQ(layer.firstTile, expected_first);
+        EXPECT_GT(layer.tileCount, 0u);
+        expected_first += layer.tileCount;
+    }
+    EXPECT_EQ(expected_first, trace.tiles().size());
+}
+
+TEST(TraceGeneratorTest, WeightSharingReusesAddresses)
+{
+    ArchConfig arch = smallArch();
+    auto make_net = [&](bool shared) {
+        Network net;
+        net.name = shared ? "shared" : "private";
+        for (int t = 0; t < 4; ++t) {
+            Layer step = Layer::gemm("t" + std::to_string(t), 8, 512,
+                                     256);
+            if (shared)
+                step.weightTag = "cell";
+            net.layers.push_back(step);
+        }
+        return net;
+    };
+    TraceGenerator shared(arch, make_net(true));
+    TraceGenerator priv(arch, make_net(false));
+    EXPECT_LT(shared.footprintBytes(), priv.footprintBytes());
+
+    // Shared weight ranges must coincide across timesteps.
+    std::set<Addr> first_step, last_step;
+    for (const auto &range :
+         shared.tiles()[shared.layers()[0].firstTile].reads)
+        first_step.insert(range.vaddr);
+    for (const auto &range :
+         shared.tiles()[shared.layers()[3].firstTile].reads)
+        last_step.insert(range.vaddr);
+    std::size_t common = 0;
+    for (Addr addr : first_step)
+        common += last_step.count(addr);
+    EXPECT_GT(common, 0u);
+}
+
+TEST(TraceGeneratorTest, MismatchedWeightTagShapesFatal)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "bad";
+    Layer a = Layer::gemm("a", 8, 64, 64);
+    a.weightTag = "w";
+    Layer b = Layer::gemm("b", 8, 64, 128); // different K
+    b.weightTag = "w";
+    net.layers = {a, b};
+    EXPECT_THROW(TraceGenerator(arch, net), FatalError);
+}
+
+TEST(TraceGeneratorTest, EmbeddingGathersDeterministicAndInTable)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "emb";
+    net.layers.push_back(Layer::embedding("e", 1000, 64, 16, 8));
+    TraceGenerator a(arch, net);
+    TraceGenerator b(arch, net);
+    ASSERT_EQ(a.tiles().size(), b.tiles().size());
+    std::uint64_t row_bytes = 64;
+    std::uint64_t table_bytes = 1000 * row_bytes;
+    std::uint64_t gathers = 0;
+    for (std::size_t i = 0; i < a.tiles().size(); ++i) {
+        ASSERT_EQ(a.tiles()[i].reads.size(), b.tiles()[i].reads.size());
+        for (std::size_t r = 0; r < a.tiles()[i].reads.size(); ++r) {
+            EXPECT_EQ(a.tiles()[i].reads[r].vaddr,
+                      b.tiles()[i].reads[r].vaddr);
+            EXPECT_LT(a.tiles()[i].reads[r].vaddr, table_bytes);
+            gathers += a.tiles()[i].reads[r].bytes / row_bytes;
+        }
+    }
+    EXPECT_EQ(gathers, 16u * 8);
+}
+
+TEST(TraceGeneratorTest, ComputeLowerBoundConsistent)
+{
+    ArchConfig arch = smallArch();
+    Network net;
+    net.name = "n";
+    net.layers.push_back(Layer::gemm("g", 100, 100, 100));
+    TraceGenerator trace(arch, net);
+    Cycle total = 0;
+    for (const auto &tile : trace.tiles())
+        total += tile.computeCycles;
+    EXPECT_EQ(trace.computeLowerBoundCycles(), total);
+    EXPECT_EQ(trace.totalComputeCycles(), total);
+}
+
+// --- arch config ---
+
+TEST(ArchConfigTest, PresetsValidateAndFromConfig)
+{
+    EXPECT_NO_THROW(ArchConfig::cloudNpu().validate());
+    EXPECT_NO_THROW(ArchConfig::miniNpu().validate());
+
+    auto config = ConfigFile::fromString(
+        "arch.array_rows = 64\narch.spm_size = 2MB\n"
+        "arch.dataflow = os\n");
+    ArchConfig arch = ArchConfig::fromConfig(config);
+    EXPECT_EQ(arch.arrayRows, 64u);
+    EXPECT_EQ(arch.spmBytes, 2ull << 20);
+
+    auto ws = ConfigFile::fromString("arch.dataflow = ws\n");
+    EXPECT_EQ(ArchConfig::fromConfig(ws).dataflow,
+              Dataflow::WeightStationary);
+    auto bad = ConfigFile::fromString("arch.dataflow = row_stationary\n");
+    EXPECT_THROW(ArchConfig::fromConfig(bad), FatalError);
+}
+
+TEST(ArchConfigTest, ValidationCatchesBadValues)
+{
+    ArchConfig arch = ArchConfig::miniNpu();
+    arch.arrayRows = 0;
+    EXPECT_THROW(arch.validate(), FatalError);
+    arch = ArchConfig::miniNpu();
+    arch.dataBytes = 16;
+    EXPECT_THROW(arch.validate(), FatalError);
+    arch = ArchConfig::miniNpu();
+    arch.busBytes = 48;
+    EXPECT_THROW(arch.validate(), FatalError);
+}
+
+} // namespace
+} // namespace mnpu

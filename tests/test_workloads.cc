@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the built-in benchmark models and the random network
+ * generator used to train the co-runner predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sw/trace_generator.hh"
+#include "workloads/models.hh"
+#include "workloads/random_network.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+TEST(ModelsTest, EightPaperModels)
+{
+    const auto &names = modelNames();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names[0], "res");
+    EXPECT_EQ(names[7], "gpt2");
+}
+
+TEST(ModelsTest, UnknownNameFatal)
+{
+    EXPECT_THROW(buildModel("vgg", ModelScale::Full), FatalError);
+}
+
+class ModelBuildTest
+    : public ::testing::TestWithParam<std::tuple<std::string, ModelScale>>
+{
+};
+
+TEST_P(ModelBuildTest, BuildsValidNonTrivialNetwork)
+{
+    const auto &[name, scale] = GetParam();
+    Network net = buildModel(name, scale);
+    EXPECT_EQ(net.name, name);
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_GE(net.layers.size(), 4u);
+    EXPECT_GT(net.totalMacs(), 0u);
+}
+
+TEST_P(ModelBuildTest, GeneratesTracesOnTheMiniArch)
+{
+    const auto &[name, scale] = GetParam();
+    if (scale == ModelScale::Full && (name == "res" || name == "gpt2"))
+        GTEST_SKIP() << "full-size trace generation covered by --full "
+                        "benches";
+    Network net = buildModel(name, scale);
+    TraceGenerator trace(ArchConfig::miniNpu(), net);
+    EXPECT_GT(trace.tiles().size(), 0u);
+    EXPECT_GT(trace.totalTrafficBytes(), 0u);
+    EXPECT_LT(trace.footprintBytes(), 4ull << 30); // fits Table 2 DRAM
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelBuildTest,
+    ::testing::Combine(::testing::Values("res", "yt", "alex", "sfrnn",
+                                         "ds2", "dlrm", "ncf", "gpt2"),
+                       ::testing::Values(ModelScale::Full,
+                                         ModelScale::Mini)),
+    [](const auto &info) {
+        return std::get<0>(info.param) +
+               (std::get<1>(info.param) == ModelScale::Full ? "_full"
+                                                            : "_mini");
+    });
+
+TEST(ModelsTest, MiniNoLargerThanFull)
+{
+    for (const auto &name : modelNames()) {
+        Network mini = buildModel(name, ModelScale::Mini);
+        Network full = buildModel(name, ModelScale::Full);
+        EXPECT_LE(mini.totalMacs(), full.totalMacs()) << name;
+    }
+}
+
+TEST(ModelsTest, ModelCharactersPreserved)
+{
+    // sfrnn must stay skinny (M=1 recurrent GEMMs with shared weights);
+    // res/yt must be conv-dominated.
+    Network sfrnn = buildModel("sfrnn", ModelScale::Mini);
+    std::size_t skinny = 0, tagged = 0;
+    for (const auto &layer : sfrnn.layers) {
+        if (layer.kind == LayerKind::Gemm && layer.gemmM == 1)
+            ++skinny;
+        if (!layer.weightTag.empty())
+            ++tagged;
+    }
+    EXPECT_GT(skinny, sfrnn.layers.size() / 2);
+    EXPECT_GT(tagged, 0u);
+
+    for (const char *cnn : {"res", "yt"}) {
+        Network net = buildModel(cnn, ModelScale::Mini);
+        std::size_t convs = 0;
+        for (const auto &layer : net.layers)
+            convs += layer.kind == LayerKind::Conv ? 1 : 0;
+        EXPECT_GT(convs, net.layers.size() / 2) << cnn;
+    }
+
+    for (const char *rec : {"dlrm", "ncf"}) {
+        Network net = buildModel(rec, ModelScale::Mini);
+        bool has_embedding = false;
+        for (const auto &layer : net.layers)
+            has_embedding |= layer.kind == LayerKind::Embedding;
+        EXPECT_TRUE(has_embedding) << rec;
+    }
+}
+
+TEST(ModelsTest, BuildAllModelsCoversRegistry)
+{
+    auto models = buildAllModels(ModelScale::Mini);
+    ASSERT_EQ(models.size(), modelNames().size());
+    for (std::size_t i = 0; i < models.size(); ++i)
+        EXPECT_EQ(models[i].name, modelNames()[i]);
+}
+
+// --- random networks ---
+
+TEST(RandomNetworkTest, DeterministicPerSeed)
+{
+    Rng a(99), b(99);
+    Network na = randomNetwork(a);
+    Network nb = randomNetwork(b);
+    ASSERT_EQ(na.layers.size(), nb.layers.size());
+    for (std::size_t i = 0; i < na.layers.size(); ++i) {
+        EXPECT_EQ(na.layers[i].kind, nb.layers[i].kind);
+        EXPECT_EQ(na.layers[i].gemmM, nb.layers[i].gemmM);
+        EXPECT_EQ(na.layers[i].inH, nb.layers[i].inH);
+    }
+}
+
+TEST(RandomNetworkTest, ManySeedsValidateWithinRanges)
+{
+    RandomNetOptions options;
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        Network net = randomNetwork(rng, options);
+        EXPECT_NO_THROW(net.validate());
+        EXPECT_GE(net.layers.size(), options.minLayers);
+        EXPECT_LE(net.layers.size(), options.maxLayers);
+        for (const auto &layer : net.layers) {
+            if (layer.kind == LayerKind::Conv) {
+                EXPECT_LE(layer.inH, options.maxSpatial);
+                EXPECT_LE(layer.outC, options.maxChannels);
+            } else {
+                EXPECT_LE(layer.gemmN, options.maxGemmDim);
+                EXPECT_LE(layer.gemmK, options.maxGemmDim);
+            }
+        }
+    }
+}
+
+TEST(RandomNetworkTest, GeneratesBothLayerKinds)
+{
+    Rng rng(3);
+    bool saw_conv = false, saw_gemm = false, saw_skinny = false;
+    for (int i = 0; i < 30; ++i) {
+        Network net = randomNetwork(rng);
+        for (const auto &layer : net.layers) {
+            saw_conv |= layer.kind == LayerKind::Conv;
+            saw_gemm |= layer.kind == LayerKind::Gemm;
+            saw_skinny |=
+                layer.kind == LayerKind::Gemm && layer.gemmM == 1;
+        }
+    }
+    EXPECT_TRUE(saw_conv);
+    EXPECT_TRUE(saw_gemm);
+    EXPECT_TRUE(saw_skinny);
+}
+
+TEST(RandomNetworkTest, TraceableOnMiniArch)
+{
+    Rng rng(5);
+    for (int i = 0; i < 5; ++i) {
+        Network net = randomNetwork(rng);
+        TraceGenerator trace(ArchConfig::miniNpu(), net);
+        EXPECT_GT(trace.tiles().size(), 0u);
+    }
+}
+
+TEST(RandomNetworkTest, BadOptionsFatal)
+{
+    RandomNetOptions options;
+    options.minLayers = 5;
+    options.maxLayers = 2;
+    Rng rng(1);
+    EXPECT_THROW(randomNetwork(rng, options), FatalError);
+}
+
+} // namespace
+} // namespace mnpu
