@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_burstiness.dir/bench_fig02_burstiness.cc.o"
+  "CMakeFiles/bench_fig02_burstiness.dir/bench_fig02_burstiness.cc.o.d"
+  "bench_fig02_burstiness"
+  "bench_fig02_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

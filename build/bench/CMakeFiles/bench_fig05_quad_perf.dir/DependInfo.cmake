@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig05_quad_perf.cc" "bench/CMakeFiles/bench_fig05_quad_perf.dir/bench_fig05_quad_perf.cc.o" "gcc" "bench/CMakeFiles/bench_fig05_quad_perf.dir/bench_fig05_quad_perf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mnpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mnpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mnpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mnpu_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mnpu_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mnpu_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mnpu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_dual_fairness.dir/bench_fig06_dual_fairness.cc.o"
+  "CMakeFiles/bench_fig06_dual_fairness.dir/bench_fig06_dual_fairness.cc.o.d"
+  "bench_fig06_dual_fairness"
+  "bench_fig06_dual_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_dual_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_pagesize_multi.dir/bench_fig16_pagesize_multi.cc.o"
+  "CMakeFiles/bench_fig16_pagesize_multi.dir/bench_fig16_pagesize_multi.cc.o.d"
+  "bench_fig16_pagesize_multi"
+  "bench_fig16_pagesize_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_pagesize_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

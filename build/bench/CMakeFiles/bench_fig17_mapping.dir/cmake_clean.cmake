@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_mapping.dir/bench_fig17_mapping.cc.o"
+  "CMakeFiles/bench_fig17_mapping.dir/bench_fig17_mapping.cc.o.d"
+  "bench_fig17_mapping"
+  "bench_fig17_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_core_contention.dir/dual_core_contention.cpp.o"
+  "CMakeFiles/dual_core_contention.dir/dual_core_contention.cpp.o.d"
+  "dual_core_contention"
+  "dual_core_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_core_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

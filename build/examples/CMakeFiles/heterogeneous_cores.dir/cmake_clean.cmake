@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cores.dir/heterogeneous_cores.cpp.o"
+  "CMakeFiles/heterogeneous_cores.dir/heterogeneous_cores.cpp.o.d"
+  "heterogeneous_cores"
+  "heterogeneous_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../mnpusim"
+  "../mnpusim.pdb"
+  "CMakeFiles/mnpusim.dir/tools/mnpusim_main.cc.o"
+  "CMakeFiles/mnpusim.dir/tools/mnpusim_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_analysis.dir/experiment.cc.o"
+  "CMakeFiles/mnpu_analysis.dir/experiment.cc.o.d"
+  "CMakeFiles/mnpu_analysis.dir/metrics.cc.o"
+  "CMakeFiles/mnpu_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/mnpu_analysis.dir/mixes.cc.o"
+  "CMakeFiles/mnpu_analysis.dir/mixes.cc.o.d"
+  "CMakeFiles/mnpu_analysis.dir/predictor.cc.o"
+  "CMakeFiles/mnpu_analysis.dir/predictor.cc.o.d"
+  "CMakeFiles/mnpu_analysis.dir/regression.cc.o"
+  "CMakeFiles/mnpu_analysis.dir/regression.cc.o.d"
+  "libmnpu_analysis.a"
+  "libmnpu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_common.dir/clock_domain.cc.o"
+  "CMakeFiles/mnpu_common.dir/clock_domain.cc.o.d"
+  "CMakeFiles/mnpu_common.dir/config.cc.o"
+  "CMakeFiles/mnpu_common.dir/config.cc.o.d"
+  "CMakeFiles/mnpu_common.dir/interval_tracer.cc.o"
+  "CMakeFiles/mnpu_common.dir/interval_tracer.cc.o.d"
+  "CMakeFiles/mnpu_common.dir/logging.cc.o"
+  "CMakeFiles/mnpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/mnpu_common.dir/request_log.cc.o"
+  "CMakeFiles/mnpu_common.dir/request_log.cc.o.d"
+  "CMakeFiles/mnpu_common.dir/stats.cc.o"
+  "CMakeFiles/mnpu_common.dir/stats.cc.o.d"
+  "libmnpu_common.a"
+  "libmnpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

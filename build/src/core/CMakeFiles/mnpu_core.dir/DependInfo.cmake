@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/npu_core.cc" "src/core/CMakeFiles/mnpu_core.dir/npu_core.cc.o" "gcc" "src/core/CMakeFiles/mnpu_core.dir/npu_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mnpu_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mnpu_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mnpu_sw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_core.dir/npu_core.cc.o"
+  "CMakeFiles/mnpu_core.dir/npu_core.cc.o.d"
+  "libmnpu_core.a"
+  "libmnpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

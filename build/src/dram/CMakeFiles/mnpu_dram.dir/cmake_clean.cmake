@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_dram.dir/address_mapping.cc.o"
+  "CMakeFiles/mnpu_dram.dir/address_mapping.cc.o.d"
+  "CMakeFiles/mnpu_dram.dir/dram_channel.cc.o"
+  "CMakeFiles/mnpu_dram.dir/dram_channel.cc.o.d"
+  "CMakeFiles/mnpu_dram.dir/dram_system.cc.o"
+  "CMakeFiles/mnpu_dram.dir/dram_system.cc.o.d"
+  "CMakeFiles/mnpu_dram.dir/dram_timing.cc.o"
+  "CMakeFiles/mnpu_dram.dir/dram_timing.cc.o.d"
+  "libmnpu_dram.a"
+  "libmnpu_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmu/mmu.cc" "src/mmu/CMakeFiles/mnpu_mmu.dir/mmu.cc.o" "gcc" "src/mmu/CMakeFiles/mnpu_mmu.dir/mmu.cc.o.d"
+  "/root/repo/src/mmu/paging.cc" "src/mmu/CMakeFiles/mnpu_mmu.dir/paging.cc.o" "gcc" "src/mmu/CMakeFiles/mnpu_mmu.dir/paging.cc.o.d"
+  "/root/repo/src/mmu/tlb.cc" "src/mmu/CMakeFiles/mnpu_mmu.dir/tlb.cc.o" "gcc" "src/mmu/CMakeFiles/mnpu_mmu.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mnpu_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

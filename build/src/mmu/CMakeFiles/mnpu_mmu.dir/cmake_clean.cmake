@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_mmu.dir/mmu.cc.o"
+  "CMakeFiles/mnpu_mmu.dir/mmu.cc.o.d"
+  "CMakeFiles/mnpu_mmu.dir/paging.cc.o"
+  "CMakeFiles/mnpu_mmu.dir/paging.cc.o.d"
+  "CMakeFiles/mnpu_mmu.dir/tlb.cc.o"
+  "CMakeFiles/mnpu_mmu.dir/tlb.cc.o.d"
+  "libmnpu_mmu.a"
+  "libmnpu_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

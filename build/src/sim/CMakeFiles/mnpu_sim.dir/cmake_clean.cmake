@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_sim.dir/cli.cc.o"
+  "CMakeFiles/mnpu_sim.dir/cli.cc.o.d"
+  "CMakeFiles/mnpu_sim.dir/multi_core_system.cc.o"
+  "CMakeFiles/mnpu_sim.dir/multi_core_system.cc.o.d"
+  "libmnpu_sim.a"
+  "libmnpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mnpu_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/arch_config.cc" "src/sw/CMakeFiles/mnpu_sw.dir/arch_config.cc.o" "gcc" "src/sw/CMakeFiles/mnpu_sw.dir/arch_config.cc.o.d"
+  "/root/repo/src/sw/gemm_mapping.cc" "src/sw/CMakeFiles/mnpu_sw.dir/gemm_mapping.cc.o" "gcc" "src/sw/CMakeFiles/mnpu_sw.dir/gemm_mapping.cc.o.d"
+  "/root/repo/src/sw/network.cc" "src/sw/CMakeFiles/mnpu_sw.dir/network.cc.o" "gcc" "src/sw/CMakeFiles/mnpu_sw.dir/network.cc.o.d"
+  "/root/repo/src/sw/trace_generator.cc" "src/sw/CMakeFiles/mnpu_sw.dir/trace_generator.cc.o" "gcc" "src/sw/CMakeFiles/mnpu_sw.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_sw.dir/arch_config.cc.o"
+  "CMakeFiles/mnpu_sw.dir/arch_config.cc.o.d"
+  "CMakeFiles/mnpu_sw.dir/gemm_mapping.cc.o"
+  "CMakeFiles/mnpu_sw.dir/gemm_mapping.cc.o.d"
+  "CMakeFiles/mnpu_sw.dir/network.cc.o"
+  "CMakeFiles/mnpu_sw.dir/network.cc.o.d"
+  "CMakeFiles/mnpu_sw.dir/trace_generator.cc.o"
+  "CMakeFiles/mnpu_sw.dir/trace_generator.cc.o.d"
+  "libmnpu_sw.a"
+  "libmnpu_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mnpu_sw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/models.cc" "src/workloads/CMakeFiles/mnpu_workloads.dir/models.cc.o" "gcc" "src/workloads/CMakeFiles/mnpu_workloads.dir/models.cc.o.d"
+  "/root/repo/src/workloads/random_network.cc" "src/workloads/CMakeFiles/mnpu_workloads.dir/random_network.cc.o" "gcc" "src/workloads/CMakeFiles/mnpu_workloads.dir/random_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mnpu_sw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_workloads.dir/models.cc.o"
+  "CMakeFiles/mnpu_workloads.dir/models.cc.o.d"
+  "CMakeFiles/mnpu_workloads.dir/random_network.cc.o"
+  "CMakeFiles/mnpu_workloads.dir/random_network.cc.o.d"
+  "libmnpu_workloads.a"
+  "libmnpu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cc" "tests/CMakeFiles/mnpu_tests.dir/test_analysis.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_analysis.cc.o.d"
+  "/root/repo/tests/test_cli_features.cc" "tests/CMakeFiles/mnpu_tests.dir/test_cli_features.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_cli_features.cc.o.d"
+  "/root/repo/tests/test_clockdomain_dma.cc" "tests/CMakeFiles/mnpu_tests.dir/test_clockdomain_dma.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_clockdomain_dma.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/mnpu_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core_sim.cc" "tests/CMakeFiles/mnpu_tests.dir/test_core_sim.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_core_sim.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/mnpu_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_integration_smoke.cc" "tests/CMakeFiles/mnpu_tests.dir/test_integration_smoke.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_integration_smoke.cc.o.d"
+  "/root/repo/tests/test_mmu.cc" "tests/CMakeFiles/mnpu_tests.dir/test_mmu.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_mmu.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/mnpu_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/mnpu_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_sw.cc" "tests/CMakeFiles/mnpu_tests.dir/test_sw.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_sw.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/mnpu_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/mnpu_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/mnpu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mnpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mnpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/mnpu_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mnpu_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/mnpu_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mnpu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mnpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnpu_tests.dir/test_analysis.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_analysis.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_cli_features.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_cli_features.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_clockdomain_dma.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_clockdomain_dma.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_common.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_core_sim.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_core_sim.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_dram.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_dram.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_integration_smoke.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_integration_smoke.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_mmu.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_mmu.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_properties.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_stress.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_stress.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_sw.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_sw.cc.o.d"
+  "CMakeFiles/mnpu_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/mnpu_tests.dir/test_workloads.cc.o.d"
+  "mnpu_tests"
+  "mnpu_tests.pdb"
+  "mnpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
