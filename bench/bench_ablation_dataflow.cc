@@ -21,28 +21,42 @@ main(int argc, char **argv)
     printHeader("Ablation: output-stationary vs weight-stationary",
                 options);
 
+    const auto &names = modelNames();
+    SweepRunner runner(options.jobs);
+    // One context per dataflow; the models fan out over the pool.
+    struct Point
+    {
+        double cycles = 0;
+        double util = 0;
+    };
+    std::vector<std::vector<Point>> points; // [dataflow][model]
+    for (Dataflow dataflow : {Dataflow::OutputStationary,
+                              Dataflow::WeightStationary}) {
+        ArchConfig arch = options.archConfig();
+        arch.dataflow = dataflow;
+        ExperimentContext context(arch, NpuMemConfig::cloudNpu(),
+                                  options.scale());
+        points.push_back(runner.map<Point>(
+            names.size(), [&](std::size_t index) {
+                const CoreResult &result =
+                    context.idealResult(names[index], 1);
+                return Point{
+                    static_cast<double>(result.localCycles),
+                    result.peUtilization};
+            }));
+        progress(options, "  %s done",
+                 dataflow == Dataflow::OutputStationary ? "OS" : "WS");
+    }
+
     std::printf("\n%-8s %14s %14s %10s %10s %8s\n", "model", "OS cycles",
                 "WS cycles", "OS util", "WS util", "WS/OS");
-    for (const auto &model : modelNames()) {
-        double cycles[2];
-        double utils[2];
-        int index = 0;
-        for (Dataflow dataflow : {Dataflow::OutputStationary,
-                                  Dataflow::WeightStationary}) {
-            ArchConfig arch = options.archConfig();
-            arch.dataflow = dataflow;
-            ExperimentContext context(arch, NpuMemConfig::cloudNpu(),
-                                      options.scale());
-            const CoreResult &result = context.idealResult(model, 1);
-            cycles[index] = static_cast<double>(result.localCycles);
-            utils[index] = result.peUtilization;
-            ++index;
-        }
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        const Point &os = points[0][m];
+        const Point &ws = points[1][m];
         std::printf("%-8s %14.0f %14.0f %9.1f%% %9.1f%% %8.3f\n",
-                    model.c_str(), cycles[0], cycles[1],
-                    100.0 * utils[0], 100.0 * utils[1],
-                    cycles[1] / cycles[0]);
-        progress(options, "  %s done", model.c_str());
+                    names[m].c_str(), os.cycles, ws.cycles,
+                    100.0 * os.util, 100.0 * ws.util,
+                    ws.cycles / os.cycles);
     }
     std::printf("\nWS/OS < 1 means weight stationary is faster for that "
                 "model on this architecture.\n");

@@ -48,18 +48,28 @@ main(int argc, char **argv)
          std::nullopt, false},
     };
 
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.reserve(policies.size() * chosen.size());
+    for (const Policy &policy : policies) {
+        for (std::size_t index : chosen) {
+            SweepJob job;
+            job.config.level = policy.level;
+            job.config.ptwQuota = policy.quota;
+            job.config.ptwMin = policy.min;
+            job.config.ptwMax = policy.max;
+            job.config.ptwStealing = policy.stealing;
+            job.models = {names[mixes[index][0]], names[mixes[index][1]]};
+            sweep_jobs.push_back(std::move(job));
+        }
+    }
+    auto outcomes = runJobs(context, std::move(sweep_jobs), options);
+
     std::printf("\n%-10s%12s%12s\n", "policy", "perf(geo)", "fair(geo)");
+    std::size_t cursor = 0;
     for (const Policy &policy : policies) {
         std::vector<double> perfs, fairs;
-        for (std::size_t index : chosen) {
-            SystemConfig config;
-            config.level = policy.level;
-            config.ptwQuota = policy.quota;
-            config.ptwMin = policy.min;
-            config.ptwMax = policy.max;
-            config.ptwStealing = policy.stealing;
-            MixOutcome outcome = context.runMix(
-                config, {names[mixes[index][0]], names[mixes[index][1]]});
+        for (std::size_t i = 0; i < chosen.size(); ++i) {
+            const MixOutcome &outcome = outcomes[cursor++];
             perfs.push_back(outcome.geomeanSpeedup);
             fairs.push_back(outcome.fairnessValue);
         }

@@ -29,13 +29,17 @@ main(int argc, char **argv)
         mem.timing.rowPolicy = policy;
         ExperimentContext context(options.archConfig(), mem,
                                   options.scale());
+        std::vector<SweepJob> sweep_jobs;
+        for (std::size_t index : chosen) {
+            SweepJob job;
+            job.config.level = SharingLevel::ShareDWT;
+            job.models = {names[mixes[index][0]], names[mixes[index][1]]};
+            sweep_jobs.push_back(std::move(job));
+        }
         std::vector<double> perfs;
         std::uint64_t hits = 0, misses = 0;
-        for (std::size_t index : chosen) {
-            SystemConfig config;
-            config.level = SharingLevel::ShareDWT;
-            MixOutcome outcome = context.runMix(
-                config, {names[mixes[index][0]], names[mixes[index][1]]});
+        for (const MixOutcome &outcome :
+             runJobs(context, std::move(sweep_jobs), options)) {
             perfs.push_back(outcome.geomeanSpeedup);
             hits += outcome.raw.dramRowHits;
             misses += outcome.raw.dramRowMisses;

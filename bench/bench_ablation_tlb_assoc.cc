@@ -33,13 +33,17 @@ main(int argc, char **argv)
         mem.tlbWays = ways;
         ExperimentContext context(options.archConfig(), mem,
                                   options.scale());
+        std::vector<SweepJob> sweep_jobs;
+        for (std::size_t index : chosen) {
+            SweepJob job;
+            job.config.level = SharingLevel::ShareDWT;
+            job.models = {names[mixes[index][0]], names[mixes[index][1]]};
+            sweep_jobs.push_back(std::move(job));
+        }
         std::vector<double> perfs;
         std::uint64_t misses = 0;
-        for (std::size_t index : chosen) {
-            SystemConfig config;
-            config.level = SharingLevel::ShareDWT;
-            MixOutcome outcome = context.runMix(
-                config, {names[mixes[index][0]], names[mixes[index][1]]});
+        for (const MixOutcome &outcome :
+             runJobs(context, std::move(sweep_jobs), options)) {
             perfs.push_back(outcome.geomeanSpeedup);
             misses += outcome.raw.cores[0].tlbMisses;
         }

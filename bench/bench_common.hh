@@ -8,6 +8,7 @@
  *   --full     published model sizes + Table 2 cloud NPU (slow!)
  *   --all      no sampling (e.g. all 330 quad mixes)
  *   --sample N sampled mix count when not --all (default varies)
+ *   --jobs N   parallel sweep workers (default: MNPU_JOBS or hardware)
  *   --quiet    suppress progress on stderr
  */
 
@@ -24,7 +25,9 @@
 #include "analysis/experiment.hh"
 #include "analysis/metrics.hh"
 #include "analysis/mixes.hh"
+#include "analysis/sweep_runner.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "sim/multi_core_system.hh"
 #include "workloads/models.hh"
 
@@ -36,6 +39,7 @@ struct BenchOptions
     bool full = false;
     bool all = false;
     std::uint32_t sample = 48;
+    std::uint32_t jobs = 0; //!< sweep workers; 0 = defaultJobCount()
     bool quiet = false;
 
     ModelScale scale() const
@@ -64,10 +68,13 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--sample" && i + 1 < argc) {
             options.sample =
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            options.jobs =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--all] [--sample N] "
-                         "[--quiet]\n",
+                         "[--jobs N] [--quiet]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -114,6 +121,53 @@ sharingLevels()
     return levels;
 }
 
+/** Model names of a mix's indices. */
+inline std::vector<std::string>
+mixModels(const std::vector<std::uint32_t> &mix)
+{
+    std::vector<std::string> models;
+    models.reserve(mix.size());
+    for (auto model_index : mix)
+        models.push_back(modelNames()[model_index]);
+    return models;
+}
+
+/** Progress callback printing every 16th completed run. */
+inline std::function<void(std::size_t, std::size_t)>
+progressEvery16(const BenchOptions &options)
+{
+    return [&options](std::size_t done, std::size_t total) {
+        if (done % 16 == 0 || done == total)
+            progress(options, "  ... %zu / %zu runs", done, total);
+    };
+}
+
+/** Report the runner's wall-clock / throughput line on stderr. */
+inline void
+reportSweepStats(const BenchOptions &options, const SweepRunner &runner)
+{
+    progress(options, "  sweep: %s", runner.lastStats().summary().c_str());
+}
+
+/**
+ * Run @p sweep_jobs through a SweepRunner sized by options.jobs, with
+ * progress and a timing summary, returning outcomes in input order.
+ */
+inline std::vector<MixOutcome>
+runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
+        const BenchOptions &options)
+{
+    SweepRunner runner(options.jobs);
+    auto records =
+        runner.run(context, sweep_jobs, progressEvery16(options));
+    reportSweepStats(options, runner);
+    std::vector<MixOutcome> outcomes;
+    outcomes.reserve(records.size());
+    for (auto &record : records)
+        outcomes.push_back(std::move(record.outcome));
+    return outcomes;
+}
+
 /** Results of a full k-core mix sweep across sharing levels. */
 struct SweepResult
 {
@@ -124,8 +178,8 @@ struct SweepResult
 
 /**
  * Run every (sampled) size-@p k mix of the 8 models at each sharing
- * level. @p patch is applied to the SystemConfig of every run (page
- * size overrides etc. go through the context's mem instead).
+ * level, fanned out over options.jobs workers (page size overrides
+ * etc. go through the context's mem instead).
  */
 inline SweepResult
 runMixSweep(ExperimentContext &context, std::uint32_t k,
@@ -141,25 +195,26 @@ runMixSweep(ExperimentContext &context, std::uint32_t k,
         chosen.push_back(mixes[index]);
     }
 
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.reserve(chosen.size() * levels.size());
+    for (SharingLevel level : levels) {
+        for (const auto &mix : chosen) {
+            SweepJob job;
+            job.config.level = level;
+            job.models = mixModels(mix);
+            sweep_jobs.push_back(std::move(job));
+        }
+    }
+    auto outcomes = runJobs(context, std::move(sweep_jobs), options);
+
     SweepResult result;
     result.mixes = chosen;
-    std::size_t run = 0;
+    std::size_t cursor = 0;
     for (SharingLevel level : levels) {
-        auto &outcomes = result.outcomes[level];
-        outcomes.reserve(chosen.size());
-        for (const auto &mix : chosen) {
-            std::vector<std::string> models;
-            for (auto model_index : mix)
-                models.push_back(names[model_index]);
-            SystemConfig config;
-            config.level = level;
-            outcomes.push_back(context.runMix(config, models));
-            ++run;
-            if (run % 16 == 0) {
-                progress(options, "  ... %zu / %zu runs", run,
-                         chosen.size() * levels.size());
-            }
-        }
+        auto &level_outcomes = result.outcomes[level];
+        level_outcomes.reserve(chosen.size());
+        for (std::size_t i = 0; i < chosen.size(); ++i)
+            level_outcomes.push_back(std::move(outcomes[cursor++]));
     }
     return result;
 }

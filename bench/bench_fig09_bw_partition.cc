@@ -43,21 +43,26 @@ main(int argc, char **argv)
     auto mixes = enumerateMultisets(
         static_cast<std::uint32_t>(names.size()), 2);
 
-    // outcome[scheme][mix]
-    std::map<std::string, std::vector<MixOutcome>> outcomes;
-    std::size_t run = 0;
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.reserve(schemes.size() * mixes.size());
     for (const auto &[label, shares] : schemes) {
         for (const auto &mix : mixes) {
-            SystemConfig config;
-            config.level =
+            SweepJob job;
+            job.config.level =
                 shares ? SharingLevel::Static : SharingLevel::ShareD;
-            config.dramBandwidthShares = shares;
-            outcomes[label].push_back(context.runMix(
-                config, {names[mix[0]], names[mix[1]]}));
-            if (++run % 16 == 0)
-                progress(options, "  ... %zu / %zu", run,
-                         mixes.size() * schemes.size());
+            job.config.dramBandwidthShares = shares;
+            job.models = {names[mix[0]], names[mix[1]]};
+            sweep_jobs.push_back(std::move(job));
         }
+    }
+    auto all_outcomes = runJobs(context, std::move(sweep_jobs), options);
+
+    // outcome[scheme][mix]
+    std::map<std::string, std::vector<MixOutcome>> outcomes;
+    std::size_t cursor = 0;
+    for (const auto &[label, shares] : schemes) {
+        for (std::size_t i = 0; i < mixes.size(); ++i)
+            outcomes[label].push_back(std::move(all_outcomes[cursor++]));
     }
 
     std::printf("\n%-6s%12s%12s\n", "scheme", "perf(geo)", "fair(geo)");

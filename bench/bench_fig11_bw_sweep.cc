@@ -23,18 +23,27 @@ main(int argc, char **argv)
     std::printf("\n%-8s%10s%10s%10s%10s\n", "model", "32GB/s", "64GB/s",
                 "128GB/s", "256GB/s");
 
+    // One context per bandwidth point; the models fan out over the pool.
+    SweepRunner runner(options.jobs);
+    std::vector<std::vector<double>> cycles_by_point;
+    for (std::uint32_t channels : channel_counts) {
+        NpuMemConfig mem = NpuMemConfig::cloudNpu();
+        mem.channelsPerNpu = channels;
+        ExperimentContext context(options.archConfig(), mem,
+                                  options.scale());
+        cycles_by_point.push_back(runner.map<double>(
+            names.size(), [&](std::size_t index) {
+                return context.idealCycles(names[index], 1);
+            }));
+        progress(options, "  %u channels done", channels);
+    }
+
     std::vector<double> top_speedups;
-    for (const auto &model : names) {
+    for (std::size_t m = 0; m < names.size(); ++m) {
         std::vector<double> cycles;
-        for (std::uint32_t channels : channel_counts) {
-            NpuMemConfig mem = NpuMemConfig::cloudNpu();
-            mem.channelsPerNpu = channels;
-            ExperimentContext context(options.archConfig(), mem,
-                                      options.scale());
-            cycles.push_back(context.idealCycles(model, 1));
-            progress(options, "  %s @ %u ch", model.c_str(), channels);
-        }
-        std::printf("%-8s", model.c_str());
+        for (const auto &point : cycles_by_point)
+            cycles.push_back(point[m]);
+        std::printf("%-8s", names[m].c_str());
         for (double c : cycles)
             std::printf("%10.3f", cycles[0] / c);
         std::printf("\n");

@@ -65,8 +65,15 @@ main(int argc, char **argv)
                 "(ds2, gpt2, ds2+gpt2, Ideal)", options);
 
     const Cycle window = 1000;
-    auto ds2 = soloUtilization(options, "ds2", window);
-    auto gpt2 = soloUtilization(options, "gpt2", window);
+    // The two solo timelines are independent runs; fan them out.
+    const std::vector<std::string> solo_models = {"ds2", "gpt2"};
+    SweepRunner runner(options.jobs);
+    auto series = runner.map<std::vector<double>>(
+        solo_models.size(), [&](std::size_t index) {
+            return soloUtilization(options, solo_models[index], window);
+        });
+    auto &ds2 = series[0];
+    auto &gpt2 = series[1];
 
     std::size_t length = std::max(ds2.size(), gpt2.size());
     std::vector<double> sum(length, 0.0);

@@ -44,25 +44,31 @@ main(int argc, char **argv)
     auto mixes = enumerateMultisets(
         static_cast<std::uint32_t>(names.size()), 2);
 
-    std::printf("\n%-6s%12s%12s\n", "scheme", "perf(geo)", "fair(geo)");
-    std::map<std::string, double> perf;
-    std::size_t run = 0;
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.reserve(schemes.size() * mixes.size());
     for (const auto &[label, quota] : schemes) {
-        std::vector<double> perfs, fairs;
         for (const auto &mix : mixes) {
-            SystemConfig config;
-            config.level = SharingLevel::ShareDW;
+            SweepJob job;
+            job.config.level = SharingLevel::ShareDW;
             if (quota) {
                 // Static walker split on top of shared DRAM.
-                config.ptwQuota = quota;
+                job.config.ptwQuota = quota;
             }
-            MixOutcome outcome = context.runMix(
-                config, {names[mix[0]], names[mix[1]]});
+            job.models = {names[mix[0]], names[mix[1]]};
+            sweep_jobs.push_back(std::move(job));
+        }
+    }
+    auto outcomes = runJobs(context, std::move(sweep_jobs), options);
+
+    std::printf("\n%-6s%12s%12s\n", "scheme", "perf(geo)", "fair(geo)");
+    std::map<std::string, double> perf;
+    std::size_t cursor = 0;
+    for (const auto &[label, quota] : schemes) {
+        std::vector<double> perfs, fairs;
+        for (std::size_t i = 0; i < mixes.size(); ++i) {
+            const MixOutcome &outcome = outcomes[cursor++];
             perfs.push_back(outcome.geomeanSpeedup);
             fairs.push_back(outcome.fairnessValue);
-            if (++run % 16 == 0)
-                progress(options, "  ... %zu / %zu", run,
-                         mixes.size() * schemes.size());
         }
         perf[label] = geomean(perfs);
         std::printf("%-6s%12.3f%12.3f\n", label.c_str(), perf[label],

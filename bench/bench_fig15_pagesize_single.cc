@@ -21,19 +21,28 @@ main(int argc, char **argv)
     const auto &names = modelNames();
 
     std::printf("\n%-8s%10s%10s%10s\n", "model", "4KB", "64KB", "1MB");
+    // One context per page size; the models fan out over the pool.
+    SweepRunner runner(options.jobs);
+    std::vector<std::vector<double>> cycles_by_page;
+    for (std::uint64_t page : page_sizes) {
+        NpuMemConfig mem = NpuMemConfig::cloudNpu();
+        mem.pageBytes = page;
+        ExperimentContext context(options.archConfig(), mem,
+                                  options.scale());
+        cycles_by_page.push_back(runner.map<double>(
+            names.size(), [&](std::size_t index) {
+                return context.idealCycles(names[index], 1);
+            }));
+        progress(options, "  %llu B pages done",
+                 static_cast<unsigned long long>(page));
+    }
+
     std::vector<double> gain64, gain1m;
-    for (const auto &model : names) {
-        std::vector<double> cycles;
-        for (std::uint64_t page : page_sizes) {
-            NpuMemConfig mem = NpuMemConfig::cloudNpu();
-            mem.pageBytes = page;
-            ExperimentContext context(options.archConfig(), mem,
-                                      options.scale());
-            cycles.push_back(context.idealCycles(model, 1));
-            progress(options, "  %s @ %llu B pages", model.c_str(),
-                     static_cast<unsigned long long>(page));
-        }
-        std::printf("%-8s%10.3f%10.3f%10.3f\n", model.c_str(), 1.0,
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        std::vector<double> cycles = {cycles_by_page[0][m],
+                                      cycles_by_page[1][m],
+                                      cycles_by_page[2][m]};
+        std::printf("%-8s%10.3f%10.3f%10.3f\n", names[m].c_str(), 1.0,
                     cycles[0] / cycles[1], cycles[0] / cycles[2]);
         gain64.push_back(cycles[0] / cycles[1]);
         gain1m.push_back(cycles[0] / cycles[2]);

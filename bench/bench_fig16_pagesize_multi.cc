@@ -49,13 +49,16 @@ main(int argc, char **argv)
             mem.pageBytes = page_sizes[p];
             ExperimentContext context(options.archConfig(), mem,
                                       options.scale());
+            std::vector<SweepJob> sweep_jobs;
+            sweep_jobs.reserve(chosen_indices.size());
             for (std::size_t index : chosen_indices) {
-                std::vector<std::string> models;
-                for (auto m : mixes[index])
-                    models.push_back(names[m]);
-                SystemConfig config;
-                config.level = SharingLevel::ShareDWT;
-                MixOutcome outcome = context.runMix(config, models);
+                SweepJob job;
+                job.config.level = SharingLevel::ShareDWT;
+                job.models = mixModels(mixes[index]);
+                sweep_jobs.push_back(std::move(job));
+            }
+            for (const MixOutcome &outcome :
+                 runJobs(context, std::move(sweep_jobs), options)) {
                 std::vector<double> cycles;
                 for (const auto &core : outcome.raw.cores)
                     cycles.push_back(

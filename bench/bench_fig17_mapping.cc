@@ -37,24 +37,35 @@ main(int argc, char **argv)
 
     // --- (1) measured pair table + solo profiles of the 8 models ---
     progress(options, "measuring the 36 model pairs (+DWT) ...");
+    SweepRunner runner(options.jobs);
     MappingEvaluator evaluator;
-    std::vector<SoloProfile> profiles;
-    for (const auto &model : names) {
+    auto solo_profile = [&context](const std::string &model) {
         const CoreResult &ideal = context.idealResult(model, 2);
         SoloProfile profile;
         profile.name = model;
         profile.soloCycles = static_cast<double>(ideal.localCycles);
         profile.peUtilization = ideal.peUtilization;
         profile.trafficBytes = static_cast<double>(ideal.trafficBytes);
-        profiles.push_back(profile);
+        return profile;
+    };
+    std::vector<SoloProfile> profiles = runner.map<SoloProfile>(
+        names.size(),
+        [&](std::size_t index) { return solo_profile(names[index]); });
+    auto pair_mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), 2);
+    std::vector<SweepJob> pair_jobs;
+    for (const auto &mix : pair_mixes) {
+        SweepJob job;
+        job.config.level = SharingLevel::ShareDWT;
+        job.models = {names[mix[0]], names[mix[1]]};
+        pair_jobs.push_back(std::move(job));
     }
-    for (const auto &mix : enumerateMultisets(
-             static_cast<std::uint32_t>(names.size()), 2)) {
-        SystemConfig config;
-        config.level = SharingLevel::ShareDWT;
-        MixOutcome outcome =
-            context.runMix(config, {names[mix[0]], names[mix[1]]});
-        evaluator.setMeasuredPair(mix[0], mix[1], outcome.slowdowns[0],
+    auto pair_records = runner.run(context, pair_jobs);
+    reportSweepStats(options, runner);
+    for (std::size_t i = 0; i < pair_mixes.size(); ++i) {
+        const MixOutcome &outcome = pair_records[i].outcome;
+        evaluator.setMeasuredPair(pair_mixes[i][0], pair_mixes[i][1],
+                                  outcome.slowdowns[0],
                                   outcome.slowdowns[1]);
     }
 
@@ -64,38 +75,53 @@ main(int argc, char **argv)
     progress(options, "training on %u random nets, %u random pairs ...",
              train_nets, train_pairs);
     Rng rng(20230917);
-    std::vector<SoloProfile> train_profiles;
+    // Draw all random networks and pair indices up front so the RNG
+    // sequence is unchanged by the parallel execution below.
+    std::vector<Network> train_networks;
     std::vector<std::string> train_names;
     for (std::uint32_t i = 0; i < train_nets; ++i) {
         Network net = randomNetwork(rng);
         net.name = "rnd" + std::to_string(i);
-        context.registerNetwork(net);
-        const CoreResult &ideal = context.idealResult(net.name, 2);
-        SoloProfile profile;
-        profile.name = net.name;
-        profile.soloCycles = static_cast<double>(ideal.localCycles);
-        profile.peUtilization = ideal.peUtilization;
-        profile.trafficBytes = static_cast<double>(ideal.trafficBytes);
-        train_profiles.push_back(profile);
         train_names.push_back(net.name);
+        train_networks.push_back(std::move(net));
     }
-    CorunPredictor predictor;
+    std::vector<SoloProfile> train_profiles =
+        runner.map<SoloProfile>(train_networks.size(),
+                                [&](std::size_t index) {
+                                    context.registerNetwork(
+                                        train_networks[index]);
+                                    return solo_profile(
+                                        train_names[index]);
+                                });
+    std::vector<SweepJob> train_jobs;
     for (std::uint32_t p = 0; p < train_pairs; ++p) {
         std::uint32_t a = static_cast<std::uint32_t>(
             rng.range(0, train_nets - 1));
         std::uint32_t b = static_cast<std::uint32_t>(
             rng.range(0, train_nets - 1));
-        SystemConfig config;
-        config.level = SharingLevel::ShareDWT;
-        MixOutcome outcome = context.runMix(
-            config, {train_names[a], train_names[b]});
-        predictor.addSample(train_profiles[a], train_profiles[b],
+        SweepJob job;
+        job.config.level = SharingLevel::ShareDWT;
+        job.models = {train_names[a], train_names[b]};
+        train_jobs.push_back(std::move(job));
+    }
+    auto train_records =
+        runner.run(context, train_jobs, progressEvery16(options));
+    reportSweepStats(options, runner);
+    CorunPredictor predictor;
+    auto profile_of = [&](const std::string &name) -> SoloProfile & {
+        for (std::size_t i = 0; i < train_names.size(); ++i)
+            if (train_names[i] == name)
+                return train_profiles[i];
+        fatal("unknown training profile '", name, "'");
+    };
+    for (const auto &record : train_records) {
+        const MixOutcome &outcome = record.outcome;
+        predictor.addSample(profile_of(outcome.models[0]),
+                            profile_of(outcome.models[1]),
                             outcome.slowdowns[0]);
-        predictor.addSample(train_profiles[b], train_profiles[a],
+        predictor.addSample(profile_of(outcome.models[1]),
+                            profile_of(outcome.models[0]),
                             outcome.slowdowns[1]);
-        if ((p + 1) % 8 == 0)
-            progress(options, "  ... %u / %u training pairs", p + 1,
-                     train_pairs);
     }
     predictor.train();
     std::printf("predictor trained: %zu samples, training MSE %.4f\n",
@@ -110,9 +136,14 @@ main(int argc, char **argv)
     std::size_t predicted_is_worst = 0;
     std::vector<double> perf_pred, perf_oracle, perf_worst;
     std::vector<double> fair_pred, fair_oracle, fair_worst;
-    for (const auto &set8 : sets) {
-        MappingEvaluator::Study study =
-            evaluator.study(set8, &profiles, &predictor);
+    // study() is const over shared tables, so the sets fan out too.
+    std::vector<MappingEvaluator::Study> studies =
+        runner.map<MappingEvaluator::Study>(
+            sets.size(), [&](std::size_t index) {
+                return evaluator.study(sets[index], &profiles,
+                                       &predictor);
+            });
+    for (const MappingEvaluator::Study &study : studies) {
         if (study.predicted.perf > study.random.perf)
             ++predicted_beats_random_perf;
         if (study.predicted.fair > study.random.fair)

@@ -12,42 +12,53 @@ ExperimentContext::ExperimentContext(ArchConfig arch, NpuMemConfig mem,
     arch_.validate();
 }
 
+ExperimentContext::TraceEntry &
+ExperimentContext::traceEntry(const std::string &model)
+{
+    // std::map nodes are address-stable, so the reference outlives the
+    // lock; the entry body is published by std::call_once.
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return traces_.try_emplace(model).first->second;
+}
+
 std::shared_ptr<const TraceGenerator>
 ExperimentContext::trace(const std::string &model)
 {
-    auto it = traces_.find(model);
-    if (it != traces_.end())
-        return it->second;
-    Network network = buildModel(model, scale_);
-    auto generated = std::make_shared<TraceGenerator>(arch_, network);
-    traces_.emplace(model, generated);
-    return generated;
+    TraceEntry &entry = traceEntry(model);
+    std::call_once(entry.once, [&] {
+        Network network = buildModel(model, scale_);
+        entry.trace = std::make_shared<TraceGenerator>(arch_, network);
+    });
+    return entry.trace;
 }
 
 std::shared_ptr<const TraceGenerator>
 ExperimentContext::registerNetwork(const Network &network)
 {
-    auto it = traces_.find(network.name);
-    if (it != traces_.end())
-        return it->second;
-    auto generated = std::make_shared<TraceGenerator>(arch_, network);
-    traces_.emplace(network.name, generated);
-    return generated;
+    TraceEntry &entry = traceEntry(network.name);
+    std::call_once(entry.once, [&] {
+        entry.trace = std::make_shared<TraceGenerator>(arch_, network);
+    });
+    return entry.trace;
 }
 
 const CoreResult &
 ExperimentContext::idealResult(const std::string &model,
                                std::uint32_t resource_multiplier)
 {
-    std::string cache_key =
-        model + "#" + std::to_string(resource_multiplier);
-    auto it = idealCache_.find(cache_key);
-    if (it != idealCache_.end())
-        return it->second;
-    SimResult result = runIdeal(trace(model), resource_multiplier, mem_);
-    auto [inserted, unused] =
-        idealCache_.emplace(cache_key, std::move(result.cores[0]));
-    return inserted->second;
+    IdealEntry *entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        entry = &idealCache_
+                     .try_emplace(IdealKey(model, resource_multiplier))
+                     .first->second;
+    }
+    std::call_once(entry->once, [&] {
+        SimResult result = runIdeal(trace(model), resource_multiplier,
+                                    mem_);
+        entry->result = std::move(result.cores[0]);
+    });
+    return entry->result;
 }
 
 double

@@ -7,14 +7,28 @@
  * One ExperimentContext corresponds to one memory-side configuration
  * (NpuMemConfig); sweeps over page size, bandwidth, or translation mode
  * build one context per point.
+ *
+ * Thread safety: one context may serve many threads concurrently (the
+ * SweepRunner fans mixes out over a pool). The trace and Ideal caches
+ * are mutex-guarded maps with node-stable entries; each entry is
+ * computed exactly once via std::call_once, so concurrent misses on the
+ * same key block on the first computation instead of duplicating it.
+ * idealResult() hands out references into the node-stable map — they
+ * stay valid for the lifetime of the context. TraceGenerator is
+ * immutable after construction, so the cached shared_ptr<const
+ * TraceGenerator> instances can feed any number of concurrent
+ * MultiCoreSystems.
  */
 
 #ifndef MNPU_ANALYSIS_EXPERIMENT_HH
 #define MNPU_ANALYSIS_EXPERIMENT_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/metrics.hh"
@@ -43,21 +57,28 @@ class ExperimentContext
     ExperimentContext(ArchConfig arch, NpuMemConfig mem,
                       ModelScale scale = ModelScale::Mini);
 
-    /** Cached trace for a built-in model name. */
+    /** Cached trace for a built-in model name. Thread-safe. */
     std::shared_ptr<const TraceGenerator> trace(const std::string &model);
 
-    /** Register an external network under its name (random nets etc.). */
+    /**
+     * Register an external network under its name (random nets etc.).
+     * Thread-safe; the first registration under a name wins.
+     */
     std::shared_ptr<const TraceGenerator>
     registerNetwork(const Network &network);
 
     /**
      * Cached Ideal-baseline cycles for @p model monopolizing
-     * @p resource_multiplier NPUs' worth of resources.
+     * @p resource_multiplier NPUs' worth of resources. Thread-safe.
      */
     double idealCycles(const std::string &model,
                        std::uint32_t resource_multiplier);
 
-    /** Full Ideal result (for predictor features). */
+    /**
+     * Full Ideal result (for predictor features). The reference points
+     * into a node-stable map and stays valid for the lifetime of the
+     * context. Thread-safe.
+     */
     const CoreResult &idealResult(const std::string &model,
                                   std::uint32_t resource_multiplier);
 
@@ -66,6 +87,8 @@ class ExperimentContext
      * config.mem is overwritten with this context's memory config, and
      * bindings are built from the cached traces. Speedups are relative
      * to the Ideal baseline with a multiplier of models.size().
+     * Thread-safe: concurrent runMix calls only share the read-only
+     * trace/Ideal caches.
      */
     MixOutcome runMix(SystemConfig config,
                       const std::vector<std::string> &models);
@@ -74,11 +97,32 @@ class ExperimentContext
     const NpuMemConfig &mem() const { return mem_; }
 
   private:
+    /** Computed-once cache slot; lives at a stable map-node address. */
+    struct TraceEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const TraceGenerator> trace;
+    };
+    struct IdealEntry
+    {
+        std::once_flag once;
+        CoreResult result;
+    };
+    /**
+     * (model, multiplier) — a std::pair key instead of the former
+     * "model#multiplier" string, which collided for registered network
+     * names containing '#'.
+     */
+    using IdealKey = std::pair<std::string, std::uint32_t>;
+
+    TraceEntry &traceEntry(const std::string &model);
+
     ArchConfig arch_;
     NpuMemConfig mem_;
     ModelScale scale_;
-    std::map<std::string, std::shared_ptr<const TraceGenerator>> traces_;
-    std::map<std::string, CoreResult> idealCache_;
+    std::mutex cacheMutex_; //!< guards map structure, not entry bodies
+    std::map<std::string, TraceEntry> traces_;
+    std::map<IdealKey, IdealEntry> idealCache_;
 };
 
 } // namespace mnpu

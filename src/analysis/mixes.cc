@@ -62,10 +62,20 @@ enumerateMultisets(std::uint32_t n, std::uint32_t k)
 std::uint64_t
 multisetCount(std::uint32_t n, std::uint32_t k)
 {
-    // C(n+k-1, k) computed incrementally.
+    // C(n+k-1, k) computed incrementally. Each partial product
+    // result * (n + i - 1) is itself a binomial-coefficient multiple,
+    // so checking the multiplication catches every overflow.
+    if (n == 0)
+        return k == 0 ? 1 : 0; // keep the factor below nonzero
     std::uint64_t result = 1;
     for (std::uint32_t i = 1; i <= k; ++i) {
-        result = result * (n + i - 1) / i;
+        const std::uint64_t factor =
+            static_cast<std::uint64_t>(n) + i - 1;
+        if (result > UINT64_MAX / factor) {
+            fatal("multisetCount(", n, ", ", k,
+                  ") overflows uint64_t at term ", i);
+        }
+        result = result * factor / i;
     }
     return result;
 }

@@ -1,0 +1,94 @@
+#include "analysis/sweep_runner.hh"
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+secondsSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double>(SteadyClock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::string
+SweepStats::summary() const
+{
+    std::ostringstream stream;
+    stream.precision(2);
+    stream << std::fixed << runs << " runs in " << wallSeconds << " s on "
+           << workers << " worker" << (workers == 1 ? "" : "s") << " ("
+           << runsPerSecond << " runs/s; per-run sum " << jobSecondsSum
+           << " s)";
+    return stream.str();
+}
+
+SweepRunner::SweepRunner(std::size_t jobs) : pool_(jobs) {}
+
+std::vector<SweepRecord>
+SweepRunner::run(
+    ExperimentContext &context, const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, std::size_t)> &progress)
+{
+    const auto start = SteadyClock::now();
+
+    // Pre-warm the shared caches: every distinct trace and Ideal
+    // baseline is computed exactly once here (in parallel across
+    // distinct keys), so the mix phase below touches them read-only.
+    std::vector<std::pair<std::string, std::uint32_t>> baselines;
+    {
+        std::set<std::pair<std::string, std::uint32_t>> unique;
+        for (const auto &job : jobs) {
+            const auto multiplier =
+                static_cast<std::uint32_t>(job.models.size());
+            for (const auto &model : job.models)
+                unique.emplace(model, multiplier);
+        }
+        baselines.assign(unique.begin(), unique.end());
+    }
+    pool_.parallelFor(baselines.size(), [&](std::size_t index) {
+        context.idealCycles(baselines[index].first,
+                            baselines[index].second);
+    });
+
+    std::vector<SweepRecord> records(jobs.size());
+    std::mutex progressMutex;
+    std::size_t done = 0;
+    pool_.parallelFor(jobs.size(), [&](std::size_t index) {
+        const auto job_start = SteadyClock::now();
+        records[index].outcome =
+            context.runMix(jobs[index].config, jobs[index].models);
+        records[index].wallSeconds = secondsSince(job_start);
+        if (progress) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress(++done, jobs.size());
+        }
+    });
+
+    stats_ = SweepStats{};
+    stats_.workers = pool_.jobs();
+    stats_.runs = jobs.size();
+    stats_.wallSeconds = secondsSince(start);
+    for (const auto &record : records)
+        stats_.jobSecondsSum += record.wallSeconds;
+    if (stats_.wallSeconds > 0)
+        stats_.runsPerSecond =
+            static_cast<double>(stats_.runs) / stats_.wallSeconds;
+    return records;
+}
+
+} // namespace mnpu

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel mix-sweep runner. The paper's evaluation is embarrassingly
+ * parallel — every workload mix is an independent MultiCoreSystem::run()
+ * — so SweepRunner fans a list of SweepJobs out over a ThreadPool and
+ * returns the outcomes in deterministic input order regardless of which
+ * worker finished first.
+ *
+ * Determinism: each job builds its own MultiCoreSystem from the
+ * context's immutable cached traces, so per-mix metrics are bit-identical
+ * to a serial run (tests/test_sweep_runner.cc asserts this). The only
+ * shared mutable state is the context's once-computed trace/Ideal
+ * caches; runner.run() pre-warms them so the parallel phase is
+ * read-only.
+ *
+ * Timing: every record carries the wall-clock seconds of its own run,
+ * and lastStats() reports the end-to-end wall clock plus aggregate
+ * throughput, which makes the parallel speedup directly observable in
+ * the bench output.
+ */
+
+#ifndef MNPU_ANALYSIS_SWEEP_RUNNER_HH
+#define MNPU_ANALYSIS_SWEEP_RUNNER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "common/thread_pool.hh"
+#include "sim/system_config.hh"
+
+namespace mnpu
+{
+
+/** One independent unit of a sweep: a model mix co-run under a config. */
+struct SweepJob
+{
+    SystemConfig config;
+    std::vector<std::string> models;
+};
+
+/** Outcome of one job plus its own wall-clock cost. */
+struct SweepRecord
+{
+    MixOutcome outcome;
+    double wallSeconds = 0;
+};
+
+/** Aggregate timing of the last SweepRunner::run(). */
+struct SweepStats
+{
+    std::size_t workers = 0;
+    std::size_t runs = 0;
+    double wallSeconds = 0;    //!< end-to-end, including pre-warm
+    double jobSecondsSum = 0;  //!< sum of per-job wall clocks
+    double runsPerSecond = 0;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobCount(). */
+    explicit SweepRunner(std::size_t jobs = 0);
+
+    std::size_t workers() const { return pool_.jobs(); }
+
+    /**
+     * Run all @p jobs against @p context; records come back in input
+     * order. @p progress (optional) is invoked under a lock as
+     * progress(done, total) each time a job completes.
+     */
+    std::vector<SweepRecord>
+    run(ExperimentContext &context, const std::vector<SweepJob> &jobs,
+        const std::function<void(std::size_t, std::size_t)> &progress =
+            nullptr);
+
+    /**
+     * Generic deterministic-order parallel map: results[i] = fn(i).
+     * For sweep shapes that don't fit SweepJob (per-point contexts,
+     * Ideal-only sweeps, ...). R must be default-constructible.
+     */
+    template <typename R>
+    std::vector<R> map(std::size_t count,
+                       const std::function<R(std::size_t)> &fn)
+    {
+        std::vector<R> results(count);
+        pool_.parallelFor(count, [&](std::size_t index) {
+            results[index] = fn(index);
+        });
+        return results;
+    }
+
+    const SweepStats &lastStats() const { return stats_; }
+
+  private:
+    ThreadPool pool_;
+    SweepStats stats_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_SWEEP_RUNNER_HH

@@ -1,0 +1,137 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+std::atomic<std::size_t> jobOverride{0};
+
+} // namespace
+
+void
+setDefaultJobCount(std::size_t jobs)
+{
+    jobOverride.store(jobs, std::memory_order_relaxed);
+}
+
+std::size_t
+defaultJobCount()
+{
+    if (std::size_t jobs = jobOverride.load(std::memory_order_relaxed))
+        return jobs;
+    if (const char *env = std::getenv("MNPU_JOBS")) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+        warn("ignoring malformed MNPU_JOBS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+/** One parallelFor() invocation, owned by the calling frame. */
+struct ThreadPool::Batch
+{
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t count = 0;
+    std::size_t next = 0;      //!< next unclaimed index (under mutex_)
+    std::size_t completed = 0; //!< finished indices (under mutex_)
+    std::exception_ptr error;  //!< first task exception (under mutex_)
+    std::condition_variable done;
+};
+
+ThreadPool::ThreadPool(std::size_t jobs)
+    : jobs_(jobs != 0 ? jobs : defaultJobCount())
+{
+    if (jobs_ < 2)
+        return; // inline mode: parallelFor runs on the caller
+    workers_.reserve(jobs_);
+    for (std::size_t i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workReady_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        Batch *batch = queue_.front();
+        if (batch->next >= batch->count) {
+            // Fully claimed; retire it from the queue.
+            queue_.pop_front();
+            continue;
+        }
+        const std::size_t index = batch->next++;
+        lock.unlock();
+        std::exception_ptr error;
+        try {
+            (*batch->fn)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+        if (error && !batch->error)
+            batch->error = error;
+        if (++batch->completed == batch->count)
+            batch->done.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    Batch batch;
+    batch.fn = &fn;
+    batch.count = count;
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(&batch);
+    workReady_.notify_all();
+    batch.done.wait(lock, [&] { return batch.completed == count; });
+    // The batch may still sit (fully claimed) in the queue; drop the
+    // pointer before this frame's Batch goes out of scope.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == &batch) {
+            queue_.erase(it);
+            break;
+        }
+    }
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+} // namespace mnpu

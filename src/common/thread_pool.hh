@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small reusable fixed-size worker pool for embarrassingly parallel
+ * sweeps. Tasks are plain std::function<void()>; parallelFor() runs an
+ * index range and blocks until every index completed, rethrowing the
+ * first task exception (FatalError from fatal() included) on the
+ * calling thread.
+ *
+ * Worker-count resolution (defaultJobCount()):
+ *   1. an explicit setDefaultJobCount() (e.g. a --jobs CLI flag), else
+ *   2. the MNPU_JOBS environment variable, else
+ *   3. std::thread::hardware_concurrency().
+ *
+ * A pool constructed with jobs == 1 runs everything inline on the
+ * calling thread (no workers are spawned), which keeps the serial
+ * reference path trivially single-threaded for determinism checks.
+ */
+
+#ifndef MNPU_COMMON_THREAD_POOL_HH
+#define MNPU_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mnpu
+{
+
+/** Resolved worker count: override, then MNPU_JOBS, then hardware. */
+std::size_t defaultJobCount();
+
+/**
+ * Process-wide override for defaultJobCount(); 0 clears the override.
+ * Set from --jobs style CLI flags before any pool is constructed.
+ */
+void setDefaultJobCount(std::size_t jobs);
+
+class ThreadPool
+{
+  public:
+    /** @param jobs worker count; 0 means defaultJobCount(). */
+    explicit ThreadPool(std::size_t jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Workers this pool runs on (>= 1); 1 means inline execution. */
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Run fn(0) ... fn(count - 1) across the workers and block until
+     * all completed. Indices are claimed in order, so with one worker
+     * (or jobs() == 1) the execution order is exactly 0, 1, 2, ...
+     * The first exception thrown by any fn(i) is rethrown here after
+     * the remaining indices have been drained.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    struct Batch;
+
+    void workerLoop();
+
+    std::size_t jobs_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::deque<Batch *> queue_;
+    bool stopping_ = false;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_THREAD_POOL_HH

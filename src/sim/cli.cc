@@ -1,11 +1,13 @@
 #include "sim/cli.hh"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "workloads/models.hh"
 
 namespace mnpu
@@ -209,12 +211,23 @@ loadCliRun(const std::string &arch_list_path,
     run.config.mem = mem;
 
     // --- bind workloads to cores ---
+    // Network files are read serially (deterministic error reporting);
+    // the expensive per-core trace lowering fans out over the pool.
+    std::vector<Network> networks;
+    networks.reserve(num_cores);
     for (std::uint32_t core = 0; core < num_cores; ++core) {
-        Network network =
-            loadNetworkEntry(network_list_path, net_entries[core]);
+        networks.push_back(
+            loadNetworkEntry(network_list_path, net_entries[core]));
+    }
+    std::vector<std::shared_ptr<const TraceGenerator>> traces(num_cores);
+    ThreadPool pool;
+    pool.parallelFor(num_cores, [&](std::size_t core) {
+        traces[core] = std::make_shared<TraceGenerator>(archs[core],
+                                                        networks[core]);
+    });
+    for (std::uint32_t core = 0; core < num_cores; ++core) {
         CoreBinding binding;
-        binding.trace =
-            std::make_shared<TraceGenerator>(archs[core], network);
+        binding.trace = std::move(traces[core]);
         binding.startCycleGlobal = misc.getUint(
             "start_cycle" + std::to_string(core),
             misc.getUint("start_cycle", 0));
@@ -223,7 +236,8 @@ loadCliRun(const std::string &arch_list_path,
             misc.getUint("iterations", 1)));
         run.coreLabels.push_back(archs[core].name +
                                  std::to_string(core) + "_" +
-                                 network.name + std::to_string(core));
+                                 networks[core].name +
+                                 std::to_string(core));
         run.bindings.push_back(std::move(binding));
     }
     return run;
@@ -290,15 +304,34 @@ writeResults(const std::string &result_dir, const CliRun &run,
 int
 mnpusimMain(int argc, char **argv)
 {
-    if (argc != 7) {
+    // Optional leading flags before the six positional arguments.
+    int first = 1;
+    while (first < argc && argv[first][0] == '-') {
+        std::string flag = argv[first];
+        if (flag == "--jobs" && first + 1 < argc) {
+            char *end = nullptr;
+            unsigned long jobs = std::strtoul(argv[first + 1], &end, 10);
+            if (end == argv[first + 1] || *end != '\0' || jobs == 0) {
+                std::fprintf(stderr, "malformed --jobs value '%s'\n",
+                             argv[first + 1]);
+                return 2;
+            }
+            setDefaultJobCount(static_cast<std::size_t>(jobs));
+            first += 2;
+        } else {
+            break;
+        }
+    }
+    if (argc - first != 6) {
         std::fprintf(
             stderr,
-            "usage: %s <arch_config_list> <network_config_list> "
-            "<dram_config> <npumem_config_list> <result_path> "
-            "<misc_config>\n",
+            "usage: %s [--jobs N] <arch_config_list> "
+            "<network_config_list> <dram_config> <npumem_config_list> "
+            "<result_path> <misc_config>\n",
             argc > 0 ? argv[0] : "mnpusim");
         return 2;
     }
+    argv += first - 1; // keep the 1-based positional indices below
     try {
         CliRun run = loadCliRun(argv[1], argv[2], argv[3], argv[4],
                                 argv[6]);

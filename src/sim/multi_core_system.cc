@@ -157,13 +157,17 @@ MultiCoreSystem::run()
     ran_ = true;
 
     Cycle now = 0;
+    std::uint64_t tick = 0;
     while (!allDone()) {
         dram_->tick(now);
         mmu_->tick(now);
         // Rotate the service order so no core gets a standing first-
-        // issuer advantage into the shared MMU/DRAM queues.
+        // issuer advantage into the shared MMU/DRAM queues. Rotate on
+        // the loop-iteration count, not on `now`: event skipping makes
+        // `now` land on arbitrary next-event cycles, which biased the
+        // "fair" rotation toward whichever core's events set the pace.
         const auto n = cores_.size();
-        const std::size_t first = static_cast<std::size_t>(now % n);
+        const std::size_t first = static_cast<std::size_t>(tick++ % n);
         for (std::size_t i = 0; i < n; ++i)
             cores_[(first + i) % n]->tick(now);
 

@@ -59,6 +59,12 @@ struct LayerTrace
     Cycle computeCycles = 0;
 };
 
+/**
+ * Immutable after construction: the constructor lowers the whole
+ * network and every accessor is const, so one instance can feed any
+ * number of MultiCoreSystems — including concurrently from several
+ * threads (the SweepRunner relies on this).
+ */
 class TraceGenerator
 {
   public:

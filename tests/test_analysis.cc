@@ -96,6 +96,20 @@ TEST(MixesTest, PaperMixCounts)
     EXPECT_EQ(enumerateMultisets(8, 2).size(), 36u);
     EXPECT_EQ(enumerateMultisets(8, 4).size(), 330u);
     EXPECT_EQ(enumerateMultisets(8, 8).size(), 6435u);
+    // The closed form and the enumeration must agree exactly.
+    EXPECT_EQ(multisetCount(8, 2), enumerateMultisets(8, 2).size());
+    EXPECT_EQ(multisetCount(8, 4), enumerateMultisets(8, 4).size());
+    EXPECT_EQ(multisetCount(8, 8), enumerateMultisets(8, 8).size());
+}
+
+TEST(MixesTest, MultisetCountOverflowIsFatal)
+{
+    // C(n+k-1, k) for these exceeds uint64_t; the guard must diagnose
+    // instead of silently wrapping.
+    EXPECT_THROW(multisetCount(1u << 30, 8), FatalError);
+    EXPECT_THROW(multisetCount(5000, 64), FatalError);
+    // Large but representable values still work: C(64, 63) = 64.
+    EXPECT_EQ(multisetCount(2, 63), 64u);
 }
 
 TEST(MixesTest, MultisetsSortedAndUnique)

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the ThreadPool and the parallel SweepRunner, including the
+ * central determinism guarantee: the same sweep run serially and with
+ * jobs=4 produces bit-identical SimResults per mix. The CI TSan job
+ * re-builds the suite with -fsanitize=thread and runs exactly these
+ * tests (--gtest_filter=ThreadPool*:SweepRunner*:ExperimentContext*)
+ * to catch races in the shared ExperimentContext caches under real
+ * interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "analysis/mixes.hh"
+#include "analysis/sweep_runner.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sw/network.hh"
+#include "workloads/models.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, InlineModeRunsInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallelFor(5, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4u);
+    constexpr std::size_t count = 1000;
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallelFor(count, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(64, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 64u * 63u / 2);
+    }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException)
+{
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool pool(jobs);
+        EXPECT_THROW(pool.parallelFor(16,
+                                      [](std::size_t i) {
+                                          if (i % 2 == 1)
+                                              fatal("boom at ", i);
+                                      }),
+                     FatalError);
+        // The pool must stay usable after a failed batch.
+        std::atomic<std::size_t> ran{0};
+        pool.parallelFor(8, [&](std::size_t) { ++ran; });
+        EXPECT_EQ(ran.load(), 8u);
+    }
+}
+
+TEST(ThreadPoolTest, DefaultJobCountHonorsOverride)
+{
+    setDefaultJobCount(3);
+    EXPECT_EQ(defaultJobCount(), 3u);
+    ThreadPool pool;
+    EXPECT_EQ(pool.jobs(), 3u);
+    setDefaultJobCount(0);
+    EXPECT_GE(defaultJobCount(), 1u);
+}
+
+// --- SweepRunner determinism ---
+
+ArchConfig
+sweepArch()
+{
+    ArchConfig arch;
+    arch.name = "tiny";
+    arch.arrayRows = 16;
+    arch.arrayCols = 16;
+    arch.spmBytes = 64 << 10;
+    arch.dataBytes = 1;
+    arch.freqMhz = 1000;
+    arch.validate();
+    return arch;
+}
+
+NpuMemConfig
+sweepMem()
+{
+    NpuMemConfig mem;
+    mem.channelsPerNpu = 2;
+    mem.dramCapacityPerNpu = 64ULL << 20;
+    mem.tlbEntriesPerNpu = 64;
+    mem.tlbWays = 8;
+    mem.ptwPerNpu = 4;
+    return mem;
+}
+
+/** Distinct tiny GEMM networks so the mixes are heterogeneous. */
+Network
+sweepNetwork(std::uint32_t index)
+{
+    Network net;
+    net.name = "net" + std::to_string(index);
+    const std::uint64_t m = 128 + 64 * index;
+    net.layers.push_back(Layer::gemm("g0", m, 128, 192));
+    net.layers.push_back(Layer::gemm("g1", 128, m, 128));
+    return net;
+}
+
+/** The context holds a mutex, so it is registered in place, not returned. */
+void
+registerSweepNetworks(ExperimentContext &context)
+{
+    for (std::uint32_t i = 0; i < 3; ++i)
+        context.registerNetwork(sweepNetwork(i));
+}
+
+std::vector<SweepJob>
+dualSweepJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (SharingLevel level :
+         {SharingLevel::Static, SharingLevel::ShareDWT}) {
+        for (const auto &mix : enumerateMultisets(3, 2)) {
+            SweepJob job;
+            job.config.level = level;
+            job.models = {"net" + std::to_string(mix[0]),
+                          "net" + std::to_string(mix[1])};
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialBitIdentical)
+{
+    auto jobs = dualSweepJobs();
+    ASSERT_EQ(jobs.size(), 12u); // M(3,2) = 6 mixes x 2 levels
+
+    ExperimentContext serial_context(sweepArch(), sweepMem());
+    registerSweepNetworks(serial_context);
+    SweepRunner serial_runner(1);
+    auto serial = serial_runner.run(serial_context, jobs);
+
+    ExperimentContext parallel_context(sweepArch(), sweepMem());
+    registerSweepNetworks(parallel_context);
+    SweepRunner parallel_runner(4);
+    EXPECT_EQ(parallel_runner.workers(), 4u);
+    auto parallel = parallel_runner.run(parallel_context, jobs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const SimResult &a = serial[i].outcome.raw;
+        const SimResult &b = parallel[i].outcome.raw;
+        ASSERT_EQ(a.cores.size(), b.cores.size()) << "mix " << i;
+        EXPECT_EQ(a.globalCycles, b.globalCycles) << "mix " << i;
+        for (std::size_t c = 0; c < a.cores.size(); ++c) {
+            EXPECT_EQ(a.cores[c].localCycles, b.cores[c].localCycles)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(a.cores[c].trafficBytes, b.cores[c].trafficBytes)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(a.cores[c].tlbHits, b.cores[c].tlbHits)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(a.cores[c].tlbMisses, b.cores[c].tlbMisses)
+                << "mix " << i << " core " << c;
+        }
+        EXPECT_DOUBLE_EQ(serial[i].outcome.geomeanSpeedup,
+                         parallel[i].outcome.geomeanSpeedup)
+            << "mix " << i;
+        EXPECT_DOUBLE_EQ(serial[i].outcome.fairnessValue,
+                         parallel[i].outcome.fairnessValue)
+            << "mix " << i;
+    }
+
+    const SweepStats &stats = parallel_runner.lastStats();
+    EXPECT_EQ(stats.runs, jobs.size());
+    EXPECT_EQ(stats.workers, 4u);
+    EXPECT_GT(stats.wallSeconds, 0.0);
+    EXPECT_GT(stats.runsPerSecond, 0.0);
+    for (const auto &record : parallel)
+        EXPECT_GT(record.wallSeconds, 0.0);
+    EXPECT_FALSE(stats.summary().empty());
+}
+
+TEST(SweepRunnerTest, SharedContextServesConcurrentMixes)
+{
+    // All workers hammer one context's caches at once: the same mix at
+    // the same level must come out identical from every worker.
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 8; ++i) {
+        SweepJob job;
+        job.config.level = SharingLevel::ShareDWT;
+        job.models = {"net0", "net1"};
+        jobs.push_back(std::move(job));
+    }
+    SweepRunner runner(4);
+    auto records = runner.run(context, jobs);
+    ASSERT_EQ(records.size(), 8u);
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        EXPECT_EQ(records[0].outcome.raw.cores[0].localCycles,
+                  records[i].outcome.raw.cores[0].localCycles);
+        EXPECT_EQ(records[0].outcome.raw.cores[1].trafficBytes,
+                  records[i].outcome.raw.cores[1].trafficBytes);
+    }
+}
+
+TEST(SweepRunnerTest, MapReturnsInInputOrder)
+{
+    SweepRunner runner(4);
+    auto squares = runner.map<std::size_t>(
+        100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(SweepRunnerTest, ProgressReportsEveryCompletion)
+{
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    auto jobs = dualSweepJobs();
+    SweepRunner runner(2);
+    std::vector<std::size_t> seen;
+    runner.run(context, jobs,
+               [&](std::size_t done, std::size_t total) {
+                   EXPECT_EQ(total, jobs.size());
+                   seen.push_back(done);
+               });
+    // Called under a lock with a monotonically increasing counter.
+    std::vector<std::size_t> expected(jobs.size());
+    std::iota(expected.begin(), expected.end(), 1);
+    EXPECT_EQ(seen, expected);
+}
+
+// --- ExperimentContext cache keying (the '#' collision bugfix) ---
+
+TEST(ExperimentContextTest, HashInNetworkNameDoesNotCollide)
+{
+    // The Ideal cache used to be keyed "model#multiplier", which made
+    // registered network names containing '#' ambiguous against the
+    // separator; the (name, multiplier) pair key cannot collide. Two
+    // different tiny networks named "a" and "a#1" must keep distinct
+    // baselines.
+    ExperimentContext context(sweepArch(), sweepMem());
+    Network plain = sweepNetwork(0);
+    plain.name = "a";
+    Network hashed = sweepNetwork(2);
+    hashed.name = "a#1";
+    context.registerNetwork(plain);
+    context.registerNetwork(hashed);
+    double plain_cycles = context.idealCycles("a", 1);
+    double hashed_cycles = context.idealCycles("a#1", 1);
+    EXPECT_NE(hashed_cycles, plain_cycles);
+
+    // A fresh context computes the same values: the cache entries are
+    // keyed independently, not overwriting each other.
+    ExperimentContext fresh(sweepArch(), sweepMem());
+    fresh.registerNetwork(plain);
+    fresh.registerNetwork(hashed);
+    EXPECT_EQ(fresh.idealCycles("a#1", 1), hashed_cycles);
+    EXPECT_EQ(fresh.idealCycles("a", 1), plain_cycles);
+}
+
+} // namespace
+} // namespace mnpu
