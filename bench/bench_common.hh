@@ -10,6 +10,16 @@
  *   --sample N sampled mix count when not --all (default varies)
  *   --jobs N   parallel sweep workers (default: MNPU_JOBS or hardware)
  *   --quiet    suppress progress on stderr
+ *
+ * Failure containment and recovery (see README "Failure handling"):
+ *   --keep-going      record a failing mix (status + message) and
+ *                     finish the rest instead of aborting the sweep
+ *   --job-timeout S   hard per-mix wall-clock budget in seconds
+ *   --auto-budget K   adaptive per-mix budget: K x median completed
+ *                     wall clock, one escalating retry
+ *   --resume FILE     JSONL checkpoint: append each completed mix to
+ *                     FILE and, if it already exists, skip mixes it
+ *                     already records as ok
  */
 
 #ifndef MNPU_BENCH_BENCH_COMMON_HH
@@ -41,6 +51,22 @@ struct BenchOptions
     std::uint32_t sample = 48;
     std::uint32_t jobs = 0; //!< sweep workers; 0 = defaultJobCount()
     bool quiet = false;
+    bool keepGoing = false;     //!< contain per-mix failures
+    double jobTimeout = 0;      //!< hard per-mix wall budget, seconds
+    double autoBudget = 0;      //!< adaptive budget multiplier (0=off)
+    std::string resumePath;     //!< JSONL checkpoint to append/resume
+
+    /** The sweep-level containment options these flags map to. */
+    SweepOptions sweepOptions() const
+    {
+        SweepOptions options;
+        options.keepGoing = keepGoing;
+        options.jobTimeoutSeconds = jobTimeout;
+        options.budgetMultiplier = autoBudget;
+        options.checkpointPath = resumePath;
+        options.resume = !resumePath.empty();
+        return options;
+    }
 
     ModelScale scale() const
     {
@@ -71,10 +97,20 @@ parseOptions(int argc, char **argv)
         } else if (arg == "--jobs" && i + 1 < argc) {
             options.jobs =
                 static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--keep-going") {
+            options.keepGoing = true;
+        } else if (arg == "--job-timeout" && i + 1 < argc) {
+            options.jobTimeout = std::atof(argv[++i]);
+        } else if (arg == "--auto-budget" && i + 1 < argc) {
+            options.autoBudget = std::atof(argv[++i]);
+        } else if (arg == "--resume" && i + 1 < argc) {
+            options.resumePath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--all] [--sample N] "
-                         "[--jobs N] [--quiet]\n",
+                         "[--jobs N] [--quiet] [--keep-going] "
+                         "[--job-timeout S] [--auto-budget K] "
+                         "[--resume FILE]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -152,15 +188,30 @@ reportSweepStats(const BenchOptions &options, const SweepRunner &runner)
 /**
  * Run @p sweep_jobs through a SweepRunner sized by options.jobs, with
  * progress and a timing summary, returning outcomes in input order.
+ * With --keep-going a failed mix is reported on stderr and its
+ * outcome's metrics are NaN, so aggregates over it read NaN instead
+ * of silently excluding it (partial sweeps are visible, not hidden).
  */
 inline std::vector<MixOutcome>
 runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
         const BenchOptions &options)
 {
     SweepRunner runner(options.jobs);
-    auto records =
-        runner.run(context, sweep_jobs, progressEvery16(options));
+    auto records = runner.run(context, sweep_jobs,
+                              options.sweepOptions(),
+                              progressEvery16(options));
     reportSweepStats(options, runner);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (records[i].status == SweepStatus::Failed ||
+            records[i].status == SweepStatus::TimedOut) {
+            warn("mix ", i, " (",
+                 records[i].outcome.models.empty()
+                     ? std::string("?")
+                     : records[i].outcome.models[0],
+                 "+...) ", toString(records[i].status), ": ",
+                 records[i].error);
+        }
+    }
     std::vector<MixOutcome> outcomes;
     outcomes.reserve(records.size());
     for (auto &record : records)

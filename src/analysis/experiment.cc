@@ -24,11 +24,22 @@ ExperimentContext::traceEntry(const std::string &model)
 std::shared_ptr<const TraceGenerator>
 ExperimentContext::trace(const std::string &model)
 {
+    // The once callable must not throw: an exception unwinding through
+    // std::call_once leaves the flag wedged "in progress" under TSan's
+    // pthread_once interceptor. Latch the error instead and rethrow it
+    // to every user of the entry.
     TraceEntry &entry = traceEntry(model);
-    std::call_once(entry.once, [&] {
-        Network network = buildModel(model, scale_);
-        entry.trace = std::make_shared<TraceGenerator>(arch_, network);
+    std::call_once(entry.once, [&]() noexcept {
+        try {
+            Network network = buildModel(model, scale_);
+            entry.trace =
+                std::make_shared<TraceGenerator>(arch_, network);
+        } catch (...) {
+            entry.error = std::current_exception();
+        }
     });
+    if (entry.error)
+        std::rethrow_exception(entry.error);
     return entry.trace;
 }
 
@@ -36,9 +47,16 @@ std::shared_ptr<const TraceGenerator>
 ExperimentContext::registerNetwork(const Network &network)
 {
     TraceEntry &entry = traceEntry(network.name);
-    std::call_once(entry.once, [&] {
-        entry.trace = std::make_shared<TraceGenerator>(arch_, network);
+    std::call_once(entry.once, [&]() noexcept {
+        try {
+            entry.trace =
+                std::make_shared<TraceGenerator>(arch_, network);
+        } catch (...) {
+            entry.error = std::current_exception();
+        }
     });
+    if (entry.error)
+        std::rethrow_exception(entry.error);
     return entry.trace;
 }
 
@@ -53,11 +71,17 @@ ExperimentContext::idealResult(const std::string &model,
                      .try_emplace(IdealKey(model, resource_multiplier))
                      .first->second;
     }
-    std::call_once(entry->once, [&] {
-        SimResult result = runIdeal(trace(model), resource_multiplier,
-                                    mem_);
-        entry->result = std::move(result.cores[0]);
+    std::call_once(entry->once, [&]() noexcept {
+        try {
+            SimResult result =
+                runIdeal(trace(model), resource_multiplier, mem_);
+            entry->result = std::move(result.cores[0]);
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
     });
+    if (entry->error)
+        std::rethrow_exception(entry->error);
     return entry->result;
 }
 
@@ -71,7 +95,8 @@ ExperimentContext::idealCycles(const std::string &model,
 
 MixOutcome
 ExperimentContext::runMix(SystemConfig config,
-                          const std::vector<std::string> &models)
+                          const std::vector<std::string> &models,
+                          const RunBudget &budget)
 {
     if (models.empty())
         fatal("runMix: no models");
@@ -87,7 +112,7 @@ ExperimentContext::runMix(SystemConfig config,
 
     MixOutcome outcome;
     outcome.models = models;
-    outcome.raw = system.run();
+    outcome.raw = system.run(budget);
     const auto multiplier = static_cast<std::uint32_t>(models.size());
     for (std::size_t i = 0; i < models.size(); ++i) {
         double ideal = idealCycles(models[i], multiplier);

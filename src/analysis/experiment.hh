@@ -13,6 +13,11 @@
  * are mutex-guarded maps with node-stable entries; each entry is
  * computed exactly once via std::call_once, so concurrent misses on the
  * same key block on the first computation instead of duplicating it.
+ * A failed computation (e.g. an unknown model) is latched as an
+ * exception_ptr and rethrown to every user of the entry — the once
+ * callable itself never throws, which keeps exceptions out of
+ * std::call_once (throwing through pthread_once wedges the flag under
+ * ThreadSanitizer) and makes repeated lookups deterministic.
  * idealResult() hands out references into the node-stable map — they
  * stay valid for the lifetime of the context. TraceGenerator is
  * immutable after construction, so the cached shared_ptr<const
@@ -24,6 +29,7 @@
 #define MNPU_ANALYSIS_EXPERIMENT_HH
 
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -87,26 +93,34 @@ class ExperimentContext
      * config.mem is overwritten with this context's memory config, and
      * bindings are built from the cached traces. Speedups are relative
      * to the Ideal baseline with a multiplier of models.size().
-     * Thread-safe: concurrent runMix calls only share the read-only
-     * trace/Ideal caches.
+     * @p budget is the per-run watchdog (cycles / wall clock / stop
+     * token); blowing it throws SimulationError. Thread-safe:
+     * concurrent runMix calls only share the read-only trace/Ideal
+     * caches.
      */
     MixOutcome runMix(SystemConfig config,
-                      const std::vector<std::string> &models);
+                      const std::vector<std::string> &models,
+                      const RunBudget &budget = RunBudget{});
 
     const ArchConfig &arch() const { return arch_; }
     const NpuMemConfig &mem() const { return mem_; }
 
   private:
-    /** Computed-once cache slot; lives at a stable map-node address. */
+    /**
+     * Computed-once cache slot; lives at a stable map-node address.
+     * Exactly one of {value, error} is set after the once fires.
+     */
     struct TraceEntry
     {
         std::once_flag once;
         std::shared_ptr<const TraceGenerator> trace;
+        std::exception_ptr error;
     };
     struct IdealEntry
     {
         std::once_flag once;
         CoreResult result;
+        std::exception_ptr error;
     };
     /**
      * (model, multiplier) — a std::pair key instead of the former

@@ -1,0 +1,424 @@
+#include "analysis/sweep_checkpoint.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(SweepStatus status)
+{
+    switch (status) {
+      case SweepStatus::Ok:
+        return "ok";
+      case SweepStatus::Failed:
+        return "failed";
+      case SweepStatus::TimedOut:
+        return "timed_out";
+      case SweepStatus::Skipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+statusFromString(const std::string &text, SweepStatus &status)
+{
+    for (SweepStatus candidate :
+         {SweepStatus::Ok, SweepStatus::Failed, SweepStatus::TimedOut,
+          SweepStatus::Skipped}) {
+        if (text == toString(candidate)) {
+            status = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+appendDouble(std::string &out, double value)
+{
+    // Round-trippable doubles; NaN/inf are not valid JSON, so emit
+    // null and read it back as NaN (failed jobs carry NaN metrics).
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
+    std::ostringstream stream;
+    stream.precision(17);
+    stream << value;
+    out += stream.str();
+}
+
+/**
+ * Minimal JSON reader for the exact subset toJsonLine() emits: one
+ * flat object of string keys mapping to strings, numbers, null, or
+ * arrays of strings/numbers. No nested objects, no bools.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    bool ok() const { return ok_; }
+    void fail() { ok_ = false; }
+
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char peek()
+    {
+        skipSpace();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos_ >= text_.size();
+    }
+
+    std::string readString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail();
+            return out;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out.push_back(esc);
+                    break;
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail();
+                        return out;
+                    }
+                    unsigned code = static_cast<unsigned>(std::strtoul(
+                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    pos_ += 4;
+                    // The writer only emits \u00XX control codes.
+                    out.push_back(static_cast<char>(code & 0xff));
+                    break;
+                  }
+                  default:
+                    fail();
+                    return out;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        fail(); // unterminated string
+        return out;
+    }
+
+    double readNumber()
+    {
+        skipSpace();
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return std::nan("");
+        }
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double value = std::strtod(begin, &end);
+        if (end == begin) {
+            fail();
+            return 0;
+        }
+        pos_ += static_cast<std::size_t>(end - begin);
+        return value;
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace
+
+std::string
+toJsonLine(const SweepCheckpointRecord &record)
+{
+    std::string out;
+    out.reserve(256);
+    out += "{\"key\":";
+    appendEscaped(out, record.key);
+    out += ",\"status\":";
+    appendEscaped(out, toString(record.status));
+    out += ",\"error\":";
+    appendEscaped(out, record.error);
+    out += ",\"wall_seconds\":";
+    appendDouble(out, record.wallSeconds);
+    out += ",\"models\":[";
+    for (std::size_t i = 0; i < record.models.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        appendEscaped(out, record.models[i]);
+    }
+    out += "],\"speedups\":[";
+    for (std::size_t i = 0; i < record.speedups.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        appendDouble(out, record.speedups[i]);
+    }
+    out += "],\"slowdowns\":[";
+    for (std::size_t i = 0; i < record.slowdowns.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        appendDouble(out, record.slowdowns[i]);
+    }
+    out += "],\"geomean_speedup\":";
+    appendDouble(out, record.geomeanSpeedup);
+    out += ",\"fairness\":";
+    appendDouble(out, record.fairnessValue);
+    out += ",\"local_cycles\":[";
+    for (std::size_t i = 0; i < record.localCycles.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        out += std::to_string(record.localCycles[i]);
+    }
+    out += "],\"global_cycles\":";
+    out += std::to_string(record.globalCycles);
+    out += "}";
+    return out;
+}
+
+bool
+parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
+{
+    JsonReader reader(line);
+    if (!reader.consume('{'))
+        return false;
+    SweepCheckpointRecord parsed;
+    bool saw_key = false;
+    bool first = true;
+    while (reader.ok() && !reader.consume('}')) {
+        if (!first && !reader.consume(','))
+            return false;
+        first = false;
+        std::string field = reader.readString();
+        if (!reader.ok() || !reader.consume(':'))
+            return false;
+        if (field == "key") {
+            parsed.key = reader.readString();
+            saw_key = true;
+        } else if (field == "status") {
+            if (!statusFromString(reader.readString(), parsed.status))
+                return false;
+        } else if (field == "error") {
+            parsed.error = reader.readString();
+        } else if (field == "wall_seconds") {
+            parsed.wallSeconds = reader.readNumber();
+        } else if (field == "geomean_speedup") {
+            parsed.geomeanSpeedup = reader.readNumber();
+        } else if (field == "fairness") {
+            parsed.fairnessValue = reader.readNumber();
+        } else if (field == "global_cycles") {
+            parsed.globalCycles =
+                static_cast<std::uint64_t>(reader.readNumber());
+        } else if (field == "models") {
+            if (!reader.consume('['))
+                return false;
+            while (reader.ok() && !reader.consume(']')) {
+                if (!parsed.models.empty() && !reader.consume(','))
+                    return false;
+                parsed.models.push_back(reader.readString());
+            }
+        } else if (field == "speedups" || field == "slowdowns" ||
+                   field == "local_cycles") {
+            if (!reader.consume('['))
+                return false;
+            bool first_item = true;
+            while (reader.ok() && !reader.consume(']')) {
+                if (!first_item && !reader.consume(','))
+                    return false;
+                first_item = false;
+                double value = reader.readNumber();
+                if (field == "speedups")
+                    parsed.speedups.push_back(value);
+                else if (field == "slowdowns")
+                    parsed.slowdowns.push_back(value);
+                else
+                    parsed.localCycles.push_back(
+                        static_cast<std::uint64_t>(value));
+            }
+        } else {
+            // Unknown field (newer writer): skip its scalar/array value
+            // so old readers stay forward-compatible.
+            if (reader.peek() == '"') {
+                reader.readString();
+            } else if (reader.consume('[')) {
+                while (reader.ok() && !reader.consume(']')) {
+                    if (reader.peek() == '"')
+                        reader.readString();
+                    else
+                        reader.readNumber();
+                    reader.consume(',');
+                }
+            } else {
+                reader.readNumber();
+            }
+        }
+    }
+    if (!reader.ok() || !saw_key || !reader.atEnd())
+        return false;
+    record = std::move(parsed);
+    return true;
+}
+
+SweepCheckpointWriter::SweepCheckpointWriter(const std::string &path)
+    : path_(path)
+{
+    // If a crash tore the previous trailing line, appending right after
+    // it would merge the next record into the garbage; start it on a
+    // fresh line instead so only the torn record is lost.
+    bool needs_newline = false;
+    if (std::FILE *existing = std::fopen(path.c_str(), "rb")) {
+        if (std::fseek(existing, -1, SEEK_END) == 0) {
+            int last = std::fgetc(existing);
+            needs_newline = last != EOF && last != '\n';
+        }
+        std::fclose(existing);
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        fatal("cannot open checkpoint file '", path, "' for appending");
+    if (needs_newline)
+        std::fputc('\n', file_);
+}
+
+SweepCheckpointWriter::~SweepCheckpointWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+SweepCheckpointWriter::append(const SweepCheckpointRecord &record)
+{
+    // Serialize outside the lock; write + flush as one critical
+    // section so concurrent workers never tear a line.
+    std::string line = toJsonLine(record);
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+        fatal("cannot append to checkpoint file '", path_, "'");
+    }
+}
+
+std::map<std::string, SweepCheckpointRecord>
+loadSweepCheckpoint(const std::string &path)
+{
+    std::map<std::string, SweepCheckpointRecord> records;
+    std::ifstream file(path);
+    if (!file)
+        return records; // no checkpoint yet: nothing completed
+    std::string line;
+    std::size_t lineno = 0;
+    std::size_t malformed = 0;
+    while (std::getline(file, line)) {
+        ++lineno;
+        if (trim(line).empty())
+            continue;
+        SweepCheckpointRecord record;
+        if (parseJsonLine(line, record)) {
+            records[record.key] = std::move(record);
+        } else {
+            ++malformed;
+            warn("checkpoint '", path, "' line ", lineno,
+                 ": malformed record skipped");
+        }
+    }
+    if (malformed > 1) {
+        // One torn trailing line is the expected kill signature; more
+        // suggests the file is not a checkpoint at all.
+        warn("checkpoint '", path, "': ", malformed,
+             " malformed lines — is this really a sweep checkpoint?");
+    }
+    return records;
+}
+
+} // namespace mnpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Crash-safe JSONL checkpointing for sweep campaigns.
+ *
+ * Each completed sweep job is appended to the checkpoint file as one
+ * self-contained JSON line (serialized fully in memory first, then
+ * written with a single append + flush, so a crash can at worst lose
+ * the line being written — never corrupt earlier ones). On restart,
+ * loadSweepCheckpoint() tolerates a truncated trailing line and hands
+ * back the completed records keyed by the job's config+models hash, so
+ * a killed 330-mix campaign resumes executing only the unfinished
+ * jobs.
+ *
+ * The format is deliberately minimal and versioned by field presence:
+ *   {"key":"<16-hex FNV-1a>","status":"ok","error":"",
+ *    "wall_seconds":1.25,"models":["net0","net1"],
+ *    "speedups":[...],"slowdowns":[...],
+ *    "geomean_speedup":0.91,"fairness":0.88,
+ *    "local_cycles":[...],"global_cycles":12345}
+ */
+
+#ifndef MNPU_ANALYSIS_SWEEP_CHECKPOINT_HH
+#define MNPU_ANALYSIS_SWEEP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mnpu
+{
+
+/** Outcome class of one sweep job (first-class partial sweeps). */
+enum class SweepStatus
+{
+    Ok,       //!< completed; metrics are valid
+    Failed,   //!< threw FatalError (or another non-budget error)
+    TimedOut, //!< blew its cycle or wall-clock budget (after retry)
+    Skipped,  //!< not executed (already checkpointed, or cancelled)
+};
+
+const char *toString(SweepStatus status);
+
+/** What survives a crash: one completed job's outcome summary. */
+struct SweepCheckpointRecord
+{
+    std::string key; //!< sweepJobKey() of the job this belongs to
+    SweepStatus status = SweepStatus::Ok;
+    std::string error; //!< failure message, empty when ok
+    double wallSeconds = 0;
+    std::vector<std::string> models;
+    std::vector<double> speedups;
+    std::vector<double> slowdowns;
+    double geomeanSpeedup = 0;
+    double fairnessValue = 0;
+    std::vector<std::uint64_t> localCycles; //!< per core
+    std::uint64_t globalCycles = 0;
+};
+
+/** Serialize one record as a single JSON line (no trailing newline). */
+std::string toJsonLine(const SweepCheckpointRecord &record);
+
+/**
+ * Parse one JSON line. @return false (leaving @p record unspecified)
+ * on malformed input — e.g. the torn tail of a killed process.
+ */
+bool parseJsonLine(const std::string &line, SweepCheckpointRecord &record);
+
+/**
+ * Thread-safe appender: each append() writes one full line and
+ * flushes, under a mutex, so concurrent sweep workers never interleave
+ * partial records.
+ */
+class SweepCheckpointWriter
+{
+  public:
+    /** Opens @p path for appending; fatal() when it cannot. */
+    explicit SweepCheckpointWriter(const std::string &path);
+    ~SweepCheckpointWriter();
+
+    SweepCheckpointWriter(const SweepCheckpointWriter &) = delete;
+    SweepCheckpointWriter &operator=(const SweepCheckpointWriter &) =
+        delete;
+
+    void append(const SweepCheckpointRecord &record);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::mutex mutex_;
+};
+
+/**
+ * Load every well-formed record of @p path, keyed by record.key (the
+ * last occurrence wins, so a retried-and-recompleted job supersedes
+ * its earlier entry). A missing file is an empty checkpoint, not an
+ * error; malformed lines are skipped with a warn().
+ */
+std::map<std::string, SweepCheckpointRecord>
+loadSweepCheckpoint(const std::string &path);
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_SWEEP_CHECKPOINT_HH

@@ -1,11 +1,15 @@
 #include "analysis/sweep_runner.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <utility>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace mnpu
@@ -23,7 +27,143 @@ secondsSince(SteadyClock::time_point start)
         .count();
 }
 
+/** FNV-1a 64-bit over an incrementally fed canonical serialization. */
+class JobHasher
+{
+  public:
+    void feed(const std::string &text)
+    {
+        for (char c : text)
+            mix(static_cast<unsigned char>(c));
+        mix(0x1f); // field separator so "ab"+"c" != "a"+"bc"
+    }
+
+    template <typename T>
+    void feedInt(T value)
+    {
+        feed(std::to_string(value));
+    }
+
+    template <typename T>
+    void feedVector(const std::optional<std::vector<T>> &values)
+    {
+        if (!values) {
+            feed("-");
+            return;
+        }
+        for (T value : *values)
+            feedInt(value);
+        feed(";");
+    }
+
+    std::string hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        std::uint64_t value = hash_;
+        for (int i = 15; i >= 0; --i) {
+            out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+            value >>= 4;
+        }
+        return out;
+    }
+
+  private:
+    void mix(unsigned char byte)
+    {
+        hash_ ^= byte;
+        hash_ *= 0x100000001b3ULL;
+    }
+
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/** A failed job's outcome: models kept, metrics poisoned with NaN so
+ * downstream aggregation yields NaN instead of crashing or lying. */
+MixOutcome
+failedOutcome(const std::vector<std::string> &models)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    MixOutcome outcome;
+    outcome.models = models;
+    outcome.speedups.assign(models.size(), nan);
+    outcome.slowdowns.assign(models.size(), nan);
+    outcome.geomeanSpeedup = nan;
+    outcome.fairnessValue = nan;
+    return outcome;
+}
+
+/** Rebuild the parts of a MixOutcome that the checkpoint persists. */
+MixOutcome
+restoredOutcome(const SweepCheckpointRecord &checkpoint)
+{
+    MixOutcome outcome;
+    outcome.models = checkpoint.models;
+    outcome.speedups = checkpoint.speedups;
+    outcome.slowdowns = checkpoint.slowdowns;
+    outcome.geomeanSpeedup = checkpoint.geomeanSpeedup;
+    outcome.fairnessValue = checkpoint.fairnessValue;
+    outcome.raw.globalCycles = checkpoint.globalCycles;
+    outcome.raw.cores.resize(checkpoint.localCycles.size());
+    for (std::size_t i = 0; i < checkpoint.localCycles.size(); ++i) {
+        if (i < checkpoint.models.size())
+            outcome.raw.cores[i].workloadName = checkpoint.models[i];
+        outcome.raw.cores[i].localCycles = checkpoint.localCycles[i];
+    }
+    return outcome;
+}
+
+SweepCheckpointRecord
+checkpointRecordOf(const std::string &key, const SweepRecord &record)
+{
+    SweepCheckpointRecord checkpoint;
+    checkpoint.key = key;
+    checkpoint.status = record.status;
+    checkpoint.error = record.error;
+    checkpoint.wallSeconds = record.wallSeconds;
+    checkpoint.models = record.outcome.models;
+    checkpoint.speedups = record.outcome.speedups;
+    checkpoint.slowdowns = record.outcome.slowdowns;
+    checkpoint.geomeanSpeedup = record.outcome.geomeanSpeedup;
+    checkpoint.fairnessValue = record.outcome.fairnessValue;
+    checkpoint.globalCycles = record.outcome.raw.globalCycles;
+    checkpoint.localCycles.reserve(record.outcome.raw.cores.size());
+    for (const auto &core : record.outcome.raw.cores)
+        checkpoint.localCycles.push_back(core.localCycles);
+    return checkpoint;
+}
+
 } // namespace
+
+std::string
+sweepJobKey(const SweepJob &job, const NpuMemConfig &mem)
+{
+    JobHasher hasher;
+    const SystemConfig &config = job.config;
+    hasher.feed(toString(config.level));
+    hasher.feedInt(config.idealResourceMultiplier);
+    hasher.feedVector(config.dramBandwidthShares);
+    hasher.feedVector(config.ptwQuota);
+    hasher.feedVector(config.ptwMin);
+    hasher.feedVector(config.ptwMax);
+    hasher.feedInt(config.ptwStealing ? 1 : 0);
+    hasher.feedInt(config.maxGlobalCycles);
+    // The context overwrites config.mem, so hash the effective one.
+    hasher.feed(mem.timing.name);
+    hasher.feedInt(mem.timing.clockMhz);
+    hasher.feedInt(mem.timing.rowBytes);
+    hasher.feedInt(mem.channelsPerNpu);
+    hasher.feedInt(mem.dramCapacityPerNpu);
+    hasher.feedInt(mem.tlbEntriesPerNpu);
+    hasher.feedInt(mem.tlbWays);
+    hasher.feedInt(mem.ptwPerNpu);
+    hasher.feedInt(mem.pageBytes);
+    hasher.feedInt(mem.dramQueueDepth);
+    hasher.feedInt(mem.translationEnabled ? 1 : 0);
+    for (const auto &model : job.models)
+        hasher.feed(model);
+    return hasher.hex();
+}
 
 std::string
 SweepStats::summary() const
@@ -34,6 +174,18 @@ SweepStats::summary() const
            << workers << " worker" << (workers == 1 ? "" : "s") << " ("
            << runsPerSecond << " runs/s; per-run sum " << jobSecondsSum
            << " s)";
+    if (failed || timedOut || skipped || retried) {
+        stream << " [" << ok << " ok";
+        if (failed)
+            stream << ", " << failed << " failed";
+        if (timedOut)
+            stream << ", " << timedOut << " timed out";
+        if (skipped)
+            stream << ", " << skipped << " skipped";
+        if (retried)
+            stream << ", " << retried << " retried";
+        stream << "]";
+    }
     return stream.str();
 }
 
@@ -42,52 +194,202 @@ SweepRunner::SweepRunner(std::size_t jobs) : pool_(jobs) {}
 std::vector<SweepRecord>
 SweepRunner::run(
     ExperimentContext &context, const std::vector<SweepJob> &jobs,
+    const SweepOptions &options,
     const std::function<void(std::size_t, std::size_t)> &progress)
 {
     const auto start = SteadyClock::now();
+    const bool checkpointing = !options.checkpointPath.empty();
+    const bool explicit_budget = options.jobTimeoutSeconds > 0;
+    const bool adaptive_budget =
+        !explicit_budget && options.budgetMultiplier > 0;
+
+    // --- Resume: restore jobs already checkpointed ok. ---
+    std::vector<std::string> keys;
+    if (checkpointing || options.resume) {
+        keys.reserve(jobs.size());
+        for (const auto &job : jobs)
+            keys.push_back(sweepJobKey(job, context.mem()));
+    }
+    std::map<std::string, SweepCheckpointRecord> completed;
+    if (options.resume && checkpointing)
+        completed = loadSweepCheckpoint(options.checkpointPath);
+
+    std::vector<SweepRecord> records(jobs.size());
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t index = 0; index < jobs.size(); ++index) {
+        auto it = completed.empty() ? completed.end()
+                                    : completed.find(keys[index]);
+        if (it != completed.end() &&
+            it->second.status == SweepStatus::Ok) {
+            records[index].status = SweepStatus::Skipped;
+            records[index].outcome = restoredOutcome(it->second);
+            records[index].wallSeconds = 0;
+        } else {
+            pending.push_back(index);
+        }
+    }
+
+    std::unique_ptr<SweepCheckpointWriter> writer;
+    if (checkpointing)
+        writer = std::make_unique<SweepCheckpointWriter>(
+            options.checkpointPath);
+
+    const bool stopped_already =
+        options.stopToken &&
+        options.stopToken->load(std::memory_order_relaxed);
 
     // Pre-warm the shared caches: every distinct trace and Ideal
     // baseline is computed exactly once here (in parallel across
     // distinct keys), so the mix phase below touches them read-only.
-    std::vector<std::pair<std::string, std::uint32_t>> baselines;
-    {
-        std::set<std::pair<std::string, std::uint32_t>> unique;
-        for (const auto &job : jobs) {
-            const auto multiplier =
-                static_cast<std::uint32_t>(job.models.size());
-            for (const auto &model : job.models)
-                unique.emplace(model, multiplier);
+    // Failures are deliberately ignored: a job whose model cannot be
+    // built hits the same error again in its own runMix(), where it is
+    // contained (or rethrown) per job instead of killing the sweep.
+    if (!stopped_already) {
+        std::vector<std::pair<std::string, std::uint32_t>> baselines;
+        {
+            std::set<std::pair<std::string, std::uint32_t>> unique;
+            for (std::size_t index : pending) {
+                const auto &job = jobs[index];
+                const auto multiplier =
+                    static_cast<std::uint32_t>(job.models.size());
+                for (const auto &model : job.models)
+                    unique.emplace(model, multiplier);
+            }
+            baselines.assign(unique.begin(), unique.end());
         }
-        baselines.assign(unique.begin(), unique.end());
+        pool_.parallelForCollect(
+            baselines.size(), [&](std::size_t index) {
+                context.idealCycles(baselines[index].first,
+                                    baselines[index].second);
+            });
     }
-    pool_.parallelFor(baselines.size(), [&](std::size_t index) {
-        context.idealCycles(baselines[index].first,
-                            baselines[index].second);
-    });
 
-    std::vector<SweepRecord> records(jobs.size());
-    std::mutex progressMutex;
-    std::size_t done = 0;
-    pool_.parallelFor(jobs.size(), [&](std::size_t index) {
-        const auto job_start = SteadyClock::now();
-        records[index].outcome =
-            context.runMix(jobs[index].config, jobs[index].models);
-        records[index].wallSeconds = secondsSince(job_start);
-        if (progress) {
-            std::lock_guard<std::mutex> lock(progressMutex);
+    // --- The contained parallel phase. ---
+    std::mutex controlMutex; //!< guards done counter + completed times
+    std::size_t done = jobs.size() - pending.size();
+    std::vector<double> completedTimes;
+
+    auto adaptiveWallBudget = [&]() -> double {
+        if (!adaptive_budget)
+            return explicit_budget ? options.jobTimeoutSeconds : 0;
+        std::lock_guard<std::mutex> lock(controlMutex);
+        if (completedTimes.size() < 3)
+            return 0; // not enough signal yet: unlimited
+        std::vector<double> times = completedTimes;
+        auto mid = times.begin() +
+                   static_cast<std::ptrdiff_t>(times.size() / 2);
+        std::nth_element(times.begin(), mid, times.end());
+        return std::max(options.budgetMultiplier * *mid, 0.25);
+    };
+
+    auto finishOne = [&](std::size_t index, double wall_seconds) {
+        std::lock_guard<std::mutex> lock(controlMutex);
+        if (records[index].status == SweepStatus::Ok)
+            completedTimes.push_back(wall_seconds);
+        if (progress)
             progress(++done, jobs.size());
-        }
-    });
+    };
+
+    auto errors = pool_.parallelForCollect(
+        pending.size(), [&](std::size_t pending_index) {
+            const std::size_t index = pending[pending_index];
+            const SweepJob &job = jobs[index];
+            SweepRecord &record = records[index];
+            const auto job_start = SteadyClock::now();
+
+            double wall_budget = adaptiveWallBudget();
+            std::exception_ptr failure;
+            for (std::uint32_t attempt = 1;; ++attempt) {
+                RunBudget budget;
+                budget.maxGlobalCycles = options.jobMaxCycles;
+                budget.wallClockSeconds = wall_budget;
+                budget.stopToken = options.stopToken;
+                record.attempts = attempt;
+                try {
+                    record.outcome = context.runMix(job.config,
+                                                    job.models, budget);
+                    record.status = SweepStatus::Ok;
+                    record.error.clear();
+                    break;
+                } catch (const SimulationError &error) {
+                    if (error.kind() == SimErrorKind::Cancelled) {
+                        // Not checkpointed: a later resume re-runs it.
+                        record.status = SweepStatus::Skipped;
+                        record.error = detail::concat(
+                            toString(error.kind()), ": ", error.what());
+                        record.outcome = failedOutcome(job.models);
+                        record.wallSeconds = secondsSince(job_start);
+                        finishOne(index, record.wallSeconds);
+                        return;
+                    }
+                    if (error.isBudget() && adaptive_budget &&
+                        wall_budget > 0 && attempt == 1) {
+                        // One escalating-budget retry: the median can
+                        // undershoot genuinely heavy mixes.
+                        wall_budget *= 2;
+                        continue;
+                    }
+                    record.status = error.isBudget()
+                                        ? SweepStatus::TimedOut
+                                        : SweepStatus::Failed;
+                    record.error = detail::concat(
+                        toString(error.kind()), ": ", error.what());
+                    record.outcome = failedOutcome(job.models);
+                    failure = std::current_exception();
+                    break;
+                } catch (const std::exception &error) {
+                    record.status = SweepStatus::Failed;
+                    record.error = error.what();
+                    record.outcome = failedOutcome(job.models);
+                    failure = std::current_exception();
+                    break;
+                }
+            }
+            record.wallSeconds = secondsSince(job_start);
+            if (writer)
+                writer->append(checkpointRecordOf(keys[index], record));
+            finishOne(index, record.wallSeconds);
+            if (failure && !options.keepGoing)
+                std::rethrow_exception(failure);
+        });
 
     stats_ = SweepStats{};
     stats_.workers = pool_.jobs();
     stats_.runs = jobs.size();
     stats_.wallSeconds = secondsSince(start);
-    for (const auto &record : records)
+    for (const auto &record : records) {
         stats_.jobSecondsSum += record.wallSeconds;
+        switch (record.status) {
+          case SweepStatus::Ok:
+            ++stats_.ok;
+            break;
+          case SweepStatus::Failed:
+            ++stats_.failed;
+            break;
+          case SweepStatus::TimedOut:
+            ++stats_.timedOut;
+            break;
+          case SweepStatus::Skipped:
+            ++stats_.skipped;
+            break;
+        }
+        if (record.attempts > 1)
+            ++stats_.retried;
+    }
     if (stats_.wallSeconds > 0)
         stats_.runsPerSecond =
             static_cast<double>(stats_.runs) / stats_.wallSeconds;
+
+    if (!options.keepGoing) {
+        // Deterministic fail-fast: the first failing job in *input*
+        // order surfaces, regardless of completion order.
+        for (std::size_t pending_index = 0;
+             pending_index < errors.size(); ++pending_index) {
+            if (errors[pending_index])
+                std::rethrow_exception(errors[pending_index]);
+        }
+    }
     return records;
 }
 

@@ -1,33 +1,52 @@
 /**
  * @file
- * Parallel mix-sweep runner. The paper's evaluation is embarrassingly
- * parallel — every workload mix is an independent MultiCoreSystem::run()
- * — so SweepRunner fans a list of SweepJobs out over a ThreadPool and
- * returns the outcomes in deterministic input order regardless of which
- * worker finished first.
+ * Parallel mix-sweep runner with per-job fault containment. The
+ * paper's evaluation is embarrassingly parallel — every workload mix
+ * is an independent MultiCoreSystem::run() — so SweepRunner fans a
+ * list of SweepJobs out over a ThreadPool and returns the outcomes in
+ * deterministic input order regardless of which worker finished first.
+ *
+ * Fault isolation: a single pathological mix (bad config, deadlock,
+ * cycle-budget blowout, livelock) must not take down a multi-hour
+ * campaign. With SweepOptions::keepGoing each job's failure is
+ * recorded in its SweepRecord (status + message) and every other mix
+ * still completes bit-identically to a clean run. A per-job watchdog
+ * budget — explicit (jobTimeoutSeconds / jobMaxCycles) or adaptive
+ * (budgetMultiplier x the median wall clock of completed jobs) — times
+ * a livelocked mix out cooperatively; adaptively budgeted jobs get one
+ * escalating-budget retry before the timeout becomes permanent.
+ *
+ * Crash safety: with SweepOptions::checkpointPath every completed job
+ * is appended to a JSONL checkpoint (single write + flush per record),
+ * and with resume=true jobs whose config+models key is already
+ * checkpointed ok come back as status Skipped with their metrics
+ * restored — a killed sweep re-executes only the unfinished jobs.
  *
  * Determinism: each job builds its own MultiCoreSystem from the
- * context's immutable cached traces, so per-mix metrics are bit-identical
- * to a serial run (tests/test_sweep_runner.cc asserts this). The only
- * shared mutable state is the context's once-computed trace/Ideal
- * caches; runner.run() pre-warms them so the parallel phase is
- * read-only.
+ * context's immutable cached traces, so per-mix metrics are
+ * bit-identical to a serial run (tests/test_sweep_runner.cc asserts
+ * this). The only shared mutable state is the context's once-computed
+ * trace/Ideal caches; runner.run() pre-warms them so the parallel
+ * phase is read-only.
  *
  * Timing: every record carries the wall-clock seconds of its own run,
  * and lastStats() reports the end-to-end wall clock plus aggregate
- * throughput, which makes the parallel speedup directly observable in
- * the bench output.
+ * throughput and per-status counts, which makes both the parallel
+ * speedup and a partial sweep's health directly observable in the
+ * bench output.
  */
 
 #ifndef MNPU_ANALYSIS_SWEEP_RUNNER_HH
 #define MNPU_ANALYSIS_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.hh"
+#include "analysis/sweep_checkpoint.hh"
 #include "common/thread_pool.hh"
 #include "sim/system_config.hh"
 
@@ -41,21 +60,88 @@ struct SweepJob
     std::vector<std::string> models;
 };
 
-/** Outcome of one job plus its own wall-clock cost. */
+/**
+ * Stable identity of a job for checkpoint/resume: an FNV-1a hash over
+ * the canonical serialization of the job's SystemConfig (with @p mem,
+ * the context's memory config that runMix() will actually apply) and
+ * its model list. Two jobs collide only if they would simulate the
+ * same thing.
+ */
+std::string sweepJobKey(const SweepJob &job, const NpuMemConfig &mem);
+
+/** Outcome of one job plus its own wall-clock cost and status. */
 struct SweepRecord
 {
     MixOutcome outcome;
     double wallSeconds = 0;
+    SweepStatus status = SweepStatus::Ok;
+    std::string error;          //!< failure message, empty when ok
+    std::uint32_t attempts = 1; //!< > 1 when an escalated retry ran
 };
 
-/** Aggregate timing of the last SweepRunner::run(). */
+/** Failure-containment and recovery knobs for one run(). */
+struct SweepOptions
+{
+    /**
+     * Contain per-job failures: record status + message and keep
+     * going. When false (the default), every record is still filled
+     * in, but the first failing job's exception (in input order) is
+     * rethrown after the sweep drains.
+     */
+    bool keepGoing = false;
+
+    /** Explicit per-job wall-clock budget in seconds (0 = none). */
+    double jobTimeoutSeconds = 0;
+
+    /** Per-job global-cycle budget (0 = none). */
+    Cycle jobMaxCycles = 0;
+
+    /**
+     * Adaptive watchdog: once >= 3 jobs completed, each remaining job
+     * gets a wall budget of budgetMultiplier x the median completed
+     * wall clock (floored at 0.25 s), with one retry at double the
+     * budget before the timeout is recorded as permanent. 0 disables.
+     * Ignored when jobTimeoutSeconds is set (explicit budgets are
+     * hard and not retried).
+     */
+    double budgetMultiplier = 0;
+
+    /**
+     * JSONL checkpoint file: every executed job is appended on
+     * completion (ok or not). Empty disables checkpointing.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Skip jobs already checkpointed ok in checkpointPath; their
+     * records come back as status Skipped with metrics restored from
+     * the checkpoint. Previously failed/timed-out jobs re-execute.
+     */
+    bool resume = false;
+
+    /**
+     * External cooperative stop: raising the token cancels in-flight
+     * simulations at their next watchdog check and marks jobs that
+     * did not complete as Skipped ("cancelled"); they are not
+     * checkpointed, so a later resume re-runs them.
+     */
+    const std::atomic<bool> *stopToken = nullptr;
+};
+
+/** Aggregate timing + outcome counts of the last SweepRunner::run(). */
 struct SweepStats
 {
     std::size_t workers = 0;
-    std::size_t runs = 0;
+    std::size_t runs = 0;      //!< total records (executed + skipped)
     double wallSeconds = 0;    //!< end-to-end, including pre-warm
     double jobSecondsSum = 0;  //!< sum of per-job wall clocks
     double runsPerSecond = 0;
+
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timedOut = 0;
+    std::size_t skipped = 0; //!< restored from checkpoint or cancelled
+    std::size_t retried = 0; //!< jobs that needed an escalated retry
 
     /** One-line human-readable summary. */
     std::string summary() const;
@@ -72,12 +158,23 @@ class SweepRunner
     /**
      * Run all @p jobs against @p context; records come back in input
      * order. @p progress (optional) is invoked under a lock as
-     * progress(done, total) each time a job completes.
+     * progress(done, total) each time a job completes (jobs restored
+     * from a checkpoint count as already done).
      */
     std::vector<SweepRecord>
     run(ExperimentContext &context, const std::vector<SweepJob> &jobs,
+        const SweepOptions &options,
         const std::function<void(std::size_t, std::size_t)> &progress =
             nullptr);
+
+    /** Back-compat overload: default options (fail-fast, no budget). */
+    std::vector<SweepRecord>
+    run(ExperimentContext &context, const std::vector<SweepJob> &jobs,
+        const std::function<void(std::size_t, std::size_t)> &progress =
+            nullptr)
+    {
+        return run(context, jobs, SweepOptions{}, progress);
+    }
 
     /**
      * Generic deterministic-order parallel map: results[i] = fn(i).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -167,15 +168,23 @@ parseInt(const std::string &key, const std::string &text)
         multiplier = last == 'k' ? 1000 : last == 'm' ? 1000000 : 1000000000;
         body.pop_back();
     }
+    std::int64_t value = 0;
     try {
         std::size_t used = 0;
-        std::int64_t value = std::stoll(body, &used, 0);
+        value = std::stoll(body, &used, 0);
         if (used != body.size())
             throw std::invalid_argument(body);
-        return value * multiplier;
+    } catch (const std::out_of_range &) {
+        fatal("config key '", key, "': integer '", text,
+              "' is out of range");
     } catch (const std::exception &) {
         fatal("config key '", key, "': malformed integer '", text, "'");
     }
+    std::int64_t scaled = 0;
+    if (__builtin_mul_overflow(value, multiplier, &scaled))
+        fatal("config key '", key, "': integer '", text,
+              "' overflows 64 bits after its suffix");
+    return scaled;
 }
 
 } // namespace
@@ -267,21 +276,32 @@ ConfigFile::parseSize(const std::string &text)
     }
     if (pos == 0)
         fatal("malformed size '", text, "'");
-    std::uint64_t value = std::stoull(body.substr(0, pos));
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(body.substr(0, pos));
+    } catch (const std::out_of_range &) {
+        fatal("size '", text, "' is out of range");
+    }
     std::string unit = trim(body.substr(pos));
     std::string lower;
     for (char c : unit)
         lower.push_back(
             static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    unsigned shift = 0;
     if (lower.empty() || lower == "b")
-        return value;
-    if (lower == "kb" || lower == "kib" || lower == "k")
-        return value << 10;
-    if (lower == "mb" || lower == "mib" || lower == "m")
-        return value << 20;
-    if (lower == "gb" || lower == "gib" || lower == "g")
-        return value << 30;
-    fatal("malformed size unit in '", text, "'");
+        shift = 0;
+    else if (lower == "kb" || lower == "kib" || lower == "k")
+        shift = 10;
+    else if (lower == "mb" || lower == "mib" || lower == "m")
+        shift = 20;
+    else if (lower == "gb" || lower == "gib" || lower == "g")
+        shift = 30;
+    else
+        fatal("malformed size unit in '", text, "'");
+    if (shift != 0 &&
+        value > (std::numeric_limits<std::uint64_t>::max() >> shift))
+        fatal("size '", text, "' overflows 64 bits");
+    return value << shift;
 }
 
 std::vector<std::vector<std::string>>

@@ -1,0 +1,22 @@
+#include "common/errors.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Deadlock:
+        return "deadlock";
+      case SimErrorKind::CycleBudget:
+        return "cycle-budget";
+      case SimErrorKind::WallClockTimeout:
+        return "wall-clock-timeout";
+      case SimErrorKind::Cancelled:
+        return "cancelled";
+    }
+    return "?";
+}
+
+} // namespace mnpu

@@ -1,8 +1,9 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
 
 namespace mnpu
 {
@@ -10,6 +11,33 @@ namespace mnpu
 namespace
 {
 std::atomic<bool> quietFlag{false};
+
+/**
+ * Serializes stderr output: parallel sweep workers warn() and inform()
+ * concurrently, and without the lock (plus the single fwrite below)
+ * partial lines interleave into garbage.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Emit one complete line to stderr as a single write, under the lock. */
+void
+writeLine(const char *prefix, const std::string &message)
+{
+    std::string line;
+    line.reserve(message.size() + 16);
+    line += prefix;
+    line += message;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 void
@@ -30,22 +58,22 @@ namespace detail
 void
 panicImpl(const std::string &message, const char *file, int line)
 {
-    std::cerr << "panic: " << message << " (" << file << ":" << line << ")"
-              << std::endl;
+    writeLine("panic: ",
+              concat(message, " (", file, ":", line, ")"));
     std::abort();
 }
 
 void
 warnImpl(const std::string &message)
 {
-    std::cerr << "warn: " << message << std::endl;
+    writeLine("warn: ", message);
 }
 
 void
 informImpl(const std::string &message)
 {
     if (!isQuiet())
-        std::cerr << "info: " << message << std::endl;
+        writeLine("info: ", message);
 }
 
 } // namespace detail

@@ -46,6 +46,8 @@ struct ThreadPool::Batch
     std::size_t next = 0;      //!< next unclaimed index (under mutex_)
     std::size_t completed = 0; //!< finished indices (under mutex_)
     std::exception_ptr error;  //!< first task exception (under mutex_)
+    /** Collect mode: per-index exception slots instead of `error`. */
+    std::vector<std::exception_ptr> *collected = nullptr;
     std::condition_variable done;
 };
 
@@ -97,10 +99,31 @@ ThreadPool::workerLoop()
             error = std::current_exception();
         }
         lock.lock();
-        if (error && !batch->error)
-            batch->error = error;
+        if (error) {
+            if (batch->collected)
+                (*batch->collected)[index] = error;
+            else if (!batch->error)
+                batch->error = error;
+        }
         if (++batch->completed == batch->count)
             batch->done.notify_all();
+    }
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(&batch);
+    workReady_.notify_all();
+    batch.done.wait(lock, [&] { return batch.completed == batch.count; });
+    // The batch may still sit (fully claimed) in the queue; drop the
+    // pointer before this frame's Batch goes out of scope.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == &batch) {
+            queue_.erase(it);
+            break;
+        }
     }
 }
 
@@ -118,20 +141,34 @@ ThreadPool::parallelFor(std::size_t count,
     Batch batch;
     batch.fn = &fn;
     batch.count = count;
-    std::unique_lock<std::mutex> lock(mutex_);
-    queue_.push_back(&batch);
-    workReady_.notify_all();
-    batch.done.wait(lock, [&] { return batch.completed == count; });
-    // The batch may still sit (fully claimed) in the queue; drop the
-    // pointer before this frame's Batch goes out of scope.
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (*it == &batch) {
-            queue_.erase(it);
-            break;
-        }
-    }
+    runBatch(batch);
     if (batch.error)
         std::rethrow_exception(batch.error);
+}
+
+std::vector<std::exception_ptr>
+ThreadPool::parallelForCollect(std::size_t count,
+                               const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::exception_ptr> errors(count);
+    if (count == 0)
+        return errors;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        return errors;
+    }
+    Batch batch;
+    batch.fn = &fn;
+    batch.count = count;
+    batch.collected = &errors;
+    runBatch(batch);
+    return errors;
 }
 
 } // namespace mnpu

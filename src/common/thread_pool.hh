@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -62,10 +63,22 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Failure-containment variant of parallelFor(): every index runs
+     * to completion regardless of other indices' exceptions, and the
+     * result holds fn(i)'s exception at slot i (null when it
+     * succeeded). Nothing is rethrown — the caller decides what a
+     * per-task failure means.
+     */
+    std::vector<std::exception_ptr>
+    parallelForCollect(std::size_t count,
+                       const std::function<void(std::size_t)> &fn);
+
   private:
     struct Batch;
 
     void workerLoop();
+    void runBatch(Batch &batch);
 
     std::size_t jobs_ = 1;
     std::vector<std::thread> workers_;

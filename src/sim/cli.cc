@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/config.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "workloads/models.hh"
@@ -305,6 +306,7 @@ int
 mnpusimMain(int argc, char **argv)
 {
     // Optional leading flags before the six positional arguments.
+    RunBudget budget;
     int first = 1;
     while (first < argc && argv[first][0] == '-') {
         std::string flag = argv[first];
@@ -318,6 +320,17 @@ mnpusimMain(int argc, char **argv)
             }
             setDefaultJobCount(static_cast<std::size_t>(jobs));
             first += 2;
+        } else if (flag == "--job-timeout" && first + 1 < argc) {
+            char *end = nullptr;
+            double seconds = std::strtod(argv[first + 1], &end);
+            if (end == argv[first + 1] || *end != '\0' || seconds <= 0) {
+                std::fprintf(stderr,
+                             "malformed --job-timeout value '%s'\n",
+                             argv[first + 1]);
+                return 2;
+            }
+            budget.wallClockSeconds = seconds;
+            first += 2;
         } else {
             break;
         }
@@ -325,7 +338,8 @@ mnpusimMain(int argc, char **argv)
     if (argc - first != 6) {
         std::fprintf(
             stderr,
-            "usage: %s [--jobs N] <arch_config_list> "
+            "usage: %s [--jobs N] [--job-timeout SECONDS] "
+            "<arch_config_list> "
             "<network_config_list> <dram_config> <npumem_config_list> "
             "<result_path> <misc_config>\n",
             argc > 0 ? argv[0] : "mnpusim");
@@ -343,7 +357,7 @@ mnpusimMain(int argc, char **argv)
         }
         CliRun writable = run; // bindings are shared_ptr copies
         MultiCoreSystem system(run.config, std::move(writable.bindings));
-        SimResult result = system.run();
+        SimResult result = system.run(budget);
         writeResults(argv[5], run, result);
         for (std::size_t core = 0; core < result.cores.size(); ++core) {
             std::printf("core %zu (%s): %llu cycles, PE util %.2f%%\n",
@@ -353,6 +367,13 @@ mnpusimMain(int argc, char **argv)
                         100.0 * result.cores[core].peUtilization);
         }
         return 0;
+    } catch (const SimulationError &error) {
+        // Recoverable run failure (deadlock / budget / timeout): a
+        // distinct exit code so sweep scripts can tell it from a
+        // configuration mistake.
+        std::fprintf(stderr, "simulation error (%s): %s\n",
+                     toString(error.kind()), error.what());
+        return 3;
     } catch (const FatalError &error) {
         std::fprintf(stderr, "fatal: %s\n", error.what());
         return 1;

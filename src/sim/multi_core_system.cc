@@ -1,7 +1,9 @@
 #include "sim/multi_core_system.hh"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace mnpu
@@ -151,14 +153,50 @@ MultiCoreSystem::allDone() const
 }
 
 SimResult
-MultiCoreSystem::run()
+MultiCoreSystem::run(const RunBudget &budget)
 {
     mnpu_assert(!ran_, "MultiCoreSystem::run() called twice");
     ran_ = true;
 
+    using WallClock = std::chrono::steady_clock;
+    const bool has_deadline = budget.wallClockSeconds > 0;
+    const WallClock::time_point deadline =
+        has_deadline ? WallClock::now() +
+                           std::chrono::duration_cast<WallClock::duration>(
+                               std::chrono::duration<double>(
+                                   budget.wallClockSeconds))
+                     : WallClock::time_point{};
+    Cycle max_cycles = config_.maxGlobalCycles;
+    if (budget.maxGlobalCycles != 0) {
+        max_cycles = max_cycles == 0
+                         ? budget.maxGlobalCycles
+                         : std::min(max_cycles, budget.maxGlobalCycles);
+    }
+
     Cycle now = 0;
     std::uint64_t tick = 0;
     while (!allDone()) {
+        // Watchdog: wall clock and the stop token are sampled every
+        // 256 iterations (including the first) so a livelocked run
+        // still exits promptly without a syscall per event.
+        if (tick % 256 == 0) {
+            if (budget.stopToken &&
+                budget.stopToken->load(std::memory_order_relaxed)) {
+                throw SimulationError(
+                    SimErrorKind::Cancelled,
+                    detail::concat("simulation cancelled at global cycle ",
+                                   now));
+            }
+            if (has_deadline && WallClock::now() >= deadline) {
+                throw SimulationError(
+                    SimErrorKind::WallClockTimeout,
+                    detail::concat("simulation exceeded its wall-clock "
+                                   "budget of ",
+                                   budget.wallClockSeconds,
+                                   " s at global cycle ", now));
+            }
+        }
+
         dram_->tick(now);
         mmu_->tick(now);
         // Rotate the service order so no core gets a standing first-
@@ -179,14 +217,22 @@ MultiCoreSystem::run()
         for (auto &core : cores_)
             next = std::min(next, core->nextEventCycle(now));
         if (next == kCycleNever) {
-            mnpu_panic("simulation deadlock at global cycle ", now,
-                       " with unfinished cores");
+            // Not a panic: a deadlocked *mix* is a per-run failure the
+            // sweep layer can record and move past, not a reason to
+            // take down the whole campaign.
+            throw SimulationError(
+                SimErrorKind::Deadlock,
+                detail::concat("simulation deadlock at global cycle ",
+                               now, " with unfinished cores"));
         }
         mnpu_assert(next > now, "time must advance");
         now = next;
-        if (config_.maxGlobalCycles != 0 && now > config_.maxGlobalCycles)
-            fatal("simulation exceeded maxGlobalCycles (",
-                  config_.maxGlobalCycles, ")");
+        if (max_cycles != 0 && now > max_cycles) {
+            throw SimulationError(
+                SimErrorKind::CycleBudget,
+                detail::concat("simulation exceeded its cycle budget (",
+                               max_cycles, " global cycles)"));
+        }
     }
 
     dram_->finalizeTelemetry();

@@ -60,8 +60,14 @@ class MultiCoreSystem
     MultiCoreSystem(const SystemConfig &config,
                     std::vector<CoreBinding> bindings);
 
-    /** Run to completion and collect results. */
-    SimResult run();
+    /**
+     * Run to completion and collect results. @p budget adds a
+     * watchdog on top of the config's own maxGlobalCycles: deadlock,
+     * a blown cycle budget, a wall-clock timeout, and an external
+     * stop token all throw SimulationError (common/errors.hh), which
+     * leaves the process — and every other run — intact.
+     */
+    SimResult run(const RunBudget &budget = RunBudget{});
 
     /** Component access for telemetry readouts after run(). */
     const DramSystem &dram() const { return *dram_; }

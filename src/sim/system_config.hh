@@ -8,6 +8,7 @@
 #ifndef MNPU_SIM_SYSTEM_CONFIG_HH
 #define MNPU_SIM_SYSTEM_CONFIG_HH
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -44,6 +45,34 @@ struct NpuMemConfig
 
     /** Table 2's cloud-scale configuration (the defaults). */
     static NpuMemConfig cloudNpu() { return NpuMemConfig{}; }
+};
+
+/**
+ * Watchdog budget for one MultiCoreSystem::run(): every limit is
+ * checked cooperatively inside the event loop and blowing one throws
+ * SimulationError (common/errors.hh) instead of aborting, so a sweep
+ * layer can contain a livelocked or runaway mix per job. Zero / null
+ * fields are unlimited.
+ */
+struct RunBudget
+{
+    /** Global-cycle cap on top of SystemConfig::maxGlobalCycles. */
+    Cycle maxGlobalCycles = 0;
+
+    /** Wall-clock limit in seconds for this run (watchdog). */
+    double wallClockSeconds = 0;
+
+    /**
+     * External cooperative stop token: when it becomes true the run
+     * throws SimulationError(Cancelled) at the next loop check.
+     */
+    const std::atomic<bool> *stopToken = nullptr;
+
+    bool unlimited() const
+    {
+        return maxGlobalCycles == 0 && wallClockSeconds <= 0 &&
+               stopToken == nullptr;
+    }
 };
 
 struct SystemConfig
@@ -85,7 +114,10 @@ struct SystemConfig
     /** Per-core DMA request-rate trace window (0 = disabled), Fig. 2b. */
     Cycle requestTraceWindow = 0;
 
-    /** Safety cap; fatal() when exceeded (0 = unlimited). */
+    /**
+     * Safety cap; throws SimulationError(CycleBudget) when exceeded
+     * (0 = unlimited).
+     */
     Cycle maxGlobalCycles = 0;
 
     /**

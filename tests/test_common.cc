@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/clock_domain.hh"
 #include "common/config.hh"
@@ -109,6 +111,34 @@ TEST(ConfigTest, ParseSizeUnits)
     EXPECT_EQ(ConfigFile::parseSize(" 1 K "), 1024u);
     EXPECT_THROW(ConfigFile::parseSize("abc"), FatalError);
     EXPECT_THROW(ConfigFile::parseSize("4tb"), FatalError);
+}
+
+TEST(ConfigTest, ParseSizeOverflowIsFatalNotUndefined)
+{
+    // A digit string past uint64 range used to escape stoull as an
+    // uncaught std::out_of_range; it must be a FatalError like every
+    // other malformed value.
+    EXPECT_THROW(ConfigFile::parseSize("99999999999999999999"),
+                 FatalError);
+    // In-range mantissa whose unit shift would wrap 64 bits.
+    EXPECT_THROW(ConfigFile::parseSize("99999999999999999gb"),
+                 FatalError);
+    EXPECT_THROW(ConfigFile::parseSize("18446744073709551615kb"),
+                 FatalError);
+    // The largest representable values still parse.
+    EXPECT_EQ(ConfigFile::parseSize("16777215gb"), 16777215ull << 30);
+}
+
+TEST(ConfigTest, IntSuffixOverflowIsFatal)
+{
+    auto config = ConfigFile::fromString(
+        "huge = 99999999999999999999\n"
+        "scaled = 99999999999g\n"
+        "fits = 9223372036g\n");
+    EXPECT_THROW(config.getInt("huge", 0), FatalError);
+    // In-range before the 'g' multiplier, overflows after it.
+    EXPECT_THROW(config.getInt("scaled", 0), FatalError);
+    EXPECT_EQ(config.getInt("fits", 0), 9223372036000000000LL);
 }
 
 TEST(ConfigTest, SetOverwritesAndKeepsOrder)
@@ -367,6 +397,22 @@ TEST(LoggingTest, QuietToggle)
     setQuiet(true);
     EXPECT_TRUE(isQuiet());
     setQuiet(before);
+}
+
+TEST(LoggingTest, ConcurrentWarnsDoNotRace)
+{
+    // Parallel sweep workers warn() concurrently; the mutexed
+    // single-write path must be data-race free (this test is part of
+    // the CI TSan filter) and must not crash or deadlock.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 50; ++i)
+                warn("concurrent logging check thread ", t, " line ", i);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
 }
 
 } // namespace

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "sim/multi_core_system.hh"
 #include "sw/trace_generator.hh"
@@ -327,7 +330,7 @@ TEST(CoreSimTest, MultiplierOnlyForIdeal)
                  FatalError);
 }
 
-TEST(CoreSimTest, MaxCyclesGuardFires)
+TEST(CoreSimTest, MaxCyclesGuardThrowsRecoverableSimulationError)
 {
     SystemConfig config;
     config.level = SharingLevel::Ideal;
@@ -336,7 +339,98 @@ TEST(CoreSimTest, MaxCyclesGuardFires)
     std::vector<CoreBinding> bindings(1);
     bindings[0].trace = gemmTrace("a", 512, 512, 512);
     MultiCoreSystem system(config, std::move(bindings));
-    EXPECT_THROW(system.run(), FatalError);
+    try {
+        system.run();
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &error) {
+        EXPECT_EQ(error.kind(), SimErrorKind::CycleBudget);
+        EXPECT_TRUE(error.isBudget());
+        EXPECT_NE(std::string(error.what()).find("cycle budget"),
+                  std::string::npos);
+    }
+}
+
+TEST(CoreSimTest, RunBudgetCycleCapTightensConfigCap)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.mem = tinyMem();
+    // Config allows plenty; the per-run budget is the binding cap.
+    config.maxGlobalCycles = 1'000'000'000;
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = gemmTrace("a", 512, 512, 512);
+    MultiCoreSystem system(config, std::move(bindings));
+    RunBudget budget;
+    budget.maxGlobalCycles = 10;
+    try {
+        system.run(budget);
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &error) {
+        EXPECT_EQ(error.kind(), SimErrorKind::CycleBudget);
+    }
+}
+
+TEST(CoreSimTest, WallClockWatchdogFires)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.mem = tinyMem();
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = gemmTrace("a", 512, 512, 512);
+    MultiCoreSystem system(config, std::move(bindings));
+    RunBudget budget;
+    budget.wallClockSeconds = 1e-9; // expires before the first check
+    try {
+        system.run(budget);
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &error) {
+        EXPECT_EQ(error.kind(), SimErrorKind::WallClockTimeout);
+        EXPECT_TRUE(error.isBudget());
+    }
+}
+
+TEST(CoreSimTest, StopTokenCancelsCooperatively)
+{
+    SystemConfig config;
+    config.level = SharingLevel::Ideal;
+    config.mem = tinyMem();
+    std::vector<CoreBinding> bindings(1);
+    bindings[0].trace = gemmTrace("a", 512, 512, 512);
+    MultiCoreSystem system(config, std::move(bindings));
+    std::atomic<bool> stop{true}; // raised before the run starts
+    RunBudget budget;
+    budget.stopToken = &stop;
+    try {
+        system.run(budget);
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &error) {
+        EXPECT_EQ(error.kind(), SimErrorKind::Cancelled);
+        EXPECT_FALSE(error.isBudget());
+    }
+}
+
+TEST(CoreSimTest, UnlimitedBudgetDoesNotPerturbResults)
+{
+    auto run_once = [](const RunBudget &budget) {
+        SystemConfig config;
+        config.level = SharingLevel::Ideal;
+        config.mem = tinyMem();
+        std::vector<CoreBinding> bindings(1);
+        bindings[0].trace = gemmTrace("a", 128, 128, 128);
+        MultiCoreSystem system(config, std::move(bindings));
+        return system.run(budget);
+    };
+    RunBudget loose;
+    loose.wallClockSeconds = 3600;
+    loose.maxGlobalCycles = 1'000'000'000;
+    SimResult with_budget = run_once(loose);
+    SimResult without_budget = run_once(RunBudget{});
+    EXPECT_TRUE(RunBudget{}.unlimited());
+    EXPECT_FALSE(loose.unlimited());
+    ASSERT_EQ(with_budget.cores.size(), without_budget.cores.size());
+    EXPECT_EQ(with_budget.globalCycles, without_budget.globalCycles);
+    EXPECT_EQ(with_budget.cores[0].localCycles,
+              without_budget.cores[0].localCycles);
 }
 
 TEST(CoreSimTest, EmptyBindingsRejected)

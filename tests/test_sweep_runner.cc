@@ -1,22 +1,30 @@
 /**
  * @file
- * Tests for the ThreadPool and the parallel SweepRunner, including the
- * central determinism guarantee: the same sweep run serially and with
- * jobs=4 produces bit-identical SimResults per mix. The CI TSan job
- * re-builds the suite with -fsanitize=thread and runs exactly these
- * tests (--gtest_filter=ThreadPool*:SweepRunner*:ExperimentContext*)
- * to catch races in the shared ExperimentContext caches under real
- * interleaving.
+ * Tests for the ThreadPool and the parallel SweepRunner: the central
+ * determinism guarantee (the same sweep run serially and with jobs=4
+ * produces bit-identical SimResults per mix), per-job fault
+ * containment, watchdog budgets, and crash-safe checkpoint/resume.
+ * The CI TSan job re-builds the suite with -fsanitize=thread and runs
+ * these suites (--gtest_filter=ThreadPool*:SweepRunner*:
+ * SweepCheckpoint*:ExperimentContext*:Logging*) to catch races in the
+ * shared ExperimentContext caches and the checkpoint writer under
+ * real interleaving.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <numeric>
 #include <vector>
 
 #include "analysis/mixes.hh"
+#include "analysis/sweep_checkpoint.hh"
 #include "analysis/sweep_runner.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sw/network.hh"
@@ -70,6 +78,40 @@ TEST(ThreadPoolTest, PropagatesFirstException)
                                       }),
                      FatalError);
         // The pool must stay usable after a failed batch.
+        std::atomic<std::size_t> ran{0};
+        pool.parallelFor(8, [&](std::size_t) { ++ran; });
+        EXPECT_EQ(ran.load(), 8u);
+    }
+}
+
+TEST(ThreadPoolTest, CollectModeRunsEveryTaskAndKeepsEachException)
+{
+    for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+        ThreadPool pool(jobs);
+        std::vector<std::atomic<int>> hits(16);
+        auto errors = pool.parallelForCollect(16, [&](std::size_t i) {
+            ++hits[i];
+            if (i % 3 == 0)
+                fatal("boom at ", i);
+        });
+        ASSERT_EQ(errors.size(), 16u);
+        for (std::size_t i = 0; i < errors.size(); ++i) {
+            // Every index ran exactly once, failures included.
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+            if (i % 3 == 0) {
+                ASSERT_TRUE(errors[i]) << "index " << i;
+                try {
+                    std::rethrow_exception(errors[i]);
+                } catch (const FatalError &error) {
+                    EXPECT_NE(std::string(error.what()).find(
+                                  std::to_string(i)),
+                              std::string::npos);
+                }
+            } else {
+                EXPECT_FALSE(errors[i]) << "index " << i;
+            }
+        }
+        // The pool must stay usable after a collected batch.
         std::atomic<std::size_t> ran{0};
         pool.parallelFor(8, [&](std::size_t) { ++ran; });
         EXPECT_EQ(ran.load(), 8u);
@@ -251,6 +293,294 @@ TEST(SweepRunnerTest, ProgressReportsEveryCompletion)
     std::vector<std::size_t> expected(jobs.size());
     std::iota(expected.begin(), expected.end(), 1);
     EXPECT_EQ(seen, expected);
+}
+
+// --- SweepRunner fault containment ---
+
+/** Unique checkpoint path under the test temp dir, cleared up front. */
+std::string
+tempCheckpointPath(const char *name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+/** Good, FatalError (unknown model), cycle-budget blowout, good. */
+std::vector<SweepJob>
+containmentJobs()
+{
+    std::vector<SweepJob> jobs(4);
+    jobs[0].models = {"net0", "net1"};
+    jobs[1].models = {"no-such-model", "net0"};
+    jobs[2].models = {"net0", "net2"};
+    jobs[2].config.maxGlobalCycles = 10;
+    jobs[3].config.level = SharingLevel::ShareDWT;
+    jobs[3].models = {"net1", "net2"};
+    return jobs;
+}
+
+TEST(SweepRunnerTest, KeepGoingContainsFailuresAndKeepsSurvivorsIdentical)
+{
+    auto jobs = containmentJobs();
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    SweepRunner runner(4);
+    SweepOptions options;
+    options.keepGoing = true;
+    auto records = runner.run(context, jobs, options);
+    ASSERT_EQ(records.size(), 4u);
+
+    EXPECT_EQ(records[0].status, SweepStatus::Ok);
+    EXPECT_EQ(records[1].status, SweepStatus::Failed);
+    EXPECT_EQ(records[2].status, SweepStatus::TimedOut);
+    EXPECT_EQ(records[3].status, SweepStatus::Ok);
+    EXPECT_NE(records[1].error.find("unknown model"), std::string::npos);
+    EXPECT_NE(records[2].error.find("cycle-budget"), std::string::npos);
+
+    // Failed metrics are NaN-poisoned but sized to the mix, so benches
+    // indexing per-slot metrics read NaN instead of off the end.
+    for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+        ASSERT_EQ(records[i].outcome.speedups.size(), 2u) << "mix " << i;
+        EXPECT_TRUE(std::isnan(records[i].outcome.speedups[0]));
+        EXPECT_TRUE(std::isnan(records[i].outcome.geomeanSpeedup));
+        EXPECT_TRUE(std::isnan(records[i].outcome.fairnessValue));
+    }
+
+    const SweepStats &stats = runner.lastStats();
+    EXPECT_EQ(stats.ok, 2u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.timedOut, 1u);
+    EXPECT_EQ(stats.skipped, 0u);
+    EXPECT_NE(stats.summary().find("1 failed"), std::string::npos);
+    EXPECT_NE(stats.summary().find("1 timed out"), std::string::npos);
+
+    // The survivors are bit-identical to a clean serial sweep that
+    // never contained the poisoned jobs.
+    ExperimentContext clean_context(sweepArch(), sweepMem());
+    registerSweepNetworks(clean_context);
+    SweepRunner clean_runner(1);
+    auto clean = clean_runner.run(clean_context, {jobs[0], jobs[3]});
+    const std::size_t survivors[2] = {0, 3};
+    for (std::size_t s = 0; s < 2; ++s) {
+        const SimResult &a = records[survivors[s]].outcome.raw;
+        const SimResult &b = clean[s].outcome.raw;
+        ASSERT_EQ(a.cores.size(), b.cores.size()) << "survivor " << s;
+        EXPECT_EQ(a.globalCycles, b.globalCycles) << "survivor " << s;
+        for (std::size_t c = 0; c < a.cores.size(); ++c) {
+            EXPECT_EQ(a.cores[c].localCycles, b.cores[c].localCycles)
+                << "survivor " << s << " core " << c;
+            EXPECT_EQ(a.cores[c].trafficBytes, b.cores[c].trafficBytes)
+                << "survivor " << s << " core " << c;
+        }
+        EXPECT_DOUBLE_EQ(records[survivors[s]].outcome.geomeanSpeedup,
+                         clean[s].outcome.geomeanSpeedup)
+            << "survivor " << s;
+    }
+}
+
+TEST(SweepRunnerTest, FailFastRethrowsFirstFailureInInputOrder)
+{
+    auto jobs = containmentJobs();
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    SweepRunner runner(4);
+    // Default options: the first failing job in *input* order surfaces
+    // — the FatalError mix (index 1), not the cycle-budget one (index
+    // 2) — regardless of which worker finished first.
+    try {
+        runner.run(context, jobs, SweepOptions{});
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("unknown model"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepRunnerTest, CheckpointResumeExecutesOnlyUnfinishedJobs)
+{
+    const std::string path = tempCheckpointPath("mnpu_ckpt_resume.jsonl");
+    auto jobs = dualSweepJobs();
+    SweepOptions options;
+    options.checkpointPath = path;
+    options.resume = true;
+
+    // Reference: a clean serial run of the full list.
+    ExperimentContext reference_context(sweepArch(), sweepMem());
+    registerSweepNetworks(reference_context);
+    SweepRunner reference_runner(1);
+    auto reference = reference_runner.run(reference_context, jobs);
+
+    // Phase 1: a "killed" sweep — only the first 5 jobs completed.
+    std::vector<SweepJob> first(jobs.begin(), jobs.begin() + 5);
+    ExperimentContext context1(sweepArch(), sweepMem());
+    registerSweepNetworks(context1);
+    SweepRunner runner1(2);
+    runner1.run(context1, first, options);
+
+    // The kill signature: a torn trailing line with no newline.
+    {
+        std::ofstream torn(path, std::ios::app);
+        torn << "{\"key\":\"dead";
+    }
+
+    // Phase 2: resume over the full list — the checkpointed jobs come
+    // back Skipped with restored metrics; only the rest execute.
+    ExperimentContext context2(sweepArch(), sweepMem());
+    registerSweepNetworks(context2);
+    SweepRunner runner2(2);
+    std::vector<std::size_t> seen;
+    auto records =
+        runner2.run(context2, jobs, options,
+                    [&](std::size_t done, std::size_t total) {
+                        EXPECT_EQ(total, jobs.size());
+                        seen.push_back(done);
+                    });
+    ASSERT_EQ(records.size(), jobs.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].status,
+                  i < 5 ? SweepStatus::Skipped : SweepStatus::Ok)
+            << "mix " << i;
+        // Restored or re-executed, the metrics match the clean run.
+        EXPECT_DOUBLE_EQ(records[i].outcome.geomeanSpeedup,
+                         reference[i].outcome.geomeanSpeedup)
+            << "mix " << i;
+        EXPECT_DOUBLE_EQ(records[i].outcome.fairnessValue,
+                         reference[i].outcome.fairnessValue)
+            << "mix " << i;
+        ASSERT_EQ(records[i].outcome.speedups.size(),
+                  reference[i].outcome.speedups.size());
+        for (std::size_t m = 0; m < records[i].outcome.speedups.size();
+             ++m) {
+            EXPECT_DOUBLE_EQ(records[i].outcome.speedups[m],
+                             reference[i].outcome.speedups[m])
+                << "mix " << i << " slot " << m;
+        }
+        const SimResult &a = records[i].outcome.raw;
+        const SimResult &b = reference[i].outcome.raw;
+        EXPECT_EQ(a.globalCycles, b.globalCycles) << "mix " << i;
+        ASSERT_EQ(a.cores.size(), b.cores.size()) << "mix " << i;
+        for (std::size_t c = 0; c < a.cores.size(); ++c)
+            EXPECT_EQ(a.cores[c].localCycles, b.cores[c].localCycles)
+                << "mix " << i << " core " << c;
+    }
+    EXPECT_EQ(runner2.lastStats().skipped, 5u);
+    EXPECT_EQ(runner2.lastStats().ok, jobs.size() - 5);
+    // Progress counts restored jobs as already done: the first callback
+    // reports 6/12, the last 12/12.
+    ASSERT_EQ(seen.size(), jobs.size() - 5);
+    EXPECT_EQ(seen.front(), 6u);
+    EXPECT_EQ(seen.back(), jobs.size());
+
+    // Phase 3: everything is checkpointed now — nothing re-executes.
+    ExperimentContext context3(sweepArch(), sweepMem());
+    registerSweepNetworks(context3);
+    SweepRunner runner3(2);
+    auto all_skipped = runner3.run(context3, jobs, options);
+    for (const auto &record : all_skipped)
+        EXPECT_EQ(record.status, SweepStatus::Skipped);
+    EXPECT_EQ(runner3.lastStats().skipped, jobs.size());
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunnerTest, PresetStopTokenCancelsWithoutCheckpointing)
+{
+    const std::string path = tempCheckpointPath("mnpu_ckpt_cancel.jsonl");
+    auto jobs = dualSweepJobs();
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    SweepRunner runner(2);
+    std::atomic<bool> stop{true};
+    SweepOptions options;
+    options.checkpointPath = path;
+    options.stopToken = &stop;
+    auto records = runner.run(context, jobs, options);
+    ASSERT_EQ(records.size(), jobs.size());
+    for (const auto &record : records) {
+        EXPECT_EQ(record.status, SweepStatus::Skipped);
+        EXPECT_NE(record.error.find("cancelled"), std::string::npos);
+    }
+    EXPECT_EQ(runner.lastStats().skipped, jobs.size());
+    // Cancelled jobs are never checkpointed: a later resume re-runs
+    // them instead of trusting metrics that were never computed.
+    EXPECT_TRUE(loadSweepCheckpoint(path).empty());
+    std::remove(path.c_str());
+}
+
+// --- Checkpoint serialization ---
+
+TEST(SweepCheckpointTest, JsonLineRoundTripsIncludingNanAndEscapes)
+{
+    SweepCheckpointRecord record;
+    record.key = "00deadbeef00cafe";
+    record.status = SweepStatus::Failed;
+    record.error = "bad \"model\" \\ name\nwith\tcontrol\x01 bytes";
+    record.wallSeconds = 1.25;
+    record.models = {"net0", "weird\"name"};
+    record.speedups = {0.5, std::numeric_limits<double>::quiet_NaN()};
+    record.slowdowns = {2.0, 1.0 / 3.0};
+    record.geomeanSpeedup = std::numeric_limits<double>::quiet_NaN();
+    record.fairnessValue = 0.875;
+    record.localCycles = {123456789ULL, 42ULL};
+    record.globalCycles = 987654321ULL;
+
+    SweepCheckpointRecord parsed;
+    ASSERT_TRUE(parseJsonLine(toJsonLine(record), parsed));
+    EXPECT_EQ(parsed.key, record.key);
+    EXPECT_EQ(parsed.status, SweepStatus::Failed);
+    EXPECT_EQ(parsed.error, record.error);
+    EXPECT_DOUBLE_EQ(parsed.wallSeconds, 1.25);
+    EXPECT_EQ(parsed.models, record.models);
+    ASSERT_EQ(parsed.speedups.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.speedups[0], 0.5);
+    EXPECT_TRUE(std::isnan(parsed.speedups[1])); // null -> NaN
+    ASSERT_EQ(parsed.slowdowns.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.slowdowns[1], 1.0 / 3.0);
+    EXPECT_TRUE(std::isnan(parsed.geomeanSpeedup));
+    EXPECT_DOUBLE_EQ(parsed.fairnessValue, 0.875);
+    EXPECT_EQ(parsed.localCycles, record.localCycles);
+    EXPECT_EQ(parsed.globalCycles, record.globalCycles);
+}
+
+TEST(SweepCheckpointTest, ParseRejectsTornAndForeignLines)
+{
+    SweepCheckpointRecord record;
+    EXPECT_FALSE(parseJsonLine("", record));
+    EXPECT_FALSE(parseJsonLine("{\"key\":\"abc", record)); // torn tail
+    EXPECT_FALSE(parseJsonLine("{\"status\":\"ok\"}", record)); // no key
+    EXPECT_FALSE(parseJsonLine("not json at all", record));
+    // Unknown fields from a newer writer are skipped, not fatal.
+    EXPECT_TRUE(parseJsonLine(
+        "{\"key\":\"k1\",\"future_field\":[1,2,3],\"status\":\"ok\"}",
+        record));
+    EXPECT_EQ(record.key, "k1");
+    EXPECT_EQ(record.status, SweepStatus::Ok);
+}
+
+TEST(SweepCheckpointTest, JobKeyDiscriminatesConfigMemAndModels)
+{
+    NpuMemConfig mem = sweepMem();
+    SweepJob job;
+    job.models = {"net0", "net1"};
+    const std::string base = sweepJobKey(job, mem);
+    EXPECT_EQ(base.size(), 16u);
+    EXPECT_EQ(sweepJobKey(job, mem), base); // stable across calls
+
+    SweepJob other = job;
+    other.config.level = SharingLevel::Static; // default is ShareDWT
+    EXPECT_NE(sweepJobKey(other, mem), base);
+
+    other = job;
+    other.models = {"net1", "net0"}; // order = core assignment
+    EXPECT_NE(sweepJobKey(other, mem), base);
+
+    other = job;
+    other.config.maxGlobalCycles = 10;
+    EXPECT_NE(sweepJobKey(other, mem), base);
+
+    NpuMemConfig other_mem = mem;
+    other_mem.pageBytes *= 2;
+    EXPECT_NE(sweepJobKey(job, other_mem), base);
 }
 
 // --- ExperimentContext cache keying (the '#' collision bugfix) ---
