@@ -104,6 +104,7 @@ class ExperimentContext
 
     const ArchConfig &arch() const { return arch_; }
     const NpuMemConfig &mem() const { return mem_; }
+    ModelScale scale() const { return scale_; }
 
   private:
     /**

@@ -1,9 +1,11 @@
 #include "analysis/sweep_checkpoint.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "common/config.hh"
@@ -173,11 +175,32 @@ class JsonReader
                         fail();
                         return out;
                     }
-                    unsigned code = static_cast<unsigned>(std::strtoul(
-                        text_.substr(pos_, 4).c_str(), nullptr, 16));
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char digit = text_[pos_ + static_cast<std::size_t>(i)];
+                        unsigned nibble;
+                        if (digit >= '0' && digit <= '9')
+                            nibble = static_cast<unsigned>(digit - '0');
+                        else if (digit >= 'a' && digit <= 'f')
+                            nibble = static_cast<unsigned>(digit - 'a') + 10;
+                        else if (digit >= 'A' && digit <= 'F')
+                            nibble = static_cast<unsigned>(digit - 'A') + 10;
+                        else {
+                            fail(); // garbage hex: reject the line
+                            return out;
+                        }
+                        code = code << 4 | nibble;
+                    }
                     pos_ += 4;
-                    // The writer only emits \u00XX control codes.
-                    out.push_back(static_cast<char>(code & 0xff));
+                    // The writer only emits \u00XX control codes; a
+                    // larger code point would need UTF-8 encoding this
+                    // reader does not do, so reject it rather than
+                    // silently mangle a hand-edited file.
+                    if (code > 0xff) {
+                        fail();
+                        return out;
+                    }
+                    out.push_back(static_cast<char>(code));
                     break;
                   }
                   default:
@@ -210,6 +233,26 @@ class JsonReader
         return value;
     }
 
+    /**
+     * Exact 64-bit integer: the writer emits cycle and byte counters
+     * via std::to_string, and a double round-trip would lose precision
+     * above 2^53, silently breaking bit-identical restore.
+     */
+    std::uint64_t readUInt64()
+    {
+        skipSpace();
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long value = std::strtoull(begin, &end, 10);
+        if (end == begin || *begin == '-' || errno == ERANGE) {
+            fail();
+            return 0;
+        }
+        pos_ += static_cast<std::size_t>(end - begin);
+        return value;
+    }
+
   private:
     const std::string &text_;
     std::size_t pos_ = 0;
@@ -222,9 +265,35 @@ std::string
 toJsonLine(const SweepCheckpointRecord &record)
 {
     std::string out;
-    out.reserve(256);
+    out.reserve(512);
+    auto doubleArray = [&out](const char *name,
+                              const std::vector<double> &values) {
+        out += ",\"";
+        out += name;
+        out += "\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendDouble(out, values[i]);
+        }
+        out += "]";
+    };
+    auto u64Array = [&out](const char *name,
+                           const std::vector<std::uint64_t> &values) {
+        out += ",\"";
+        out += name;
+        out += "\":[";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            out += std::to_string(values[i]);
+        }
+        out += "]";
+    };
     out += "{\"key\":";
     appendEscaped(out, record.key);
+    out += ",\"v\":";
+    out += std::to_string(record.version);
     out += ",\"status\":";
     appendEscaped(out, toString(record.status));
     out += ",\"error\":";
@@ -237,30 +306,42 @@ toJsonLine(const SweepCheckpointRecord &record)
             out.push_back(',');
         appendEscaped(out, record.models[i]);
     }
-    out += "],\"speedups\":[";
-    for (std::size_t i = 0; i < record.speedups.size(); ++i) {
-        if (i)
-            out.push_back(',');
-        appendDouble(out, record.speedups[i]);
-    }
-    out += "],\"slowdowns\":[";
-    for (std::size_t i = 0; i < record.slowdowns.size(); ++i) {
-        if (i)
-            out.push_back(',');
-        appendDouble(out, record.slowdowns[i]);
-    }
-    out += "],\"geomean_speedup\":";
+    out += "]";
+    doubleArray("speedups", record.speedups);
+    doubleArray("slowdowns", record.slowdowns);
+    out += ",\"geomean_speedup\":";
     appendDouble(out, record.geomeanSpeedup);
     out += ",\"fairness\":";
     appendDouble(out, record.fairnessValue);
-    out += ",\"local_cycles\":[";
-    for (std::size_t i = 0; i < record.localCycles.size(); ++i) {
+    u64Array("local_cycles", record.localCycles);
+    u64Array("finished_at_global", record.finishedAtGlobal);
+    doubleArray("pe_utilization", record.peUtilization);
+    u64Array("traffic_bytes", record.trafficBytes);
+    u64Array("walk_bytes", record.walkBytes);
+    u64Array("tlb_hits", record.tlbHits);
+    u64Array("tlb_misses", record.tlbMisses);
+    u64Array("walks", record.walks);
+    out += ",\"layer_finish_local\":[";
+    for (std::size_t i = 0; i < record.layerFinishLocal.size(); ++i) {
         if (i)
             out.push_back(',');
-        out += std::to_string(record.localCycles[i]);
+        out.push_back('[');
+        const auto &layers = record.layerFinishLocal[i];
+        for (std::size_t j = 0; j < layers.size(); ++j) {
+            if (j)
+                out.push_back(',');
+            out += std::to_string(layers[j]);
+        }
+        out.push_back(']');
     }
     out += "],\"global_cycles\":";
     out += std::to_string(record.globalCycles);
+    out += ",\"dram_energy_pj\":";
+    appendDouble(out, record.dramEnergyPj);
+    out += ",\"dram_row_hits\":";
+    out += std::to_string(record.dramRowHits);
+    out += ",\"dram_row_misses\":";
+    out += std::to_string(record.dramRowMisses);
     out += "}";
     return out;
 }
@@ -272,6 +353,51 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
     if (!reader.consume('{'))
         return false;
     SweepCheckpointRecord parsed;
+    parsed.version = 1; // records without "v" predate versioning
+    auto readDoubleArray = [&reader](std::vector<double> &out) {
+        if (!reader.consume('['))
+            return false;
+        bool first_item = true;
+        while (reader.ok() && !reader.consume(']')) {
+            if (!first_item && !reader.consume(','))
+                return false;
+            first_item = false;
+            out.push_back(reader.readNumber());
+        }
+        return reader.ok();
+    };
+    auto readU64Array = [&reader](std::vector<std::uint64_t> &out) {
+        if (!reader.consume('['))
+            return false;
+        bool first_item = true;
+        while (reader.ok() && !reader.consume(']')) {
+            if (!first_item && !reader.consume(','))
+                return false;
+            first_item = false;
+            out.push_back(reader.readUInt64());
+        }
+        return reader.ok();
+    };
+    // Unknown field (newer writer): skip its value — string, number,
+    // or arbitrarily nested array — so old readers stay
+    // forward-compatible.
+    std::function<void()> skipValue = [&reader, &skipValue]() {
+        if (reader.peek() == '"') {
+            reader.readString();
+        } else if (reader.consume('[')) {
+            bool first_item = true;
+            while (reader.ok() && !reader.consume(']')) {
+                if (!first_item && !reader.consume(',')) {
+                    reader.fail();
+                    return;
+                }
+                first_item = false;
+                skipValue();
+            }
+        } else {
+            reader.readNumber();
+        }
+    };
     bool saw_key = false;
     bool first = true;
     while (reader.ok() && !reader.consume('}')) {
@@ -284,6 +410,9 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
         if (field == "key") {
             parsed.key = reader.readString();
             saw_key = true;
+        } else if (field == "v") {
+            parsed.version =
+                static_cast<std::uint32_t>(reader.readUInt64());
         } else if (field == "status") {
             if (!statusFromString(reader.readString(), parsed.status))
                 return false;
@@ -295,9 +424,14 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
             parsed.geomeanSpeedup = reader.readNumber();
         } else if (field == "fairness") {
             parsed.fairnessValue = reader.readNumber();
+        } else if (field == "dram_energy_pj") {
+            parsed.dramEnergyPj = reader.readNumber();
         } else if (field == "global_cycles") {
-            parsed.globalCycles =
-                static_cast<std::uint64_t>(reader.readNumber());
+            parsed.globalCycles = reader.readUInt64();
+        } else if (field == "dram_row_hits") {
+            parsed.dramRowHits = reader.readUInt64();
+        } else if (field == "dram_row_misses") {
+            parsed.dramRowMisses = reader.readUInt64();
         } else if (field == "models") {
             if (!reader.consume('['))
                 return false;
@@ -306,40 +440,51 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
                     return false;
                 parsed.models.push_back(reader.readString());
             }
-        } else if (field == "speedups" || field == "slowdowns" ||
-                   field == "local_cycles") {
+        } else if (field == "speedups") {
+            if (!readDoubleArray(parsed.speedups))
+                return false;
+        } else if (field == "slowdowns") {
+            if (!readDoubleArray(parsed.slowdowns))
+                return false;
+        } else if (field == "pe_utilization") {
+            if (!readDoubleArray(parsed.peUtilization))
+                return false;
+        } else if (field == "local_cycles") {
+            if (!readU64Array(parsed.localCycles))
+                return false;
+        } else if (field == "finished_at_global") {
+            if (!readU64Array(parsed.finishedAtGlobal))
+                return false;
+        } else if (field == "traffic_bytes") {
+            if (!readU64Array(parsed.trafficBytes))
+                return false;
+        } else if (field == "walk_bytes") {
+            if (!readU64Array(parsed.walkBytes))
+                return false;
+        } else if (field == "tlb_hits") {
+            if (!readU64Array(parsed.tlbHits))
+                return false;
+        } else if (field == "tlb_misses") {
+            if (!readU64Array(parsed.tlbMisses))
+                return false;
+        } else if (field == "walks") {
+            if (!readU64Array(parsed.walks))
+                return false;
+        } else if (field == "layer_finish_local") {
             if (!reader.consume('['))
                 return false;
-            bool first_item = true;
+            bool first_core = true;
             while (reader.ok() && !reader.consume(']')) {
-                if (!first_item && !reader.consume(','))
+                if (!first_core && !reader.consume(','))
                     return false;
-                first_item = false;
-                double value = reader.readNumber();
-                if (field == "speedups")
-                    parsed.speedups.push_back(value);
-                else if (field == "slowdowns")
-                    parsed.slowdowns.push_back(value);
-                else
-                    parsed.localCycles.push_back(
-                        static_cast<std::uint64_t>(value));
+                first_core = false;
+                std::vector<std::uint64_t> layers;
+                if (!readU64Array(layers))
+                    return false;
+                parsed.layerFinishLocal.push_back(std::move(layers));
             }
         } else {
-            // Unknown field (newer writer): skip its scalar/array value
-            // so old readers stay forward-compatible.
-            if (reader.peek() == '"') {
-                reader.readString();
-            } else if (reader.consume('[')) {
-                while (reader.ok() && !reader.consume(']')) {
-                    if (reader.peek() == '"')
-                        reader.readString();
-                    else
-                        reader.readNumber();
-                    reader.consume(',');
-                }
-            } else {
-                reader.readNumber();
-            }
+            skipValue();
         }
     }
     if (!reader.ok() || !saw_key || !reader.atEnd())

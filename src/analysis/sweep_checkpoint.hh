@@ -11,12 +11,20 @@
  * a killed 330-mix campaign resumes executing only the unfinished
  * jobs.
  *
- * The format is deliberately minimal and versioned by field presence:
- *   {"key":"<16-hex FNV-1a>","status":"ok","error":"",
+ * The format is deliberately minimal, with an explicit "v" format
+ * version (readers skip unknown fields, so newer writers stay
+ * readable; records older than the current version are re-executed on
+ * resume rather than restored incompletely):
+ *   {"key":"<16-hex FNV-1a>","v":2,"status":"ok","error":"",
  *    "wall_seconds":1.25,"models":["net0","net1"],
  *    "speedups":[...],"slowdowns":[...],
  *    "geomean_speedup":0.91,"fairness":0.88,
- *    "local_cycles":[...],"global_cycles":12345}
+ *    "local_cycles":[...],"finished_at_global":[...],
+ *    "pe_utilization":[...],"traffic_bytes":[...],
+ *    "walk_bytes":[...],"tlb_hits":[...],"tlb_misses":[...],
+ *    "walks":[...],"layer_finish_local":[[...],[...]],
+ *    "global_cycles":12345,"dram_energy_pj":1.5e9,
+ *    "dram_row_hits":100,"dram_row_misses":10}
  */
 
 #ifndef MNPU_ANALYSIS_SWEEP_CHECKPOINT_HH
@@ -43,10 +51,19 @@ enum class SweepStatus
 
 const char *toString(SweepStatus status);
 
-/** What survives a crash: one completed job's outcome summary. */
+/**
+ * Checkpoint format version written by this build. v2 added the full
+ * raw telemetry (TLB/DRAM/traffic/energy counters, per-layer
+ * finishes); v1 records carried only cycles, so resume re-executes
+ * them instead of restoring zeroed counters.
+ */
+constexpr std::uint32_t kSweepCheckpointVersion = 2;
+
+/** What survives a crash: one completed job's full outcome. */
 struct SweepCheckpointRecord
 {
     std::string key; //!< sweepJobKey() of the job this belongs to
+    std::uint32_t version = kSweepCheckpointVersion;
     SweepStatus status = SweepStatus::Ok;
     std::string error; //!< failure message, empty when ok
     double wallSeconds = 0;
@@ -55,8 +72,24 @@ struct SweepCheckpointRecord
     std::vector<double> slowdowns;
     double geomeanSpeedup = 0;
     double fairnessValue = 0;
-    std::vector<std::uint64_t> localCycles; //!< per core
+    // Raw SimResult telemetry: per-core parallel arrays (indexed like
+    // models) plus the system-wide scalars, so a restored MixOutcome
+    // is bit-identical to the executed one — benches that aggregate
+    // raw counters (TLB miss rates, row hit rates, energy) see the
+    // same numbers with and without --resume.
+    std::vector<std::uint64_t> localCycles;
+    std::vector<std::uint64_t> finishedAtGlobal;
+    std::vector<double> peUtilization;
+    std::vector<std::uint64_t> trafficBytes;
+    std::vector<std::uint64_t> walkBytes;
+    std::vector<std::uint64_t> tlbHits;
+    std::vector<std::uint64_t> tlbMisses;
+    std::vector<std::uint64_t> walks;
+    std::vector<std::vector<std::uint64_t>> layerFinishLocal;
     std::uint64_t globalCycles = 0;
+    double dramEnergyPj = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
 };
 
 /** Serialize one record as a single JSON line (no trailing newline). */

@@ -44,6 +44,16 @@ class JobHasher
         feed(std::to_string(value));
     }
 
+    void feedDouble(double value)
+    {
+        // 17 significant digits round-trip any double exactly;
+        // std::to_string's fixed 6 decimals would alias close values.
+        std::ostringstream stream;
+        stream.precision(17);
+        stream << value;
+        feed(stream.str());
+    }
+
     template <typename T>
     void feedVector(const std::optional<std::vector<T>> &values)
     {
@@ -93,7 +103,8 @@ failedOutcome(const std::vector<std::string> &models)
     return outcome;
 }
 
-/** Rebuild the parts of a MixOutcome that the checkpoint persists. */
+/** Rebuild a full MixOutcome — raw telemetry included — from a (v2+)
+ * checkpoint record, bit-identical to the executed one. */
 MixOutcome
 restoredOutcome(const SweepCheckpointRecord &checkpoint)
 {
@@ -104,11 +115,31 @@ restoredOutcome(const SweepCheckpointRecord &checkpoint)
     outcome.geomeanSpeedup = checkpoint.geomeanSpeedup;
     outcome.fairnessValue = checkpoint.fairnessValue;
     outcome.raw.globalCycles = checkpoint.globalCycles;
+    outcome.raw.dramEnergyPj = checkpoint.dramEnergyPj;
+    outcome.raw.dramRowHits = checkpoint.dramRowHits;
+    outcome.raw.dramRowMisses = checkpoint.dramRowMisses;
     outcome.raw.cores.resize(checkpoint.localCycles.size());
-    for (std::size_t i = 0; i < checkpoint.localCycles.size(); ++i) {
+    for (std::size_t i = 0; i < outcome.raw.cores.size(); ++i) {
+        CoreResult &core = outcome.raw.cores[i];
         if (i < checkpoint.models.size())
-            outcome.raw.cores[i].workloadName = checkpoint.models[i];
-        outcome.raw.cores[i].localCycles = checkpoint.localCycles[i];
+            core.workloadName = checkpoint.models[i];
+        core.localCycles = checkpoint.localCycles[i];
+        if (i < checkpoint.finishedAtGlobal.size())
+            core.finishedAtGlobal = checkpoint.finishedAtGlobal[i];
+        if (i < checkpoint.peUtilization.size())
+            core.peUtilization = checkpoint.peUtilization[i];
+        if (i < checkpoint.trafficBytes.size())
+            core.trafficBytes = checkpoint.trafficBytes[i];
+        if (i < checkpoint.walkBytes.size())
+            core.walkBytes = checkpoint.walkBytes[i];
+        if (i < checkpoint.tlbHits.size())
+            core.tlbHits = checkpoint.tlbHits[i];
+        if (i < checkpoint.tlbMisses.size())
+            core.tlbMisses = checkpoint.tlbMisses[i];
+        if (i < checkpoint.walks.size())
+            core.walks = checkpoint.walks[i];
+        if (i < checkpoint.layerFinishLocal.size())
+            core.layerFinishLocal = checkpoint.layerFinishLocal[i];
     }
     return outcome;
 }
@@ -126,18 +157,37 @@ checkpointRecordOf(const std::string &key, const SweepRecord &record)
     checkpoint.slowdowns = record.outcome.slowdowns;
     checkpoint.geomeanSpeedup = record.outcome.geomeanSpeedup;
     checkpoint.fairnessValue = record.outcome.fairnessValue;
-    checkpoint.globalCycles = record.outcome.raw.globalCycles;
-    checkpoint.localCycles.reserve(record.outcome.raw.cores.size());
-    for (const auto &core : record.outcome.raw.cores)
+    const SimResult &raw = record.outcome.raw;
+    checkpoint.globalCycles = raw.globalCycles;
+    checkpoint.dramEnergyPj = raw.dramEnergyPj;
+    checkpoint.dramRowHits = raw.dramRowHits;
+    checkpoint.dramRowMisses = raw.dramRowMisses;
+    checkpoint.localCycles.reserve(raw.cores.size());
+    for (const auto &core : raw.cores) {
         checkpoint.localCycles.push_back(core.localCycles);
+        checkpoint.finishedAtGlobal.push_back(core.finishedAtGlobal);
+        checkpoint.peUtilization.push_back(core.peUtilization);
+        checkpoint.trafficBytes.push_back(core.trafficBytes);
+        checkpoint.walkBytes.push_back(core.walkBytes);
+        checkpoint.tlbHits.push_back(core.tlbHits);
+        checkpoint.tlbMisses.push_back(core.tlbMisses);
+        checkpoint.walks.push_back(core.walks);
+        checkpoint.layerFinishLocal.push_back(core.layerFinishLocal);
+    }
     return checkpoint;
 }
 
 } // namespace
 
 std::string
-sweepJobKey(const SweepJob &job, const NpuMemConfig &mem)
+sweepJobKey(const SweepJob &job, const ArchConfig &arch,
+            const NpuMemConfig &mem, ModelScale scale)
 {
+    // Everything that shapes the simulated outcome feeds the key.
+    // A field left out here silently aliases two different sweeps in
+    // one checkpoint file — the row-policy ablation's second sweep
+    // once restored the first sweep's records exactly this way — so
+    // over-include rather than under-include.
     JobHasher hasher;
     const SystemConfig &config = job.config;
     hasher.feed(toString(config.level));
@@ -147,11 +197,45 @@ sweepJobKey(const SweepJob &job, const NpuMemConfig &mem)
     hasher.feedVector(config.ptwMin);
     hasher.feedVector(config.ptwMax);
     hasher.feedInt(config.ptwStealing ? 1 : 0);
+    hasher.feedInt(config.telemetryWindow);
+    hasher.feedInt(config.requestTraceWindow);
     hasher.feedInt(config.maxGlobalCycles);
-    // The context overwrites config.mem, so hash the effective one.
-    hasher.feed(mem.timing.name);
-    hasher.feedInt(mem.timing.clockMhz);
-    hasher.feedInt(mem.timing.rowBytes);
+    // The context's arch: dataflow and array/SPM geometry change
+    // every trace.
+    hasher.feed(arch.name);
+    hasher.feedInt(arch.arrayRows);
+    hasher.feedInt(arch.arrayCols);
+    hasher.feedInt(arch.spmBytes);
+    hasher.feedInt(arch.dataBytes);
+    hasher.feedInt(arch.freqMhz);
+    hasher.feedInt(static_cast<int>(arch.dataflow));
+    hasher.feedInt(arch.dmaIssueWidth);
+    hasher.feedInt(arch.dmaMaxOutstanding);
+    hasher.feedInt(arch.busBytes);
+    // The context overwrites config.mem, so hash the effective one —
+    // with the complete DRAM timing (row policy, geometry, latencies,
+    // energy), not just a summary.
+    const DramTiming &timing = mem.timing;
+    hasher.feed(timing.name);
+    hasher.feedInt(static_cast<int>(timing.rowPolicy));
+    hasher.feedInt(timing.ranks);
+    hasher.feedInt(timing.bankGroups);
+    hasher.feedInt(timing.banksPerGroup);
+    hasher.feedInt(timing.rows);
+    hasher.feedInt(timing.rowBytes);
+    hasher.feedInt(timing.busBytes);
+    hasher.feedInt(timing.burstLength);
+    hasher.feedInt(timing.clockMhz);
+    for (std::uint32_t cycles :
+         {timing.tCL, timing.tCWL, timing.tRCD, timing.tRP,
+          timing.tRAS, timing.tWR, timing.tRTP, timing.tCCD,
+          timing.tRRD, timing.tFAW, timing.tWTR, timing.tRTW,
+          timing.tREFI, timing.tRFC})
+        hasher.feedInt(cycles);
+    for (double energy :
+         {timing.eActPrePj, timing.eReadPj, timing.eWritePj,
+          timing.eRefreshPj, timing.backgroundMw})
+        hasher.feedDouble(energy);
     hasher.feedInt(mem.channelsPerNpu);
     hasher.feedInt(mem.dramCapacityPerNpu);
     hasher.feedInt(mem.tlbEntriesPerNpu);
@@ -160,6 +244,7 @@ sweepJobKey(const SweepJob &job, const NpuMemConfig &mem)
     hasher.feedInt(mem.pageBytes);
     hasher.feedInt(mem.dramQueueDepth);
     hasher.feedInt(mem.translationEnabled ? 1 : 0);
+    hasher.feedInt(static_cast<int>(scale));
     for (const auto &model : job.models)
         hasher.feed(model);
     return hasher.hex();
@@ -170,9 +255,12 @@ SweepStats::summary() const
 {
     std::ostringstream stream;
     stream.precision(2);
-    stream << std::fixed << runs << " runs in " << wallSeconds << " s on "
-           << workers << " worker" << (workers == 1 ? "" : "s") << " ("
-           << runsPerSecond << " runs/s; per-run sum " << jobSecondsSum
+    stream << std::fixed << runs << " runs";
+    if (executed != runs)
+        stream << " (" << executed << " executed)";
+    stream << " in " << wallSeconds << " s on " << workers << " worker"
+           << (workers == 1 ? "" : "s") << " (" << runsPerSecond
+           << " runs/s executed; per-run sum " << jobSecondsSum
            << " s)";
     if (failed || timedOut || skipped || retried) {
         stream << " [" << ok << " ok";
@@ -208,7 +296,8 @@ SweepRunner::run(
     if (checkpointing || options.resume) {
         keys.reserve(jobs.size());
         for (const auto &job : jobs)
-            keys.push_back(sweepJobKey(job, context.mem()));
+            keys.push_back(sweepJobKey(job, context.arch(),
+                                       context.mem(), context.scale()));
     }
     std::map<std::string, SweepCheckpointRecord> completed;
     if (options.resume && checkpointing)
@@ -217,17 +306,30 @@ SweepRunner::run(
     std::vector<SweepRecord> records(jobs.size());
     std::vector<std::size_t> pending;
     pending.reserve(jobs.size());
+    std::size_t legacy = 0;
     for (std::size_t index = 0; index < jobs.size(); ++index) {
         auto it = completed.empty() ? completed.end()
                                     : completed.find(keys[index]);
         if (it != completed.end() &&
-            it->second.status == SweepStatus::Ok) {
+            it->second.status == SweepStatus::Ok &&
+            it->second.version >= kSweepCheckpointVersion) {
             records[index].status = SweepStatus::Skipped;
             records[index].outcome = restoredOutcome(it->second);
             records[index].wallSeconds = 0;
         } else {
+            // An ok record from an older format lacks the raw
+            // telemetry; restoring it would hand benches zeroed
+            // counters, so re-execute instead.
+            if (it != completed.end() &&
+                it->second.status == SweepStatus::Ok)
+                ++legacy;
             pending.push_back(index);
         }
+    }
+    if (legacy) {
+        warn("checkpoint '", options.checkpointPath, "': ", legacy,
+             " completed job(s) predate the full-telemetry format (v",
+             kSweepCheckpointVersion, "); re-executing them");
     }
 
     std::unique_ptr<SweepCheckpointWriter> writer;
@@ -377,9 +479,10 @@ SweepRunner::run(
         if (record.attempts > 1)
             ++stats_.retried;
     }
+    stats_.executed = stats_.ok + stats_.failed + stats_.timedOut;
     if (stats_.wallSeconds > 0)
         stats_.runsPerSecond =
-            static_cast<double>(stats_.runs) / stats_.wallSeconds;
+            static_cast<double>(stats_.executed) / stats_.wallSeconds;
 
     if (!options.keepGoing) {
         // Deterministic fail-fast: the first failing job in *input*

@@ -19,8 +19,12 @@
  * Crash safety: with SweepOptions::checkpointPath every completed job
  * is appended to a JSONL checkpoint (single write + flush per record),
  * and with resume=true jobs whose config+models key is already
- * checkpointed ok come back as status Skipped with their metrics
- * restored — a killed sweep re-executes only the unfinished jobs.
+ * checkpointed ok come back as status Skipped with their metrics —
+ * derived figures and raw telemetry counters alike — restored
+ * bit-identically, so a killed sweep re-executes only the unfinished
+ * jobs and benches that aggregate raw counters print the same numbers
+ * either way. Records from a pre-telemetry checkpoint format are
+ * re-executed (with a warning), never restored incompletely.
  *
  * Determinism: each job builds its own MultiCoreSystem from the
  * context's immutable cached traces, so per-mix metrics are
@@ -62,12 +66,16 @@ struct SweepJob
 
 /**
  * Stable identity of a job for checkpoint/resume: an FNV-1a hash over
- * the canonical serialization of the job's SystemConfig (with @p mem,
- * the context's memory config that runMix() will actually apply) and
- * its model list. Two jobs collide only if they would simulate the
- * same thing.
+ * the canonical serialization of everything that shapes the simulated
+ * outcome — the job's SystemConfig and model list plus the context's
+ * effective configuration (@p arch including dataflow, @p mem with
+ * the full DRAM timing including row policy, and the model @p scale).
+ * Two jobs collide only if they would simulate the same thing, so
+ * sweeps over different contexts can safely share one checkpoint
+ * file.
  */
-std::string sweepJobKey(const SweepJob &job, const NpuMemConfig &mem);
+std::string sweepJobKey(const SweepJob &job, const ArchConfig &arch,
+                        const NpuMemConfig &mem, ModelScale scale);
 
 /** Outcome of one job plus its own wall-clock cost and status. */
 struct SweepRecord
@@ -133,9 +141,11 @@ struct SweepStats
 {
     std::size_t workers = 0;
     std::size_t runs = 0;      //!< total records (executed + skipped)
+    std::size_t executed = 0;  //!< actually simulated: ok+failed+timedOut
     double wallSeconds = 0;    //!< end-to-end, including pre-warm
     double jobSecondsSum = 0;  //!< sum of per-job wall clocks
-    double runsPerSecond = 0;
+    double runsPerSecond = 0;  //!< executed / wallSeconds (restored
+                               //!< jobs don't inflate throughput)
 
     std::size_t ok = 0;
     std::size_t failed = 0;

@@ -456,16 +456,45 @@ TEST(SweepRunnerTest, CheckpointResumeExecutesOnlyUnfinishedJobs)
                              reference[i].outcome.speedups[m])
                 << "mix " << i << " slot " << m;
         }
+        // Restored records must carry the complete raw telemetry, not
+        // just cycles: benches aggregate these counters through
+        // runJobs(), and a resumed bench output must stay
+        // bit-identical to a clean run.
         const SimResult &a = records[i].outcome.raw;
         const SimResult &b = reference[i].outcome.raw;
         EXPECT_EQ(a.globalCycles, b.globalCycles) << "mix " << i;
+        EXPECT_EQ(a.dramRowHits, b.dramRowHits) << "mix " << i;
+        EXPECT_EQ(a.dramRowMisses, b.dramRowMisses) << "mix " << i;
+        EXPECT_DOUBLE_EQ(a.dramEnergyPj, b.dramEnergyPj) << "mix " << i;
         ASSERT_EQ(a.cores.size(), b.cores.size()) << "mix " << i;
-        for (std::size_t c = 0; c < a.cores.size(); ++c)
-            EXPECT_EQ(a.cores[c].localCycles, b.cores[c].localCycles)
+        for (std::size_t c = 0; c < a.cores.size(); ++c) {
+            const CoreResult &ca = a.cores[c];
+            const CoreResult &cb = b.cores[c];
+            EXPECT_EQ(ca.localCycles, cb.localCycles)
                 << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.finishedAtGlobal, cb.finishedAtGlobal)
+                << "mix " << i << " core " << c;
+            EXPECT_DOUBLE_EQ(ca.peUtilization, cb.peUtilization)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.trafficBytes, cb.trafficBytes)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.walkBytes, cb.walkBytes)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.tlbHits, cb.tlbHits)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.tlbMisses, cb.tlbMisses)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.walks, cb.walks)
+                << "mix " << i << " core " << c;
+            EXPECT_EQ(ca.layerFinishLocal, cb.layerFinishLocal)
+                << "mix " << i << " core " << c;
+        }
     }
     EXPECT_EQ(runner2.lastStats().skipped, 5u);
     EXPECT_EQ(runner2.lastStats().ok, jobs.size() - 5);
+    // Throughput counts only executed jobs: a mostly-restored resume
+    // must not report inflated runs/s.
+    EXPECT_EQ(runner2.lastStats().executed, jobs.size() - 5);
     // Progress counts restored jobs as already done: the first callback
     // reports 6/12, the last 12/12.
     ASSERT_EQ(seen.size(), jobs.size() - 5);
@@ -480,6 +509,97 @@ TEST(SweepRunnerTest, CheckpointResumeExecutesOnlyUnfinishedJobs)
     for (const auto &record : all_skipped)
         EXPECT_EQ(record.status, SweepStatus::Skipped);
     EXPECT_EQ(runner3.lastStats().skipped, jobs.size());
+    EXPECT_EQ(runner3.lastStats().executed, 0u);
+    EXPECT_EQ(runner3.lastStats().runsPerSecond, 0.0);
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunnerTest, ResumeReexecutesLegacyRecordsWithoutTelemetry)
+{
+    const std::string path = tempCheckpointPath("mnpu_ckpt_legacy.jsonl");
+    SweepJob job;
+    job.models = {"net0", "net1"};
+    ExperimentContext context(sweepArch(), sweepMem());
+    registerSweepNetworks(context);
+    const std::string key = sweepJobKey(job, context.arch(),
+                                        context.mem(), context.scale());
+
+    // A v1 (pre-telemetry) ok record for this exact job: it carries
+    // cycles but no raw counters, so restoring it would hand benches
+    // zeros for TLB/DRAM/traffic aggregates.
+    {
+        std::ofstream file(path);
+        file << "{\"key\":\"" << key
+             << "\",\"status\":\"ok\",\"error\":\"\","
+             << "\"wall_seconds\":1,\"models\":[\"net0\",\"net1\"],"
+             << "\"speedups\":[1,1],\"slowdowns\":[1,1],"
+             << "\"geomean_speedup\":1,\"fairness\":1,"
+             << "\"local_cycles\":[1,1],\"global_cycles\":1}\n";
+    }
+
+    SweepOptions options;
+    options.checkpointPath = path;
+    options.resume = true;
+    SweepRunner runner(1);
+    auto records = runner.run(context, {job}, options);
+    ASSERT_EQ(records.size(), 1u);
+    // Re-executed (Ok), not restored (Skipped): real telemetry, not
+    // the legacy record's zeroed counters.
+    EXPECT_EQ(records[0].status, SweepStatus::Ok);
+    ASSERT_EQ(records[0].outcome.raw.cores.size(), 2u);
+    EXPECT_GT(records[0].outcome.raw.cores[0].trafficBytes, 0u);
+
+    // The re-execution appended a v2 record (last one wins), so a
+    // second resume restores with telemetry intact.
+    SweepRunner runner2(1);
+    auto again = runner2.run(context, {job}, options);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].status, SweepStatus::Skipped);
+    EXPECT_EQ(again[0].outcome.raw.cores[0].trafficBytes,
+              records[0].outcome.raw.cores[0].trafficBytes);
+    EXPECT_EQ(again[0].outcome.raw.cores[1].tlbMisses,
+              records[0].outcome.raw.cores[1].tlbMisses);
+    std::remove(path.c_str());
+}
+
+TEST(SweepRunnerTest, ResumeDoesNotAliasDifferentContexts)
+{
+    // Two ablation arms sharing one checkpoint file (as the per-figure
+    // benches do): the same job under a different context — here the
+    // DRAM row policy — is a different simulation and must execute,
+    // not restore the other arm's record.
+    const std::string path = tempCheckpointPath("mnpu_ckpt_alias.jsonl");
+    SweepJob job;
+    job.models = {"net0", "net1"};
+    SweepOptions options;
+    options.checkpointPath = path;
+    options.resume = true;
+
+    ExperimentContext open_context(sweepArch(), sweepMem());
+    registerSweepNetworks(open_context);
+    SweepRunner runner(1);
+    auto first = runner.run(open_context, {job}, options);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].status, SweepStatus::Ok);
+
+    NpuMemConfig closed_mem = sweepMem();
+    closed_mem.timing.rowPolicy = RowPolicy::Closed;
+    ExperimentContext closed_context(sweepArch(), closed_mem);
+    registerSweepNetworks(closed_context);
+    auto second = runner.run(closed_context, {job}, options);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].status, SweepStatus::Ok);
+
+    // Both arms are checkpointed under distinct keys: re-running each
+    // context restores its own record.
+    auto first_again = runner.run(open_context, {job}, options);
+    auto second_again = runner.run(closed_context, {job}, options);
+    EXPECT_EQ(first_again[0].status, SweepStatus::Skipped);
+    EXPECT_EQ(second_again[0].status, SweepStatus::Skipped);
+    EXPECT_EQ(first_again[0].outcome.raw.dramRowHits,
+              first[0].outcome.raw.dramRowHits);
+    EXPECT_EQ(second_again[0].outcome.raw.dramRowHits,
+              second[0].outcome.raw.dramRowHits);
     std::remove(path.c_str());
 }
 
@@ -521,12 +641,26 @@ TEST(SweepCheckpointTest, JsonLineRoundTripsIncludingNanAndEscapes)
     record.slowdowns = {2.0, 1.0 / 3.0};
     record.geomeanSpeedup = std::numeric_limits<double>::quiet_NaN();
     record.fairnessValue = 0.875;
-    record.localCycles = {123456789ULL, 42ULL};
-    record.globalCycles = 987654321ULL;
+    // Above 2^53: a double round-trip would silently lose precision,
+    // so integer counters must survive exactly.
+    record.localCycles = {(1ULL << 53) + 1, 42ULL};
+    record.globalCycles = (1ULL << 62) + 12345ULL;
+    record.finishedAtGlobal = {(1ULL << 53) + 3, 40ULL};
+    record.peUtilization = {0.625, 1.0 / 7.0};
+    record.trafficBytes = {1ULL << 40, 2048ULL};
+    record.walkBytes = {4096ULL, 0ULL};
+    record.tlbHits = {100ULL, 200ULL};
+    record.tlbMisses = {7ULL, (1ULL << 60) + 9};
+    record.walks = {5ULL, 6ULL};
+    record.layerFinishLocal = {{1ULL, 2ULL, (1ULL << 55) + 1}, {}};
+    record.dramEnergyPj = 1.5e12;
+    record.dramRowHits = 1234ULL;
+    record.dramRowMisses = (1ULL << 54) + 5;
 
     SweepCheckpointRecord parsed;
     ASSERT_TRUE(parseJsonLine(toJsonLine(record), parsed));
     EXPECT_EQ(parsed.key, record.key);
+    EXPECT_EQ(parsed.version, kSweepCheckpointVersion);
     EXPECT_EQ(parsed.status, SweepStatus::Failed);
     EXPECT_EQ(parsed.error, record.error);
     EXPECT_DOUBLE_EQ(parsed.wallSeconds, 1.25);
@@ -540,6 +674,45 @@ TEST(SweepCheckpointTest, JsonLineRoundTripsIncludingNanAndEscapes)
     EXPECT_DOUBLE_EQ(parsed.fairnessValue, 0.875);
     EXPECT_EQ(parsed.localCycles, record.localCycles);
     EXPECT_EQ(parsed.globalCycles, record.globalCycles);
+    EXPECT_EQ(parsed.finishedAtGlobal, record.finishedAtGlobal);
+    ASSERT_EQ(parsed.peUtilization.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.peUtilization[0], 0.625);
+    EXPECT_DOUBLE_EQ(parsed.peUtilization[1], 1.0 / 7.0);
+    EXPECT_EQ(parsed.trafficBytes, record.trafficBytes);
+    EXPECT_EQ(parsed.walkBytes, record.walkBytes);
+    EXPECT_EQ(parsed.tlbHits, record.tlbHits);
+    EXPECT_EQ(parsed.tlbMisses, record.tlbMisses);
+    EXPECT_EQ(parsed.walks, record.walks);
+    EXPECT_EQ(parsed.layerFinishLocal, record.layerFinishLocal);
+    EXPECT_DOUBLE_EQ(parsed.dramEnergyPj, 1.5e12);
+    EXPECT_EQ(parsed.dramRowHits, record.dramRowHits);
+    EXPECT_EQ(parsed.dramRowMisses, record.dramRowMisses);
+}
+
+TEST(SweepCheckpointTest, ParseValidatesUnicodeEscapes)
+{
+    SweepCheckpointRecord record;
+    // Non-hex digits after \u must reject the line, not inject NUL.
+    EXPECT_FALSE(parseJsonLine(
+        "{\"key\":\"k\",\"error\":\"\\uZZZZ\"}", record));
+    // Code points above 0xFF would need UTF-8 encoding the reader
+    // does not do; the writer never emits them.
+    EXPECT_FALSE(parseJsonLine(
+        "{\"key\":\"k\",\"error\":\"\\u0100\"}", record));
+    ASSERT_TRUE(parseJsonLine(
+        "{\"key\":\"k\",\"error\":\"\\u0001\"}", record));
+    EXPECT_EQ(record.error, std::string(1, '\x01'));
+}
+
+TEST(SweepCheckpointTest, VersionDefaultsToLegacyWhenAbsent)
+{
+    SweepCheckpointRecord record;
+    ASSERT_TRUE(parseJsonLine("{\"key\":\"k1\",\"status\":\"ok\"}",
+                              record));
+    EXPECT_EQ(record.version, 1u);
+    ASSERT_TRUE(parseJsonLine(
+        "{\"key\":\"k2\",\"v\":2,\"status\":\"ok\"}", record));
+    EXPECT_EQ(record.version, 2u);
 }
 
 TEST(SweepCheckpointTest, ParseRejectsTornAndForeignLines)
@@ -557,30 +730,58 @@ TEST(SweepCheckpointTest, ParseRejectsTornAndForeignLines)
     EXPECT_EQ(record.status, SweepStatus::Ok);
 }
 
-TEST(SweepCheckpointTest, JobKeyDiscriminatesConfigMemAndModels)
+TEST(SweepCheckpointTest, JobKeyDiscriminatesConfigMemArchAndModels)
 {
-    NpuMemConfig mem = sweepMem();
+    const ArchConfig arch = sweepArch();
+    const NpuMemConfig mem = sweepMem();
+    const ModelScale scale = ModelScale::Mini;
     SweepJob job;
     job.models = {"net0", "net1"};
-    const std::string base = sweepJobKey(job, mem);
+    auto key = [&](const SweepJob &j, const ArchConfig &a,
+                   const NpuMemConfig &m, ModelScale s) {
+        return sweepJobKey(j, a, m, s);
+    };
+    const std::string base = key(job, arch, mem, scale);
     EXPECT_EQ(base.size(), 16u);
-    EXPECT_EQ(sweepJobKey(job, mem), base); // stable across calls
+    EXPECT_EQ(key(job, arch, mem, scale), base); // stable across calls
 
     SweepJob other = job;
     other.config.level = SharingLevel::Static; // default is ShareDWT
-    EXPECT_NE(sweepJobKey(other, mem), base);
+    EXPECT_NE(key(other, arch, mem, scale), base);
 
     other = job;
     other.models = {"net1", "net0"}; // order = core assignment
-    EXPECT_NE(sweepJobKey(other, mem), base);
+    EXPECT_NE(key(other, arch, mem, scale), base);
 
     other = job;
     other.config.maxGlobalCycles = 10;
-    EXPECT_NE(sweepJobKey(other, mem), base);
+    EXPECT_NE(key(other, arch, mem, scale), base);
 
     NpuMemConfig other_mem = mem;
     other_mem.pageBytes *= 2;
-    EXPECT_NE(sweepJobKey(job, other_mem), base);
+    EXPECT_NE(key(job, arch, other_mem, scale), base);
+
+    // Context-level knobs benches ablate across sweeps must
+    // discriminate too, or different ablation arms alias in one
+    // checkpoint file (the row-policy bench once restored the open-
+    // policy sweep's records for the closed-policy sweep).
+    other_mem = mem;
+    other_mem.timing.rowPolicy = RowPolicy::Closed;
+    EXPECT_NE(key(job, arch, other_mem, scale), base);
+
+    other_mem = mem;
+    other_mem.timing.tCL += 1;
+    EXPECT_NE(key(job, arch, other_mem, scale), base);
+
+    ArchConfig other_arch = arch;
+    other_arch.dataflow = Dataflow::WeightStationary;
+    EXPECT_NE(key(job, other_arch, mem, scale), base);
+
+    other_arch = arch;
+    other_arch.spmBytes *= 2;
+    EXPECT_NE(key(job, other_arch, mem, scale), base);
+
+    EXPECT_NE(key(job, arch, mem, ModelScale::Full), base);
 }
 
 // --- ExperimentContext cache keying (the '#' collision bugfix) ---
