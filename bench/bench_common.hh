@@ -55,6 +55,7 @@ struct BenchOptions
     double jobTimeout = 0;      //!< hard per-mix wall budget, seconds
     double autoBudget = 0;      //!< adaptive budget multiplier (0=off)
     std::string resumePath;     //!< JSONL checkpoint to append/resume
+    FaultPlan injectPlan;       //!< --inject: fault for the first job
 
     /** The sweep-level containment options these flags map to. */
     SweepOptions sweepOptions() const
@@ -105,12 +106,27 @@ parseOptions(int argc, char **argv)
             options.autoBudget = std::atof(argv[++i]);
         } else if (arg == "--resume" && i + 1 < argc) {
             options.resumePath = argv[++i];
+        } else if (arg == "--check" && i + 1 < argc) {
+            try {
+                setCheckLevelDefault(parseCheckLevel(argv[++i]));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
+        } else if (arg == "--inject" && i + 1 < argc) {
+            try {
+                options.injectPlan = parseFaultPlan(argv[++i]);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--all] [--sample N] "
                          "[--jobs N] [--quiet] [--keep-going] "
                          "[--job-timeout S] [--auto-budget K] "
-                         "[--resume FILE]\n",
+                         "[--resume FILE] [--check off|cheap|full] "
+                         "[--inject SITE[:N[:DELAY]]]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -196,6 +212,15 @@ inline std::vector<MixOutcome>
 runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
         const BenchOptions &options)
 {
+    // An integrity drill (--inject) perturbs exactly one job — the
+    // first — so a --keep-going sweep demonstrates containment while
+    // every other mix stays clean.
+    if (options.injectPlan.site != FaultSite::None &&
+        !sweep_jobs.empty()) {
+        warn("injecting ", toString(options.injectPlan.site),
+             " into job 0 of ", sweep_jobs.size());
+        sweep_jobs.front().config.faultPlan = options.injectPlan;
+    }
     SweepRunner runner(options.jobs);
     auto records = runner.run(context, sweep_jobs,
                               options.sweepOptions(),

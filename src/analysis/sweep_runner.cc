@@ -200,6 +200,16 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     hasher.feedInt(config.telemetryWindow);
     hasher.feedInt(config.requestTraceWindow);
     hasher.feedInt(config.maxGlobalCycles);
+    // An injected fault changes the outcome, so it feeds the key —
+    // but only when armed, so plain sweeps keep their historical keys.
+    // checkLevel is intentionally excluded: checkers are passive
+    // observers and a run is bit-identical at every level.
+    if (config.faultPlan.site != FaultSite::None) {
+        hasher.feed("inject");
+        hasher.feedInt(static_cast<int>(config.faultPlan.site));
+        hasher.feedInt(config.faultPlan.triggerCount);
+        hasher.feedInt(config.faultPlan.delayCycles);
+    }
     // The context's arch: dataflow and array/SPM geometry change
     // every trace.
     hasher.feed(arch.name);

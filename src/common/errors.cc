@@ -15,6 +15,12 @@ toString(SimErrorKind kind)
         return "wall-clock-timeout";
       case SimErrorKind::Cancelled:
         return "cancelled";
+      case SimErrorKind::ProtocolViolation:
+        return "protocol-violation";
+      case SimErrorKind::RequestLifecycle:
+        return "request-lifecycle";
+      case SimErrorKind::MmuConsistency:
+        return "mmu-consistency";
     }
     return "?";
 }

@@ -27,6 +27,9 @@ enum class SimErrorKind
     CycleBudget,      //!< exceeded the global-cycle cap
     WallClockTimeout, //!< exceeded the wall-clock deadline (watchdog)
     Cancelled,        //!< external stop token was raised
+    ProtocolViolation, //!< DRAM command stream broke a timing constraint
+    RequestLifecycle,  //!< lost/duplicated/mis-addressed off-chip request
+    MmuConsistency,    //!< translation or walk accounting disagreed
 };
 
 const char *toString(SimErrorKind kind);

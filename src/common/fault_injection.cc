@@ -1,0 +1,86 @@
+#include "common/fault_injection.hh"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::None:
+        return "none";
+      case FaultSite::DramDrop:
+        return "dram-drop";
+      case FaultSite::DramDup:
+        return "dram-dup";
+      case FaultSite::DramDelay:
+        return "dram-delay";
+      case FaultSite::PteCorrupt:
+        return "pte-corrupt";
+      case FaultSite::CoreStall:
+        return "core-stall";
+    }
+    return "?";
+}
+
+namespace
+{
+
+FaultSite
+parseFaultSite(const std::string &text)
+{
+    static const std::vector<FaultSite> sites = {
+        FaultSite::None,       FaultSite::DramDrop,
+        FaultSite::DramDup,    FaultSite::DramDelay,
+        FaultSite::PteCorrupt, FaultSite::CoreStall,
+    };
+    for (FaultSite site : sites)
+        if (text == toString(site))
+            return site;
+    fatal("unknown fault site '", text,
+          "'; expected one of none, dram-drop, dram-dup, dram-delay, "
+          "pte-corrupt, core-stall");
+}
+
+std::uint64_t
+parseCount(const std::string &spec, const std::string &text)
+{
+    std::size_t used = 0;
+    std::uint64_t value = 0;
+    try {
+        value = std::stoull(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != text.size() || value == 0)
+        fatal("bad count '", text, "' in fault spec '", spec,
+              "'; expected a positive integer");
+    return value;
+}
+
+} // namespace
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    const std::size_t first = spec.find(':');
+    plan.site = parseFaultSite(spec.substr(0, first));
+    if (first == std::string::npos)
+        return plan;
+    const std::size_t second = spec.find(':', first + 1);
+    plan.triggerCount = parseCount(
+        spec, spec.substr(first + 1, second == std::string::npos
+                                         ? std::string::npos
+                                         : second - first - 1));
+    if (second != std::string::npos)
+        plan.delayCycles = parseCount(spec, spec.substr(second + 1));
+    return plan;
+}
+
+} // namespace mnpu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising the integrity layer
+ * (integrity.hh). A FaultPlan names one fault site and the ordinal
+ * opportunity at which it fires; the FaultInjector counts
+ * opportunities in simulation order and triggers exactly once, so a
+ * given (config, plan) pair always perturbs the same request on every
+ * run — the trigger index is the "seed".
+ *
+ * Fault injection is a drill for the checkers: run it with
+ * --check=cheap/full so the perturbation is detected and contained as
+ * a SimulationError instead of silently corrupting results (or, for
+ * duplicate responses with checks off, tripping an mnpu_assert abort
+ * in the client).
+ */
+
+#ifndef MNPU_COMMON_FAULT_INJECTION_HH
+#define MNPU_COMMON_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+/** Where a planned fault strikes. */
+enum class FaultSite
+{
+    None,       //!< no injection (the default plan)
+    DramDrop,   //!< swallow a DRAM completion (response lost)
+    DramDup,    //!< deliver a DRAM completion twice
+    DramDelay,  //!< hold a DRAM completion for delayCycles
+    PteCorrupt, //!< flip a frame bit in one translation result
+    CoreStall,  //!< freeze one core's pipeline forever
+};
+
+const char *toString(FaultSite site);
+
+/** One planned, deterministic fault. */
+struct FaultPlan
+{
+    FaultSite site = FaultSite::None;
+
+    /** Fire at the Nth opportunity of @c site (1-based). */
+    std::uint64_t triggerCount = 1;
+
+    /** Hold time for DramDelay. */
+    Cycle delayCycles = 5000;
+};
+
+/**
+ * Parse "<site>[:<n>[:<delay>]]", e.g. "dram-drop:3" or
+ * "dram-delay:1:200". Sites: dram-drop, dram-dup, dram-delay,
+ * pte-corrupt, core-stall, none. Throws FatalError on a malformed
+ * spec.
+ */
+FaultPlan parseFaultPlan(const std::string &spec);
+
+/**
+ * Counts opportunities for the planned site and fires exactly once.
+ * Owned by one MultiCoreSystem; not thread-safe (each simulation is
+ * single-threaded).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan) : plan_(plan) {}
+
+    /**
+     * Report one opportunity for @p site; true exactly when this is
+     * the plan's site and its triggerCount'th opportunity.
+     */
+    bool
+    fire(FaultSite site)
+    {
+        if (site != plan_.site || fired_)
+            return false;
+        if (++seen_ < plan_.triggerCount)
+            return false;
+        fired_ = true;
+        return true;
+    }
+
+    const FaultPlan &plan() const { return plan_; }
+    bool fired() const { return fired_; }
+
+  private:
+    FaultPlan plan_;
+    std::uint64_t seen_ = 0;
+    bool fired_ = false;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_FAULT_INJECTION_HH

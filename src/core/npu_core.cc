@@ -218,6 +218,13 @@ NpuCore::tick(Cycle now)
 {
     if (done_ || now < config_.startCycleGlobal)
         return;
+    if (stalled_)
+        return;
+    if (injector_ && injector_->fire(FaultSite::CoreStall)) {
+        // Freeze forever; only the watchdog budget can end the run.
+        stalled_ = true;
+        return;
+    }
     if (!started_)
         startIterationIfNeeded(now);
     if (done_)
@@ -293,6 +300,8 @@ NpuCore::nextEventCycle(Cycle now) const
 {
     if (done_)
         return kCycleNever;
+    if (stalled_)
+        return now + 1; // livelock by design; the watchdog ends the run
     if (!started_)
         return std::max(now + 1, config_.startCycleGlobal);
     // Waiting on the memory system: the MMU/DRAM next-event covers us,

@@ -58,6 +58,13 @@ class NpuCore
     /** Earliest future global cycle at which tick() could do work. */
     Cycle nextEventCycle(Cycle now) const;
 
+    /**
+     * Attach the fault injector (core-stall site: the pipeline freezes
+     * forever so the run-loop watchdog budget must catch it). Not
+     * owned.
+     */
+    void setFaultInjector(FaultInjector *injector) { injector_ = injector; }
+
     /** Translation completed for one of this core's transactions. */
     void onTranslation(std::uint64_t tag, Addr paddr, Cycle at);
 
@@ -152,6 +159,8 @@ class NpuCore
 
     bool started_ = false;
     bool done_ = false;
+    bool stalled_ = false; //!< frozen by an injected core-stall fault
+    FaultInjector *injector_ = nullptr;
     Cycle startedAtGlobal_ = 0;
     Cycle finishedAtGlobal_ = 0;
     std::uint32_t iteration_ = 0;

@@ -10,7 +10,7 @@ namespace mnpu
 
 AddressMapping::AddressMapping(const DramTiming &timing,
                                const std::string &order)
-    : timing_(timing)
+    : timing_(timing), order_(order)
 {
     offsetBits_ = floorLog2(timing.transactionBytes());
 
@@ -81,7 +81,11 @@ AddressMapping::decode(Addr addr) const
             coord.column = value;
             break;
           default:
-            mnpu_panic("bad field kind");
+            // Unreachable with a validated constructor, but if a new
+            // field token is ever added without a decode case, report
+            // it as a config error instead of aborting the process.
+            fatal("address mapping '", order_, "': field kind '",
+                  field.kind, "' has no decode rule");
         }
     }
     return coord;

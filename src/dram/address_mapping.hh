@@ -69,6 +69,7 @@ class AddressMapping
     };
 
     DramTiming timing_;
+    std::string order_; //!< original field string, kept for diagnostics
     std::uint32_t offsetBits_;
     std::vector<Field> fields_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/integrity.hh"
 #include "common/logging.hh"
 
 namespace mnpu
@@ -41,9 +42,13 @@ DramChannel::enqueue(const DramRequest &request, Addr local_addr, Cycle now)
     if (!busy()) {
         // Idle fast-forward may have skipped refresh slots; catch the
         // schedule up so a stale deadline does not stall the first burst.
-        for (auto &rank : ranks_) {
-            if (rank.refreshDueAt < now)
+        for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+            RankState &rank = ranks_[r];
+            if (rank.refreshDueAt < now) {
                 rank.refreshDueAt = now + timing_.tREFI;
+                if (checker_)
+                    checker_->onRefreshDeadline(r, rank.refreshDueAt);
+            }
         }
     }
     QueueEntry entry;
@@ -89,6 +94,8 @@ DramChannel::maybeRefresh(Cycle now)
         }
         if (!ready)
             continue;
+        if (checker_)
+            checker_->onRefresh(r, now);
         for (std::uint32_t b = 0; b < timing_.banksPerRank(); ++b) {
             BankState &bank = banks_[base + b];
             bank.openRow = -1;
@@ -143,6 +150,9 @@ DramChannel::tryIssueColumn(Cycle now)
             continue;
 
         // Issue the column command.
+        if (checker_)
+            checker_->onColumn(entry.coord.rank, flat, entry.coord.row,
+                               entry.request.op == MemOp::Write, now);
         std::uint32_t burst = timing_.burstCycles();
         Cycle bus_gap = std::max<Cycle>(timing_.tCCD, burst);
         nextColumnSame_ = now + bus_gap;
@@ -176,6 +186,8 @@ DramChannel::tryIssueColumn(Cycle now)
             !olderHitOnBank(queue_.size(), flat,
                             static_cast<std::int64_t>(issued_row))) {
             // Auto-precharge once no queued request wants this row.
+            if (checker_)
+                checker_->onAutoPrecharge(flat, bank.nextPrecharge);
             bank.openRow = -1;
             bank.nextActivate = std::max(bank.nextActivate,
                                          bank.nextPrecharge + timing_.tRP);
@@ -207,6 +219,8 @@ DramChannel::tryIssueRowCommand(Cycle now)
                 continue;
             if (now < bank.nextPrecharge)
                 continue;
+            if (checker_)
+                checker_->onPrecharge(flat, now);
             bank.openRow = -1;
             bank.nextActivate =
                 std::max(bank.nextActivate, now + timing_.tRP);
@@ -214,6 +228,9 @@ DramChannel::tryIssueRowCommand(Cycle now)
         }
         if (now < bank.nextActivate || !rankCanActivate(rank, now))
             continue;
+        if (checker_)
+            checker_->onActivate(entry.coord.rank, flat, entry.coord.row,
+                                 now);
         bank.openRow = row;
         bank.nextColumn = now + timing_.tRCD;
         bank.nextPrecharge = now + timing_.tRAS;

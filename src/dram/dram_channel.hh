@@ -27,6 +27,8 @@
 namespace mnpu
 {
 
+class DramProtocolChecker;
+
 /** One transaction presented to the DRAM system. */
 struct DramRequest
 {
@@ -41,6 +43,11 @@ struct DramRequest
      * thousands of coalesced transactions.
      */
     bool priority = false;
+    /**
+     * Monotonic lifecycle-audit ID assigned by the DramSystem when a
+     * RequestLifecycleTracker is active; 0 = untracked.
+     */
+    std::uint64_t integrityId = 0;
 };
 
 /** Completion callback: the request and the cycle its data finished. */
@@ -90,6 +97,16 @@ class DramChannel
     void setCallback(DramCallback callback)
     {
         callback_ = std::move(callback);
+    }
+
+    /**
+     * Attach a protocol checker (integrity layer, full level); every
+     * ACT/PRE/RD/WR/REF issued from now on is reported to it. Pass
+     * nullptr to detach. The checker is not owned.
+     */
+    void setProtocolChecker(DramProtocolChecker *checker)
+    {
+        checker_ = checker;
     }
 
     const StatGroup &stats() const { return stats_; }
@@ -165,6 +182,7 @@ class DramChannel
     bool lastOpWasWrite_ = false;
 
     DramCallback callback_;
+    DramProtocolChecker *checker_ = nullptr;
     StatGroup stats_;
     Counter &reads_;
     Counter &writes_;

@@ -161,7 +161,11 @@ DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
             bucket.tokens -= cost;
         }
     }
-    channel.enqueue(request, r.localAddr, now);
+    DramRequest accepted = request;
+    if (tracker_)
+        accepted.integrityId = tracker_->onIssue(request.paddr, request.core,
+                                                 request.priority, now);
+    channel.enqueue(accepted, r.localAddr, now);
     if (startLog_.enabled()) {
         startLog_.row(now, request.core, r.channel, request.paddr,
                       toString(request.op),
@@ -188,6 +192,18 @@ DramSystem::flushRequestLogs()
 void
 DramSystem::tick(Cycle now)
 {
+    while (!delayed_.empty()) {
+        // Release the earliest due completion a dram-delay fault held.
+        auto due = std::min_element(delayed_.begin(), delayed_.end(),
+                                    [](const auto &a, const auto &b) {
+                                        return a.at < b.at;
+                                    });
+        if (due->at > now)
+            break;
+        DramRequest request = due->request;
+        delayed_.erase(due);
+        deliver(request, now);
+    }
     for (auto &channel : channels_) {
         if (channel->busy())
             channel->tick(now);
@@ -197,7 +213,8 @@ DramSystem::tick(Cycle now)
 bool
 DramSystem::busy() const
 {
-    return std::any_of(channels_.begin(), channels_.end(),
+    return !delayed_.empty() ||
+           std::any_of(channels_.begin(), channels_.end(),
                        [](const auto &channel) { return channel->busy(); });
 }
 
@@ -205,6 +222,8 @@ Cycle
 DramSystem::nextEventCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
+    for (const auto &entry : delayed_)
+        next = std::min(next, std::max(entry.at, now + 1));
     for (const auto &channel : channels_)
         next = std::min(next, channel->nextEventCycle(now));
     return next;
@@ -217,8 +236,57 @@ DramSystem::setCallback(DramCallback callback)
 }
 
 void
+DramSystem::setIntegrity(RequestLifecycleTracker *tracker,
+                         FaultInjector *injector)
+{
+    tracker_ = tracker;
+    injector_ = injector;
+}
+
+void
+DramSystem::enableProtocolChecks()
+{
+    checkers_.clear();
+    checkers_.reserve(channels_.size());
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        checkers_.push_back(std::make_unique<DramProtocolChecker>(
+            timing_, "dram.ch" + std::to_string(c)));
+        channels_[c]->setProtocolChecker(checkers_.back().get());
+    }
+}
+
+std::uint64_t
+DramSystem::protocolCommandsChecked() const
+{
+    std::uint64_t total = 0;
+    for (const auto &checker : checkers_)
+        total += checker->commandsChecked();
+    return total;
+}
+
+void
 DramSystem::onCompletion(const DramRequest &request, Cycle at)
 {
+    if (injector_) {
+        if (injector_->fire(FaultSite::DramDrop))
+            return; // the response vanishes; the tracker must notice
+        if (injector_->fire(FaultSite::DramDelay)) {
+            delayed_.push_back(DelayedCompletion{
+                at + injector_->plan().delayCycles, request});
+            return;
+        }
+    }
+    deliver(request, at);
+    if (injector_ && injector_->fire(FaultSite::DramDup))
+        deliver(request, at); // duplicated response; the tracker throws
+}
+
+void
+DramSystem::deliver(const DramRequest &request, Cycle at)
+{
+    if (tracker_)
+        tracker_->onComplete(request.integrityId, request.paddr,
+                             request.core, request.priority, at);
     std::uint64_t bytes = timing_.transactionBytes();
     if (request.core < coreBytes_.size()) {
         coreBytes_[request.core] += bytes;
@@ -258,15 +326,25 @@ DramSystem::finalizeTelemetry()
 const IntervalTracer &
 DramSystem::coreTelemetry(CoreId core) const
 {
-    mnpu_assert(!coreTracers_.empty(), "telemetry not enabled");
-    mnpu_assert(core < coreTracers_.size());
+    // A recoverable error, not an assert: a bench asking for telemetry
+    // it never enabled is a configuration mistake and must be
+    // containable per-mix instead of aborting the whole sweep.
+    if (coreTracers_.empty())
+        fatal("coreTelemetry(", core,
+              ") requested but telemetry was never enabled; call "
+              "enableTelemetry()/SystemConfig::telemetryWindow first");
+    if (core >= coreTracers_.size())
+        fatal("coreTelemetry: core ", core, " out of range (system has ",
+              coreTracers_.size(), " cores)");
     return coreTracers_[core];
 }
 
 const IntervalTracer &
 DramSystem::totalTelemetry() const
 {
-    mnpu_assert(totalTracer_.has_value(), "telemetry not enabled");
+    if (!totalTracer_.has_value())
+        fatal("totalTelemetry() requested but telemetry was never enabled; "
+              "call enableTelemetry()/SystemConfig::telemetryWindow first");
     return *totalTracer_;
 }
 

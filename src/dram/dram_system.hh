@@ -16,6 +16,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault_injection.hh"
+#include "common/integrity.hh"
 #include "common/interval_tracer.hh"
 #include "common/request_log.hh"
 #include "common/stats.hh"
@@ -76,6 +78,27 @@ class DramSystem
 
     /** Completion callback for reads and writes (data-done cycle). */
     void setCallback(DramCallback callback);
+
+    /**
+     * Attach the integrity layer: @p tracker assigns every accepted
+     * transaction a monotonic audit ID and is told about each
+     * completion (before the client callback, so a duplicated
+     * response throws instead of reaching the client); @p injector
+     * may drop, duplicate, or delay completions. Either may be
+     * nullptr; neither is owned.
+     */
+    void setIntegrity(RequestLifecycleTracker *tracker,
+                      FaultInjector *injector);
+
+    /**
+     * Attach one DramProtocolChecker per channel (full check level);
+     * every subsequent DRAM command is re-validated against the
+     * timing parameters.
+     */
+    void enableProtocolChecks();
+
+    /** DRAM commands validated so far (0 when protocol checks are off). */
+    std::uint64_t protocolCommandsChecked() const;
 
     /**
      * Start recording per-core and total traffic per @p window_cycles
@@ -142,6 +165,14 @@ class DramSystem
     };
     Route route(const DramRequest &request) const;
     void onCompletion(const DramRequest &request, Cycle at);
+    void deliver(const DramRequest &request, Cycle at);
+
+    /** A completion held back by an injected dram-delay fault. */
+    struct DelayedCompletion
+    {
+        Cycle at;
+        DramRequest request;
+    };
 
     struct TokenBucket
     {
@@ -158,6 +189,11 @@ class DramSystem
     std::vector<std::vector<std::uint32_t>> partitions_; //!< per core
     std::vector<TokenBucket> buckets_;                   //!< per core
     DramCallback clientCallback_;
+
+    RequestLifecycleTracker *tracker_ = nullptr;
+    FaultInjector *injector_ = nullptr;
+    std::vector<std::unique_ptr<DramProtocolChecker>> checkers_;
+    std::vector<DelayedCompletion> delayed_;
 
     std::vector<std::uint64_t> coreBytes_;
     std::vector<std::uint64_t> coreWalkBytes_;

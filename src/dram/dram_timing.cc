@@ -27,8 +27,42 @@ DramTiming::validate() const
         fatal("DRAM transaction larger than a row (", name, ")");
     if (clockMhz == 0)
         fatal("DRAM clock must be nonzero (", name, ")");
+
+    // Every timing must be nonzero: a zero constraint makes the state
+    // machines (and the protocol checker) degenerate. Name the field so
+    // a config typo like `dram.tRCD = 0` is diagnosable.
+    const struct
+    {
+        const char *field;
+        std::uint32_t value;
+    } timings[] = {
+        {"tCL", tCL},   {"tCWL", tCWL}, {"tRCD", tRCD},   {"tRP", tRP},
+        {"tRAS", tRAS}, {"tWR", tWR},   {"tRTP", tRTP},   {"tCCD", tCCD},
+        {"tRRD", tRRD}, {"tFAW", tFAW}, {"tWTR", tWTR},   {"tRTW", tRTW},
+        {"tREFI", tREFI}, {"tRFC", tRFC},
+    };
+    for (const auto &t : timings) {
+        if (t.value == 0)
+            fatal("DRAM timing ", t.field, " must be nonzero (timing "
+                  "preset '", name, "')");
+    }
     if (tRAS < tRCD)
-        fatal("DRAM tRAS must cover tRCD (", name, ")");
+        fatal("DRAM tRAS (", tRAS, ") must cover tRCD (", tRCD,
+              ") (timing preset '", name, "')");
+    if (tRFC >= tREFI)
+        fatal("DRAM tRFC (", tRFC, ") must be smaller than tREFI (",
+              tREFI, ") or the device spends all its time refreshing "
+              "(timing preset '", name, "')");
+    if (tFAW < tCCD)
+        fatal("DRAM tFAW (", tFAW, ") must be at least tCCD (", tCCD,
+              ") (timing preset '", name, "')");
+    if (tFAW < tRRD)
+        fatal("DRAM tFAW (", tFAW, ") must be at least tRRD (", tRRD,
+              ") (timing preset '", name, "')");
+    if (tRFC < tRP)
+        fatal("DRAM tRFC (", tRFC, ") must cover tRP (", tRP,
+              "): a refresh implies an all-bank precharge (timing "
+              "preset '", name, "')");
 }
 
 DramTiming

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace mnpu
@@ -17,6 +18,7 @@ Mmu::Mmu(const MmuConfig &config, PageAllocator &allocator,
       walkQueues_(config.numCores),
       walkers_(config.totalPtws),
       inFlightPerCore_(config.numCores, 0),
+      walkSteps_(config.numCores, 0),
       stats_("mmu"),
       translations_(stats_.counter("translations")),
       tlbHits_(stats_.counter("tlb_hits")),
@@ -149,6 +151,19 @@ Mmu::completeTranslation(const PendingXlat &xlat, Cycle when)
 {
     translations_.inc();
     Addr paddr = allocator_.translate(xlat.asid, xlat.vaddr);
+    if (injector_ && injector_->fire(FaultSite::PteCorrupt))
+        paddr ^= allocator_.pageBytes(); // flip one frame bit
+    if (checkTranslations_) {
+        const Addr expected = allocator_.translate(xlat.asid, xlat.vaddr);
+        if (paddr != expected)
+            throw SimulationError(
+                SimErrorKind::MmuConsistency,
+                "translation check: asid " + std::to_string(xlat.asid) +
+                    " vaddr " + std::to_string(xlat.vaddr) +
+                    " completed with paddr " + std::to_string(paddr) +
+                    " but the page table maps it to " +
+                    std::to_string(expected));
+    }
     if (callback_)
         callback_(xlat.tag, paddr, when);
 }
@@ -369,8 +384,11 @@ Mmu::driveWalkers(Cycle now)
         request.core = walker.core;
         request.tag = walkTag(id);
         request.priority = true;
-        if (dram_.tryEnqueue(request, now))
+        if (dram_.tryEnqueue(request, now)) {
             walker.state = WalkerState::WaitDram;
+            if (walker.core < walkSteps_.size())
+                ++walkSteps_[walker.core];
+        }
         // else: channel queue full; retry next tick.
     }
 }

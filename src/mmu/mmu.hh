@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injection.hh"
 #include "common/request_log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -120,6 +121,23 @@ class Mmu
     std::uint32_t walkersInFlight(CoreId core) const;
 
     /**
+     * Integrity layer (full level): re-derive every completed
+     * translation from the page table and throw
+     * SimulationError{MmuConsistency} on a mismatch (a corrupted PTE
+     * or stale TLB entry would otherwise silently mis-route traffic).
+     */
+    void enableTranslationCheck() { checkTranslations_ = true; }
+
+    /** Attach the fault injector (pte-corrupt site). Not owned. */
+    void setFaultInjector(FaultInjector *injector) { injector_ = injector; }
+
+    /** DRAM walk-step transactions issued on behalf of @p core. */
+    std::uint64_t walkStepsIssued(CoreId core) const
+    {
+        return core < walkSteps_.size() ? walkSteps_[core] : 0;
+    }
+
+    /**
      * Write per-core request logs under @p dir (§3.2.2): tlb<i>.log
      * records every lookup (cycle, vpn, hit/miss) and tlb<i>_ptw.log
      * every walk with its start/finish cycles.
@@ -203,6 +221,10 @@ class Mmu
 
     std::vector<RequestLog> tlbLogs_; //!< per core
     std::vector<RequestLog> ptwLogs_; //!< per core
+
+    bool checkTranslations_ = false;
+    FaultInjector *injector_ = nullptr;
+    std::vector<std::uint64_t> walkSteps_; //!< per core, issued to DRAM
 
     StatGroup stats_;
     Counter &translations_;

@@ -307,30 +307,79 @@ mnpusimMain(int argc, char **argv)
 {
     // Optional leading flags before the six positional arguments.
     RunBudget budget;
+    std::optional<CheckLevel> check_level;
+    FaultPlan fault_plan;
     int first = 1;
     while (first < argc && argv[first][0] == '-') {
         std::string flag = argv[first];
-        if (flag == "--jobs" && first + 1 < argc) {
+        std::string value;
+        bool has_inline_value = false;
+        auto eq = flag.find('=');
+        if (eq != std::string::npos) {
+            value = flag.substr(eq + 1);
+            flag = flag.substr(0, eq);
+            has_inline_value = true;
+        }
+        auto take_value = [&](const char *name) -> bool {
+            if (has_inline_value)
+                return true;
+            if (first + 1 < argc) {
+                value = argv[first + 1];
+                return true;
+            }
+            std::fprintf(stderr, "%s needs a value\n", name);
+            return false;
+        };
+        if (flag == "--check") {
+            if (!take_value("--check"))
+                return 2;
+            try {
+                check_level = parseCheckLevel(value);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            setCheckLevelDefault(*check_level);
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--inject") {
+            if (!take_value("--inject"))
+                return 2;
+            try {
+                fault_plan = parseFaultPlan(value);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--jobs") {
+            if (!take_value("--jobs"))
+                return 2;
             char *end = nullptr;
-            unsigned long jobs = std::strtoul(argv[first + 1], &end, 10);
-            if (end == argv[first + 1] || *end != '\0' || jobs == 0) {
+            unsigned long jobs = std::strtoul(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0' || jobs == 0) {
                 std::fprintf(stderr, "malformed --jobs value '%s'\n",
-                             argv[first + 1]);
+                             value.c_str());
                 return 2;
             }
             setDefaultJobCount(static_cast<std::size_t>(jobs));
-            first += 2;
-        } else if (flag == "--job-timeout" && first + 1 < argc) {
+            first += has_inline_value ? 1 : 2;
+        } else if (flag == "--job-timeout") {
+            if (!take_value("--job-timeout"))
+                return 2;
             char *end = nullptr;
-            double seconds = std::strtod(argv[first + 1], &end);
-            if (end == argv[first + 1] || *end != '\0' || seconds <= 0) {
+            double seconds = std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0' || seconds <= 0) {
                 std::fprintf(stderr,
                              "malformed --job-timeout value '%s'\n",
-                             argv[first + 1]);
+                             value.c_str());
                 return 2;
             }
             budget.wallClockSeconds = seconds;
-            first += 2;
+            first += has_inline_value ? 1 : 2;
         } else {
             break;
         }
@@ -339,9 +388,16 @@ mnpusimMain(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: %s [--jobs N] [--job-timeout SECONDS] "
+            "[--check off|cheap|full] [--inject SITE[:N[:DELAY]]] "
             "<arch_config_list> "
             "<network_config_list> <dram_config> <npumem_config_list> "
-            "<result_path> <misc_config>\n",
+            "<result_path> <misc_config>\n"
+            "  --check   integrity-checker level (also: MNPU_CHECK env)\n"
+            "  --inject  deterministic fault: dram-drop, dram-dup,\n"
+            "            dram-delay, pte-corrupt, or core-stall, fired\n"
+            "            at the Nth opportunity (default 1)\n"
+            "exit codes: 0 success, 1 config error, 2 usage,\n"
+            "            3 contained simulation error\n",
             argc > 0 ? argv[0] : "mnpusim");
         return 2;
     }
@@ -349,8 +405,18 @@ mnpusimMain(int argc, char **argv)
     try {
         CliRun run = loadCliRun(argv[1], argv[2], argv[3], argv[4],
                                 argv[6]);
+        if (check_level)
+            run.config.checkLevel = check_level;
+        run.config.faultPlan = fault_plan;
         inform("simulating ", run.bindings.size(), "-core NPU at level ",
                toString(run.config.level));
+        if (fault_plan.site != FaultSite::None) {
+            inform("injecting fault ", toString(fault_plan.site),
+                   " at opportunity ", fault_plan.triggerCount,
+                   " (checks: ",
+                   toString(effectiveCheckLevel(run.config.checkLevel)),
+                   ")");
+        }
         if (run.requestLogs) {
             run.config.requestLogDir =
                 std::string(argv[5]) + "/dramsim_output";

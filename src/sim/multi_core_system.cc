@@ -27,6 +27,34 @@ toString(SharingLevel level)
     return "?";
 }
 
+namespace
+{
+
+/**
+ * Transactions one iteration of @p trace pushes through DRAM: the
+ * same bus-aligned chunking the core's DMA cursor applies to every
+ * access range (alignDown(start) .. alignUp(end) in busBytes steps).
+ */
+std::uint64_t
+expectedDataTransactions(const TraceGenerator &trace)
+{
+    const Addr bus = trace.arch().busBytes;
+    std::uint64_t count = 0;
+    for (const auto &tile : trace.tiles()) {
+        for (const auto &range : tile.reads)
+            count += (alignUp(range.vaddr + range.bytes, bus) -
+                      alignDown(range.vaddr, bus)) /
+                     bus;
+        for (const auto &range : tile.writes)
+            count += (alignUp(range.vaddr + range.bytes, bus) -
+                      alignDown(range.vaddr, bus)) /
+                     bus;
+    }
+    return count;
+}
+
+} // namespace
+
 MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
                                  std::vector<CoreBinding> bindings)
     : config_(config), bindings_(std::move(bindings))
@@ -133,6 +161,32 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
             cores_.back()->enableRequestTrace(config.requestTraceWindow);
     }
 
+    // --- Integrity layer (opt-in): lifecycle tracking at >= Cheap,
+    // protocol + translation re-checks at Full, fault injection when a
+    // plan is armed. ---
+    checkLevel_ = effectiveCheckLevel(config.checkLevel);
+    if (config.faultPlan.site != FaultSite::None)
+        injector_ = std::make_unique<FaultInjector>(config.faultPlan);
+    if (checkLevel_ != CheckLevel::Off) {
+        tracker_ = std::make_unique<RequestLifecycleTracker>(
+            capacity, mem.timing.transactionBytes(), num_cores);
+        for (CoreId id = 0; id < num_cores; ++id) {
+            tracker_->setExpectedDataTransactions(
+                id, expectedDataTransactions(*bindings_[id].trace) *
+                        bindings_[id].iterations);
+        }
+    }
+    if (checkLevel_ == CheckLevel::Full) {
+        dram_->enableProtocolChecks();
+        mmu_->enableTranslationCheck();
+    }
+    dram_->setIntegrity(tracker_.get(), injector_.get());
+    if (injector_) {
+        mmu_->setFaultInjector(injector_.get());
+        for (auto &core : cores_)
+            core->setFaultInjector(injector_.get());
+    }
+
     // --- Completion routing. ---
     dram_->setCallback([this](const DramRequest &request, Cycle at) {
         if (Mmu::isWalkTag(request.tag))
@@ -195,6 +249,11 @@ MultiCoreSystem::run(const RunBudget &budget)
                                    budget.wallClockSeconds,
                                    " s at global cycle ", now));
             }
+            // A dropped DRAM response leaves cores waiting while the
+            // memory system drains idle — a livelock no deadlock check
+            // sees. The lifecycle tracker makes it loud.
+            if (tracker_ && !dram_->busy() && tracker_->outstanding() != 0)
+                throw tracker_->lostResponseError(now);
         }
 
         dram_->tick(now);
@@ -233,6 +292,19 @@ MultiCoreSystem::run(const RunBudget &budget)
                 detail::concat("simulation exceeded its cycle budget (",
                                max_cycles, " global cycles)"));
         }
+    }
+
+    // End-of-run leak audit: reconcile completed transaction counts
+    // against the DRAM byte counters, the SW trace totals, and the
+    // MMU's issued walk steps.
+    if (tracker_) {
+        std::vector<std::uint64_t> core_bytes, core_walk_bytes, walk_steps;
+        for (CoreId id = 0; id < cores_.size(); ++id) {
+            core_bytes.push_back(dram_->coreBytes(id));
+            core_walk_bytes.push_back(dram_->coreWalkBytes(id));
+            walk_steps.push_back(mmu_->walkStepsIssued(id));
+        }
+        tracker_->finalAudit(core_bytes, core_walk_bytes, walk_steps);
     }
 
     dram_->finalizeTelemetry();

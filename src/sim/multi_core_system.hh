@@ -79,6 +79,9 @@ class MultiCoreSystem
     }
     const SystemConfig &config() const { return config_; }
 
+    /** Check level this system actually runs at (resolved at build). */
+    CheckLevel checkLevel() const { return checkLevel_; }
+
   private:
     bool allDone() const;
 
@@ -89,6 +92,9 @@ class MultiCoreSystem
     std::unique_ptr<PageTableModel> pageTable_;
     std::unique_ptr<Mmu> mmu_;
     std::vector<std::unique_ptr<NpuCore>> cores_;
+    CheckLevel checkLevel_ = CheckLevel::Off;
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<RequestLifecycleTracker> tracker_;
     bool ran_ = false;
 };
 

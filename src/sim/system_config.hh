@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.hh"
+#include "common/integrity.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 
@@ -125,6 +127,23 @@ struct SystemConfig
      * tlb<i>.log, tlb<i>_ptw.log) into this directory.
      */
     std::string requestLogDir;
+
+    /**
+     * Integrity-layer level for this run. Unset defers to the process
+     * default (--check) and then the MNPU_CHECK environment variable;
+     * see effectiveCheckLevel(). Checkers are passive observers —
+     * they never change simulated timing — so this field is excluded
+     * from the sweep checkpoint key.
+     */
+    std::optional<CheckLevel> checkLevel;
+
+    /**
+     * Deterministic fault to inject (integrity-layer drill). The
+     * default plan (site None) injects nothing. Meant to be combined
+     * with checkLevel >= Cheap so the perturbation is detected and
+     * contained instead of silently corrupting metrics.
+     */
+    FaultPlan faultPlan;
 };
 
 } // namespace mnpu
