@@ -113,6 +113,13 @@ parseOptions(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", error.what());
                 std::exit(2);
             }
+        } else if (arg == "--sched" && i + 1 < argc) {
+            try {
+                setSchedulerDefault(parseSchedulerKind(argv[++i]));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
         } else if (arg == "--inject" && i + 1 < argc) {
             try {
                 options.injectPlan = parseFaultPlan(argv[++i]);
@@ -126,6 +133,7 @@ parseOptions(int argc, char **argv)
                          "[--jobs N] [--quiet] [--keep-going] "
                          "[--job-timeout S] [--auto-budget K] "
                          "[--resume FILE] [--check off|cheap|full] "
+                         "[--sched cycle|event] "
                          "[--inject SITE[:N[:DELAY]]]\n",
                          argv[0]);
             std::exit(2);

@@ -1,0 +1,189 @@
+#include "analysis/golden.hh"
+
+#include <sstream>
+
+#include "analysis/experiment.hh"
+#include "analysis/sweep_runner.hh"
+#include "common/logging.hh"
+#include "sw/arch_config.hh"
+
+namespace mnpu
+{
+
+const std::vector<GoldenCase> &
+goldenCases()
+{
+    // Editing this list (or anything that changes a case's outcome)
+    // requires regenerating the fixtures: build update_golden and run
+    // it with --update-golden, then review the JSON diff.
+    static const std::vector<GoldenCase> cases = {
+        {"hbm2-dual-res-ncf-dwt", "hbm2", SharingLevel::ShareDWT,
+         {"res", "ncf"}, std::nullopt},
+        {"hbm2-dual-yt-alex-d", "hbm2", SharingLevel::ShareD,
+         {"yt", "alex"}, std::nullopt},
+        {"hbm2-dual-ds2-sfrnn-static", "hbm2", SharingLevel::Static,
+         {"ds2", "sfrnn"}, std::nullopt},
+        {"hbm2-quad-res-yt-dlrm-ncf-dwt", "hbm2", SharingLevel::ShareDWT,
+         {"res", "yt", "dlrm", "ncf"}, std::nullopt},
+        {"ddr4-dual-sfrnn-dlrm-dw", "ddr4", SharingLevel::ShareDW,
+         {"sfrnn", "dlrm"}, std::nullopt},
+        {"ddr4-dual-ds2-gpt2-static", "ddr4", SharingLevel::Static,
+         {"ds2", "gpt2"}, std::nullopt},
+        {"ddr4-dual-res-gpt2-bwpart", "ddr4", SharingLevel::ShareD,
+         {"res", "gpt2"}, std::vector<std::uint32_t>{1, 3}},
+        {"ddr4-quad-yt-alex-ds2-gpt2-dw", "ddr4", SharingLevel::ShareDW,
+         {"yt", "alex", "ds2", "gpt2"}, std::nullopt},
+    };
+    return cases;
+}
+
+const GoldenCase &
+goldenCase(const std::string &name)
+{
+    for (const GoldenCase &golden : goldenCases()) {
+        if (golden.name == name)
+            return golden;
+    }
+    fatal("unknown golden case \"", name, "\"");
+}
+
+SweepCheckpointRecord
+runGoldenCase(const GoldenCase &golden, SchedulerKind sched)
+{
+    // Mini scale + mini NPU profile, matching the benches' default
+    // (fast) configuration, so fixtures regenerate in seconds.
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    mem.timing = DramTiming::preset(golden.protocol);
+    ExperimentContext context(ArchConfig::miniNpu(), mem,
+                              ModelScale::Mini);
+
+    SystemConfig config;
+    config.level = golden.level;
+    config.dramBandwidthShares = golden.dramBandwidthShares;
+    config.scheduler = sched;
+
+    SweepRecord record;
+    record.outcome = context.runMix(config, golden.models);
+    record.wallSeconds = 0; // pinned: fixtures hold behavior, not time
+    record.status = SweepStatus::Ok;
+    return checkpointRecordOf(golden.name, record);
+}
+
+std::string
+goldenFixtureText(const SweepCheckpointRecord &record)
+{
+    return toJsonLine(record) + "\n";
+}
+
+std::string
+goldenFixturePath(const std::string &dir, const std::string &name)
+{
+    return dir + "/" + name + ".json";
+}
+
+namespace
+{
+
+template <typename T>
+bool
+reportScalar(std::ostringstream &out, const char *field, const T &expected,
+             const T &actual)
+{
+    if (expected == actual)
+        return false;
+    out << field << ": expected " << expected << ", got " << actual;
+    return true;
+}
+
+template <typename T>
+bool
+reportVector(std::ostringstream &out, const char *field,
+             const std::vector<T> &expected, const std::vector<T> &actual)
+{
+    if (expected == actual)
+        return false;
+    if (expected.size() != actual.size()) {
+        out << field << ": expected " << expected.size()
+            << " entries, got " << actual.size();
+        return true;
+    }
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (!(expected[i] == actual[i])) {
+            out << field << "[" << i << "]: expected " << expected[i]
+                << ", got " << actual[i];
+            return true;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+describeGoldenDiff(const SweepCheckpointRecord &expected,
+                   const SweepCheckpointRecord &actual)
+{
+    std::ostringstream out;
+    out.precision(17);
+    if (reportScalar(out, "key", expected.key, actual.key))
+        return out.str();
+    if (reportScalar(out, "version", expected.version, actual.version))
+        return out.str();
+    if (reportScalar(out, "status", std::string(toString(expected.status)),
+                     std::string(toString(actual.status))))
+        return out.str();
+    if (reportVector(out, "models", expected.models, actual.models))
+        return out.str();
+    if (reportScalar(out, "global_cycles", expected.globalCycles,
+                     actual.globalCycles))
+        return out.str();
+    if (reportVector(out, "local_cycles", expected.localCycles,
+                     actual.localCycles))
+        return out.str();
+    if (reportVector(out, "finished_at_global", expected.finishedAtGlobal,
+                     actual.finishedAtGlobal))
+        return out.str();
+    if (reportVector(out, "pe_utilization", expected.peUtilization,
+                     actual.peUtilization))
+        return out.str();
+    if (reportVector(out, "traffic_bytes", expected.trafficBytes,
+                     actual.trafficBytes))
+        return out.str();
+    if (reportVector(out, "walk_bytes", expected.walkBytes,
+                     actual.walkBytes))
+        return out.str();
+    if (reportVector(out, "tlb_hits", expected.tlbHits, actual.tlbHits))
+        return out.str();
+    if (reportVector(out, "tlb_misses", expected.tlbMisses,
+                     actual.tlbMisses))
+        return out.str();
+    if (reportVector(out, "walks", expected.walks, actual.walks))
+        return out.str();
+    if (reportVector(out, "speedups", expected.speedups, actual.speedups))
+        return out.str();
+    if (reportVector(out, "slowdowns", expected.slowdowns,
+                     actual.slowdowns))
+        return out.str();
+    if (reportScalar(out, "geomean_speedup", expected.geomeanSpeedup,
+                     actual.geomeanSpeedup))
+        return out.str();
+    if (reportScalar(out, "fairness", expected.fairnessValue,
+                     actual.fairnessValue))
+        return out.str();
+    if (reportScalar(out, "dram_energy_pj", expected.dramEnergyPj,
+                     actual.dramEnergyPj))
+        return out.str();
+    if (reportScalar(out, "dram_row_hits", expected.dramRowHits,
+                     actual.dramRowHits))
+        return out.str();
+    if (reportScalar(out, "dram_row_misses", expected.dramRowMisses,
+                     actual.dramRowMisses))
+        return out.str();
+    if (expected.layerFinishLocal != actual.layerFinishLocal) {
+        out << "layer_finish_local differs";
+        return out.str();
+    }
+    return std::string{};
+}
+
+} // namespace mnpu

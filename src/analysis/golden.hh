@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Golden-trace fixtures: a small committed set of seed mixes whose
+ * full telemetry snapshot (checkpoint v2 fields — per-core cycles,
+ * traffic, TLB/walk counters, layer finishes, system cycles, DRAM
+ * energy and row stats) is serialized to one JSON line per case and
+ * compared bit-exactly against tests/golden/<name>.json.
+ *
+ * The fixtures pin simulated *behavior*, not wall clock: any change to
+ * core, MMU, DRAM, or scheduler code that shifts a single counter in
+ * any case fails test_golden_trace loudly, instead of drifting the
+ * paper's figures silently. Intentional behavior changes regenerate
+ * the fixtures with the update_golden tool (--update-golden) and the
+ * diff is reviewed like any other source change.
+ *
+ * The case list spans both DRAM protocols (HBM2, DDR4), dual and quad
+ * co-runs, every sharing level the sweeps exercise, an explicit
+ * bandwidth-partition case (token buckets), and all eight built-in
+ * models — small enough to run in seconds at Mini scale, wide enough
+ * that a regression in any subsystem moves at least one fixture.
+ */
+
+#ifndef MNPU_ANALYSIS_GOLDEN_HH
+#define MNPU_ANALYSIS_GOLDEN_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep_checkpoint.hh"
+#include "common/scheduler.hh"
+#include "sim/system_config.hh"
+
+namespace mnpu
+{
+
+/** One committed golden case: a mix and the config it runs under. */
+struct GoldenCase
+{
+    std::string name;     //!< fixture file stem (tests/golden/<name>.json)
+    std::string protocol; //!< DramTiming preset: "hbm2" | "ddr4"
+    SharingLevel level = SharingLevel::ShareDWT;
+    std::vector<std::string> models; //!< built-in model names (2 or 4)
+    /** Optional Fig. 9-style static bandwidth split (token buckets). */
+    std::optional<std::vector<std::uint32_t>> dramBandwidthShares;
+};
+
+/** The committed fixture set (stable order, stable names). */
+const std::vector<GoldenCase> &goldenCases();
+
+/** Look up a case by name; throws FatalError when unknown. */
+const GoldenCase &goldenCase(const std::string &name);
+
+/**
+ * Run one case under @p sched at Mini scale and flatten the outcome
+ * into its checkpoint-v2 record, keyed by the case name, with
+ * wallSeconds pinned to zero so the serialized line is deterministic.
+ */
+SweepCheckpointRecord runGoldenCase(const GoldenCase &golden,
+                                    SchedulerKind sched);
+
+/** Serialized fixture content: the record's JSON line + newline. */
+std::string goldenFixtureText(const SweepCheckpointRecord &record);
+
+/** tests/golden/<name>.json under @p dir. */
+std::string goldenFixturePath(const std::string &dir,
+                              const std::string &name);
+
+/**
+ * Field-by-field comparison of two records; returns an empty string
+ * when identical, else a human-readable description of the first
+ * difference (for test failure messages — a raw JSON diff of 300
+ * numbers is unreadable).
+ */
+std::string describeGoldenDiff(const SweepCheckpointRecord &expected,
+                               const SweepCheckpointRecord &actual);
+
+} // namespace mnpu
+
+#endif // MNPU_ANALYSIS_GOLDEN_HH

@@ -144,6 +144,8 @@ restoredOutcome(const SweepCheckpointRecord &checkpoint)
     return outcome;
 }
 
+} // namespace
+
 SweepCheckpointRecord
 checkpointRecordOf(const std::string &key, const SweepRecord &record)
 {
@@ -177,8 +179,6 @@ checkpointRecordOf(const std::string &key, const SweepRecord &record)
     return checkpoint;
 }
 
-} // namespace
-
 std::string
 sweepJobKey(const SweepJob &job, const ArchConfig &arch,
             const NpuMemConfig &mem, ModelScale scale)
@@ -203,7 +203,11 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     // An injected fault changes the outcome, so it feeds the key —
     // but only when armed, so plain sweeps keep their historical keys.
     // checkLevel is intentionally excluded: checkers are passive
-    // observers and a run is bit-identical at every level.
+    // observers and a run is bit-identical at every level. The
+    // scheduler kind is excluded for the same reason — the event
+    // scheduler is proven bit-identical to per-cycle stepping (see
+    // the golden/differential tests), so either may restore the
+    // other's checkpoints.
     if (config.faultPlan.site != FaultSite::None) {
         hasher.feed("inject");
         hasher.feedInt(static_cast<int>(config.faultPlan.site));

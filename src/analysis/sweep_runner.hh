@@ -87,6 +87,15 @@ struct SweepRecord
     std::uint32_t attempts = 1; //!< > 1 when an escalated retry ran
 };
 
+/**
+ * Flatten one job outcome into its checkpoint form (the full v2
+ * telemetry snapshot). Shared by the sweep checkpoint writer and the
+ * golden-trace fixtures, which are exactly these records with the
+ * wall clock zeroed.
+ */
+SweepCheckpointRecord checkpointRecordOf(const std::string &key,
+                                         const SweepRecord &record);
+
 /** Failure-containment and recovery knobs for one run(). */
 struct SweepOptions
 {

@@ -118,6 +118,19 @@ DramProtocolChecker::checkPrechargeable(const BankShadow &bank, Cycle at,
 }
 
 void
+DramProtocolChecker::mixCommand(std::uint64_t kind, std::uint64_t where,
+                                std::uint64_t row, Cycle at)
+{
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    for (std::uint64_t word : {kind, where, row, at}) {
+        for (int byte = 0; byte < 8; ++byte) {
+            streamHash_ ^= (word >> (byte * 8)) & 0xffu;
+            streamHash_ *= kPrime;
+        }
+    }
+}
+
+void
 DramProtocolChecker::onActivate(std::uint32_t rank_index,
                                 std::uint32_t flat_bank, std::uint64_t row,
                                 Cycle now)
@@ -125,6 +138,7 @@ DramProtocolChecker::onActivate(std::uint32_t rank_index,
     BankShadow &bank = banks_.at(flat_bank);
     RankShadow &rank = ranks_.at(rank_index);
     ++commands_;
+    mixCommand(1, flat_bank, row, now);
     if (now < rank.refreshingUntil)
         violation("tRFC", "ACT at cycle " + std::to_string(now) +
                               " while rank " + std::to_string(rank_index) +
@@ -175,6 +189,7 @@ DramProtocolChecker::onPrecharge(std::uint32_t flat_bank, Cycle now)
 {
     BankShadow &bank = banks_.at(flat_bank);
     ++commands_;
+    mixCommand(2, flat_bank, 0, now);
     if (bank.openRow == -1)
         violation("row-state", "PRE on bank " + std::to_string(flat_bank) +
                                    " at cycle " + std::to_string(now) +
@@ -193,6 +208,7 @@ DramProtocolChecker::onAutoPrecharge(std::uint32_t flat_bank,
 {
     BankShadow &bank = banks_.at(flat_bank);
     ++commands_;
+    mixCommand(3, flat_bank, 0, effective_at);
     if (bank.openRow == -1)
         violation("row-state", "auto-precharge on bank " +
                                    std::to_string(flat_bank) +
@@ -213,6 +229,7 @@ DramProtocolChecker::onColumn(std::uint32_t rank_index,
     BankShadow &bank = banks_.at(flat_bank);
     RankShadow &rank = ranks_.at(rank_index);
     ++commands_;
+    mixCommand(is_write ? 5 : 4, flat_bank, row, now);
     const char *op = is_write ? "WR" : "RD";
     if (now < rank.refreshingUntil)
         violation("tRFC", std::string(op) + " at cycle " +
@@ -276,6 +293,7 @@ DramProtocolChecker::onRefresh(std::uint32_t rank_index, Cycle now)
 {
     RankShadow &rank = ranks_.at(rank_index);
     ++commands_;
+    mixCommand(6, rank_index, 0, now);
     if (now < rank.refreshingUntil)
         violation("tRFC", "REF at cycle " + std::to_string(now) +
                               " while rank " + std::to_string(rank_index) +

@@ -126,6 +126,15 @@ class DramProtocolChecker
     /** Commands validated so far (proof the checker observed traffic). */
     std::uint64_t commandsChecked() const { return commands_; }
 
+    /**
+     * Order-sensitive FNV-1a hash of the observed command stream
+     * (kind, rank/bank, row, cycle of every ACT/PRE/auto-PRE/RD/WR/
+     * REF). Equal hashes mean the channel issued the identical
+     * command sequence — the witness the differential scheduler test
+     * uses to prove cycle and event mode agree below the counters.
+     */
+    std::uint64_t streamHash() const { return streamHash_; }
+
   private:
     struct BankShadow
     {
@@ -150,6 +159,8 @@ class DramProtocolChecker
                                 const std::string &detail) const;
     void checkPrechargeable(const BankShadow &bank, Cycle at,
                             const char *what) const;
+    void mixCommand(std::uint64_t kind, std::uint64_t where,
+                    std::uint64_t row, Cycle at);
 
     DramTiming timing_;
     std::string name_;
@@ -159,6 +170,7 @@ class DramProtocolChecker
     bool lastColumnWasWrite_ = false;
     bool haveColumn_ = false;
     std::uint64_t commands_ = 0;
+    std::uint64_t streamHash_ = 14695981039346656037ULL; //!< FNV-1a basis
 };
 
 /**

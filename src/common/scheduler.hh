@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Scheduler selection for MultiCoreSystem::run(): the classic
+ * per-cycle loop versus the event-driven cycle-skipping loop.
+ *
+ * Both schedulers execute the *same* component tick() functions in the
+ * same order at every visited cycle; they differ only in which cycles
+ * are visited. Cycle mode visits every global cycle (each component's
+ * conservative nextTickCycle() bound collapses to now+1 whenever the
+ * component is busy). Event mode asks each component for a sharp
+ * nextEventCycle() lower bound on its next state change and jumps the
+ * clock straight to the minimum. The bound contract (see DESIGN.md §8)
+ * guarantees that every cycle skipped by event mode would have been a
+ * no-op under cycle mode, so all telemetry — cycle counts, per-core
+ * counters, even the DRAM command stream — is bit-identical. The
+ * golden-trace and differential test suites enforce exactly that.
+ */
+
+#ifndef MNPU_COMMON_SCHEDULER_HH
+#define MNPU_COMMON_SCHEDULER_HH
+
+#include <optional>
+#include <string>
+
+namespace mnpu
+{
+
+/** Which main-loop stepping strategy MultiCoreSystem::run() uses. */
+enum class SchedulerKind
+{
+    Cycle, //!< visit every global cycle (the original loop)
+    Event, //!< skip to the minimum component event bound (default)
+};
+
+const char *toString(SchedulerKind kind);
+
+/** Parse "cycle" | "event"; throws FatalError otherwise. */
+SchedulerKind parseSchedulerKind(const std::string &text);
+
+/**
+ * Process-wide default used when a SystemConfig does not pin a
+ * scheduler (set from --sched on the CLI/bench command line).
+ */
+void setSchedulerDefault(SchedulerKind kind);
+
+/** Undo setSchedulerDefault (test hygiene). */
+void clearSchedulerDefault();
+
+/**
+ * Resolve the scheduler a system should run with: an explicitly
+ * configured kind wins, then the process default (--sched), then the
+ * MNPU_SCHED environment variable, then Event.
+ */
+SchedulerKind
+effectiveSchedulerKind(const std::optional<SchedulerKind> &configured);
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_SCHEDULER_HH

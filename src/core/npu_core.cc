@@ -61,11 +61,11 @@ NpuCore::bufferFreeForLoad(std::uint32_t tile) const
     return tile < retireTile_ + 2;
 }
 
-void
+bool
 NpuCore::startIterationIfNeeded(Cycle now)
 {
     if (started_ && retireTile_ < tiles_.size())
-        return;
+        return false;
     if (!started_) {
         started_ = true;
         startedAtGlobal_ = now;
@@ -73,7 +73,7 @@ NpuCore::startIterationIfNeeded(Cycle now)
         // Previous iteration fully retired.
         ++iteration_;
         if (iteration_ >= config_.iterations)
-            return;
+            return false;
     }
     std::fill(tiles_.begin(), tiles_.end(), TileState{});
     loadTile_ = 0;
@@ -83,14 +83,30 @@ NpuCore::startIterationIfNeeded(Cycle now)
     loadCursor_ = RangeCursor{};
     storeCursor_ = RangeCursor{};
     nextLayerToFinish_ = 0;
+    return true;
 }
 
-void
+bool
+NpuCore::hasIssuableTx() const
+{
+    // Conservative mirror of issueTransactions' entry conditions: true
+    // whenever its next iteration would mutate state — issue a
+    // transaction, or mark an exhausted tile's stores/loads as issued
+    // and advance the tile pointers (also budget-gated bookkeeping).
+    if (storeTile_ < tiles_.size() && tiles_[storeTile_].computeDone &&
+        !tiles_[storeTile_].storesIssued) {
+        return true;
+    }
+    return loadTile_ < tiles_.size() && bufferFreeForLoad(loadTile_);
+}
+
+bool
 NpuCore::issueTransactions(Cycle now)
 {
     const auto &tile_traces = trace_.tiles();
     const std::uint32_t max_out = trace_.arch().dmaMaxOutstanding;
     std::uint64_t &budget = issueBudget_;
+    bool work = false;
 
     while (budget > 0) {
         if (static_cast<std::uint32_t>(inflightTx_.size()) >= max_out)
@@ -102,25 +118,38 @@ NpuCore::issueTransactions(Cycle now)
                tiles_[storeTile_].computeDone &&
                !tiles_[storeTile_].storesIssued) {
             Addr vaddr = 0;
-            if (cursorNext(storeCursor_, tile_traces[storeTile_].writes,
+            RangeCursor probe = storeCursor_;
+            if (cursorNext(probe, tile_traces[storeTile_].writes,
                            vaddr)) {
-                std::uint64_t tag = makeTag(config_.id, nextSeq_++);
+                std::uint64_t tag = makeTag(config_.id, nextSeq_);
                 if (!mmu_.requestTranslation(config_.id, config_.asid,
                                              vaddr, tag, now)) {
-                    xlatRetries_.inc();
-                    return; // MMU queue full; retry next cycle
+                    // MMU queue full; the probe cursor and sequence
+                    // number are not committed, so the same address
+                    // is retried once the MMU drains.
+                    if (!xlatBlocked_) {
+                        xlatBlocked_ = true;
+                        xlatRetries_.inc();
+                        work = true;
+                    }
+                    return work;
                 }
+                xlatBlocked_ = false;
+                storeCursor_ = probe;
+                ++nextSeq_;
                 inflightTx_.emplace(tag, TxInfo{storeTile_, MemOp::Write});
                 ++tiles_[storeTile_].storesOutstanding;
                 ++xlatOutstanding_;
                 writeTx_.inc();
                 --budget;
                 issued = true;
+                work = true;
                 break;
             }
             tiles_[storeTile_].storesIssued = true;
             ++storeTile_;
             storeCursor_ = RangeCursor{};
+            work = true;
         }
         if (issued)
             continue;
@@ -128,36 +157,47 @@ NpuCore::issueTransactions(Cycle now)
         // Then prefetch loads for the next tile whose half is free.
         if (loadTile_ < tiles_.size() && bufferFreeForLoad(loadTile_)) {
             Addr vaddr = 0;
-            if (cursorNext(loadCursor_, tile_traces[loadTile_].reads,
-                           vaddr)) {
-                std::uint64_t tag = makeTag(config_.id, nextSeq_++);
+            RangeCursor probe = loadCursor_;
+            if (cursorNext(probe, tile_traces[loadTile_].reads, vaddr)) {
+                std::uint64_t tag = makeTag(config_.id, nextSeq_);
                 if (!mmu_.requestTranslation(config_.id, config_.asid,
                                              vaddr, tag, now)) {
-                    xlatRetries_.inc();
-                    return;
+                    if (!xlatBlocked_) {
+                        xlatBlocked_ = true;
+                        xlatRetries_.inc();
+                        work = true;
+                    }
+                    return work;
                 }
+                xlatBlocked_ = false;
+                loadCursor_ = probe;
+                ++nextSeq_;
                 inflightTx_.emplace(tag, TxInfo{loadTile_, MemOp::Read});
                 ++tiles_[loadTile_].loadsOutstanding;
                 ++xlatOutstanding_;
                 readTx_.inc();
                 --budget;
+                work = true;
                 continue;
             }
             tiles_[loadTile_].loadsIssued = true;
             ++loadTile_;
             loadCursor_ = RangeCursor{};
+            work = true;
             continue;
         }
         break; // nothing issuable this cycle
     }
+    return work;
 }
 
-void
+bool
 NpuCore::updateCompute(Cycle now)
 {
     const Cycle local = clock_.toLocalFloor(now);
     const auto &tile_traces = trace_.tiles();
 
+    bool work = false;
     bool progressed = true;
     while (progressed) {
         progressed = false;
@@ -184,6 +224,7 @@ NpuCore::updateCompute(Cycle now)
                 tile.computeDoneLocal = start + cycles;
                 computeFreeLocal_ = tile.computeDoneLocal;
                 progressed = true;
+                work = true;
                 if (local >= tile.computeDoneLocal)
                     continue; // completes within this cycle window
             }
@@ -195,52 +236,65 @@ NpuCore::updateCompute(Cycle now)
             ++retireTile_;
             progressed = true;
         }
+        work |= progressed;
     }
+    return work;
 }
 
-void
+bool
 NpuCore::checkDone(Cycle now)
 {
     if (retireTile_ < tiles_.size())
-        return;
+        return false;
     if (iteration_ + 1 >= config_.iterations) {
         if (!done_) {
             done_ = true;
             finishedAtGlobal_ = now;
+            return true;
         }
-        return;
+        return false;
     }
-    startIterationIfNeeded(now);
+    return startIterationIfNeeded(now);
 }
 
-void
+bool
 NpuCore::tick(Cycle now)
 {
+    poked_ = false;
     if (done_ || now < config_.startCycleGlobal)
-        return;
+        return false;
     if (stalled_)
-        return;
+        return false;
     if (injector_ && injector_->fire(FaultSite::CoreStall)) {
         // Freeze forever; only the watchdog budget can end the run.
         stalled_ = true;
-        return;
+        return true;
     }
+    bool work = false;
     if (!started_)
-        startIterationIfNeeded(now);
+        work |= startIterationIfNeeded(now);
     if (done_)
-        return;
+        return work;
 
     // Refresh the DMA issue budget once per *local* cycle: unspent
     // budget carries across global ticks within the same local cycle
     // but does not accumulate across local cycles (a DMA port issues
-    // at most dmaIssueWidth transactions per core clock).
+    // at most dmaIssueWidth transactions per core clock). The refresh
+    // is reconstructed as of tr — the first global cycle that attained
+    // the current local cycle — so a scheduler that skipped tr (no
+    // work happened there) computes the exact budget the per-cycle
+    // scheduler was carrying: the span (tr, now] lies within one local
+    // cycle, and skipped cycles spend nothing.
     const Cycle local = clock_.toLocalFloor(now);
     const std::uint64_t width = trace_.arch().dmaIssueWidth;
     if (!budgetPrimed_ || local > lastLocalSeen_) {
         Cycle locals_per_global = std::max<Cycle>(
             1, ceilDiv(clock_.localMhz(), clock_.globalMhz()));
-        Cycle delta =
-            budgetPrimed_ ? local - lastLocalSeen_ : Cycle{1};
+        Cycle delta = Cycle{1};
+        if (budgetPrimed_) {
+            const Cycle tr = clock_.toGlobal(local);
+            delta = local - clock_.toLocalFloor(tr - 1);
+        }
         issueBudget_ = width * std::min<Cycle>(
             std::max<Cycle>(delta, 1), locals_per_global);
         lastLocalSeen_ = local;
@@ -250,18 +304,25 @@ NpuCore::tick(Cycle now)
     // Push already-translated transactions into DRAM.
     while (!dramReady_.empty()) {
         if (!dram_.tryEnqueue(dramReady_.front(), now)) {
-            dramRetries_.inc();
+            if (!dramBlocked_) {
+                dramBlocked_ = true;
+                dramRetries_.inc();
+                work = true;
+            }
             break;
         }
+        dramBlocked_ = false;
         if (requestTracer_)
             requestTracer_->record(now, 1);
         dramReady_.pop_front();
+        work = true;
     }
 
-    updateCompute(now);
-    issueTransactions(now);
-    updateCompute(now);
-    checkDone(now);
+    work |= updateCompute(now);
+    work |= issueTransactions(now);
+    work |= updateCompute(now);
+    work |= checkDone(now);
+    return work;
 }
 
 void
@@ -270,6 +331,7 @@ NpuCore::onTranslation(std::uint64_t tag, Addr paddr, Cycle)
     auto it = inflightTx_.find(tag);
     mnpu_assert(it != inflightTx_.end(), "translation for unknown tag");
     mnpu_assert(xlatOutstanding_ > 0);
+    poked_ = true;
     --xlatOutstanding_;
     DramRequest request;
     request.paddr = paddr;
@@ -284,6 +346,7 @@ NpuCore::onDramCompletion(std::uint64_t tag, Cycle)
 {
     auto it = inflightTx_.find(tag);
     mnpu_assert(it != inflightTx_.end(), "DRAM completion for unknown tag");
+    poked_ = true;
     TileState &tile = tiles_[it->second.tile];
     if (it->second.op == MemOp::Read) {
         mnpu_assert(tile.loadsOutstanding > 0);
@@ -296,7 +359,7 @@ NpuCore::onDramCompletion(std::uint64_t tag, Cycle)
 }
 
 Cycle
-NpuCore::nextEventCycle(Cycle now) const
+NpuCore::nextTickCycle(Cycle now) const
 {
     if (done_)
         return kCycleNever;
@@ -322,6 +385,53 @@ NpuCore::nextEventCycle(Cycle now) const
         }
     }
     return now + 1;
+}
+
+Cycle
+NpuCore::nextEventCycle(Cycle now) const
+{
+    if (done_)
+        return kCycleNever;
+    if (stalled_)
+        return now + 1; // livelock by design; the watchdog ends the run
+    if (!started_)
+        return std::max(now + 1, config_.startCycleGlobal);
+
+    Cycle next = kCycleNever;
+    auto consider = [&](Cycle at) {
+        next = std::min(next, std::max(at, now + 1));
+    };
+
+    // Self-timed: the running tile finishes computing at a known local
+    // cycle regardless of the memory system.
+    if (computeTile_ < tiles_.size()) {
+        const TileState &tile = tiles_[computeTile_];
+        if (tile.computeStarted && !tile.computeDone)
+            consider(clock_.toGlobal(tile.computeDoneLocal));
+    }
+
+    // DMA issue: only when a transaction is actually issuable. Pending
+    // DRAM pushes (dramReady_) and outstanding completions (inflightTx_)
+    // need no candidate — they advance only at cycles the DRAM/MMU
+    // bounds already visit, and those components tick before us.
+    if (inflightTx_.size() < trace_.arch().dmaMaxOutstanding &&
+        hasIssuableTx()) {
+        if (issueBudget_ == 0) {
+            // Budget refreshes at the first global cycle of the next
+            // local cycle.
+            consider(clock_.toGlobal(lastLocalSeen_ + 1));
+        } else if (mmu_.canAcceptTranslation(config_.id)) {
+            consider(now + 1);
+        } else if (!xlatBlocked_) {
+            // First failed attempt against a full MMU queue is itself a
+            // state change (the retry counter's episode transition) and
+            // must land exactly where the per-cycle scheduler lands it.
+            consider(now + 1);
+        }
+        // else: blocked on a full MMU queue mid-episode; the MMU bound
+        // covers the cycle its pending queue next drains.
+    }
+    return next;
 }
 
 Cycle

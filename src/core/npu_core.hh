@@ -50,12 +50,33 @@ class NpuCore
     NpuCore(const CoreConfig &config, const TraceGenerator &trace,
             Mmu &mmu, DramSystem &dram, const ClockDomain &clock);
 
-    /** Advance to global cycle @p now. */
-    void tick(Cycle now);
+    /**
+     * Advance to global cycle @p now. @return true when the tick
+     * changed simulated state (issued, computed, retired, started or
+     * finished anything) — pure bookkeeping such as a DMA budget
+     * refresh does not count. The run loop keys its core service
+     * rotation off this, so skipped no-op cycles cannot perturb
+     * arbitration.
+     */
+    bool tick(Cycle now);
 
     bool done() const { return done_; }
 
-    /** Earliest future global cycle at which tick() could do work. */
+    /**
+     * Conservative per-cycle bound (the cycle scheduler): now + 1
+     * whenever the core might do anything.
+     */
+    Cycle nextTickCycle(Cycle now) const;
+
+    /**
+     * Sharp lower bound on the next cycle tick() changes state. Only
+     * self-timed events need candidates here (tile compute finish,
+     * the DMA budget refresh at the next local-cycle boundary, start
+     * cycle); everything gated on the memory system — DRAM
+     * completions, translation completions, channel-queue space —
+     * is covered by the DRAM/MMU bounds, because those components
+     * tick before the cores at every visited cycle.
+     */
     Cycle nextEventCycle(Cycle now) const;
 
     /**
@@ -70,6 +91,19 @@ class NpuCore
 
     /** DRAM data transfer completed for one of this core's txns. */
     void onDramCompletion(std::uint64_t tag, Cycle at);
+
+    /**
+     * Event-scheduler gating support: external input (a translation or
+     * DRAM completion) since the last tick — the cached event bound
+     * predates it, so the core must be ticked this cycle.
+     */
+    bool poked() const { return poked_; }
+
+    /** Blocked pushing into a full/starved DRAM channel queue. */
+    bool dramBlocked() const { return dramBlocked_; }
+
+    /** Blocked on a full MMU pending queue. */
+    bool xlatBlocked() const { return xlatBlocked_; }
 
     // --- results ---
     /** End-to-end local cycles (finish - start), valid once done(). */
@@ -146,10 +180,11 @@ class NpuCore
     bool cursorNext(RangeCursor &cursor,
                     const std::vector<AccessRange> &ranges, Addr &out);
     bool bufferFreeForLoad(std::uint32_t tile) const;
-    void issueTransactions(Cycle now);
-    void updateCompute(Cycle now);
-    void startIterationIfNeeded(Cycle now);
-    void checkDone(Cycle now);
+    bool issueTransactions(Cycle now);
+    bool updateCompute(Cycle now);
+    bool startIterationIfNeeded(Cycle now);
+    bool checkDone(Cycle now);
+    bool hasIssuableTx() const;
 
     CoreConfig config_;
     const TraceGenerator &trace_;
@@ -182,6 +217,17 @@ class NpuCore
     Cycle lastLocalSeen_ = 0;
     std::uint64_t issueBudget_ = 0;
     bool budgetPrimed_ = false;
+
+    /**
+     * Blocked-episode flags: the retry counters count transitions into
+     * a blocked state (one per episode), not per-cycle retries — a
+     * per-cycle count would depend on how many cycles the scheduler
+     * visits while blocked, which is exactly what the two schedulers
+     * legitimately disagree on.
+     */
+    bool dramBlocked_ = false;
+    bool xlatBlocked_ = false;
+    bool poked_ = false; //!< completion delivered since the last tick
 
     std::vector<Cycle> layerFinishLocal_;
     std::size_t nextLayerToFinish_ = 0;

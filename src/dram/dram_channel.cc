@@ -54,7 +54,10 @@ DramChannel::enqueue(const DramRequest &request, Addr local_addr, Cycle now)
     QueueEntry entry;
     entry.request = request;
     entry.coord = mapping_.decode(local_addr);
+    entry.flat = entry.coord.flatBank(timing_);
     entry.arrival = now;
+    if (request.priority)
+        ++priorityQueued_;
     queue_.push_back(entry);
 }
 
@@ -114,7 +117,7 @@ DramChannel::olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
 {
     for (std::size_t i = 0; i < upto; ++i) {
         const QueueEntry &entry = queue_[i];
-        if (entry.coord.flatBank(timing_) == flat_bank &&
+        if (entry.flat == flat_bank &&
             static_cast<std::int64_t>(entry.coord.row) == row) {
             return true;
         }
@@ -123,31 +126,39 @@ DramChannel::olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
 }
 
 bool
-DramChannel::tryIssueColumn(Cycle now)
+DramChannel::tryIssueColumn(Cycle now, Cycle *bound)
 {
     // Pass 0 considers only priority (walk) requests; pass 1 the rest.
-    for (int pass = 0; pass < 2; ++pass)
+    // Walk traffic is sparse, so skip the priority pass outright when
+    // none is queued. With @p bound set, each rejected row-hit entry
+    // contributes the earliest cycle its column could issue — the same
+    // candidate nextEventCycle() derives — so a failed scan doubles as
+    // the event-bound scan.
+    for (int pass = priorityQueued_ == 0 ? 1 : 0; pass < 2; ++pass)
     for (std::size_t i = 0; i < queue_.size(); ++i) {
         QueueEntry &entry = queue_[i];
         if (entry.request.priority != (pass == 0))
             continue;
-        std::uint32_t flat = entry.coord.flatBank(timing_);
+        std::uint32_t flat = entry.flat;
         BankState &bank = banks_[flat];
         RankState &rank = ranks_[entry.coord.rank];
-        if (now < rank.refreshingUntil)
-            continue;
-        // An overdue refresh blocks new columns so the rank can drain.
-        if (now >= rank.refreshDueAt)
-            continue;
         if (bank.openRow != static_cast<std::int64_t>(entry.coord.row))
-            continue;
-        if (now < bank.nextColumn)
             continue;
         bool is_write = entry.request.op == MemOp::Write;
         Cycle gate =
             is_write == lastOpWasWrite_ ? nextColumnSame_ : nextColumnSwitch_;
-        if (now < gate)
+        // An overdue refresh (now >= refreshDueAt) blocks new columns
+        // so the rank can drain; the refresh candidate covers that
+        // stall in the bound.
+        if (now < rank.refreshingUntil || now >= rank.refreshDueAt ||
+            now < bank.nextColumn || now < gate) {
+            if (bound) {
+                *bound = std::min(
+                    *bound, std::max({bank.nextColumn, gate,
+                                      rank.refreshingUntil, now + 1}));
+            }
             continue;
+        }
 
         // Issue the column command.
         if (checker_)
@@ -180,6 +191,8 @@ DramChannel::tryIssueColumn(Cycle now)
         queueLatency_.sample(static_cast<double>(now - entry.arrival));
         completions_.push(Completion{done, entry.request});
         std::uint64_t issued_row = entry.coord.row;
+        if (entry.request.priority)
+            --priorityQueued_;
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
 
         if (timing_.rowPolicy == RowPolicy::Closed &&
@@ -198,27 +211,36 @@ DramChannel::tryIssueColumn(Cycle now)
 }
 
 bool
-DramChannel::tryIssueRowCommand(Cycle now)
+DramChannel::tryIssueRowCommand(Cycle now, Cycle *bound)
 {
-    for (int pass = 0; pass < 2; ++pass)
+    // With @p bound set, rejected entries contribute the earliest cycle
+    // their precharge/activate could issue (mirroring nextEventCycle).
+    for (int pass = priorityQueued_ == 0 ? 1 : 0; pass < 2; ++pass)
     for (std::size_t i = 0; i < queue_.size(); ++i) {
         QueueEntry &entry = queue_[i];
         if (entry.request.priority != (pass == 0))
             continue;
-        std::uint32_t flat = entry.coord.flatBank(timing_);
+        std::uint32_t flat = entry.flat;
         BankState &bank = banks_[flat];
         RankState &rank = ranks_[entry.coord.rank];
-        if (now < rank.refreshingUntil || now >= rank.refreshDueAt)
-            continue;
         auto row = static_cast<std::int64_t>(entry.coord.row);
         if (bank.openRow == row)
             continue; // hit; handled by the column pass
+        bool rank_ok =
+            now >= rank.refreshingUntil && now < rank.refreshDueAt;
         if (bank.openRow != -1) {
-            // Don't close a row an older request still wants.
+            // Don't close a row an older request still wants; that
+            // older entry contributes its own column candidate.
             if (olderHitOnBank(i, flat, bank.openRow))
                 continue;
-            if (now < bank.nextPrecharge)
+            if (!rank_ok || now < bank.nextPrecharge) {
+                if (bound) {
+                    *bound = std::min(
+                        *bound, std::max({bank.nextPrecharge,
+                                          rank.refreshingUntil, now + 1}));
+                }
                 continue;
+            }
             if (checker_)
                 checker_->onPrecharge(flat, now);
             bank.openRow = -1;
@@ -226,8 +248,18 @@ DramChannel::tryIssueRowCommand(Cycle now)
                 std::max(bank.nextActivate, now + timing_.tRP);
             return true;
         }
-        if (now < bank.nextActivate || !rankCanActivate(rank, now))
+        if (!rank_ok || now < bank.nextActivate ||
+            !rankCanActivate(rank, now)) {
+            if (bound) {
+                Cycle oldest = rank.actWindow[rank.actPtr];
+                Cycle faw = oldest == 0 ? 0 : oldest + timing_.tFAW;
+                *bound = std::min(
+                    *bound,
+                    std::max({bank.nextActivate, rank.nextActivate, faw,
+                              rank.refreshingUntil, now + 1}));
+            }
             continue;
+        }
         if (checker_)
             checker_->onActivate(entry.coord.rank, flat, entry.coord.row,
                                  now);
@@ -242,7 +274,39 @@ DramChannel::tryIssueRowCommand(Cycle now)
     return false;
 }
 
-void
+Cycle
+DramChannel::refreshBound(Cycle now) const
+{
+    // Refresh fires the first cycle a rank is due, out of its previous
+    // refresh, and every bank is precharge-able. The first two terms
+    // only move later via commands issued at visited cycles, so their
+    // max is a safe (under-)bound; the banks' nextPrecharge would only
+    // sharpen it, and scanning every bank on each bound query costs
+    // more than the few extra visits near a due refresh it saves.
+    Cycle next = kCycleNever;
+    for (const RankState &rank : ranks_) {
+        Cycle at = std::max(rank.refreshDueAt, rank.refreshingUntil);
+        next = std::min(next, std::max(at, now + 1));
+    }
+    return next;
+}
+
+Cycle
+DramChannel::boundAfterIssue(Cycle now) const
+{
+    // The rejection candidates gathered before an issue predate the
+    // state change, so a sharp bound needs a rescan. With a deep queue
+    // the channel almost certainly has a command ready within a cycle
+    // or two, so the rescan saves nothing — report now + 1 and let the
+    // next visit's (inevitable) issue scan double as the bound scan.
+    // With a shallow queue the rescan is cheap and its sharp bound is
+    // what lets idle stretches be skipped.
+    if (queue_.size() >= kSharpBoundQueueLimit)
+        return now + 1;
+    return nextEventCycle(now);
+}
+
+bool
 DramChannel::tick(Cycle now)
 {
     while (!completions_.empty() && completions_.top().at <= now) {
@@ -251,11 +315,29 @@ DramChannel::tick(Cycle now)
         if (callback_)
             callback_(done.request, done.at);
     }
-    if (queue_.empty())
-        return;
+    Cycle bound = kCycleNever;
+    if (!completions_.empty())
+        bound = std::max(completions_.top().at, now + 1);
+    if (queue_.empty()) {
+        boundAfterTick_ = bound;
+        return false;
+    }
     maybeRefresh(now);
-    if (!tryIssueColumn(now))
-        tryIssueRowCommand(now);
+    Cycle *scan = bounding_ ? &bound : nullptr;
+    if (tryIssueColumn(now, scan)) {
+        if (bounding_)
+            boundAfterTick_ = boundAfterIssue(now);
+        return true; // a queue slot was freed; blocked enqueuers may retry
+    }
+    if (tryIssueRowCommand(now, scan)) {
+        if (bounding_)
+            boundAfterTick_ = boundAfterIssue(now);
+        return false;
+    }
+    // Both scans failed: their rejection candidates are the bound.
+    if (bounding_)
+        boundAfterTick_ = std::min(bound, refreshBound(now));
+    return false;
 }
 
 double
@@ -273,7 +355,7 @@ DramChannel::energyPj(Cycle elapsed_cycles) const
 }
 
 Cycle
-DramChannel::nextEventCycle(Cycle now) const
+DramChannel::nextTickCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
     if (!completions_.empty())
@@ -281,6 +363,61 @@ DramChannel::nextEventCycle(Cycle now) const
     if (!queue_.empty())
         next = std::min(next, now + 1);
     return next;
+}
+
+Cycle
+DramChannel::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    if (!completions_.empty())
+        next = std::max(completions_.top().at, now + 1);
+    if (queue_.empty())
+        return next; // tick() early-returns; completions are all there is
+
+    auto consider = [&](Cycle at) {
+        next = std::min(next, std::max(at, now + 1));
+    };
+
+    // One candidate per queued request: the earliest cycle whichever
+    // command FR-FCFS would issue for it next could go out. The
+    // "overdue refresh blocks columns" rule needs no candidate of its
+    // own — the rank's refresh candidate covers that stall. No
+    // candidate can clamp below now + 1, so the scan stops the moment
+    // one reaches it — during busy streaming the first entry usually
+    // does, making the common-case bound O(1) instead of O(queue^2)
+    // (the olderHitOnBank probe).
+    for (std::size_t i = 0; i < queue_.size() && next > now + 1; ++i) {
+        const QueueEntry &entry = queue_[i];
+        std::uint32_t flat = entry.flat;
+        const BankState &bank = banks_[flat];
+        const RankState &rank = ranks_[entry.coord.rank];
+        if (bank.openRow == static_cast<std::int64_t>(entry.coord.row)) {
+            bool is_write = entry.request.op == MemOp::Write;
+            Cycle gate = is_write == lastOpWasWrite_ ? nextColumnSame_
+                                                     : nextColumnSwitch_;
+            consider(std::max({bank.nextColumn, gate,
+                               rank.refreshingUntil}));
+        } else if (bank.openRow != -1) {
+            // No precharge while an older request still wants the open
+            // row; that older entry contributes its own column
+            // candidate, and queue order only changes at visited
+            // cycles, so skipping the candidate cannot overshoot.
+            if (!olderHitOnBank(i, flat, bank.openRow))
+                consider(std::max(bank.nextPrecharge,
+                                  rank.refreshingUntil));
+        } else {
+            Cycle oldest = rank.actWindow[rank.actPtr];
+            Cycle faw = oldest == 0 ? 0 : oldest + timing_.tFAW;
+            consider(std::max({bank.nextActivate, rank.nextActivate, faw,
+                               rank.refreshingUntil}));
+        }
+    }
+    if (next == now + 1)
+        return next;
+
+    // While the queue is busy refreshes fire on every rank, so each
+    // rank contributes a candidate.
+    return std::min(next, refreshBound(now));
 }
 
 } // namespace mnpu

@@ -85,13 +85,46 @@ class DramChannel
      */
     void enqueue(const DramRequest &request, Addr local_addr, Cycle now);
 
-    /** Advance to global cycle @p now; fire completions via callback. */
-    void tick(Cycle now);
+    /**
+     * Advance to global cycle @p now; fire completions via callback.
+     * @return true when a queue slot was freed (a column command
+     * issued), i.e. a blocked enqueuer's retry could now succeed.
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Event-scheduler fast path: when enabled, each tick() also leaves
+     * the channel's event bound in boundAfterTick(), reusing the
+     * rejection conditions the issue scans already evaluated instead
+     * of re-deriving them in a second nextEventCycle() pass.
+     */
+    void setBounding(bool on) { bounding_ = on; }
+
+    /**
+     * Bound produced by the last tick() while bounding is enabled.
+     * Identical contract to nextEventCycle(): never overshoots the
+     * next state change, may undershoot. A tick that issued a command
+     * reports now + 1 (another command may be ready immediately).
+     */
+    Cycle boundAfterTick() const { return boundAfterTick_; }
 
     /** @return true while any transaction is queued or in flight. */
     bool busy() const { return !queue_.empty() || !completions_.empty(); }
 
-    /** Earliest future cycle at which tick() could do work. */
+    /**
+     * Conservative per-cycle bound (the cycle scheduler): now + 1
+     * whenever any transaction is queued, else the next completion.
+     */
+    Cycle nextTickCycle(Cycle now) const;
+
+    /**
+     * Sharp lower bound on the next cycle tick() changes state: the
+     * earliest of the next completion, the next possible refresh on
+     * any rank, and per queued request the earliest cycle its next
+     * FR-FCFS command (column hit / precharge / activate) could issue.
+     * Never overshoots the true next state change; may undershoot
+     * (an extra visited cycle is a harmless no-op tick).
+     */
     Cycle nextEventCycle(Cycle now) const;
 
     void setCallback(DramCallback callback)
@@ -121,11 +154,14 @@ class DramChannel
 
   private:
     static constexpr std::uint32_t kPriorityReserve = 4;
+    /** Queue depth at/above which boundAfterIssue skips the rescan. */
+    static constexpr std::size_t kSharpBoundQueueLimit = 4;
 
     struct QueueEntry
     {
         DramRequest request;
         DramCoord coord;
+        std::uint32_t flat; //!< cached coord.flatBank(timing_)
         Cycle arrival;
         bool causedActivate = false;
     };
@@ -160,8 +196,10 @@ class DramChannel
     bool rankCanActivate(const RankState &rank, Cycle now) const;
     void recordActivate(RankState &rank, Cycle now);
     void maybeRefresh(Cycle now);
-    bool tryIssueColumn(Cycle now);
-    bool tryIssueRowCommand(Cycle now);
+    bool tryIssueColumn(Cycle now, Cycle *bound);
+    bool tryIssueRowCommand(Cycle now, Cycle *bound);
+    Cycle refreshBound(Cycle now) const;
+    Cycle boundAfterIssue(Cycle now) const;
     bool olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
                         std::int64_t row) const;
 
@@ -170,6 +208,7 @@ class DramChannel
     std::uint32_t queueDepth_;
 
     std::deque<QueueEntry> queue_;
+    std::uint32_t priorityQueued_ = 0; //!< priority entries in queue_
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         completions_;
@@ -180,6 +219,9 @@ class DramChannel
     Cycle nextColumnSame_ = 0;   //!< tCCD / bus occupancy gate
     Cycle nextColumnSwitch_ = 0; //!< gate when switching read<->write
     bool lastOpWasWrite_ = false;
+
+    bool bounding_ = false;     //!< tick() also computes boundAfterTick_
+    Cycle boundAfterTick_ = 0;
 
     DramCallback callback_;
     DramProtocolChecker *checker_ = nullptr;

@@ -1,6 +1,7 @@
 #include "dram/dram_system.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.hh"
@@ -147,18 +148,15 @@ DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
     if (request.core < buckets_.size()) {
         TokenBucket &bucket = buckets_[request.core];
         if (bucket.enabled) {
-            if (now > bucket.lastRefill) {
-                bucket.tokens = std::min(
-                    bucket.burstCap,
-                    bucket.tokens +
-                        bucket.ratePerCycle *
-                            static_cast<double>(now - bucket.lastRefill));
-                bucket.lastRefill = now;
-            }
             auto cost = static_cast<double>(timing_.transactionBytes());
-            if (bucket.tokens < cost)
-                return false;
-            bucket.tokens -= cost;
+            double avail = available(bucket, now);
+            if (avail < cost)
+                return false; // anchored bucket: a refusal mutates nothing
+            bucket.tokens = avail - cost;
+            bucket.lastRefill = now;
+            // Re-observe after the spend so an upward re-crossing is
+            // detected even between channel ticks (event mode).
+            bucket.wasBelowCost = available(bucket, now) < cost;
         }
     }
     DramRequest accepted = request;
@@ -166,6 +164,11 @@ DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
         accepted.integrityId = tracker_->onIssue(request.paddr, request.core,
                                                  request.priority, now);
     channel.enqueue(accepted, r.localAddr, now);
+    if (eventDriven_) {
+        // The cached bound predates this enqueue; revisit the channel.
+        chanPoked_[r.channel] = 1;
+        anyPoked_ = true;
+    }
     if (startLog_.enabled()) {
         startLog_.row(now, request.core, r.channel, request.paddr,
                       toString(request.op),
@@ -190,6 +193,25 @@ DramSystem::flushRequestLogs()
 }
 
 void
+DramSystem::setEventDriven(bool enabled)
+{
+    eventDriven_ = enabled;
+    for (auto &channel : channels_)
+        channel->setBounding(enabled);
+    if (!enabled) {
+        chanNext_.clear();
+        chanPoked_.clear();
+        anyPoked_ = false;
+        retrySignal_ = false;
+        return;
+    }
+    // Bound 0 = "due now": every channel is visited (and its real bound
+    // cached) on the first event-driven tick.
+    chanNext_.assign(channels_.size(), 0);
+    chanPoked_.assign(channels_.size(), 0);
+}
+
+void
 DramSystem::tick(Cycle now)
 {
     while (!delayed_.empty()) {
@@ -204,9 +226,36 @@ DramSystem::tick(Cycle now)
         delayed_.erase(due);
         deliver(request, now);
     }
-    for (auto &channel : channels_) {
-        if (channel->busy())
-            channel->tick(now);
+    if (!eventDriven_) {
+        for (auto &channel : channels_) {
+            if (channel->busy())
+                channel->tick(now);
+        }
+        return;
+    }
+    // Event-driven: tick only channels with due work (cached bound) or
+    // a fresh enqueue; a skipped channel's tick is provably a no-op
+    // (the nextEventCycle contract). Cache the recomputed bound so the
+    // scheduler's bound query does not rescan untouched queues.
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        if (chanNext_[c] > now && !chanPoked_[c])
+            continue;
+        if (channels_[c]->tick(now))
+            retrySignal_ = true;
+        chanPoked_[c] = 0;
+        chanNext_[c] = channels_[c]->boundAfterTick();
+    }
+    anyPoked_ = false;
+    // A starved bucket re-crossing one transaction's cost unblocks the
+    // same retries a freed queue slot does.
+    auto cost = static_cast<double>(timing_.transactionBytes());
+    for (auto &bucket : buckets_) {
+        if (!bucket.enabled)
+            continue;
+        bool below = available(bucket, now) < cost;
+        if (bucket.wasBelowCost && !below)
+            retrySignal_ = true;
+        bucket.wasBelowCost = below;
     }
 }
 
@@ -219,14 +268,72 @@ DramSystem::busy() const
 }
 
 Cycle
-DramSystem::nextEventCycle(Cycle now) const
+DramSystem::nextTickCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
     for (const auto &entry : delayed_)
         next = std::min(next, std::max(entry.at, now + 1));
     for (const auto &channel : channels_)
+        next = std::min(next, channel->nextTickCycle(now));
+    return next;
+}
+
+Cycle
+DramSystem::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto &entry : delayed_)
+        next = std::min(next, std::max(entry.at, now + 1));
+    // A starved token bucket gets a closed-form refill-crossing
+    // candidate: the first cycle the anchored balance reaches one
+    // transaction's cost. The anchor only moves on successful spends
+    // (which happen at visited cycles in both schedulers), so the
+    // crossing is a pure function of state both schedulers share; the
+    // ±1 adjustment loops pin T against float rounding using the exact
+    // admission expression.
+    auto cost = static_cast<double>(timing_.transactionBytes());
+    for (const auto &bucket : buckets_) {
+        if (!bucket.enabled || available(bucket, now) >= cost)
+            continue;
+        if (bucket.ratePerCycle <= 0 || bucket.burstCap < cost) {
+            next = std::min(next, now + 1); // can never refill past cost
+            continue;
+        }
+        double deficit = cost - bucket.tokens;
+        Cycle T = bucket.lastRefill +
+                  static_cast<Cycle>(
+                      std::ceil(deficit / bucket.ratePerCycle));
+        T = std::max(T, now + 1);
+        while (available(bucket, T) < cost)
+            ++T;
+        while (T > now + 1 && available(bucket, T - 1) >= cost)
+            --T;
+        next = std::min(next, T);
+    }
+    if (eventDriven_) {
+        // Cached per-channel bounds (maintained by tick); a channel
+        // enqueued-to since its bound was cached must be revisited.
+        if (anyPoked_)
+            next = std::min(next, now + 1);
+        for (Cycle cached : chanNext_)
+            next = std::min(next, std::max(cached, now + 1));
+        return next;
+    }
+    for (const auto &channel : channels_)
         next = std::min(next, channel->nextEventCycle(now));
     return next;
+}
+
+std::uint64_t
+DramSystem::protocolStreamHash() const
+{
+    std::uint64_t total = 0;
+    for (const auto &checker : checkers_) {
+        // Order-independent mix across channels (each channel's own
+        // stream is order-sensitive inside its checker hash).
+        total ^= checker->streamHash();
+    }
+    return total;
 }
 
 void

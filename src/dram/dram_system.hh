@@ -68,13 +68,68 @@ class DramSystem
     /** @return true if the target channel could accept @p request now. */
     bool canAccept(const DramRequest &request) const;
 
-    /** Advance all busy channels to global cycle @p now. */
+    /**
+     * Advance to global cycle @p now. In the default (cycle-scheduler)
+     * mode every busy channel is ticked. In event-driven mode (see
+     * setEventDriven) only channels whose cached event bound is due or
+     * that were enqueued-to since their last tick are ticked — a
+     * channel skipped under that rule is guaranteed to no-op.
+     */
     void tick(Cycle now);
+
+    /**
+     * Switch to event-driven per-channel ticking: tick(now) consults a
+     * per-channel cached nextEventCycle and skips channels with no due
+     * work, and nextEventCycle(now) returns the cached minimum instead
+     * of rescanning every queue. Enqueues mark their channel dirty so
+     * the next tick revisits it. Used by the event scheduler; direct
+     * per-cycle users keep the default exhaustive mode.
+     */
+    void setEventDriven(bool enabled);
+
+    /**
+     * Whether any channel was enqueued-to since its last tick (event
+     * mode): the system must be revisited at now + 1 regardless of the
+     * cached bounds, which predate the enqueue.
+     */
+    bool poked() const { return anyPoked_; }
+
+    /**
+     * Event mode: true when this tick freed a channel-queue slot or a
+     * starved token bucket crossed back above one transaction's cost —
+     * the two conditions under which a blocked enqueuer (a core's DMA
+     * drain or a WaitIssue walker) could now succeed. Cleared on read.
+     */
+    bool consumeRetrySignal()
+    {
+        bool signal = retrySignal_;
+        retrySignal_ = false;
+        return signal;
+    }
 
     bool busy() const;
 
-    /** Earliest future cycle any channel could make progress. */
+    /**
+     * Conservative per-cycle bound (the cycle scheduler): now + 1
+     * whenever any channel has queued work.
+     */
+    Cycle nextTickCycle(Cycle now) const;
+
+    /**
+     * Sharp lower bound on the next cycle the DRAM system (any
+     * channel, a delayed fault release, or a token-bucket refill a
+     * starved requester is waiting on) changes state. See
+     * DramChannel::nextEventCycle for the bound contract.
+     */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * FNV-1a hash over every DRAM command the protocol checkers have
+     * observed, aggregated across channels (0 when checks are off).
+     * Two runs with identical hashes issued the identical command
+     * stream — the differential scheduler test's strongest witness.
+     */
+    std::uint64_t protocolStreamHash() const;
 
     /** Completion callback for reads and writes (data-done cycle). */
     void setCallback(DramCallback callback);
@@ -174,14 +229,39 @@ class DramSystem
         DramRequest request;
     };
 
+    /**
+     * Anchored token bucket: @c tokens is the balance at @c lastRefill
+     * and the spendable amount at any later cycle is the pure function
+     * available() — the anchor moves only on a successful spend. A
+     * failed admission therefore mutates nothing, which makes the
+     * bucket's evolution independent of how often blocked requesters
+     * retry (the property both schedulers' bit-identity rests on).
+     */
     struct TokenBucket
     {
         bool enabled = false;
-        double tokens = 0;        //!< bytes available to spend
+        double tokens = 0;        //!< bytes available at lastRefill
         double ratePerCycle = 0;  //!< bytes replenished per global cycle
         double burstCap = 0;      //!< bucket capacity in bytes
         Cycle lastRefill = 0;
+        /**
+         * Event mode: whether available() was below one transaction's
+         * cost at the last observation (a tick or a spend); an upward
+         * crossing raises the retry signal.
+         */
+        bool wasBelowCost = false;
     };
+
+    /** Spendable tokens at @p now; the exact admission expression. */
+    static double available(const TokenBucket &bucket, Cycle now)
+    {
+        if (now <= bucket.lastRefill)
+            return bucket.tokens;
+        return std::min(bucket.burstCap,
+                        bucket.tokens +
+                            bucket.ratePerCycle *
+                                static_cast<double>(now - bucket.lastRefill));
+    }
 
     DramTiming timing_;
     std::uint32_t offsetBits_;
@@ -189,6 +269,13 @@ class DramSystem
     std::vector<std::vector<std::uint32_t>> partitions_; //!< per core
     std::vector<TokenBucket> buckets_;                   //!< per core
     DramCallback clientCallback_;
+
+    // --- Event-driven ticking state (setEventDriven). ---
+    bool eventDriven_ = false;
+    std::vector<Cycle> chanNext_;        //!< cached per-channel bound
+    std::vector<std::uint8_t> chanPoked_; //!< enqueued since last tick
+    bool anyPoked_ = false;
+    bool retrySignal_ = false;
 
     RequestLifecycleTracker *tracker_ = nullptr;
     FaultInjector *injector_ = nullptr;

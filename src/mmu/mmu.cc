@@ -143,6 +143,7 @@ Mmu::requestTranslation(CoreId core, Asid asid, Addr vaddr,
         return false;
     pending_[core].push_back(
         PendingXlat{asid, vaddr, tag, now + config_.tlbLatency});
+    poked_ = true;
     return true;
 }
 
@@ -240,10 +241,14 @@ Mmu::processPending(Cycle now)
 {
     // Shared TLB: one bandwidth budget round-robined across cores.
     // Private TLBs: an independent budget per core.
+    // The rotation pointer advances only on ticks that serviced at
+    // least one lookup: idle ticks must not perturb arbitration, or
+    // the event scheduler (which skips exactly the idle ticks) would
+    // arbitrate differently from the cycle scheduler.
     if (config_.sharedTlb) {
         std::uint32_t budget = config_.tlbBandwidth;
+        const std::uint32_t budget0 = budget;
         CoreId start = pendingRoundRobin_;
-        pendingRoundRobin_ = (pendingRoundRobin_ + 1) % config_.numCores;
         bool progressed = true;
         while (budget > 0 && progressed) {
             progressed = false;
@@ -257,6 +262,7 @@ Mmu::processPending(Cycle now)
                 queue.pop_front();
                 --budget;
                 progressed = true;
+                pendingDrained_ = true;
                 Addr vpn = allocator_.vpn(xlat.vaddr);
                 if (!config_.translationEnabled ||
                     tlbFor(core).lookup(xlat.asid, vpn)) {
@@ -282,11 +288,13 @@ Mmu::processPending(Cycle now)
                 }
             }
         }
+        if (budget != budget0)
+            pendingRoundRobin_ = (start + 1) % config_.numCores;
         return;
     }
 
     CoreId start = pendingRoundRobin_;
-    pendingRoundRobin_ = (pendingRoundRobin_ + 1) % config_.numCores;
+    bool serviced = false;
     for (CoreId i = 0; i < config_.numCores; ++i) {
         CoreId core = (start + i) % config_.numCores;
         std::uint32_t budget = config_.tlbBandwidth;
@@ -296,6 +304,8 @@ Mmu::processPending(Cycle now)
             PendingXlat xlat = queue.front();
             queue.pop_front();
             --budget;
+            serviced = true;
+            pendingDrained_ = true;
             Addr vpn = allocator_.vpn(xlat.vaddr);
             if (!config_.translationEnabled ||
                 tlbFor(core).lookup(xlat.asid, vpn)) {
@@ -321,6 +331,8 @@ Mmu::processPending(Cycle now)
             }
         }
     }
+    if (serviced)
+        pendingRoundRobin_ = (start + 1) % config_.numCores;
 }
 
 void
@@ -367,7 +379,11 @@ Mmu::startWalks(Cycle now)
             queue.pop_front();
             granted = true;
         }
-        walkRoundRobin_ = (walkRoundRobin_ + 1) % n;
+        // Rotate only after a granting pass (see processPending):
+        // fruitless passes — including every tick with no demand —
+        // must leave arbitration untouched so both schedulers agree.
+        if (granted)
+            walkRoundRobin_ = (walkRoundRobin_ + 1) % n;
     }
 }
 
@@ -396,6 +412,8 @@ Mmu::driveWalkers(Cycle now)
 void
 Mmu::tick(Cycle now)
 {
+    poked_ = false;
+    pendingDrained_ = false;
     releaseFinishedWalkers(now);
     processPending(now);
     startWalks(now);
@@ -411,6 +429,7 @@ Mmu::onDramCompletion(std::uint64_t tag, Cycle at)
     Walker &walker = walkers_[id];
     mnpu_assert(walker.state == WalkerState::WaitDram,
                 "DRAM completion for a walker that is not waiting");
+    poked_ = true;
     ++walker.level;
     if (walker.level >= walker.path.size()) {
         walker.state = WalkerState::Finished;
@@ -438,9 +457,31 @@ Mmu::busy() const
 }
 
 Cycle
-Mmu::nextEventCycle(Cycle now) const
+Mmu::nextTickCycle(Cycle now) const
 {
     return busy() ? now + 1 : kCycleNever;
+}
+
+Cycle
+Mmu::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto &queue : pending_) {
+        if (queue.empty())
+            continue;
+        // readyAt is monotone within a queue, so the front is the
+        // earliest. A front already ready was carried over this tick's
+        // TLB bandwidth budget and will be serviced next cycle.
+        Cycle ready = queue.front().readyAt;
+        if (ready <= now)
+            return now + 1;
+        next = std::min(next, ready);
+    }
+    for (const auto &walker : walkers_) {
+        if (walker.state == WalkerState::Finished)
+            return now + 1;
+    }
+    return next;
 }
 
 } // namespace mnpu

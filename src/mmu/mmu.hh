@@ -105,7 +105,65 @@ class Mmu
     static bool isWalkTag(std::uint64_t tag) { return (tag >> 63) != 0; }
 
     bool busy() const;
+
+    /** Conservative per-cycle bound: now + 1 whenever busy(). */
+    Cycle nextTickCycle(Cycle now) const;
+
+    /**
+     * Sharp lower bound on the next cycle tick() changes state: the
+     * earliest pending-lookup readyAt, or now + 1 when a ready lookup
+     * was carried over the TLB bandwidth budget (or a finished walker
+     * awaits release). Blocked walk activity needs no candidate here:
+     * walkers free and channel queues drain only at cycles the DRAM
+     * bounds already cover, and the MMU ticks after the DRAM at every
+     * visited cycle.
+     */
     Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Whether requestTranslation() for @p core would be admitted this
+     * cycle (pending queue below maxPendingPerCore). Lets a core's
+     * event bound report "issuable next cycle" only when the issue
+     * could actually land.
+     */
+    bool canAcceptTranslation(CoreId core) const
+    {
+        return pending_[core].size() < config_.maxPendingPerCore;
+    }
+
+    /**
+     * Event-scheduler gating support. poked() reports external input
+     * since the last tick (an accepted translation request or a walk
+     * step's DRAM completion): the cached event bound predates it, so
+     * the MMU must be ticked at the next visited cycle regardless.
+     */
+    bool poked() const { return poked_; }
+
+    /**
+     * Whether the last tick freed pending-queue space (serviced at
+     * least one lookup) — the condition that can unblock a core whose
+     * requestTranslation was refused. Cleared on read.
+     */
+    bool consumePendingDrained()
+    {
+        bool drained = pendingDrained_;
+        pendingDrained_ = false;
+        return drained;
+    }
+
+    /**
+     * Whether any walker sits in WaitIssue (its DRAM enqueue was
+     * refused). Such a walker retries on every tick; the event
+     * scheduler must tick the MMU whenever the DRAM reports a freed
+     * queue slot or a token-bucket re-crossing.
+     */
+    bool hasBlockedWalks() const
+    {
+        for (const auto &walker : walkers_)
+            if (walker.state == WalkerState::WaitIssue)
+                return true;
+        return false;
+    }
 
     /** Translate without timing (also used when translation is off). */
     Addr translateFunctional(Asid asid, Addr vaddr)
@@ -221,6 +279,9 @@ class Mmu
 
     std::vector<RequestLog> tlbLogs_; //!< per core
     std::vector<RequestLog> ptwLogs_; //!< per core
+
+    bool poked_ = false;
+    bool pendingDrained_ = false;
 
     bool checkTranslations_ = false;
     FaultInjector *injector_ = nullptr;

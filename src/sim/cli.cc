@@ -308,6 +308,7 @@ mnpusimMain(int argc, char **argv)
     // Optional leading flags before the six positional arguments.
     RunBudget budget;
     std::optional<CheckLevel> check_level;
+    std::optional<SchedulerKind> sched_kind;
     FaultPlan fault_plan;
     int first = 1;
     while (first < argc && argv[first][0] == '-') {
@@ -340,6 +341,19 @@ mnpusimMain(int argc, char **argv)
                 return 2;
             }
             setCheckLevelDefault(*check_level);
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--sched") {
+            if (!take_value("--sched"))
+                return 2;
+            try {
+                sched_kind = parseSchedulerKind(value);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            setSchedulerDefault(*sched_kind);
             first += has_inline_value ? 1 : 2;
             continue;
         }
@@ -388,11 +402,16 @@ mnpusimMain(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: %s [--jobs N] [--job-timeout SECONDS] "
-            "[--check off|cheap|full] [--inject SITE[:N[:DELAY]]] "
+            "[--check off|cheap|full] [--sched cycle|event] "
+            "[--inject SITE[:N[:DELAY]]] "
             "<arch_config_list> "
             "<network_config_list> <dram_config> <npumem_config_list> "
             "<result_path> <misc_config>\n"
             "  --check   integrity-checker level (also: MNPU_CHECK env)\n"
+            "  --sched   run-loop scheduler (also: MNPU_SCHED env):\n"
+            "            event (default) skips to the next event cycle,\n"
+            "            cycle steps conservatively; results are\n"
+            "            bit-identical\n"
             "  --inject  deterministic fault: dram-drop, dram-dup,\n"
             "            dram-delay, pte-corrupt, or core-stall, fired\n"
             "            at the Nth opportunity (default 1)\n"
@@ -407,6 +426,8 @@ mnpusimMain(int argc, char **argv)
                                 argv[6]);
         if (check_level)
             run.config.checkLevel = check_level;
+        if (sched_kind)
+            run.config.scheduler = sched_kind;
         run.config.faultPlan = fault_plan;
         inform("simulating ", run.bindings.size(), "-core NPU at level ",
                toString(run.config.level));

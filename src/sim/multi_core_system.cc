@@ -5,6 +5,7 @@
 
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "sim/watchdog.hh"
 
 namespace mnpu
 {
@@ -165,6 +166,7 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     // protocol + translation re-checks at Full, fault injection when a
     // plan is armed. ---
     checkLevel_ = effectiveCheckLevel(config.checkLevel);
+    scheduler_ = effectiveSchedulerKind(config.scheduler);
     if (config.faultPlan.site != FaultSite::None)
         injector_ = std::make_unique<FaultInjector>(config.faultPlan);
     if (checkLevel_ != CheckLevel::Off) {
@@ -228,12 +230,31 @@ MultiCoreSystem::run(const RunBudget &budget)
     }
 
     Cycle now = 0;
-    std::uint64_t tick = 0;
+    std::uint64_t iteration = 0;
+    std::uint64_t serviceRound = 0;
+    WatchdogSampler sampler;
+    const bool event_mode = scheduler_ == SchedulerKind::Event;
+    // Per-component gating (event scheduler only): a component whose
+    // cached sharp bound is in the future and that received no input
+    // since its last tick is guaranteed to no-op, so its tick is
+    // skipped even at visited cycles. Inputs that invalidate a cached
+    // bound raise poke flags (completions, accepted translations,
+    // enqueues); conditions that can unblock a refused enqueue — a
+    // freed channel-queue slot or a token-bucket re-crossing — raise
+    // the DRAM retry signal. Fault drills keep tick-everything
+    // semantics: an armed injector fires on un-modeled schedules.
+    const bool gated = event_mode && injector_ == nullptr;
+    dram_->setEventDriven(gated);
+    const std::size_t n = cores_.size();
+    Cycle mmuNext = 0;                //!< cached MMU bound (gated mode)
+    std::vector<Cycle> coreNext(n, 0); //!< cached core bounds (gated)
     while (!allDone()) {
         // Watchdog: wall clock and the stop token are sampled every
         // 256 iterations (including the first) so a livelocked run
-        // still exits promptly without a syscall per event.
-        if (tick % 256 == 0) {
+        // still exits promptly without a syscall per event — and also
+        // after any long skipped span, so the event scheduler cannot
+        // coast past a cancellation between samples.
+        if (sampler.shouldSample(iteration, now)) {
             if (budget.stopToken &&
                 budget.stopToken->load(std::memory_order_relaxed)) {
                 throw SimulationError(
@@ -255,27 +276,85 @@ MultiCoreSystem::run(const RunBudget &budget)
             if (tracker_ && !dram_->busy() && tracker_->outstanding() != 0)
                 throw tracker_->lostResponseError(now);
         }
+        ++iteration;
 
-        dram_->tick(now);
-        mmu_->tick(now);
-        // Rotate the service order so no core gets a standing first-
-        // issuer advantage into the shared MMU/DRAM queues. Rotate on
-        // the loop-iteration count, not on `now`: event skipping makes
-        // `now` land on arbitrary next-event cycles, which biased the
-        // "fair" rotation toward whichever core's events set the pace.
-        const auto n = cores_.size();
-        const std::size_t first = static_cast<std::size_t>(tick++ % n);
-        for (std::size_t i = 0; i < n; ++i)
-            cores_[(first + i) % n]->tick(now);
+        // Rotate the core service order so no core gets a standing
+        // first-issuer advantage into the shared MMU/DRAM queues.
+        // Rotate on rounds where some core actually did work, not on
+        // the loop iteration count: no-op iterations are exactly the
+        // cycles the event scheduler skips, so counting them would
+        // make the rotation — and therefore arbitration — depend on
+        // which scheduler is running. For the same reason a gated-out
+        // (provably no-op) tick and an executed no-op tick contribute
+        // identically: neither counts as work.
+        const std::size_t first = static_cast<std::size_t>(serviceRound % n);
+        bool any_work = false;
+        if (gated) {
+            dram_->tick(now); // internally ticks only due channels
+            const bool retry = dram_->consumeRetrySignal();
+            bool mmu_freed = false;
+            if (mmuNext <= now || mmu_->poked() ||
+                (retry && mmu_->hasBlockedWalks())) {
+                mmu_->tick(now);
+                mmu_freed = mmu_->consumePendingDrained();
+                mmuNext = mmu_->nextEventCycle(now);
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t idx = (first + i) % n;
+                NpuCore &core = *cores_[idx];
+                if (coreNext[idx] <= now || core.poked() ||
+                    (retry && core.dramBlocked()) ||
+                    (mmu_freed && core.xlatBlocked())) {
+                    any_work |= core.tick(now);
+                    coreNext[idx] = core.nextEventCycle(now);
+                }
+            }
+        } else {
+            dram_->tick(now);
+            mmu_->tick(now);
+            for (std::size_t i = 0; i < n; ++i)
+                any_work |= cores_[(first + i) % n]->tick(now);
+        }
+        if (any_work)
+            ++serviceRound;
 
         if (allDone())
             break;
 
-        Cycle next = dram_->nextEventCycle(now);
-        next = std::min(next, mmu_->nextEventCycle(now));
-        for (auto &core : cores_)
-            next = std::min(next, core->nextEventCycle(now));
+        // The cycle scheduler uses the conservative per-cycle bounds
+        // (visit every cycle anything might happen); the event
+        // scheduler uses the sharp bounds and jumps straight to the
+        // earliest one. Both run the identical tick code above at
+        // every visited cycle, so proving the sharp bounds never
+        // overshoot proves the two schedulers bit-identical.
+        Cycle next;
+        if (gated) {
+            // Cached bounds are valid for every component that was not
+            // ticked this cycle (unchanged state) and fresh for every
+            // component that was. Inputs pushed during the core phase
+            // (translation requests, DRAM enqueues) postdate the
+            // caches; their poke flags force a visit at now + 1.
+            next = dram_->nextEventCycle(now);
+            next = std::min(next, mmu_->poked() ? now + 1 : mmuNext);
+            for (std::size_t i = 0; i < n; ++i)
+                next = std::min(next, coreNext[i]);
+        } else if (event_mode) {
+            next = dram_->nextEventCycle(now);
+            next = std::min(next, mmu_->nextEventCycle(now));
+            for (auto &core : cores_)
+                next = std::min(next, core->nextEventCycle(now));
+        } else {
+            next = dram_->nextTickCycle(now);
+            next = std::min(next, mmu_->nextTickCycle(now));
+            for (auto &core : cores_)
+                next = std::min(next, core->nextTickCycle(now));
+        }
         if (next == kCycleNever) {
+            // No component will ever act again. Distinguish a dropped
+            // response (a bug the integrity layer names precisely) from
+            // a genuine resource deadlock before reporting the latter.
+            if (tracker_ && !dram_->busy() && tracker_->outstanding() != 0)
+                throw tracker_->lostResponseError(now);
             // Not a panic: a deadlocked *mix* is a per-run failure the
             // sweep layer can record and move past, not a reason to
             // take down the whole campaign.
@@ -314,6 +393,7 @@ MultiCoreSystem::run(const RunBudget &budget)
         core->finalizeRequestTrace();
 
     SimResult result;
+    result.loopIterations = iteration;
     result.globalCycles = 0;
     for (CoreId id = 0; id < cores_.size(); ++id) {
         const NpuCore &core = *cores_[id];

@@ -44,6 +44,12 @@ struct SimResult
     double dramEnergyPj = 0; //!< DRAM energy over the whole run
     std::uint64_t dramRowHits = 0;
     std::uint64_t dramRowMisses = 0;
+    /**
+     * Run-loop iterations (visited cycles). Scheduler-dependent by
+     * design — the event scheduler's whole point is fewer of these —
+     * so it is excluded from golden snapshots and checkpoints.
+     */
+    std::uint64_t loopIterations = 0;
 };
 
 /** One workload bound to one core. */
@@ -82,6 +88,9 @@ class MultiCoreSystem
     /** Check level this system actually runs at (resolved at build). */
     CheckLevel checkLevel() const { return checkLevel_; }
 
+    /** Scheduler this system actually runs with (resolved at build). */
+    SchedulerKind scheduler() const { return scheduler_; }
+
   private:
     bool allDone() const;
 
@@ -93,6 +102,7 @@ class MultiCoreSystem
     std::unique_ptr<Mmu> mmu_;
     std::vector<std::unique_ptr<NpuCore>> cores_;
     CheckLevel checkLevel_ = CheckLevel::Off;
+    SchedulerKind scheduler_ = SchedulerKind::Event;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<RequestLifecycleTracker> tracker_;
     bool ran_ = false;

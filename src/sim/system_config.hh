@@ -16,6 +16,7 @@
 
 #include "common/fault_injection.hh"
 #include "common/integrity.hh"
+#include "common/scheduler.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 
@@ -136,6 +137,16 @@ struct SystemConfig
      * from the sweep checkpoint key.
      */
     std::optional<CheckLevel> checkLevel;
+
+    /**
+     * Main-loop scheduler for this run. Unset defers to the process
+     * default (--sched) and then the MNPU_SCHED environment variable;
+     * see effectiveSchedulerKind(). Both schedulers are proven
+     * bit-identical by the golden/differential suites, so — like
+     * checkLevel — this field is excluded from the sweep checkpoint
+     * key (sweepJobKey serializes fields explicitly; nothing to mask).
+     */
+    std::optional<SchedulerKind> scheduler;
 
     /**
      * Deterministic fault to inject (integrity-layer drill). The

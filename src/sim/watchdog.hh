@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Watchdog sampling policy for the run loop: decides on which loop
+ * iterations the (comparatively expensive) wall-clock read, stop-token
+ * load, and lost-response audit run.
+ *
+ * The historical policy — every 256th loop iteration — was sound for
+ * the per-cycle scheduler, where iterations and simulated cycles
+ * advance in lockstep. The event scheduler breaks that: one iteration
+ * can skip millions of cycles, so an iteration-only policy could let a
+ * cancelled or deadline-blown run coast through enormous simulated
+ * spans between samples. The sampler therefore also fires whenever
+ * simulated time has advanced by more than cycleSpan since the last
+ * sample, whichever comes first.
+ */
+
+#ifndef MNPU_SIM_WATCHDOG_HH
+#define MNPU_SIM_WATCHDOG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+struct WatchdogSampler
+{
+    /** Sample at least every this many loop iterations. */
+    std::uint64_t iterationInterval = 256;
+    /** ... and at least every this many simulated global cycles. */
+    Cycle cycleSpan = Cycle{1} << 20;
+
+    /**
+     * @return true when the watchdog checks should run this iteration
+     * (always true on the first call). @p iteration must be the loop
+     * iteration count, @p now the current global cycle; both are
+     * monotone.
+     */
+    bool shouldSample(std::uint64_t iteration, Cycle now)
+    {
+        if (primed_ && iteration - lastIteration_ < iterationInterval &&
+            now - lastCycle_ < cycleSpan) {
+            return false;
+        }
+        primed_ = true;
+        lastIteration_ = iteration;
+        lastCycle_ = now;
+        return true;
+    }
+
+  private:
+    std::uint64_t lastIteration_ = 0;
+    Cycle lastCycle_ = 0;
+    bool primed_ = false;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SIM_WATCHDOG_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Golden-trace fixture maintenance tool.
+ *
+ * Default mode is a dry run: simulate every golden case (cycle
+ * scheduler, MNPU_CHECK-independent) and report, per fixture, whether
+ * tests/golden/<name>.json matches the current behavior — without
+ * writing anything. Pass --update-golden to rewrite the fixtures that
+ * differ (or don't exist yet); the resulting JSON diff is reviewed and
+ * committed like any other source change.
+ *
+ * Usage: update_golden [--update-golden] [--dir PATH] [--case NAME]
+ *   --dir PATH   fixture directory (default: tests/golden next to the
+ *                source tree, baked in at configure time)
+ *   --case NAME  restrict to one golden case
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/golden.hh"
+#include "common/logging.hh"
+
+#ifndef MNPU_GOLDEN_DIR
+#define MNPU_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace
+{
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::string{};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mnpu;
+
+    bool update = false;
+    std::string dir = MNPU_GOLDEN_DIR;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--update-golden") {
+            update = true;
+        } else if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--case" && i + 1 < argc) {
+            only = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--update-golden] [--dir PATH] "
+                         "[--case NAME]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    int stale = 0;
+    int checked = 0;
+    for (const GoldenCase &golden : goldenCases()) {
+        if (!only.empty() && golden.name != only)
+            continue;
+        ++checked;
+        std::string path = goldenFixturePath(dir, golden.name);
+        std::string fresh;
+        try {
+            fresh = goldenFixtureText(
+                runGoldenCase(golden, SchedulerKind::Cycle));
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "%-32s ERROR: %s\n", golden.name.c_str(),
+                         error.what());
+            return 1;
+        }
+        std::string committed = readFileOrEmpty(path);
+        if (committed == fresh) {
+            std::printf("%-32s up to date\n", golden.name.c_str());
+            continue;
+        }
+        ++stale;
+        const char *why = committed.empty() ? "missing" : "differs";
+        if (!update) {
+            std::printf("%-32s STALE (%s)\n", golden.name.c_str(), why);
+            continue;
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out << fresh;
+        std::printf("%-32s rewritten (%s)\n", golden.name.c_str(), why);
+    }
+
+    if (checked == 0) {
+        std::fprintf(stderr, "no golden case matches \"%s\"\n",
+                     only.c_str());
+        return 2;
+    }
+    if (stale && !update) {
+        std::fprintf(stderr,
+                     "%d fixture(s) stale; rerun with --update-golden "
+                     "to rewrite\n",
+                     stale);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Differential scheduler tests: the event-driven cycle-skipping
+ * scheduler must be bit-identical to the per-cycle scheduler on every
+ * golden mix — same cycle counts, same per-core telemetry, same DRAM
+ * energy and row stats, and the very same DRAM command stream (FNV-1a
+ * hash over every ACT/PRE/RD/WR/REF with its cycle, collected by the
+ * full-level protocol checkers). The event scheduler is only allowed
+ * to differ in loopIterations, and only downward: it must visit no
+ * more cycles than the per-cycle loop.
+ *
+ * The fault-injection drills then repeat the integrity containment
+ * matrix under the event scheduler: every --inject site must be
+ * detected (or time out) exactly as it does under the cycle scheduler,
+ * because an armed injector perturbs timing in ways the sharp event
+ * bounds cannot predict (the system falls back to ungated stepping).
+ */
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+#include "analysis/golden.hh"
+#include "analysis/sweep_runner.hh"
+#include "common/errors.hh"
+#include "common/fault_injection.hh"
+#include "common/logging.hh"
+#include "sim/multi_core_system.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+/**
+ * One shared context per DRAM protocol: the golden cases only differ
+ * on the memory side by protocol, so sharing a context caches each
+ * model's trace and Ideal baseline once across all cases and both
+ * schedulers.
+ */
+ExperimentContext &
+contextFor(const std::string &protocol)
+{
+    static std::map<std::string, std::unique_ptr<ExperimentContext>>
+        contexts;
+    auto &slot = contexts[protocol];
+    if (!slot) {
+        NpuMemConfig mem = NpuMemConfig::cloudNpu();
+        mem.timing = DramTiming::preset(protocol);
+        slot = std::make_unique<ExperimentContext>(
+            ArchConfig::miniNpu(), mem, ModelScale::Mini);
+    }
+    return *slot;
+}
+
+struct DirectRun
+{
+    SimResult result;
+    std::uint64_t streamHash = 0;
+    std::uint64_t commandsChecked = 0;
+    SchedulerKind scheduler = SchedulerKind::Cycle;
+};
+
+/** Run one golden case directly (full checks) under @p sched. */
+DirectRun
+runDirect(const GoldenCase &golden, SchedulerKind sched)
+{
+    ExperimentContext &context = contextFor(golden.protocol);
+    SystemConfig config;
+    config.level = golden.level;
+    config.mem = context.mem();
+    config.dramBandwidthShares = golden.dramBandwidthShares;
+    config.checkLevel = CheckLevel::Full;
+    config.scheduler = sched;
+
+    std::vector<CoreBinding> bindings;
+    bindings.reserve(golden.models.size());
+    for (const std::string &model : golden.models)
+        bindings.push_back({context.trace(model), 0, 1});
+
+    MultiCoreSystem system(config, std::move(bindings));
+    DirectRun run;
+    run.scheduler = system.scheduler();
+    run.result = system.run();
+    run.streamHash = system.dram().protocolStreamHash();
+    run.commandsChecked = system.dram().protocolCommandsChecked();
+    return run;
+}
+
+void
+expectIdentical(const DirectRun &cycle, const DirectRun &event)
+{
+    EXPECT_EQ(cycle.result.globalCycles, event.result.globalCycles);
+    ASSERT_EQ(cycle.result.cores.size(), event.result.cores.size());
+    for (std::size_t c = 0; c < cycle.result.cores.size(); ++c) {
+        const CoreResult &a = cycle.result.cores[c];
+        const CoreResult &b = event.result.cores[c];
+        EXPECT_EQ(a.localCycles, b.localCycles) << "core " << c;
+        EXPECT_EQ(a.finishedAtGlobal, b.finishedAtGlobal) << "core " << c;
+        EXPECT_EQ(a.peUtilization, b.peUtilization) << "core " << c;
+        EXPECT_EQ(a.trafficBytes, b.trafficBytes) << "core " << c;
+        EXPECT_EQ(a.walkBytes, b.walkBytes) << "core " << c;
+        EXPECT_EQ(a.tlbHits, b.tlbHits) << "core " << c;
+        EXPECT_EQ(a.tlbMisses, b.tlbMisses) << "core " << c;
+        EXPECT_EQ(a.walks, b.walks) << "core " << c;
+        EXPECT_EQ(a.layerFinishLocal, b.layerFinishLocal) << "core " << c;
+    }
+    EXPECT_EQ(cycle.result.dramEnergyPj, event.result.dramEnergyPj);
+    EXPECT_EQ(cycle.result.dramRowHits, event.result.dramRowHits);
+    EXPECT_EQ(cycle.result.dramRowMisses, event.result.dramRowMisses);
+
+    // The strongest claim: both schedulers issued the exact same DRAM
+    // command stream at the exact same cycles.
+    EXPECT_GT(cycle.commandsChecked, 0u);
+    EXPECT_EQ(cycle.commandsChecked, event.commandsChecked);
+    EXPECT_EQ(cycle.streamHash, event.streamHash);
+
+    // The only permitted difference — and only in one direction.
+    EXPECT_LE(event.result.loopIterations, cycle.result.loopIterations);
+}
+
+class SchedDifferential : public testing::TestWithParam<GoldenCase>
+{
+};
+
+TEST_P(SchedDifferential, EventMatchesCycleBitExactly)
+{
+    const GoldenCase &golden = GetParam();
+    DirectRun cycle = runDirect(golden, SchedulerKind::Cycle);
+    DirectRun event = runDirect(golden, SchedulerKind::Event);
+    ASSERT_EQ(cycle.scheduler, SchedulerKind::Cycle);
+    ASSERT_EQ(event.scheduler, SchedulerKind::Event);
+    expectIdentical(cycle, event);
+    // The event scheduler must actually skip on these mixes, not just
+    // tie — otherwise it is dead weight.
+    EXPECT_LT(event.result.loopIterations, cycle.result.loopIterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGoldenCases, SchedDifferential, testing::ValuesIn(goldenCases()),
+    [](const testing::TestParamInfo<GoldenCase> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// --- scheduler selection plumbing ---
+
+TEST(SchedulerKindTest, ParseAndToStringRoundTrip)
+{
+    EXPECT_EQ(parseSchedulerKind("cycle"), SchedulerKind::Cycle);
+    EXPECT_EQ(parseSchedulerKind("event"), SchedulerKind::Event);
+    EXPECT_STREQ(toString(SchedulerKind::Cycle), "cycle");
+    EXPECT_STREQ(toString(SchedulerKind::Event), "event");
+    EXPECT_THROW(parseSchedulerKind("eager"), FatalError);
+    EXPECT_THROW(parseSchedulerKind(""), FatalError);
+}
+
+TEST(SchedulerKindTest, EffectiveKindPrecedence)
+{
+    clearSchedulerDefault();
+    // Explicit config wins over everything.
+    EXPECT_EQ(effectiveSchedulerKind(SchedulerKind::Cycle),
+              SchedulerKind::Cycle);
+    // Then the process default (--sched).
+    setSchedulerDefault(SchedulerKind::Cycle);
+    EXPECT_EQ(effectiveSchedulerKind(std::nullopt), SchedulerKind::Cycle);
+    EXPECT_EQ(effectiveSchedulerKind(SchedulerKind::Event),
+              SchedulerKind::Event);
+    clearSchedulerDefault();
+    // Then MNPU_SCHED, then Event. The env branch only runs when CI's
+    // scheduler matrix sets the variable; the unset fallback is pinned
+    // here.
+    const char *env = std::getenv("MNPU_SCHED");
+    if (env == nullptr || *env == '\0') {
+        EXPECT_EQ(effectiveSchedulerKind(std::nullopt),
+                  SchedulerKind::Event);
+    } else {
+        EXPECT_EQ(effectiveSchedulerKind(std::nullopt),
+                  parseSchedulerKind(env));
+    }
+}
+
+// --- fault drills under the event scheduler ---
+
+ArchConfig
+drillArch()
+{
+    ArchConfig arch;
+    arch.name = "tiny";
+    arch.arrayRows = 16;
+    arch.arrayCols = 16;
+    arch.spmBytes = 64 << 10;
+    arch.dataBytes = 1;
+    arch.freqMhz = 1000;
+    arch.validate();
+    return arch;
+}
+
+NpuMemConfig
+drillMem()
+{
+    NpuMemConfig mem;
+    mem.channelsPerNpu = 2;
+    mem.dramCapacityPerNpu = 64ULL << 20;
+    mem.tlbEntriesPerNpu = 64;
+    mem.tlbWays = 8;
+    mem.ptwPerNpu = 4;
+    return mem;
+}
+
+Network
+drillNetwork(std::uint32_t index)
+{
+    Network net;
+    net.name = "dnet" + std::to_string(index);
+    const std::uint64_t m = 128 + 64 * index;
+    net.layers.push_back(Layer::gemm("g0", m, 128, 192));
+    net.layers.push_back(Layer::gemm("g1", 128, m, 128));
+    return net;
+}
+
+/**
+ * Run a 2-job sweep under the event scheduler with job 0 carrying the
+ * fault and job 1 clean, mirroring the cycle-scheduler containment
+ * matrix in test_integrity.cc.
+ */
+std::vector<SweepRecord>
+eventContainmentSweep(const std::string &inject_spec, Cycle job_max_cycles)
+{
+    ExperimentContext context(drillArch(), drillMem());
+    context.registerNetwork(drillNetwork(0));
+    context.registerNetwork(drillNetwork(1));
+
+    std::vector<SweepJob> jobs(2);
+    for (SweepJob &job : jobs) {
+        job.config.level = SharingLevel::ShareDWT;
+        job.config.checkLevel = CheckLevel::Full;
+        job.config.scheduler = SchedulerKind::Event;
+        job.models = {"dnet0", "dnet1"};
+    }
+    jobs[0].config.faultPlan = parseFaultPlan(inject_spec);
+
+    SweepOptions options;
+    options.keepGoing = true;
+    options.jobMaxCycles = job_max_cycles;
+    SweepRunner runner(1);
+    return runner.run(context, jobs, options);
+}
+
+void
+expectEventContained(const std::vector<SweepRecord> &records,
+                     SweepStatus expected_status, const std::string &needle)
+{
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].status, expected_status) << records[0].error;
+    EXPECT_NE(records[0].error.find(needle), std::string::npos)
+        << "error '" << records[0].error << "' lacks '" << needle << "'";
+    EXPECT_EQ(records[1].status, SweepStatus::Ok) << records[1].error;
+    EXPECT_GT(records[1].outcome.raw.globalCycles, 0u);
+}
+
+TEST(EventFaultDrillTest, DroppedResponseIsDetected)
+{
+    expectEventContained(eventContainmentSweep("dram-drop:40", 0),
+                         SweepStatus::Failed, "lost DRAM response");
+}
+
+TEST(EventFaultDrillTest, DuplicatedResponseIsDetected)
+{
+    expectEventContained(eventContainmentSweep("dram-dup:40", 0),
+                         SweepStatus::Failed, "duplicated or unknown");
+}
+
+TEST(EventFaultDrillTest, CorruptedPteIsDetected)
+{
+    expectEventContained(eventContainmentSweep("pte-corrupt:5", 0),
+                         SweepStatus::Failed, "translation check");
+}
+
+TEST(EventFaultDrillTest, StalledCoreTimesOutUnderTheWatchdog)
+{
+    expectEventContained(eventContainmentSweep("core-stall:1", 2'000'000),
+                         SweepStatus::TimedOut, "cycle");
+}
+
+TEST(EventFaultDrillTest, DelayedResponseCompletesIdenticallyToCycle)
+{
+    // dram-delay is the one fault the run survives; the perturbed
+    // timeline must still be scheduler-independent (the injector
+    // disables event gating, so both modes replay the same faultful
+    // history cycle for cycle).
+    ExperimentContext context(drillArch(), drillMem());
+    context.registerNetwork(drillNetwork(0));
+
+    SimResult results[2];
+    const SchedulerKind kinds[2] = {SchedulerKind::Cycle,
+                                    SchedulerKind::Event};
+    for (int i = 0; i < 2; ++i) {
+        SystemConfig config;
+        config.checkLevel = CheckLevel::Full;
+        config.scheduler = kinds[i];
+        config.faultPlan = parseFaultPlan("dram-delay:40:5000");
+        results[i] = context.runMix(config, {"dnet0"}).raw;
+    }
+    EXPECT_EQ(results[0].globalCycles, results[1].globalCycles);
+    ASSERT_EQ(results[0].cores.size(), results[1].cores.size());
+    EXPECT_EQ(results[0].cores[0].localCycles,
+              results[1].cores[0].localCycles);
+    EXPECT_EQ(results[0].dramRowHits, results[1].dramRowHits);
+    EXPECT_EQ(results[0].dramRowMisses, results[1].dramRowMisses);
+}
+
+} // namespace
+} // namespace mnpu
