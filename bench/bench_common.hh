@@ -20,6 +20,15 @@
  *   --resume FILE     JSONL checkpoint: append each completed mix to
  *                     FILE and, if it already exists, skip mixes it
  *                     already records as ok
+ *
+ * Observability (see DESIGN.md §9; passive, bit-identical on vs off):
+ *   --trace-out FILE  Chrome trace_event JSON for the first job
+ *                     (load in Perfetto / chrome://tracing)
+ *   --obs-level L     off|layers|tiles|requests span detail (default
+ *                     tiles); also MNPU_OBS_LEVEL
+ *   --metrics-out F   windowed metrics snapshot, .csv or .jsonl
+ * Env fallbacks MNPU_TRACE / MNPU_METRICS fill the paths when the
+ * flags are absent.
  */
 
 #ifndef MNPU_BENCH_BENCH_COMMON_HH
@@ -56,6 +65,7 @@ struct BenchOptions
     double autoBudget = 0;      //!< adaptive budget multiplier (0=off)
     std::string resumePath;     //!< JSONL checkpoint to append/resume
     FaultPlan injectPlan;       //!< --inject: fault for the first job
+    ObservabilityConfig obs;    //!< --trace-out/--metrics-out/--obs-level
 
     /** The sweep-level containment options these flags map to. */
     SweepOptions sweepOptions() const
@@ -127,6 +137,17 @@ parseOptions(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", error.what());
                 std::exit(2);
             }
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            options.obs.traceOutPath = argv[++i];
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            options.obs.metricsOutPath = argv[++i];
+        } else if (arg == "--obs-level" && i + 1 < argc) {
+            try {
+                options.obs.traceLevel = parseTraceLevel(argv[++i]);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
         } else {
             std::fprintf(stderr,
                          "usage: %s [--full] [--all] [--sample N] "
@@ -134,11 +155,17 @@ parseOptions(int argc, char **argv)
                          "[--job-timeout S] [--auto-budget K] "
                          "[--resume FILE] [--check off|cheap|full] "
                          "[--sched cycle|event] "
-                         "[--inject SITE[:N[:DELAY]]]\n",
+                         "[--inject SITE[:N[:DELAY]]] "
+                         "[--trace-out FILE] [--metrics-out FILE] "
+                         "[--obs-level off|layers|tiles|requests]\n",
                          argv[0]);
             std::exit(2);
         }
     }
+    // MNPU_TRACE / MNPU_METRICS / MNPU_OBS_LEVEL fill anything the
+    // flags left unset; resolved here (process entry), never inside
+    // the sweep, so parallel jobs can't race on one output file.
+    options.obs = observabilityFromEnv(options.obs);
     return options;
 }
 
@@ -228,6 +255,16 @@ runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
         warn("injecting ", toString(options.injectPlan.site),
              " into job 0 of ", sweep_jobs.size());
         sweep_jobs.front().config.faultPlan = options.injectPlan;
+    }
+    // Observability outputs go to exactly one job — the first — for
+    // the same reason as --inject: one file, one writer, and the rest
+    // of the sweep is unperturbed (observers are passive anyway).
+    if (options.obs.anyEnabled() && !sweep_jobs.empty()) {
+        warn("observability outputs (",
+             options.obs.traceEnabled() ? options.obs.traceOutPath
+                                        : options.obs.metricsOutPath,
+             ") attached to job 0 of ", sweep_jobs.size());
+        sweep_jobs.front().config.obs = options.obs;
     }
     SweepRunner runner(options.jobs);
     auto records = runner.run(context, sweep_jobs,

@@ -25,12 +25,17 @@ main(int argc, char **argv)
     config.idealResourceMultiplier = 1;
     config.mem = context.mem();
     config.requestTraceWindow = 1000;
+    config.obs = options.obs; // single run, so the outputs are its own
     std::vector<CoreBinding> bindings(1);
     bindings[0].trace = context.trace("ncf");
     MultiCoreSystem system(config, std::move(bindings));
-    system.run();
+    SimResult result = system.run();
 
-    auto series = system.core(0).requestTrace().movingAverage(1);
+    const TelemetrySnapshot::Series *requests =
+        result.telemetry.findSeries("core0.requests");
+    if (requests == nullptr)
+        fatal("core0.requests series missing from telemetry snapshot");
+    auto series = requests->movingAverage(1);
     if (series.empty())
         fatal("no request trace recorded");
 

@@ -31,14 +31,18 @@ soloUtilization(const BenchOptions &options, const std::string &model,
     std::vector<CoreBinding> bindings(1);
     bindings[0].trace = context.trace(model);
     MultiCoreSystem system(config, std::move(bindings));
-    system.run();
+    SimResult result = system.run();
 
     const DramSystem &dram = system.dram();
     double peak_per_window =
         dram.peakBandwidthBytesPerSec() /
         (dram.timing().clockMhz * 1e6) * static_cast<double>(window);
+    const TelemetrySnapshot::Series *bytes_per_window =
+        result.telemetry.findSeries("dram.total.bytes");
+    if (bytes_per_window == nullptr)
+        fatal("dram.total.bytes series missing from telemetry snapshot");
     std::vector<double> fractions;
-    for (std::uint64_t bytes : dram.totalTelemetry().windows())
+    for (std::uint64_t bytes : bytes_per_window->values)
         fractions.push_back(static_cast<double>(bytes) / peak_per_window);
     return fractions;
 }

@@ -48,7 +48,8 @@ goldenCase(const std::string &name)
 }
 
 SweepCheckpointRecord
-runGoldenCase(const GoldenCase &golden, SchedulerKind sched)
+runGoldenCase(const GoldenCase &golden, SchedulerKind sched,
+              const ObservabilityConfig &obs)
 {
     // Mini scale + mini NPU profile, matching the benches' default
     // (fast) configuration, so fixtures regenerate in seconds.
@@ -61,6 +62,7 @@ runGoldenCase(const GoldenCase &golden, SchedulerKind sched)
     config.level = golden.level;
     config.dramBandwidthShares = golden.dramBandwidthShares;
     config.scheduler = sched;
+    config.obs = obs;
 
     SweepRecord record;
     record.outcome = context.runMix(config, golden.models);

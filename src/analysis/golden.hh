@@ -55,9 +55,13 @@ const GoldenCase &goldenCase(const std::string &name);
  * Run one case under @p sched at Mini scale and flatten the outcome
  * into its checkpoint-v2 record, keyed by the case name, with
  * wallSeconds pinned to zero so the serialized line is deterministic.
+ * @p obs optionally enables observability outputs for the run — the
+ * record must be byte-identical either way (observers are passive;
+ * tests/test_observability.cc holds this as an invariant).
  */
 SweepCheckpointRecord runGoldenCase(const GoldenCase &golden,
-                                    SchedulerKind sched);
+                                    SchedulerKind sched,
+                                    const ObservabilityConfig &obs = {});
 
 /** Serialized fixture content: the record's JSON line + newline. */
 std::string goldenFixtureText(const SweepCheckpointRecord &record);

@@ -141,6 +141,10 @@ restoredOutcome(const SweepCheckpointRecord &checkpoint)
         if (i < checkpoint.layerFinishLocal.size())
             core.layerFinishLocal = checkpoint.layerFinishLocal[i];
     }
+    // The live components are gone, so rebuild the checkpoint-stable
+    // subset of the telemetry snapshot from the restored scalars; an
+    // executed run's full snapshot agrees with it metric-for-metric.
+    outcome.raw.telemetry = telemetryFromResult(outcome.raw);
     return outcome;
 }
 
@@ -288,6 +292,21 @@ SweepStats::summary() const
             stream << ", " << retried << " retried";
         stream << "]";
     }
+    return stream.str();
+}
+
+std::string
+SweepStats::telemetrySummary() const
+{
+    std::ostringstream stream;
+    stream.precision(3);
+    stream << "simulated " << totalGlobalCycles << " global cycles, "
+           << static_cast<double>(totalTrafficBytes) / (1 << 20)
+           << " MiB DRAM traffic ("
+           << static_cast<double>(totalWalkBytes) / (1 << 20)
+           << " MiB walks), " << totalTlbMisses << " TLB misses, "
+           << totalWalks << " walks, "
+           << totalDramEnergyPj / 1e9 << " mJ DRAM energy";
     return stream.str();
 }
 
@@ -492,6 +511,23 @@ SweepRunner::run(
         }
         if (record.attempts > 1)
             ++stats_.retried;
+        // Aggregate telemetry: only records carrying real data (ok or
+        // restored-ok; failed outcomes are NaN-poisoned and cancelled
+        // skips are zeroed, contributing nothing to the sums).
+        if (record.status == SweepStatus::Ok ||
+            (record.status == SweepStatus::Skipped &&
+             record.error.empty())) {
+            const SimResult &raw = record.outcome.raw;
+            stats_.totalGlobalCycles += raw.globalCycles;
+            if (raw.dramEnergyPj == raw.dramEnergyPj) // skip NaN
+                stats_.totalDramEnergyPj += raw.dramEnergyPj;
+            for (const CoreResult &core : raw.cores) {
+                stats_.totalTrafficBytes += core.trafficBytes;
+                stats_.totalWalkBytes += core.walkBytes;
+                stats_.totalTlbMisses += core.tlbMisses;
+                stats_.totalWalks += core.walks;
+            }
+        }
     }
     stats_.executed = stats_.ok + stats_.failed + stats_.timedOut;
     if (stats_.wallSeconds > 0)

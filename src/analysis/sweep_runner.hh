@@ -162,8 +162,23 @@ struct SweepStats
     std::size_t skipped = 0; //!< restored from checkpoint or cancelled
     std::size_t retried = 0; //!< jobs that needed an escalated retry
 
+    /**
+     * Aggregate telemetry over every record that carries data (ok +
+     * restored): sums of the per-mix snapshots, so a campaign's total
+     * simulated work is visible without re-walking the records.
+     */
+    std::uint64_t totalGlobalCycles = 0;
+    std::uint64_t totalTrafficBytes = 0;
+    std::uint64_t totalWalkBytes = 0;
+    std::uint64_t totalTlbMisses = 0;
+    std::uint64_t totalWalks = 0;
+    double totalDramEnergyPj = 0;
+
     /** One-line human-readable summary. */
     std::string summary() const;
+
+    /** One-line aggregate-telemetry summary (sums over ok+restored). */
+    std::string telemetrySummary() const;
 };
 
 class SweepRunner

@@ -94,6 +94,20 @@ StatGroup::counterValue(const std::string &stat_name) const
     return it == counters_.end() ? 0 : it->second.value();
 }
 
+const Counter *
+StatGroup::findCounter(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &stat_name) const
+{
+    auto it = distributions_.find(stat_name);
+    return it == distributions_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::dump(std::ostream &out) const
 {

@@ -94,6 +94,15 @@ class StatGroup
     /** Read a counter by name; 0 if absent. */
     std::uint64_t counterValue(const std::string &stat_name) const;
 
+    /** Stat names in registration order (counters and distributions). */
+    const std::vector<std::string> &order() const { return order_; }
+
+    /** Look up a counter by name; nullptr if absent. */
+    const Counter *findCounter(const std::string &stat_name) const;
+
+    /** Look up a distribution by name; nullptr if absent. */
+    const Distribution *findDistribution(const std::string &stat_name) const;
+
     const std::string &name() const { return name_; }
 
     /** Print all stats as `group.stat value` lines. */

@@ -1,0 +1,177 @@
+#include "common/trace_events.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+const char *
+toString(TraceLevel level)
+{
+    switch (level) {
+      case TraceLevel::Off:
+        return "off";
+      case TraceLevel::Layers:
+        return "layers";
+      case TraceLevel::Tiles:
+        return "tiles";
+      case TraceLevel::Requests:
+        return "requests";
+    }
+    return "off";
+}
+
+TraceLevel
+parseTraceLevel(const std::string &text)
+{
+    if (text == "off")
+        return TraceLevel::Off;
+    if (text == "layers")
+        return TraceLevel::Layers;
+    if (text == "tiles")
+        return TraceLevel::Tiles;
+    if (text == "requests")
+        return TraceLevel::Requests;
+    fatal("unknown trace level '", text,
+          "' (expected off, layers, tiles, or requests)");
+}
+
+ObservabilityConfig
+observabilityFromEnv(ObservabilityConfig base)
+{
+    if (base.traceOutPath.empty()) {
+        if (const char *env = std::getenv("MNPU_TRACE"); env && *env)
+            base.traceOutPath = env;
+    }
+    if (base.metricsOutPath.empty()) {
+        if (const char *env = std::getenv("MNPU_METRICS"); env && *env)
+            base.metricsOutPath = env;
+    }
+    if (base.traceLevel == TraceLevel::Tiles) {
+        if (const char *env = std::getenv("MNPU_OBS_LEVEL"); env && *env)
+            base.traceLevel = parseTraceLevel(env);
+    }
+    return base;
+}
+
+void
+TraceEventSink::processName(std::uint32_t pid, const std::string &name)
+{
+    events_.push_back(Event{'M', pid, 0, nullptr, name, 0, 0});
+}
+
+void
+TraceEventSink::threadName(std::uint32_t pid, std::uint32_t tid,
+                           const std::string &name)
+{
+    // Distinguished from process_name at write time by tid != 0 never
+    // being enough (tid 0 is a real thread), so carry it in the phase:
+    // 'M' + null category = process_name, 'M' + non-null = thread_name.
+    events_.push_back(Event{'M', pid, tid, "t", name, 0, 0});
+}
+
+void
+TraceEventSink::complete(std::uint32_t pid, std::uint32_t tid,
+                         const char *category, std::string name, Cycle start,
+                         Cycle end)
+{
+    Cycle dur = end >= start ? end - start : 0;
+    events_.push_back(
+        Event{'X', pid, tid, category, std::move(name), start, dur});
+}
+
+void
+TraceEventSink::instant(std::uint32_t pid, std::uint32_t tid,
+                        const char *category, std::string name, Cycle at)
+{
+    events_.push_back(Event{'i', pid, tid, category, std::move(name), at, 0});
+}
+
+namespace
+{
+
+void
+writeJsonString(std::ostream &out, const std::string &text)
+{
+    out << '"';
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out << buffer;
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+} // namespace
+
+void
+TraceEventSink::write(std::ostream &out) const
+{
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &event : events_) {
+        if (!first)
+            out << ",\n";
+        first = false;
+        if (event.phase == 'M') {
+            const char *metadata_name =
+                event.category ? "thread_name" : "process_name";
+            out << "{\"ph\":\"M\",\"pid\":" << event.pid
+                << ",\"tid\":" << event.tid << ",\"name\":\"" << metadata_name
+                << "\",\"args\":{\"name\":";
+            writeJsonString(out, event.name);
+            out << "}}";
+            continue;
+        }
+        out << "{\"ph\":\"" << event.phase << "\",\"pid\":" << event.pid
+            << ",\"tid\":" << event.tid << ",\"cat\":\""
+            << (event.category ? event.category : "") << "\",\"name\":";
+        writeJsonString(out, event.name);
+        out << ",\"ts\":" << event.ts;
+        if (event.phase == 'X')
+            out << ",\"dur\":" << event.dur;
+        else
+            out << ",\"s\":\"t\"";
+        out << "}";
+    }
+    // displayTimeUnit is cosmetic; timestamps are DRAM-clock cycles.
+    out << "],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+void
+TraceEventSink::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open trace output file '", path, "'");
+    write(out);
+    out.flush();
+    if (!out)
+        fatal("failed writing trace output file '", path, "'");
+}
+
+} // namespace mnpu

@@ -16,6 +16,7 @@ NpuCore::NpuCore(const CoreConfig &config, const TraceGenerator &trace,
       clock_(clock),
       tiles_(trace.tiles().size()),
       layerFinishLocal_(trace.layers().size(), 0),
+      layerStartLocal_(trace.layers().size(), 0),
       stats_("core" + std::to_string(config.id)),
       readTx_(stats_.counter("read_tx")),
       writeTx_(stats_.counter("write_tx")),
@@ -83,6 +84,7 @@ NpuCore::startIterationIfNeeded(Cycle now)
     loadCursor_ = RangeCursor{};
     storeCursor_ = RangeCursor{};
     nextLayerToFinish_ = 0;
+    std::fill(layerStartLocal_.begin(), layerStartLocal_.end(), 0);
     return true;
 }
 
@@ -213,6 +215,12 @@ NpuCore::updateCompute(Cycle now)
                 if (computeTile_ + 1 ==
                     layer_trace.firstTile + layer_trace.tileCount) {
                     layerFinishLocal_[layer] = tile.computeDoneLocal;
+                    if (traceSink_) {
+                        traceSink_->complete(
+                            config_.id, 0, "layer", layer_trace.name,
+                            clock_.toGlobal(layerStartLocal_[layer]),
+                            clock_.toGlobal(tile.computeDoneLocal));
+                    }
                 }
                 ++computeTile_;
                 progressed = true;
@@ -222,6 +230,20 @@ NpuCore::updateCompute(Cycle now)
                     1, tile_traces[computeTile_].computeCycles);
                 tile.computeStarted = true;
                 tile.computeDoneLocal = start + cycles;
+                // The compute window is fully determined here, so the
+                // span can be emitted at this event boundary (no
+                // per-cycle sampling — cycle skipping never misses it).
+                const std::uint32_t layer =
+                    tile_traces[computeTile_].layerIndex;
+                if (computeTile_ == trace_.layers()[layer].firstTile)
+                    layerStartLocal_[layer] = start;
+                if (traceSink_ && traceSink_->wants(TraceLevel::Tiles)) {
+                    traceSink_->complete(
+                        config_.id, 0, "tile",
+                        "tile " + std::to_string(computeTile_),
+                        clock_.toGlobal(start),
+                        clock_.toGlobal(tile.computeDoneLocal));
+                }
                 computeFreeLocal_ = tile.computeDoneLocal;
                 progressed = true;
                 work = true;

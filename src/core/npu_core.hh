@@ -121,7 +121,30 @@ class NpuCore
 
     /** Count DMA transactions accepted by DRAM per window (Fig. 2b). */
     void enableRequestTrace(Cycle window_cycles);
+
+    /** @return whether enableRequestTrace() has been called. */
+    bool requestTraceEnabled() const { return requestTracer_.has_value(); }
+
+    /**
+     * Per-window accepted-request counts.
+     * @deprecated Read the `core<i>.requests` series from
+     * SimResult::telemetry.findSeries() instead of reaching into the
+     * live core; kept one release for out-of-tree callers.
+     */
     const IntervalTracer &requestTrace() const;
+
+    /**
+     * Attach the observability trace sink (Layers level and up): layer
+     * and tile compute windows become complete spans on this core's
+     * process. Spans are emitted at compute start/finish — event
+     * boundaries — so the event scheduler's cycle skipping never
+     * changes what is recorded. Passive; nullptr detaches; not owned.
+     */
+    void setTraceSink(TraceEventSink *sink)
+    {
+        traceSink_ = sink && sink->wants(TraceLevel::Layers) ? sink
+                                                             : nullptr;
+    }
 
     /** Close the in-progress trace window (end of simulation). */
     void finalizeRequestTrace();
@@ -233,6 +256,10 @@ class NpuCore
     std::size_t nextLayerToFinish_ = 0;
 
     std::optional<IntervalTracer> requestTracer_;
+    TraceEventSink *traceSink_ = nullptr;
+    /** Local cycle the first tile of each layer started computing
+     *  (observability only; reset per iteration). */
+    std::vector<Cycle> layerStartLocal_;
 
     StatGroup stats_;
     Counter &readTx_;

@@ -99,6 +99,7 @@ DramChannel::maybeRefresh(Cycle now)
             continue;
         if (checker_)
             checker_->onRefresh(r, now);
+        traceCommand("REF", now);
         for (std::uint32_t b = 0; b < timing_.banksPerRank(); ++b) {
             BankState &bank = banks_[base + b];
             bank.openRow = -1;
@@ -164,6 +165,7 @@ DramChannel::tryIssueColumn(Cycle now, Cycle *bound)
         if (checker_)
             checker_->onColumn(entry.coord.rank, flat, entry.coord.row,
                                entry.request.op == MemOp::Write, now);
+        traceCommand(entry.request.op == MemOp::Write ? "WR" : "RD", now);
         std::uint32_t burst = timing_.burstCycles();
         Cycle bus_gap = std::max<Cycle>(timing_.tCCD, burst);
         nextColumnSame_ = now + bus_gap;
@@ -243,6 +245,7 @@ DramChannel::tryIssueRowCommand(Cycle now, Cycle *bound)
             }
             if (checker_)
                 checker_->onPrecharge(flat, now);
+            traceCommand("PRE", now);
             bank.openRow = -1;
             bank.nextActivate =
                 std::max(bank.nextActivate, now + timing_.tRP);
@@ -263,6 +266,7 @@ DramChannel::tryIssueRowCommand(Cycle now, Cycle *bound)
         if (checker_)
             checker_->onActivate(entry.coord.rank, flat, entry.coord.row,
                                  now);
+        traceCommand("ACT", now);
         bank.openRow = row;
         bank.nextColumn = now + timing_.tRCD;
         bank.nextPrecharge = now + timing_.tRAS;

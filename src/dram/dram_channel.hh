@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace_events.hh"
 #include "common/types.hh"
 #include "dram/address_mapping.hh"
 #include "dram/dram_timing.hh"
@@ -48,6 +49,12 @@ struct DramRequest
      * RequestLifecycleTracker is active; 0 = untracked.
      */
     std::uint64_t integrityId = 0;
+    /**
+     * Global cycle the DramSystem accepted this request (observability
+     * only — stamped on the queued copy, never read by the scheduler,
+     * so it cannot perturb timing).
+     */
+    Cycle enqueuedAt = 0;
 };
 
 /** Completion callback: the request and the cycle its data finished. */
@@ -142,6 +149,18 @@ class DramChannel
         checker_ = checker;
     }
 
+    /**
+     * Attach a trace sink (observability layer, Requests level); every
+     * ACT/PRE/RD/WR/REF issued from now on is emitted as an instant
+     * event on the channel's command track. Same passive-observer
+     * contract as setProtocolChecker(); nullptr detaches, not owned.
+     */
+    void setTraceSink(TraceEventSink *sink, std::uint32_t channel_index)
+    {
+        traceSink_ = sink;
+        traceTid_ = TraceEventSink::kChannelTidBase + channel_index;
+    }
+
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
 
@@ -223,8 +242,18 @@ class DramChannel
     bool bounding_ = false;     //!< tick() also computes boundAfterTick_
     Cycle boundAfterTick_ = 0;
 
+    void traceCommand(const char *name, Cycle now)
+    {
+        if (traceSink_) {
+            traceSink_->instant(TraceEventSink::kDramPid, traceTid_, "cmd",
+                                name, now);
+        }
+    }
+
     DramCallback callback_;
     DramProtocolChecker *checker_ = nullptr;
+    TraceEventSink *traceSink_ = nullptr;
+    std::uint32_t traceTid_ = TraceEventSink::kChannelTidBase;
     StatGroup stats_;
     Counter &reads_;
     Counter &writes_;

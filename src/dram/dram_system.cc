@@ -160,6 +160,7 @@ DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
         }
     }
     DramRequest accepted = request;
+    accepted.enqueuedAt = now;
     if (tracker_)
         accepted.integrityId = tracker_->onIssue(request.paddr, request.core,
                                                  request.priority, now);
@@ -362,6 +363,16 @@ DramSystem::enableProtocolChecks()
     }
 }
 
+void
+DramSystem::setTraceSink(TraceEventSink *sink)
+{
+    traceSink_ = sink && sink->wants(TraceLevel::Requests) ? sink : nullptr;
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        channels_[c]->setTraceSink(traceSink_,
+                                   static_cast<std::uint32_t>(c));
+    }
+}
+
 std::uint64_t
 DramSystem::protocolCommandsChecked() const
 {
@@ -407,6 +418,14 @@ DramSystem::deliver(const DramRequest &request, Cycle at)
     }
     if (endLog_.enabled())
         endLog_.row(at, request.core, request.paddr, toString(request.op));
+    if (traceSink_) {
+        const char *kind = request.priority
+                               ? "walk"
+                               : (request.op == MemOp::Write ? "write"
+                                                             : "read");
+        traceSink_->complete(TraceEventSink::kDramPid, request.core,
+                             "request", kind, request.enqueuedAt, at);
+    }
     if (clientCallback_)
         clientCallback_(request, at);
 }

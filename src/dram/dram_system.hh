@@ -152,6 +152,14 @@ class DramSystem
      */
     void enableProtocolChecks();
 
+    /**
+     * Attach the observability trace sink: each delivered request
+     * becomes a complete span (enqueue → data-done) on the DRAM
+     * process, and when the sink's level is Requests every channel also
+     * emits per-command instants. Passive; nullptr detaches; not owned.
+     */
+    void setTraceSink(TraceEventSink *sink);
+
     /** DRAM commands validated so far (0 when protocol checks are off). */
     std::uint64_t protocolCommandsChecked() const;
 
@@ -175,10 +183,22 @@ class DramSystem
     /** Flush request logs to disk (call after the simulation). */
     void flushRequestLogs();
 
-    /** Per-core traffic tracer (telemetry must be enabled). */
+    /** @return whether enableTelemetry() has been called. */
+    bool telemetryEnabled() const { return totalTracer_.has_value(); }
+
+    /**
+     * Per-core traffic tracer (telemetry must be enabled).
+     * @deprecated Read `dram.core<i>.bytes` from
+     * SimResult::telemetry.findSeries() instead of reaching into the
+     * live DRAM system; kept one release for out-of-tree callers.
+     */
     const IntervalTracer &coreTelemetry(CoreId core) const;
 
-    /** Whole-system traffic tracer (telemetry must be enabled). */
+    /**
+     * Whole-system traffic tracer (telemetry must be enabled).
+     * @deprecated Read `dram.total.bytes` from
+     * SimResult::telemetry.findSeries() instead; kept one release.
+     */
     const IntervalTracer &totalTelemetry() const;
 
     std::uint32_t numChannels() const
@@ -279,6 +299,7 @@ class DramSystem
 
     RequestLifecycleTracker *tracker_ = nullptr;
     FaultInjector *injector_ = nullptr;
+    TraceEventSink *traceSink_ = nullptr;
     std::vector<std::unique_ptr<DramProtocolChecker>> checkers_;
     std::vector<DelayedCompletion> delayed_;
 

@@ -224,6 +224,11 @@ Mmu::releaseFinishedWalkers(Cycle now)
             ptwLogs_[walker.core].row(walker.startedAt, walker.finishedAt,
                                       walker.vpn);
         }
+        if (traceSink_) {
+            traceSink_->complete(TraceEventSink::kMmuPid, walker.core,
+                                 "walk", "walk", walker.startedAt,
+                                 walker.finishedAt);
+        }
         auto it = mshrs_.find(mshrKey(walker.asid, walker.vpn));
         mnpu_assert(it != mshrs_.end(), "walker finished with no MSHR");
         for (const PendingXlat &waiting : it->second)

@@ -189,6 +189,18 @@ class Mmu
     /** Attach the fault injector (pte-corrupt site). Not owned. */
     void setFaultInjector(FaultInjector *injector) { injector_ = injector; }
 
+    /**
+     * Attach the observability trace sink (Requests level): every
+     * completed page walk becomes a span (walk start → last step done)
+     * on the MMU process, one track per requesting core. Passive;
+     * nullptr detaches; not owned.
+     */
+    void setTraceSink(TraceEventSink *sink)
+    {
+        traceSink_ = sink && sink->wants(TraceLevel::Requests) ? sink
+                                                               : nullptr;
+    }
+
     /** DRAM walk-step transactions issued on behalf of @p core. */
     std::uint64_t walkStepsIssued(CoreId core) const
     {
@@ -285,6 +297,7 @@ class Mmu
 
     bool checkTranslations_ = false;
     FaultInjector *injector_ = nullptr;
+    TraceEventSink *traceSink_ = nullptr;
     std::vector<std::uint64_t> walkSteps_; //!< per core, issued to DRAM
 
     StatGroup stats_;

@@ -310,6 +310,7 @@ mnpusimMain(int argc, char **argv)
     std::optional<CheckLevel> check_level;
     std::optional<SchedulerKind> sched_kind;
     FaultPlan fault_plan;
+    ObservabilityConfig obs;
     int first = 1;
     while (first < argc && argv[first][0] == '-') {
         std::string flag = argv[first];
@@ -369,6 +370,32 @@ mnpusimMain(int argc, char **argv)
             first += has_inline_value ? 1 : 2;
             continue;
         }
+        if (flag == "--trace-out") {
+            if (!take_value("--trace-out"))
+                return 2;
+            obs.traceOutPath = value;
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--metrics-out") {
+            if (!take_value("--metrics-out"))
+                return 2;
+            obs.metricsOutPath = value;
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--obs-level") {
+            if (!take_value("--obs-level"))
+                return 2;
+            try {
+                obs.traceLevel = parseTraceLevel(value);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
         if (flag == "--jobs") {
             if (!take_value("--jobs"))
                 return 2;
@@ -404,6 +431,8 @@ mnpusimMain(int argc, char **argv)
             "usage: %s [--jobs N] [--job-timeout SECONDS] "
             "[--check off|cheap|full] [--sched cycle|event] "
             "[--inject SITE[:N[:DELAY]]] "
+            "[--trace-out FILE] [--metrics-out FILE] "
+            "[--obs-level off|layers|tiles|requests] "
             "<arch_config_list> "
             "<network_config_list> <dram_config> <npumem_config_list> "
             "<result_path> <misc_config>\n"
@@ -415,6 +444,12 @@ mnpusimMain(int argc, char **argv)
             "  --inject  deterministic fault: dram-drop, dram-dup,\n"
             "            dram-delay, pte-corrupt, or core-stall, fired\n"
             "            at the Nth opportunity (default 1)\n"
+            "  --trace-out    Chrome trace_event JSON (Perfetto); span\n"
+            "                 detail via --obs-level (also: MNPU_TRACE,\n"
+            "                 MNPU_OBS_LEVEL env)\n"
+            "  --metrics-out  telemetry snapshot, .csv or .jsonl (also:\n"
+            "                 MNPU_METRICS env); observers are passive —\n"
+            "                 results are bit-identical either way\n"
             "exit codes: 0 success, 1 config error, 2 usage,\n"
             "            3 contained simulation error\n",
             argc > 0 ? argv[0] : "mnpusim");
@@ -429,6 +464,7 @@ mnpusimMain(int argc, char **argv)
         if (sched_kind)
             run.config.scheduler = sched_kind;
         run.config.faultPlan = fault_plan;
+        run.config.obs = observabilityFromEnv(obs);
         inform("simulating ", run.bindings.size(), "-core NPU at level ",
                toString(run.config.level));
         if (fault_plan.site != FaultSite::None) {

@@ -199,6 +199,147 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     mmu_->setCallback([this](std::uint64_t tag, Addr paddr, Cycle at) {
         cores_[NpuCore::coreOfTag(tag)]->onTranslation(tag, paddr, at);
     });
+
+    // --- Observability layer (passive; see DESIGN.md §9): trace sink
+    // attachment, windowed series, and the metrics registry. ---
+    setupObservability();
+    buildMetricsRegistry();
+}
+
+void
+MultiCoreSystem::setupObservability()
+{
+    const ObservabilityConfig &obs = config_.obs;
+    const auto num_cores = static_cast<CoreId>(cores_.size());
+    if (obs.metricsEnabled()) {
+        // The exported series ride on the same tracers Fig. 12 uses;
+        // enable them on the observer's window when the run didn't
+        // already ask for telemetry itself. Tracers only record — they
+        // never feed back into scheduling — so this cannot change
+        // simulated behavior.
+        if (!dram_->telemetryEnabled())
+            dram_->enableTelemetry(obs.metricsWindow);
+        for (auto &core : cores_) {
+            if (!core->requestTraceEnabled())
+                core->enableRequestTrace(obs.metricsWindow);
+        }
+    }
+    if (!obs.traceEnabled())
+        return;
+    traceSink_ = std::make_unique<TraceEventSink>(obs.traceLevel);
+    for (CoreId id = 0; id < num_cores; ++id) {
+        traceSink_->processName(
+            id, "core" + std::to_string(id) + " (" +
+                    bindings_[id].trace->networkName() + ")");
+        traceSink_->threadName(id, 0, "compute");
+    }
+    traceSink_->processName(TraceEventSink::kDramPid, "dram");
+    if (traceSink_->wants(TraceLevel::Requests)) {
+        traceSink_->processName(TraceEventSink::kMmuPid, "mmu");
+        for (CoreId id = 0; id < num_cores; ++id) {
+            const std::string who = "core" + std::to_string(id);
+            traceSink_->threadName(TraceEventSink::kDramPid, id,
+                                   who + " requests");
+            traceSink_->threadName(TraceEventSink::kMmuPid, id,
+                                   who + " walks");
+        }
+        for (std::uint32_t c = 0; c < dram_->numChannels(); ++c) {
+            traceSink_->threadName(
+                TraceEventSink::kDramPid,
+                TraceEventSink::kChannelTidBase + c,
+                "ch" + std::to_string(c) + " commands");
+        }
+    }
+    for (auto &core : cores_)
+        core->setTraceSink(traceSink_.get());
+    dram_->setTraceSink(traceSink_.get());
+    mmu_->setTraceSink(traceSink_.get());
+}
+
+void
+MultiCoreSystem::buildMetricsRegistry()
+{
+    // Scalars first, in a stable order (DESIGN.md §9 schema). All
+    // readers are pure observations of component state; they run only
+    // at snapshot time, after the simulation has finished.
+    registry_.addCounter("sim.global_cycles",
+                         [this] { return finalGlobalCycles_; });
+    registry_.addCounter("sched.loop_iterations",
+                         [this] { return finalLoopIterations_; });
+    for (CoreId id = 0; id < cores_.size(); ++id) {
+        const std::string prefix = "core" + std::to_string(id) + ".";
+        const NpuCore *core = cores_[id].get();
+        const DramSystem *dram = dram_.get();
+        const Mmu *mmu = mmu_.get();
+        registry_.addCounter(prefix + "local_cycles",
+                             [core] { return core->totalLocalCycles(); });
+        registry_.addCounter(prefix + "finished_at_global", [core] {
+            return core->finishedAtGlobal();
+        });
+        registry_.addGauge(prefix + "pe_utilization",
+                           [core] { return core->peUtilization(); });
+        registry_.addCounter(prefix + "traffic_bytes",
+                             [dram, id] { return dram->coreBytes(id); });
+        registry_.addCounter(prefix + "walk_bytes", [dram, id] {
+            return dram->coreWalkBytes(id);
+        });
+        // Mirrors CoreResult: with a shared TLB (+DWT) every core reads
+        // the one shared instance, and walks is the whole-MMU total.
+        registry_.addCounter(prefix + "tlb.hits", [mmu, id] {
+            return mmu->tlbForCore(id).hits();
+        });
+        registry_.addCounter(prefix + "tlb.misses", [mmu, id] {
+            return mmu->tlbForCore(id).misses();
+        });
+        registry_.addCounter(prefix + "walks", [mmu] {
+            return mmu->stats().counterValue("walks");
+        });
+        registry_.addGroup(cores_[id]->stats());
+    }
+    registry_.addGroup(mmu_->stats());
+    for (const char *stat :
+         {"reads", "writes", "bytes", "row_hits", "row_misses",
+          "activates", "refreshes"}) {
+        const DramSystem *dram = dram_.get();
+        std::string name = stat;
+        registry_.addCounter("dram." + name, [dram, name] {
+            return dram->totalCounter(name);
+        });
+    }
+    registry_.addGauge("dram.energy_pj", [this] {
+        return dram_->totalEnergyPj(finalGlobalCycles_);
+    });
+    for (std::uint32_t c = 0; c < dram_->numChannels(); ++c)
+        registry_.addGroup(dram_->channel(c).stats());
+
+    // Windowed series, present only when the tracers are enabled (the
+    // run's own telemetryWindow/requestTraceWindow, or metricsOutPath).
+    if (dram_->telemetryEnabled()) {
+        const DramSystem *dram = dram_.get();
+        const Cycle window = config_.telemetryWindow != 0
+                                 ? config_.telemetryWindow
+                                 : config_.obs.metricsWindow;
+        registry_.addSeries("dram.total.bytes", window, [dram] {
+            return dram->totalTelemetry().windows();
+        });
+        for (CoreId id = 0; id < cores_.size(); ++id) {
+            registry_.addSeries(
+                "dram.core" + std::to_string(id) + ".bytes", window,
+                [dram, id] { return dram->coreTelemetry(id).windows(); });
+        }
+    }
+    for (CoreId id = 0; id < cores_.size(); ++id) {
+        const NpuCore *core = cores_[id].get();
+        if (!core->requestTraceEnabled())
+            continue;
+        const Cycle window = config_.requestTraceWindow != 0
+                                 ? config_.requestTraceWindow
+                                 : config_.obs.metricsWindow;
+        registry_.addSeries("core" + std::to_string(id) + ".requests",
+                            window, [core] {
+                                return core->requestTrace().windows();
+                            });
+    }
 }
 
 bool
@@ -416,7 +557,53 @@ MultiCoreSystem::run(const RunBudget &budget)
     result.dramEnergyPj = dram_->totalEnergyPj(result.globalCycles);
     result.dramRowHits = dram_->totalCounter("row_hits");
     result.dramRowMisses = dram_->totalCounter("row_misses");
+
+    // Materialize the consolidated telemetry view and write any
+    // requested observability artifacts. This happens strictly after
+    // the simulation finished, so none of it can perturb timing.
+    finalGlobalCycles_ = result.globalCycles;
+    finalLoopIterations_ = result.loopIterations;
+    result.telemetry = registry_.snapshot();
+    if (traceSink_)
+        traceSink_->writeFile(config_.obs.traceOutPath);
+    if (config_.obs.metricsEnabled())
+        result.telemetry.writeFile(config_.obs.metricsOutPath);
     return result;
+}
+
+TelemetrySnapshot
+telemetryFromResult(const SimResult &result)
+{
+    MetricsRegistry registry;
+    registry.addCounter("sim.global_cycles",
+                        [&result] { return result.globalCycles; });
+    for (std::size_t id = 0; id < result.cores.size(); ++id) {
+        const std::string prefix = "core" + std::to_string(id) + ".";
+        const CoreResult &core = result.cores[id];
+        registry.addCounter(prefix + "local_cycles",
+                            [&core] { return core.localCycles; });
+        registry.addCounter(prefix + "finished_at_global",
+                            [&core] { return core.finishedAtGlobal; });
+        registry.addGauge(prefix + "pe_utilization",
+                          [&core] { return core.peUtilization; });
+        registry.addCounter(prefix + "traffic_bytes",
+                            [&core] { return core.trafficBytes; });
+        registry.addCounter(prefix + "walk_bytes",
+                            [&core] { return core.walkBytes; });
+        registry.addCounter(prefix + "tlb.hits",
+                            [&core] { return core.tlbHits; });
+        registry.addCounter(prefix + "tlb.misses",
+                            [&core] { return core.tlbMisses; });
+        registry.addCounter(prefix + "walks",
+                            [&core] { return core.walks; });
+    }
+    registry.addCounter("dram.row_hits",
+                        [&result] { return result.dramRowHits; });
+    registry.addCounter("dram.row_misses",
+                        [&result] { return result.dramRowMisses; });
+    registry.addGauge("dram.energy_pj",
+                      [&result] { return result.dramEnergyPj; });
+    return registry.snapshot();
 }
 
 SimResult

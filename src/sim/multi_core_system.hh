@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.hh"
 #include "common/types.hh"
 #include "core/npu_core.hh"
 #include "dram/dram_system.hh"
@@ -22,7 +23,14 @@
 namespace mnpu
 {
 
-/** Per-core outcome of a simulation. */
+/**
+ * Per-core outcome of a simulation.
+ *
+ * The scalar counters here are also published in
+ * SimResult::telemetry under `core<i>.*` names; new consumers should
+ * read the snapshot (one coherent view, stable schema) and treat these
+ * fields as the legacy convenience form.
+ */
 struct CoreResult
 {
     std::string workloadName;
@@ -50,7 +58,27 @@ struct SimResult
      * so it is excluded from golden snapshots and checkpoints.
      */
     std::uint64_t loopIterations = 0;
+
+    /**
+     * The full metrics-registry snapshot (DESIGN.md §9 schema): every
+     * component counter/gauge plus the windowed series when telemetry
+     * was enabled. This is the consolidated telemetry API — consumers
+     * read this instead of reaching into live components. For runs
+     * restored from a checkpoint, telemetryFromResult() rebuilds the
+     * stable scalar subset from the fields above.
+     */
+    TelemetrySnapshot telemetry;
 };
+
+/**
+ * Rebuild the checkpoint-stable subset of the telemetry snapshot from
+ * SimResult's scalar fields: `sim.global_cycles`, per-core `core<i>.*`
+ * results, and the DRAM row/energy totals. Used when a sweep restores
+ * an outcome whose live components no longer exist; an executed run's
+ * full snapshot agrees with this subset metric-for-metric (the same
+ * underlying reads feed both).
+ */
+TelemetrySnapshot telemetryFromResult(const SimResult &result);
 
 /** One workload bound to one core. */
 struct CoreBinding
@@ -75,7 +103,12 @@ class MultiCoreSystem
      */
     SimResult run(const RunBudget &budget = RunBudget{});
 
-    /** Component access for telemetry readouts after run(). */
+    /**
+     * Component access after run().
+     * @deprecated For telemetry readouts, prefer SimResult::telemetry —
+     * direct component access is kept for tests and structural
+     * inspection (timing parameters, config echo), not metrics.
+     */
     const DramSystem &dram() const { return *dram_; }
     const Mmu &mmu() const { return *mmu_; }
     const NpuCore &core(CoreId id) const { return *cores_[id]; }
@@ -91,8 +124,13 @@ class MultiCoreSystem
     /** Scheduler this system actually runs with (resolved at build). */
     SchedulerKind scheduler() const { return scheduler_; }
 
+    /** The metrics registry all components registered with (tests). */
+    const MetricsRegistry &metricsRegistry() const { return registry_; }
+
   private:
     bool allDone() const;
+    void setupObservability();
+    void buildMetricsRegistry();
 
     SystemConfig config_;
     std::vector<CoreBinding> bindings_;
@@ -105,6 +143,14 @@ class MultiCoreSystem
     SchedulerKind scheduler_ = SchedulerKind::Event;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<RequestLifecycleTracker> tracker_;
+
+    // --- Observability layer (passive; see DESIGN.md §9). ---
+    MetricsRegistry registry_;
+    std::unique_ptr<TraceEventSink> traceSink_;
+    /** Set at end of run(); read by registry lambdas at snapshot time. */
+    Cycle finalGlobalCycles_ = 0;
+    std::uint64_t finalLoopIterations_ = 0;
+
     bool ran_ = false;
 };
 

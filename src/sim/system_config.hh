@@ -17,6 +17,7 @@
 #include "common/fault_injection.hh"
 #include "common/integrity.hh"
 #include "common/scheduler.hh"
+#include "common/trace_events.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 
@@ -155,6 +156,17 @@ struct SystemConfig
      * contained instead of silently corrupting metrics.
      */
     FaultPlan faultPlan;
+
+    /**
+     * Observability outputs (--trace-out / --metrics-out / --obs-level).
+     * Like checkLevel and scheduler, observers are passive — a run
+     * with tracing on is bit-identical to one with it off — so these
+     * fields are excluded from the sweep checkpoint key. Environment
+     * fallbacks (MNPU_TRACE/MNPU_METRICS) are resolved at CLI/bench
+     * entry via observabilityFromEnv(), never here, so concurrent
+     * sweep jobs cannot race on one output file.
+     */
+    ObservabilityConfig obs;
 };
 
 } // namespace mnpu

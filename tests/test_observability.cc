@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Observability-layer tests (DESIGN.md §9): the metrics registry is
+ * deterministic, the trace_event export is valid JSON with properly
+ * nested per-layer/per-tile spans for every core, and — the key
+ * invariant — observers are *passive*: a run with tracing and metrics
+ * export fully enabled is byte-identical to a run with them off, under
+ * both schedulers, on committed golden cases.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+#include "analysis/golden.hh"
+#include "analysis/sweep_runner.hh"
+#include "common/logging.hh"
+#include "common/metrics_registry.hh"
+#include "common/trace_events.hh"
+#include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
+
+namespace mnpu
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader, just enough to validate exporter output.
+// (The repo has writers but deliberately no JSON dependency; tests
+// re-parse the output instead of trusting the writer.)
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool isObject() const { return kind == Kind::Object; }
+    const JsonValue *find(const std::string &key) const
+    {
+        auto it = fields.find(key);
+        return it == fields.end() ? nullptr : &it->second;
+    }
+    double num(const std::string &key) const
+    {
+        const JsonValue *value = find(key);
+        return value && value->kind == Kind::Number ? value->number : -1;
+    }
+    std::string str(const std::string &key) const
+    {
+        const JsonValue *value = find(key);
+        return value && value->kind == Kind::String ? value->text
+                                                    : std::string{};
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : text_(text) {}
+
+    bool parse(JsonValue &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r' || text_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t length = std::string(word).size();
+        if (text_.compare(pos_, length, word) != 0)
+            return false;
+        pos_ += length;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return false;
+                char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'u':
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    // Validation-only: keep the escape verbatim.
+                    out += "\\u" + text_.substr(pos_, 4);
+                    pos_ += 4;
+                    break;
+                  default: out += esc; break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (pos_ >= text_.size() || text_[pos_++] != ':')
+                    return false;
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.fields.emplace(std::move(key), std::move(value));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value))
+                    return false;
+                out.items.push_back(std::move(value));
+                skipSpace();
+                if (pos_ >= text_.size())
+                    return false;
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n')
+            return literal("null");
+        // Number.
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::atof(text_.substr(start, pos_ - start).c_str());
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << "cannot open " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/** A small, fast dual-core system shared by several tests. */
+SimResult
+runDualMix(const ObservabilityConfig &obs,
+           SchedulerKind sched = SchedulerKind::Event)
+{
+    static ExperimentContext context(ArchConfig::miniNpu(),
+                                     NpuMemConfig::cloudNpu(),
+                                     ModelScale::Mini);
+    SystemConfig config;
+    config.level = SharingLevel::ShareDWT;
+    config.mem = context.mem();
+    config.scheduler = sched;
+    config.obs = obs;
+    return context.runMix(config, {"ncf", "dlrm"}).raw;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry + TelemetrySnapshot unit behavior.
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, SnapshotEvaluatesReadersInRegistrationOrder)
+{
+    MetricsRegistry registry;
+    std::uint64_t ticks = 41;
+    registry.addCounter("unit.ticks", [&ticks] { return ticks; });
+    registry.addGauge("unit.ratio", [] { return 0.5; });
+    registry.addSeries("unit.series", 100,
+                       [] { return std::vector<std::uint64_t>{1, 2, 3}; });
+
+    ticks = 42; // readers are live: snapshot sees the current value
+    TelemetrySnapshot snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.metrics.size(), 2u);
+    EXPECT_EQ(snapshot.metrics[0].name, "unit.ticks");
+    EXPECT_EQ(snapshot.counter("unit.ticks"), 42u);
+    EXPECT_DOUBLE_EQ(snapshot.gauge("unit.ratio"), 0.5);
+    ASSERT_NE(snapshot.findSeries("unit.series"), nullptr);
+    EXPECT_EQ(snapshot.findSeries("unit.series")->windowCycles, 100u);
+    EXPECT_EQ(snapshot.findSeries("no.such.series"), nullptr);
+}
+
+TEST(MetricsRegistry, SchemaTyposFailLoudly)
+{
+    MetricsRegistry registry;
+    registry.addCounter("unit.ticks", [] { return std::uint64_t{1}; });
+    TelemetrySnapshot snapshot = registry.snapshot();
+    EXPECT_THROW(snapshot.counter("unit.tikcs"), FatalError);
+    EXPECT_THROW(snapshot.gauge("unit.ticks"), FatalError); // wrong kind
+    EXPECT_THROW(
+        registry.addCounter("unit.ticks", [] { return std::uint64_t{}; }),
+        FatalError); // duplicate registration is a wiring bug
+}
+
+TEST(MetricsRegistry, MovingAverageMatchesIntervalTracerSemantics)
+{
+    TelemetrySnapshot::Series series;
+    series.values = {2, 4, 6, 0};
+    auto smoothed = series.movingAverage(2);
+    ASSERT_EQ(smoothed.size(), 4u);
+    EXPECT_DOUBLE_EQ(smoothed[0], 2.0);
+    EXPECT_DOUBLE_EQ(smoothed[1], 3.0);
+    EXPECT_DOUBLE_EQ(smoothed[2], 5.0);
+    EXPECT_DOUBLE_EQ(smoothed[3], 3.0);
+}
+
+TEST(MetricsRegistry, TwoIdenticalRunsSnapshotIdentically)
+{
+    ObservabilityConfig obs; // no outputs; snapshot always materializes
+    SimResult first = runDualMix(obs);
+    SimResult second = runDualMix(obs);
+    EXPECT_FALSE(first.telemetry.empty());
+    EXPECT_TRUE(first.telemetry == second.telemetry)
+        << "metrics registry snapshot is not deterministic";
+    // Spot-check the documented schema names exist with sane values.
+    EXPECT_EQ(first.telemetry.counter("sim.global_cycles"),
+              first.globalCycles);
+    EXPECT_EQ(first.telemetry.counter("core0.traffic_bytes"),
+              first.cores[0].trafficBytes);
+    EXPECT_EQ(first.telemetry.counter("dram.row_hits"),
+              first.dramRowHits);
+    EXPECT_GT(first.telemetry.counter("mmu.translations"), 0u);
+    EXPECT_GT(first.telemetry.counter("dram.ch0.reads"), 0u);
+}
+
+TEST(MetricsRegistry, RestoredSubsetAgreesWithExecutedSnapshot)
+{
+    SimResult result = runDualMix(ObservabilityConfig{});
+    TelemetrySnapshot subset = telemetryFromResult(result);
+    EXPECT_FALSE(subset.empty());
+    for (const auto &metric : subset.metrics) {
+        ASSERT_TRUE(result.telemetry.has(metric.name))
+            << metric.name << " missing from the executed snapshot";
+        if (metric.isCounter) {
+            EXPECT_EQ(result.telemetry.counter(metric.name),
+                      metric.counter)
+                << metric.name;
+        } else {
+            EXPECT_EQ(result.telemetry.gauge(metric.name), metric.gauge)
+                << metric.name;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot export formats.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryExport, CsvIsLongFormWithHeader)
+{
+    MetricsRegistry registry;
+    registry.addCounter("a.count", [] { return std::uint64_t{7}; });
+    registry.addGauge("a.gauge", [] { return 1.25; });
+    registry.addSeries("a.series", 10,
+                       [] { return std::vector<std::uint64_t>{5, 9}; });
+    std::ostringstream out;
+    registry.snapshot().writeCsv(out);
+    EXPECT_EQ(out.str(),
+              "kind,name,window_cycles,window_index,value\n"
+              "counter,\"a.count\",,,7\n"
+              "gauge,\"a.gauge\",,,1.25\n"
+              "series,\"a.series\",10,0,5\n"
+              "series,\"a.series\",10,1,9\n");
+}
+
+TEST(TelemetryExport, JsonlLinesParse)
+{
+    MetricsRegistry registry;
+    registry.addCounter("a.count", [] { return std::uint64_t{7}; });
+    registry.addSeries("a.series", 10,
+                       [] { return std::vector<std::uint64_t>{5, 9}; });
+    std::ostringstream out;
+    registry.snapshot().writeJsonl(out);
+    std::istringstream lines(out.str());
+    std::string line;
+    std::size_t count = 0;
+    while (std::getline(lines, line)) {
+        JsonValue value;
+        EXPECT_TRUE(JsonReader(line).parse(value)) << line;
+        EXPECT_TRUE(value.isObject());
+        EXPECT_FALSE(value.str("kind").empty());
+        ++count;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+// ---------------------------------------------------------------------
+// trace_event export: valid JSON, complete and properly nested spans.
+// ---------------------------------------------------------------------
+
+TEST(TraceExport, EmitsNestedLayerAndTileSpansForEveryCore)
+{
+    ObservabilityConfig obs;
+    obs.traceOutPath = tempPath("mnpu_obs_trace.json");
+    obs.traceLevel = TraceLevel::Tiles;
+    SimResult result = runDualMix(obs);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonReader(readWholeFile(obs.traceOutPath)).parse(doc))
+        << "trace output is not valid JSON";
+    std::filesystem::remove(obs.traceOutPath);
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+
+    struct Span
+    {
+        double start, end;
+    };
+    std::map<int, std::vector<Span>> layers, tiles;
+    std::map<int, bool> named;
+    for (const JsonValue &event : events->items) {
+        ASSERT_TRUE(event.isObject());
+        std::string phase = event.str("ph");
+        int pid = static_cast<int>(event.num("pid"));
+        if (phase == "M" && event.str("name") == "process_name")
+            named[pid] = true;
+        if (phase != "X")
+            continue;
+        Span span{event.num("ts"), event.num("ts") + event.num("dur")};
+        if (event.str("cat") == "layer")
+            layers[pid].push_back(span);
+        else if (event.str("cat") == "tile")
+            tiles[pid].push_back(span);
+    }
+    for (std::size_t core = 0; core < result.cores.size(); ++core) {
+        int pid = static_cast<int>(core);
+        EXPECT_TRUE(named[pid]) << "core " << core << " unnamed";
+        EXPECT_FALSE(layers[pid].empty())
+            << "no layer spans for core " << core;
+        EXPECT_FALSE(tiles[pid].empty())
+            << "no tile spans for core " << core;
+        // Every tile span nests inside some layer span of its core.
+        for (const Span &tile : tiles[pid]) {
+            bool nested = false;
+            for (const Span &layer : layers[pid]) {
+                if (tile.start >= layer.start && tile.end <= layer.end) {
+                    nested = true;
+                    break;
+                }
+            }
+            EXPECT_TRUE(nested) << "orphan tile span on core " << core
+                                << " at ts " << tile.start;
+        }
+    }
+}
+
+TEST(TraceExport, RequestLevelAddsDramAndMmuTracks)
+{
+    ObservabilityConfig obs;
+    obs.traceOutPath = tempPath("mnpu_obs_trace_req.json");
+    obs.traceLevel = TraceLevel::Requests;
+    runDualMix(obs);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonReader(readWholeFile(obs.traceOutPath)).parse(doc));
+    std::filesystem::remove(obs.traceOutPath);
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    bool request_span = false, walk_span = false, dram_cmd = false;
+    for (const JsonValue &event : events->items) {
+        int pid = static_cast<int>(event.num("pid"));
+        if (event.str("cat") == "request" &&
+            pid == TraceEventSink::kDramPid)
+            request_span = true;
+        if (event.str("cat") == "walk" && pid == TraceEventSink::kMmuPid)
+            walk_span = true;
+        if (event.str("ph") == "i" && event.str("cat") == "cmd")
+            dram_cmd = true;
+    }
+    EXPECT_TRUE(request_span);
+    EXPECT_TRUE(walk_span);
+    EXPECT_TRUE(dram_cmd);
+}
+
+TEST(TraceExport, LayersLevelSuppressesTilesAndRequests)
+{
+    ObservabilityConfig obs;
+    obs.traceOutPath = tempPath("mnpu_obs_trace_layers.json");
+    obs.traceLevel = TraceLevel::Layers;
+    runDualMix(obs);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonReader(readWholeFile(obs.traceOutPath)).parse(doc));
+    std::filesystem::remove(obs.traceOutPath);
+    bool layer = false, tile = false, request = false;
+    for (const JsonValue &event : doc.find("traceEvents")->items) {
+        if (event.str("cat") == "layer")
+            layer = true;
+        if (event.str("cat") == "tile")
+            tile = true;
+        if (event.str("cat") == "request")
+            request = true;
+    }
+    EXPECT_TRUE(layer);
+    EXPECT_FALSE(tile);
+    EXPECT_FALSE(request);
+}
+
+// ---------------------------------------------------------------------
+// Passivity: observability fully on is byte-identical to off, under
+// both schedulers, on committed golden cases. This is the API
+// contract that lets obs fields stay out of the sweep checkpoint key.
+// ---------------------------------------------------------------------
+
+class ObservabilityPassivity
+    : public testing::TestWithParam<std::tuple<const char *, SchedulerKind>>
+{
+};
+
+TEST_P(ObservabilityPassivity, FullyEnabledRunIsBitIdentical)
+{
+    const auto &[case_name, sched] = GetParam();
+    const GoldenCase &golden = goldenCase(case_name);
+
+    ObservabilityConfig obs;
+    obs.traceOutPath = tempPath(std::string("mnpu_obs_pass_") +
+                                case_name + ".json");
+    obs.metricsOutPath = tempPath(std::string("mnpu_obs_pass_") +
+                                  case_name + ".csv");
+    obs.traceLevel = TraceLevel::Requests; // maximum instrumentation
+
+    SweepCheckpointRecord off = runGoldenCase(golden, sched);
+    SweepCheckpointRecord on = runGoldenCase(golden, sched, obs);
+    std::filesystem::remove(obs.traceOutPath);
+    std::filesystem::remove(obs.metricsOutPath);
+
+    EXPECT_EQ(describeGoldenDiff(off, on), "")
+        << "observability perturbed the simulation (" << case_name
+        << ", " << toString(sched) << ")";
+    EXPECT_EQ(goldenFixtureText(off), goldenFixtureText(on));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoldenCases, ObservabilityPassivity,
+    testing::Combine(testing::Values("hbm2-dual-res-ncf-dwt",
+                                     "ddr4-dual-ds2-gpt2-static"),
+                     testing::Values(SchedulerKind::Cycle,
+                                     SchedulerKind::Event)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name + "_" + toString(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Config plumbing: checkpoint keys and environment fallbacks.
+// ---------------------------------------------------------------------
+
+TEST(ObservabilityConfigTest, ExcludedFromSweepJobKey)
+{
+    SweepJob job;
+    job.config.level = SharingLevel::ShareDWT;
+    job.models = {"ncf", "dlrm"};
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    std::string bare = sweepJobKey(job, ArchConfig::miniNpu(), mem,
+                                   ModelScale::Mini);
+    job.config.obs.traceOutPath = "/tmp/trace.json";
+    job.config.obs.metricsOutPath = "/tmp/metrics.csv";
+    job.config.obs.traceLevel = TraceLevel::Requests;
+    EXPECT_EQ(bare, sweepJobKey(job, ArchConfig::miniNpu(), mem,
+                                ModelScale::Mini))
+        << "passive observer settings must not invalidate checkpoints";
+}
+
+TEST(ObservabilityConfigTest, EnvFallbacksFillOnlyUnsetFields)
+{
+    ::setenv("MNPU_TRACE", "/tmp/env_trace.json", 1);
+    ::setenv("MNPU_METRICS", "/tmp/env_metrics.csv", 1);
+    ::setenv("MNPU_OBS_LEVEL", "layers", 1);
+
+    ObservabilityConfig fromEnv = observabilityFromEnv();
+    EXPECT_EQ(fromEnv.traceOutPath, "/tmp/env_trace.json");
+    EXPECT_EQ(fromEnv.metricsOutPath, "/tmp/env_metrics.csv");
+    EXPECT_EQ(fromEnv.traceLevel, TraceLevel::Layers);
+
+    ObservabilityConfig explicitConfig;
+    explicitConfig.traceOutPath = "/tmp/flag_trace.json";
+    explicitConfig.traceLevel = TraceLevel::Requests;
+    ObservabilityConfig merged = observabilityFromEnv(explicitConfig);
+    EXPECT_EQ(merged.traceOutPath, "/tmp/flag_trace.json"); // flag wins
+    EXPECT_EQ(merged.traceLevel, TraceLevel::Requests);
+    EXPECT_EQ(merged.metricsOutPath, "/tmp/env_metrics.csv");
+
+    ::unsetenv("MNPU_TRACE");
+    ::unsetenv("MNPU_METRICS");
+    ::unsetenv("MNPU_OBS_LEVEL");
+}
+
+TEST(ObservabilityConfigTest, ParseTraceLevelRoundTripsAndRejects)
+{
+    for (TraceLevel level :
+         {TraceLevel::Off, TraceLevel::Layers, TraceLevel::Tiles,
+          TraceLevel::Requests})
+        EXPECT_EQ(parseTraceLevel(toString(level)), level);
+    EXPECT_THROW(parseTraceLevel("verbose"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Metrics file export through a full run.
+// ---------------------------------------------------------------------
+
+TEST(TelemetryExport, MetricsOutWritesSeriesWhenWindowed)
+{
+    ObservabilityConfig obs;
+    obs.metricsOutPath = tempPath("mnpu_obs_metrics.csv");
+    obs.metricsWindow = 500;
+    SimResult result = runDualMix(obs);
+
+    const TelemetrySnapshot::Series *total =
+        result.telemetry.findSeries("dram.total.bytes");
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->windowCycles, 500u);
+    EXPECT_FALSE(total->values.empty());
+    ASSERT_NE(result.telemetry.findSeries("core0.requests"), nullptr);
+    ASSERT_NE(result.telemetry.findSeries("dram.core1.bytes"), nullptr);
+
+    std::string csv = readWholeFile(obs.metricsOutPath);
+    std::filesystem::remove(obs.metricsOutPath);
+    EXPECT_EQ(csv.rfind("kind,name,window_cycles,window_index,value\n", 0),
+              0u);
+    EXPECT_NE(csv.find("\"dram.total.bytes\",500,"), std::string::npos);
+}
+
+} // namespace
+} // namespace mnpu
