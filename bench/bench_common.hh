@@ -21,8 +21,14 @@
  *                     FILE and, if it already exists, skip mixes it
  *                     already records as ok
  *
+ * Fidelity:
+ *   --fidelity F      exact (default, golden-ratcheted) or fast (the
+ *                     analytic tile model; also MNPU_FIDELITY)
+ *
  * Observability (see DESIGN.md §9; passive, bit-identical on vs off):
- *   --trace-out FILE  Chrome trace_event JSON for the first job
+ *   --trace-out FILE  Chrome trace_event JSON for the first job only —
+ *                     a multi-job sweep warns and names the jobs whose
+ *                     exports are dropped
  *                     (load in Perfetto / chrome://tracing)
  *   --obs-level L     off|layers|tiles|requests span detail (default
  *                     tiles); also MNPU_OBS_LEVEL
@@ -130,6 +136,13 @@ parseOptions(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", error.what());
                 std::exit(2);
             }
+        } else if (arg == "--fidelity" && i + 1 < argc) {
+            try {
+                setFidelityDefault(parseFidelityKind(argv[++i]));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
         } else if (arg == "--inject" && i + 1 < argc) {
             try {
                 options.injectPlan = parseFaultPlan(argv[++i]);
@@ -154,7 +167,7 @@ parseOptions(int argc, char **argv)
                          "[--jobs N] [--quiet] [--keep-going] "
                          "[--job-timeout S] [--auto-budget K] "
                          "[--resume FILE] [--check off|cheap|full] "
-                         "[--sched cycle|event] "
+                         "[--sched cycle|event] [--fidelity exact|fast] "
                          "[--inject SITE[:N[:DELAY]]] "
                          "[--trace-out FILE] [--metrics-out FILE] "
                          "[--obs-level off|layers|tiles|requests]\n",
@@ -258,13 +271,40 @@ runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
     }
     // Observability outputs go to exactly one job — the first — for
     // the same reason as --inject: one file, one writer, and the rest
-    // of the sweep is unperturbed (observers are passive anyway).
+    // of the sweep is unperturbed (observers are passive anyway). The
+    // one-time warning names every job whose export is dropped, so a
+    // sweep user looking for a missing mix's trace finds the answer in
+    // the log instead of a silently absent file (we deliberately do
+    // NOT fan the path out per job: a 330-mix sweep would spray
+    // hundreds of trace files nobody asked for).
     if (options.obs.anyEnabled() && !sweep_jobs.empty()) {
-        warn("observability outputs (",
-             options.obs.traceEnabled() ? options.obs.traceOutPath
-                                        : options.obs.metricsOutPath,
-             ") attached to job 0 of ", sweep_jobs.size());
         sweep_jobs.front().config.obs = options.obs;
+        if (sweep_jobs.size() > 1) {
+            std::string dropped;
+            const std::size_t cap = 8;
+            for (std::size_t i = 1; i < sweep_jobs.size() && i <= cap;
+                 ++i) {
+                if (i > 1)
+                    dropped += ", ";
+                dropped += "job " + std::to_string(i);
+                std::string label;
+                for (const auto &model : sweep_jobs[i].models) {
+                    if (!label.empty())
+                        label += "+";
+                    label += model;
+                }
+                if (!label.empty())
+                    dropped += " (" + label + ")";
+            }
+            if (sweep_jobs.size() - 1 > cap)
+                dropped += ", ... " +
+                           std::to_string(sweep_jobs.size() - 1 - cap) +
+                           " more";
+            warn("observability outputs (",
+                 options.obs.traceEnabled() ? options.obs.traceOutPath
+                                            : options.obs.metricsOutPath,
+                 ") attached to job 0 only; no exports for ", dropped);
+        }
     }
     SweepRunner runner(options.jobs);
     auto records = runner.run(context, sweep_jobs,

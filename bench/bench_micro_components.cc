@@ -4,14 +4,48 @@
  * DRAM channel scheduling, TLB lookups, page-table walks paths, trace
  * generation, and a small end-to-end simulation. These track simulator
  * performance itself (simulated-cycles-per-second), not paper results.
+ *
+ * Perf-baseline mode (no google-benchmark involved):
+ *
+ *   bench_micro_components --baseline-out FILE
+ *     runs a fixed set of golden mixes under both fidelities and
+ *     writes one JSON line per (case, fidelity) with the wall clock,
+ *     scheduler loop iterations, and global cycles. The committed
+ *     result (bench/BENCH_micro.json) is the PR-over-PR speed ratchet.
+ *
+ *   bench_micro_components --baseline-check FILE
+ *     re-runs the same cases and compares: loop_iterations and
+ *     global_cycles must match the baseline exactly (they are
+ *     deterministic; a mismatch means behavior or scheduler-visit
+ *     regressions, regenerate alongside the goldens), while wall
+ *     clocks are compared RELATIVELY — normalized by the ratio of
+ *     total exact-fidelity wall clock, so a uniformly faster/slower
+ *     machine cancels out — and any case slower than baseline by
+ *     >15% (+0.1 s absolute slack against sub-second jitter) fails.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "analysis/golden.hh"
+#include "common/fidelity.hh"
 #include "dram/dram_system.hh"
 #include "mmu/paging.hh"
 #include "mmu/tlb.hh"
 #include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
 #include "sw/trace_generator.hh"
 #include "workloads/models.hh"
 
@@ -98,6 +132,262 @@ BM_EndToEndNcf(benchmark::State &state)
 }
 BENCHMARK(BM_EndToEndNcf)->Unit(benchmark::kMillisecond);
 
+// --- perf baseline mode ---
+
+/** The ratcheted mixes: one small dual, one larger DDR4 dual, one
+ *  quad — enough spread that a regression in the core loop, the DRAM
+ *  scan, or the fast path moves at least one row, while a full
+ *  baseline run stays under ~10 s. */
+const char *const kBaselineCases[] = {
+    "hbm2-dual-res-ncf-dwt",
+    "ddr4-dual-ds2-gpt2-static",
+    "hbm2-quad-res-yt-dlrm-ncf-dwt",
+};
+
+struct BaselineRow
+{
+    std::string name;
+    FidelityKind fidelity = FidelityKind::Exact;
+    double wallSeconds = 0;
+    std::uint64_t loopIterations = 0;
+    std::uint64_t globalCycles = 0;
+};
+
+/** Run one golden mix at @p fidelity and time runMix() alone (trace
+ *  generation is pre-warmed so both fidelities measure simulation,
+ *  not the shared one-time setup). */
+BaselineRow
+runBaselineCase(const std::string &name, FidelityKind fidelity)
+{
+    const GoldenCase &golden = goldenCase(name);
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    mem.timing = DramTiming::preset(golden.protocol);
+    ExperimentContext context(ArchConfig::miniNpu(), mem,
+                              ModelScale::Mini);
+
+    SystemConfig config;
+    config.level = golden.level;
+    config.dramBandwidthShares = golden.dramBandwidthShares;
+    config.scheduler = SchedulerKind::Cycle;
+    config.fidelity = fidelity;
+
+    // Warm the trace/Ideal caches; the timed run below then measures
+    // the simulation loop only.
+    context.runMix(config, golden.models);
+
+    auto start = std::chrono::steady_clock::now();
+    MixOutcome outcome = context.runMix(config, golden.models);
+    auto stop = std::chrono::steady_clock::now();
+
+    BaselineRow row;
+    row.name = name;
+    row.fidelity = fidelity;
+    row.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    row.loopIterations = outcome.raw.loopIterations;
+    row.globalCycles = outcome.raw.globalCycles;
+    return row;
+}
+
+std::vector<BaselineRow>
+runAllBaselineCases()
+{
+    std::vector<BaselineRow> rows;
+    for (const char *name : kBaselineCases) {
+        for (FidelityKind fidelity :
+             {FidelityKind::Exact, FidelityKind::Fast}) {
+            std::printf("  running %-32s %s\n", name,
+                        toString(fidelity));
+            rows.push_back(runBaselineCase(name, fidelity));
+        }
+    }
+    return rows;
+}
+
+std::string
+baselineLine(const BaselineRow &row)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"case\":\"%s\",\"fidelity\":\"%s\","
+                  "\"wall_seconds\":%.6f,\"loop_iterations\":%llu,"
+                  "\"global_cycles\":%llu}\n",
+                  row.name.c_str(), toString(row.fidelity),
+                  row.wallSeconds,
+                  static_cast<unsigned long long>(row.loopIterations),
+                  static_cast<unsigned long long>(row.globalCycles));
+    return std::string(buf);
+}
+
+bool
+parseBaselineLine(const std::string &line, BaselineRow &out)
+{
+    auto findString = [&line](const char *key, std::string &value) {
+        std::string tag = std::string("\"") + key + "\":\"";
+        std::size_t pos = line.find(tag);
+        if (pos == std::string::npos)
+            return false;
+        std::size_t end = line.find('"', pos + tag.size());
+        if (end == std::string::npos)
+            return false;
+        value = line.substr(pos + tag.size(), end - pos - tag.size());
+        return true;
+    };
+    auto findNumber = [&line](const char *key, double &value) {
+        std::string tag = std::string("\"") + key + "\":";
+        std::size_t pos = line.find(tag);
+        if (pos == std::string::npos)
+            return false;
+        value = std::strtod(line.c_str() + pos + tag.size(), nullptr);
+        return true;
+    };
+    std::string fidelity;
+    double loops = 0, cycles = 0;
+    if (!findString("case", out.name) ||
+        !findString("fidelity", fidelity) ||
+        !findNumber("wall_seconds", out.wallSeconds) ||
+        !findNumber("loop_iterations", loops) ||
+        !findNumber("global_cycles", cycles)) {
+        return false;
+    }
+    out.fidelity = parseFidelityKind(fidelity);
+    out.loopIterations = static_cast<std::uint64_t>(loops);
+    out.globalCycles = static_cast<std::uint64_t>(cycles);
+    return true;
+}
+
+int
+baselineOut(const std::string &path)
+{
+    std::vector<BaselineRow> rows = runAllBaselineCases();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    for (const BaselineRow &row : rows)
+        out << baselineLine(row);
+    std::printf("wrote %zu baseline rows to %s\n", rows.size(),
+                path.c_str());
+    return 0;
+}
+
+int
+baselineCheck(const std::string &path)
+{
+    std::map<std::pair<std::string, int>, BaselineRow> committed;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        BaselineRow row;
+        if (!parseBaselineLine(line, row)) {
+            std::fprintf(stderr, "unparseable baseline line: %s\n",
+                         line.c_str());
+            return 1;
+        }
+        committed[{row.name, static_cast<int>(row.fidelity)}] = row;
+    }
+
+    std::vector<BaselineRow> current = runAllBaselineCases();
+
+    // Normalize machine speed out: the exact-fidelity total is the
+    // yardstick (it dominates the run and exercises the whole
+    // simulator), so only RELATIVE shifts — one case or the fast path
+    // regressing against the rest — fail the check.
+    double committed_exact = 0, current_exact = 0;
+    for (const BaselineRow &row : current) {
+        auto it = committed.find(
+            {row.name, static_cast<int>(row.fidelity)});
+        if (it == committed.end()) {
+            std::fprintf(stderr,
+                         "no baseline row for %s/%s — regenerate with "
+                         "--baseline-out\n",
+                         row.name.c_str(), toString(row.fidelity));
+            return 1;
+        }
+        if (row.fidelity == FidelityKind::Exact) {
+            committed_exact += it->second.wallSeconds;
+            current_exact += row.wallSeconds;
+        }
+    }
+    if (committed_exact <= 0) {
+        std::fprintf(stderr, "baseline has no exact-fidelity rows\n");
+        return 1;
+    }
+    const double scale = current_exact / committed_exact;
+
+    int failures = 0;
+    std::printf("%-32s %-6s %10s %10s %8s\n", "case", "mode",
+                "base(s)", "norm(s)", "ratio");
+    for (const BaselineRow &row : current) {
+        const BaselineRow &base =
+            committed.at({row.name, static_cast<int>(row.fidelity)});
+        if (row.loopIterations != base.loopIterations ||
+            row.globalCycles != base.globalCycles) {
+            std::fprintf(
+                stderr,
+                "%s/%s: determinism mismatch (loops %llu vs %llu, "
+                "cycles %llu vs %llu) — behavior changed; regenerate "
+                "the baseline alongside the golden fixtures\n",
+                row.name.c_str(), toString(row.fidelity),
+                static_cast<unsigned long long>(row.loopIterations),
+                static_cast<unsigned long long>(base.loopIterations),
+                static_cast<unsigned long long>(row.globalCycles),
+                static_cast<unsigned long long>(base.globalCycles));
+            ++failures;
+            continue;
+        }
+        double normalized = row.wallSeconds / scale;
+        double ratio = normalized / base.wallSeconds;
+        std::printf("%-32s %-6s %10.3f %10.3f %8.2f\n",
+                    row.name.c_str(), toString(row.fidelity),
+                    base.wallSeconds, normalized, ratio);
+        // 15% relative band + 0.1 s absolute slack: sub-second rows
+        // (the fast fidelity) jitter more than 15% on a noisy CI box.
+        if (normalized > base.wallSeconds * 1.15 + 0.1) {
+            std::fprintf(stderr,
+                         "%s/%s: wall-clock regression: %.3f s "
+                         "normalized vs %.3f s baseline (>15%%)\n",
+                         row.name.c_str(), toString(row.fidelity),
+                         normalized, base.wallSeconds);
+            ++failures;
+        }
+    }
+    if (failures) {
+        std::fprintf(stderr, "%d baseline check failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("baseline check ok (%zu rows, scale %.2f)\n",
+                current.size(), scale);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Baseline modes bypass google-benchmark entirely.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--baseline-out") == 0 &&
+            i + 1 < argc) {
+            return baselineOut(argv[i + 1]);
+        }
+        if (std::strcmp(argv[i], "--baseline-check") == 0 &&
+            i + 1 < argc) {
+            return baselineCheck(argv[i + 1]);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

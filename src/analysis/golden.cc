@@ -1,5 +1,9 @@
 #include "analysis/golden.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "analysis/experiment.hh"
@@ -49,7 +53,7 @@ goldenCase(const std::string &name)
 
 SweepCheckpointRecord
 runGoldenCase(const GoldenCase &golden, SchedulerKind sched,
-              const ObservabilityConfig &obs)
+              const ObservabilityConfig &obs, FidelityKind fidelity)
 {
     // Mini scale + mini NPU profile, matching the benches' default
     // (fast) configuration, so fixtures regenerate in seconds.
@@ -62,6 +66,7 @@ runGoldenCase(const GoldenCase &golden, SchedulerKind sched,
     config.level = golden.level;
     config.dramBandwidthShares = golden.dramBandwidthShares;
     config.scheduler = sched;
+    config.fidelity = fidelity;
     config.obs = obs;
 
     SweepRecord record;
@@ -186,6 +191,102 @@ describeGoldenDiff(const SweepCheckpointRecord &expected,
         return out.str();
     }
     return std::string{};
+}
+
+namespace
+{
+
+double
+relativeDeviation(std::uint64_t exact, std::uint64_t fast)
+{
+    if (exact == 0)
+        return fast == 0 ? 0.0 : 1.0;
+    return std::fabs(static_cast<double>(fast) -
+                     static_cast<double>(exact)) /
+           static_cast<double>(exact);
+}
+
+bool
+findJsonNumber(const std::string &line, const char *key, double &out)
+{
+    std::string tag = std::string("\"") + key + "\":";
+    std::size_t pos = line.find(tag);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(line.c_str() + pos + tag.size(), nullptr);
+    return true;
+}
+
+} // namespace
+
+FidelityEnvelopeEntry
+measureFidelityEnvelope(const GoldenCase &golden)
+{
+    SweepCheckpointRecord exact =
+        runGoldenCase(golden, SchedulerKind::Cycle);
+    SweepCheckpointRecord fast = runGoldenCase(
+        golden, SchedulerKind::Cycle, {}, FidelityKind::Fast);
+
+    FidelityEnvelopeEntry entry;
+    entry.name = golden.name;
+    entry.exactCycles = exact.globalCycles;
+    entry.fastCycles = fast.globalCycles;
+    double dev = relativeDeviation(exact.globalCycles, fast.globalCycles);
+    std::size_t cores =
+        std::min(exact.localCycles.size(), fast.localCycles.size());
+    for (std::size_t i = 0; i < cores; ++i) {
+        dev = std::max(dev, relativeDeviation(exact.localCycles[i],
+                                              fast.localCycles[i]));
+    }
+    entry.deviation = dev;
+    entry.bound = std::max(0.05, dev * 1.25 + 0.01);
+    return entry;
+}
+
+std::string
+fidelityEnvelopeLine(const FidelityEnvelopeEntry &entry)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"case\":\"%s\",\"exact_cycles\":%llu,"
+                  "\"fast_cycles\":%llu,\"deviation\":%.6f,"
+                  "\"bound\":%.6f}\n",
+                  entry.name.c_str(),
+                  static_cast<unsigned long long>(entry.exactCycles),
+                  static_cast<unsigned long long>(entry.fastCycles),
+                  entry.deviation, entry.bound);
+    return std::string(buf);
+}
+
+std::string
+fidelityEnvelopePath(const std::string &dir)
+{
+    return dir + "/fidelity_envelope.json";
+}
+
+bool
+parseFidelityEnvelopeLine(const std::string &line,
+                          FidelityEnvelopeEntry &out)
+{
+    const std::string tag = "\"case\":\"";
+    std::size_t pos = line.find(tag);
+    if (pos == std::string::npos)
+        return false;
+    std::size_t end = line.find('"', pos + tag.size());
+    if (end == std::string::npos)
+        return false;
+    out.name = line.substr(pos + tag.size(), end - pos - tag.size());
+
+    double exact = 0, fast = 0;
+    if (!findJsonNumber(line, "exact_cycles", exact) ||
+        !findJsonNumber(line, "fast_cycles", fast) ||
+        !findJsonNumber(line, "deviation", out.deviation) ||
+        !findJsonNumber(line, "bound", out.bound)) {
+        return false;
+    }
+    out.exactCycles = static_cast<std::uint64_t>(exact);
+    out.fastCycles = static_cast<std::uint64_t>(fast);
+    return true;
 }
 
 } // namespace mnpu

@@ -58,10 +58,16 @@ const GoldenCase &goldenCase(const std::string &name);
  * @p obs optionally enables observability outputs for the run — the
  * record must be byte-identical either way (observers are passive;
  * tests/test_observability.cc holds this as an invariant).
+ * @p fidelity defaults to Exact and is pinned in the config (not left
+ * to the MNPU_FIDELITY process default), so fixture comparisons stay
+ * bit-exact regardless of the environment; pass Fast explicitly to
+ * measure the analytic model against the committed error envelope.
  */
 SweepCheckpointRecord runGoldenCase(const GoldenCase &golden,
                                     SchedulerKind sched,
-                                    const ObservabilityConfig &obs = {});
+                                    const ObservabilityConfig &obs = {},
+                                    FidelityKind fidelity =
+                                        FidelityKind::Exact);
 
 /** Serialized fixture content: the record's JSON line + newline. */
 std::string goldenFixtureText(const SweepCheckpointRecord &record);
@@ -78,6 +84,45 @@ std::string goldenFixturePath(const std::string &dir,
  */
 std::string describeGoldenDiff(const SweepCheckpointRecord &expected,
                                const SweepCheckpointRecord &actual);
+
+/**
+ * One row of the committed fast-fidelity error envelope
+ * (tests/golden/fidelity_envelope.json, one JSON line per golden
+ * case). `deviation` is the measured relative cycle-count error of
+ * the analytic model against the exact run — the max over global
+ * cycles and every core's local cycles — and `bound` is the committed
+ * tolerance test_fidelity_envelope enforces: deviation * 1.25 + 0.01,
+ * floored at 0.05, so the ratchet has slack for small drift but a
+ * fast-model regression that doubles the error still fails.
+ */
+struct FidelityEnvelopeEntry
+{
+    std::string name;
+    std::uint64_t exactCycles = 0; //!< exact-run global cycles
+    std::uint64_t fastCycles = 0;  //!< fast-run global cycles
+    double deviation = 0;
+    double bound = 0;
+};
+
+/**
+ * Run @p golden under the cycle scheduler in both fidelities and
+ * measure the analytic model's relative cycle error. Deterministic:
+ * the same sources always produce the same entry.
+ */
+FidelityEnvelopeEntry measureFidelityEnvelope(const GoldenCase &golden);
+
+/**
+ * Serialize one envelope row as a JSON line (fixed 6-decimal doubles,
+ * so regeneration is byte-stable across platforms).
+ */
+std::string fidelityEnvelopeLine(const FidelityEnvelopeEntry &entry);
+
+/** tests/golden/fidelity_envelope.json under @p dir. */
+std::string fidelityEnvelopePath(const std::string &dir);
+
+/** Parse one line written by fidelityEnvelopeLine; false on mismatch. */
+bool parseFidelityEnvelopeLine(const std::string &line,
+                               FidelityEnvelopeEntry &out);
 
 } // namespace mnpu
 

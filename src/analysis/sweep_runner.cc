@@ -218,6 +218,19 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
         hasher.feedInt(config.faultPlan.triggerCount);
         hasher.feedInt(config.faultPlan.delayCycles);
     }
+    // Fidelity is NOT passive — fast changes cycle counts within the
+    // committed envelope — so it feeds the key when (and only when)
+    // the run would actually resolve to fast. Feeding the *resolved*
+    // kind (same fallback MultiCoreSystem applies: an armed injector
+    // or any check level forces exact) rather than the requested one
+    // keeps a fast-keyed record from ever holding exact-fallback
+    // results; exact runs keep their historical keys.
+    if (resolvedFidelityKind(config.fidelity,
+                             config.faultPlan.site != FaultSite::None,
+                             effectiveCheckLevel(config.checkLevel)) ==
+        FidelityKind::Fast) {
+        hasher.feed("fidelity-fast");
+    }
     // The context's arch: dataflow and array/SPM geometry change
     // every trace.
     hasher.feed(arch.name);

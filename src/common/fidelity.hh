@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fidelity selection for MultiCoreSystem::run(): cycle-exact component
+ * models versus the analytic tile-level fast path.
+ *
+ * Unlike the scheduler choice (which is proven bit-identical and
+ * therefore passive), fast fidelity *changes results*: cores advance a
+ * whole tile per event using a closed-form latency model, and DRAM
+ * transfers are batched per tile instead of per 64-byte transaction.
+ * The deviation from exact is measured and committed per golden mix in
+ * tests/golden/fidelity_envelope.json and enforced by
+ * test_fidelity_envelope. Because results differ, fast fidelity feeds
+ * the sweep checkpoint key (exact does not, preserving pre-existing
+ * checkpoints); see resolvedFidelityKind() and sweepJobKey().
+ */
+
+#ifndef MNPU_COMMON_FIDELITY_HH
+#define MNPU_COMMON_FIDELITY_HH
+
+#include <optional>
+#include <string>
+
+#include "common/integrity.hh"
+
+namespace mnpu
+{
+
+/** Which component-model fidelity MultiCoreSystem::run() uses. */
+enum class FidelityKind
+{
+    Exact, //!< cycle-exact models, golden-ratcheted (default)
+    Fast,  //!< analytic tile latency + batched DRAM transfers
+};
+
+const char *toString(FidelityKind kind);
+
+/** Parse "exact" | "fast"; throws FatalError otherwise. */
+FidelityKind parseFidelityKind(const std::string &text);
+
+/**
+ * Process-wide default used when a SystemConfig does not pin a
+ * fidelity (set from --fidelity on the CLI/bench command line).
+ */
+void setFidelityDefault(FidelityKind kind);
+
+/** Undo setFidelityDefault (test hygiene). */
+void clearFidelityDefault();
+
+/**
+ * Resolve the fidelity a system *requests*: an explicitly configured
+ * kind wins, then the process default (--fidelity), then the
+ * MNPU_FIDELITY environment variable, then Exact.
+ */
+FidelityKind
+effectiveFidelityKind(const std::optional<FidelityKind> &configured);
+
+/**
+ * Resolve the fidelity a system actually *runs* at. Fast silently
+ * falls back to Exact when a fault injector is armed or any integrity
+ * checking is on: the analytic path produces no per-transaction
+ * lifecycle events, so even the Cheap tracker's transaction-count
+ * audit (not just --check full's protocol checkers) would spuriously
+ * fire. This resolved value — not the requested one — is what
+ * sweepJobKey() feeds, so a fast-keyed checkpoint record can never
+ * hold exact-fallback results.
+ */
+FidelityKind
+resolvedFidelityKind(const std::optional<FidelityKind> &configured,
+                     bool fault_armed, CheckLevel check_level);
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_FIDELITY_HH

@@ -86,6 +86,21 @@ class NpuCore
      */
     void setFaultInjector(FaultInjector *injector) { injector_ = injector; }
 
+    /**
+     * Switch this core to the fast (analytic) fidelity. Must be set
+     * before the first tick and never changed mid-run. Each tile's
+     * load/store phase completes in one closed-form step (see
+     * fastMemoryPhase) instead of per-transaction issue/translate/
+     * queue/complete round trips, so the core advances in a handful of
+     * events per tile. The exact path's per-transaction state
+     * (inflightTx_, dramReady_, DMA budgets) is bypassed entirely;
+     * compute timing, the double-buffer reuse rule, and layer/tile
+     * span recording reuse the exact code unchanged. The resolved
+     * fidelity is decided by resolvedFidelityKind() — never enable
+     * this with a fault injector or integrity checks armed.
+     */
+    void setFastMode(bool on) { fastMode_ = on; }
+
     /** Translation completed for one of this core's transactions. */
     void onTranslation(std::uint64_t tag, Addr paddr, Cycle at);
 
@@ -174,6 +189,14 @@ class NpuCore
         Cycle computeDoneLocal = 0;
         bool storesIssued = false;
         std::uint32_t storesOutstanding = 0;
+        /**
+         * Fast fidelity only: global cycle the phase's batched
+         * transfer completes. The outstanding counters are then used
+         * as a 1-while-in-flight marker so loadsDone()/retired() keep
+         * their exact-mode meaning.
+         */
+        Cycle loadsDoneAt = 0;
+        Cycle storesDoneAt = 0;
 
         bool loadsDone() const
         {
@@ -209,6 +232,14 @@ class NpuCore
     bool checkDone(Cycle now);
     bool hasIssuableTx() const;
 
+    // --- fast (analytic) fidelity ---
+    bool fastTick(Cycle now);
+    bool completeFastPhases(Cycle now);
+    bool issueFastPhases(Cycle now);
+    Cycle fastMemoryPhase(const std::vector<AccessRange> &ranges,
+                          MemOp op, Cycle now);
+    Cycle fastNextEventCycle(Cycle now) const;
+
     CoreConfig config_;
     const TraceGenerator &trace_;
     Mmu &mmu_;
@@ -240,6 +271,14 @@ class NpuCore
     Cycle lastLocalSeen_ = 0;
     std::uint64_t issueBudget_ = 0;
     bool budgetPrimed_ = false;
+
+    bool fastMode_ = false;
+    /**
+     * Fast fidelity: global cycle the DMA issue port frees up — phase
+     * issue serialization (ceil(tx / dmaIssueWidth) local cycles per
+     * phase) carried across phases.
+     */
+    Cycle fastDmaFreeGlobal_ = 0;
 
     /**
      * Blocked-episode flags: the retry counters count transitions into

@@ -14,6 +14,7 @@ DramChannel::DramChannel(const DramTiming &timing,
     : timing_(timing),
       mapping_(mapping),
       queueDepth_(queue_depth),
+      minHitAge_(timing.ranks * timing.banksPerRank(), kAgeNever),
       banks_(timing.ranks * timing.banksPerRank()),
       ranks_(timing.ranks),
       stats_(name),
@@ -26,8 +27,21 @@ DramChannel::DramChannel(const DramTiming &timing,
       activates_(stats_.counter("activates")),
       queueLatency_(stats_.distribution("queue_latency"))
 {
+    // A directly constructed channel (tests, tools) must reject broken
+    // timing the same way DramSystem's construction path does — the
+    // energy path in particular divides by clockMhz.
+    timing_.validate();
     if (queue_depth == 0)
         fatal("DRAM channel queue depth must be nonzero");
+    qFlat_.reserve(queue_depth);
+    qRow_.reserve(queue_depth);
+    qRank_.reserve(queue_depth);
+    qPriority_.reserve(queue_depth);
+    qWrite_.reserve(queue_depth);
+    qAge_.reserve(queue_depth);
+    qArrival_.reserve(queue_depth);
+    qCausedActivate_.reserve(queue_depth);
+    qRequest_.reserve(queue_depth);
     for (auto &rank : ranks_) {
         rank.actWindow.assign(4, 0);
         rank.refreshDueAt = timing_.tREFI;
@@ -51,14 +65,73 @@ DramChannel::enqueue(const DramRequest &request, Addr local_addr, Cycle now)
             }
         }
     }
-    QueueEntry entry;
-    entry.request = request;
-    entry.coord = mapping_.decode(local_addr);
-    entry.flat = entry.coord.flatBank(timing_);
-    entry.arrival = now;
+    DramCoord coord = mapping_.decode(local_addr);
+    qFlat_.push_back(coord.flatBank(timing_));
+    qRow_.push_back(coord.row);
+    qRank_.push_back(coord.rank);
+    qPriority_.push_back(request.priority ? 1 : 0);
+    qWrite_.push_back(request.op == MemOp::Write ? 1 : 0);
+    qAge_.push_back(nextAge_++);
+    qArrival_.push_back(now);
+    qCausedActivate_.push_back(0);
+    qRequest_.push_back(request);
     if (request.priority)
         ++priorityQueued_;
-    queue_.push_back(entry);
+}
+
+void
+DramChannel::removeAt(std::size_t i)
+{
+    std::size_t last = queueSize() - 1;
+    if (i != last) {
+        qFlat_[i] = qFlat_[last];
+        qRow_[i] = qRow_[last];
+        qRank_[i] = qRank_[last];
+        qPriority_[i] = qPriority_[last];
+        qWrite_[i] = qWrite_[last];
+        qAge_[i] = qAge_[last];
+        qArrival_[i] = qArrival_[last];
+        qCausedActivate_[i] = qCausedActivate_[last];
+        qRequest_[i] = std::move(qRequest_[last]);
+    }
+    qFlat_.pop_back();
+    qRow_.pop_back();
+    qRank_.pop_back();
+    qPriority_.pop_back();
+    qWrite_.pop_back();
+    qAge_.pop_back();
+    qArrival_.pop_back();
+    qCausedActivate_.pop_back();
+    qRequest_.pop_back();
+}
+
+bool
+DramChannel::anyHitOnBank(std::uint32_t flat_bank, std::int64_t row) const
+{
+    for (std::size_t i = 0; i < queueSize(); ++i) {
+        if (qFlat_[i] == flat_bank &&
+            static_cast<std::int64_t>(qRow_[i]) == row) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+DramChannel::computeMinHitAges() const
+{
+    // For each bank with an open row, the age of the oldest queued hit
+    // on that row. One O(queue) prepass replaces the old per-entry
+    // FIFO-prefix probe (O(queue^2) worst case): under swap-with-back
+    // storage "an older request" means a smaller age, not a smaller
+    // index.
+    std::fill(minHitAge_.begin(), minHitAge_.end(), kAgeNever);
+    for (std::size_t i = 0; i < queueSize(); ++i) {
+        std::uint32_t flat = qFlat_[i];
+        const BankState &bank = banks_[flat];
+        if (bank.openRow == static_cast<std::int64_t>(qRow_[i]))
+            minHitAge_[flat] = std::min(minHitAge_[flat], qAge_[i]);
+    }
 }
 
 bool
@@ -112,184 +185,233 @@ DramChannel::maybeRefresh(Cycle now)
     }
 }
 
-bool
-DramChannel::olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
-                            std::int64_t row) const
+Cycle
+DramChannel::refreshFireCycle(std::uint32_t rank_index) const
 {
-    for (std::size_t i = 0; i < upto; ++i) {
-        const QueueEntry &entry = queue_[i];
-        if (entry.flat == flat_bank &&
-            static_cast<std::int64_t>(entry.coord.row) == row) {
-            return true;
-        }
-    }
-    return false;
+    // Exact fire cycle of an overdue refresh: due, out of the previous
+    // refresh, and every bank precharge-able. While the refresh is
+    // overdue the rank's banks are frozen — columns are rejected
+    // (now >= refreshDueAt) and PRE/ACT need now < refreshDueAt — so
+    // no nextPrecharge can move and the max below is exact, letting a
+    // refresh-blocked channel skip straight to the REF instead of
+    // crawling to it cycle by cycle.
+    const RankState &rank = ranks_[rank_index];
+    Cycle at = std::max(rank.refreshDueAt, rank.refreshingUntil);
+    std::uint32_t base = rank_index * timing_.banksPerRank();
+    for (std::uint32_t b = 0; b < timing_.banksPerRank(); ++b)
+        at = std::max(at, banks_[base + b].nextPrecharge);
+    return at;
 }
 
 bool
 DramChannel::tryIssueColumn(Cycle now, Cycle *bound)
 {
-    // Pass 0 considers only priority (walk) requests; pass 1 the rest.
-    // Walk traffic is sparse, so skip the priority pass outright when
-    // none is queued. With @p bound set, each rejected row-hit entry
-    // contributes the earliest cycle its column could issue — the same
-    // candidate nextEventCycle() derives — so a failed scan doubles as
-    // the event-bound scan.
-    for (int pass = priorityQueued_ == 0 ? 1 : 0; pass < 2; ++pass)
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
-        QueueEntry &entry = queue_[i];
-        if (entry.request.priority != (pass == 0))
+    // Selection sweep: FR-FCFS wants the oldest ready row hit, walk
+    // (priority) requests first. Under swap-with-back storage the
+    // sweep tracks the min-age eligible entry per class instead of
+    // returning the first hit in index order — identical choice, one
+    // branch-light pass over the dense arrays. With @p bound set, each
+    // rejected row-hit entry contributes the earliest cycle its column
+    // could issue — the same candidate nextEventCycle() derives — so a
+    // failed scan doubles as the event-bound scan.
+    std::size_t best = kNoEntry;
+    bool best_priority = false;
+    std::uint64_t best_age = kAgeNever;
+    const std::size_t n = queueSize();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t flat = qFlat_[i];
+        const BankState &bank = banks_[flat];
+        if (bank.openRow != static_cast<std::int64_t>(qRow_[i]))
             continue;
-        std::uint32_t flat = entry.flat;
-        BankState &bank = banks_[flat];
-        RankState &rank = ranks_[entry.coord.rank];
-        if (bank.openRow != static_cast<std::int64_t>(entry.coord.row))
-            continue;
-        bool is_write = entry.request.op == MemOp::Write;
+        const RankState &rank = ranks_[qRank_[i]];
+        bool is_write = qWrite_[i] != 0;
         Cycle gate =
             is_write == lastOpWasWrite_ ? nextColumnSame_ : nextColumnSwitch_;
-        // An overdue refresh (now >= refreshDueAt) blocks new columns
-        // so the rank can drain; the refresh candidate covers that
-        // stall in the bound.
         if (now < rank.refreshingUntil || now >= rank.refreshDueAt ||
             now < bank.nextColumn || now < gate) {
             if (bound) {
-                *bound = std::min(
-                    *bound, std::max({bank.nextColumn, gate,
-                                      rank.refreshingUntil, now + 1}));
+                // An overdue refresh (now >= refreshDueAt) blocks new
+                // columns so the rank can drain; its exact fire cycle
+                // is the candidate (the old max of already-elapsed
+                // gates degenerated to now + 1 and made the event
+                // scheduler crawl through the drain).
+                Cycle at = now >= rank.refreshDueAt
+                               ? refreshFireCycle(qRank_[i])
+                               : std::max({bank.nextColumn, gate,
+                                           rank.refreshingUntil});
+                *bound = std::min(*bound, std::max(at, now + 1));
             }
             continue;
         }
-
-        // Issue the column command.
-        if (checker_)
-            checker_->onColumn(entry.coord.rank, flat, entry.coord.row,
-                               entry.request.op == MemOp::Write, now);
-        traceCommand(entry.request.op == MemOp::Write ? "WR" : "RD", now);
-        std::uint32_t burst = timing_.burstCycles();
-        Cycle bus_gap = std::max<Cycle>(timing_.tCCD, burst);
-        nextColumnSame_ = now + bus_gap;
-        nextColumnSwitch_ =
-            now + bus_gap + (is_write ? timing_.tWTR : timing_.tRTW);
-        lastOpWasWrite_ = is_write;
-
-        Cycle done;
-        if (is_write) {
-            done = now + timing_.tCWL + burst;
-            bank.nextPrecharge =
-                std::max(bank.nextPrecharge, done + timing_.tWR);
-            writes_.inc();
-        } else {
-            done = now + timing_.tCL + burst;
-            bank.nextPrecharge =
-                std::max(bank.nextPrecharge, now + timing_.tRTP);
-            reads_.inc();
+        bool priority = qPriority_[i] != 0;
+        if (best == kNoEntry || (priority && !best_priority) ||
+            (priority == best_priority && qAge_[i] < best_age)) {
+            best = i;
+            best_priority = priority;
+            best_age = qAge_[i];
         }
-        bytes_.inc(timing_.transactionBytes());
-        if (entry.causedActivate)
-            rowMisses_.inc();
-        else
-            rowHits_.inc();
-        queueLatency_.sample(static_cast<double>(now - entry.arrival));
-        completions_.push(Completion{done, entry.request});
-        std::uint64_t issued_row = entry.coord.row;
-        if (entry.request.priority)
-            --priorityQueued_;
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
-
-        if (timing_.rowPolicy == RowPolicy::Closed &&
-            !olderHitOnBank(queue_.size(), flat,
-                            static_cast<std::int64_t>(issued_row))) {
-            // Auto-precharge once no queued request wants this row.
-            if (checker_)
-                checker_->onAutoPrecharge(flat, bank.nextPrecharge);
-            bank.openRow = -1;
-            bank.nextActivate = std::max(bank.nextActivate,
-                                         bank.nextPrecharge + timing_.tRP);
-        }
-        return true;
     }
-    return false;
+    if (best == kNoEntry)
+        return false;
+
+    // Issue the column command for the selected entry.
+    std::uint32_t flat = qFlat_[best];
+    BankState &bank = banks_[flat];
+    bool is_write = qWrite_[best] != 0;
+    if (checker_)
+        checker_->onColumn(qRank_[best], flat, qRow_[best], is_write, now);
+    traceCommand(is_write ? "WR" : "RD", now);
+    std::uint32_t burst = timing_.burstCycles();
+    Cycle bus_gap = std::max<Cycle>(timing_.tCCD, burst);
+    nextColumnSame_ = now + bus_gap;
+    nextColumnSwitch_ =
+        now + bus_gap + (is_write ? timing_.tWTR : timing_.tRTW);
+    lastOpWasWrite_ = is_write;
+
+    Cycle done;
+    if (is_write) {
+        done = now + timing_.tCWL + burst;
+        bank.nextPrecharge =
+            std::max(bank.nextPrecharge, done + timing_.tWR);
+        writes_.inc();
+    } else {
+        done = now + timing_.tCL + burst;
+        bank.nextPrecharge =
+            std::max(bank.nextPrecharge, now + timing_.tRTP);
+        reads_.inc();
+    }
+    bytes_.inc(timing_.transactionBytes());
+    if (qCausedActivate_[best] != 0)
+        rowMisses_.inc();
+    else
+        rowHits_.inc();
+    queueLatency_.sample(static_cast<double>(now - qArrival_[best]));
+    completions_.push(Completion{done, qRequest_[best]});
+    auto issued_row = static_cast<std::int64_t>(qRow_[best]);
+    if (qPriority_[best] != 0)
+        --priorityQueued_;
+    removeAt(best);
+
+    if (timing_.rowPolicy == RowPolicy::Closed &&
+        !anyHitOnBank(flat, issued_row)) {
+        // Auto-precharge once no queued request wants this row.
+        if (checker_)
+            checker_->onAutoPrecharge(flat, bank.nextPrecharge);
+        bank.openRow = -1;
+        bank.nextActivate = std::max(bank.nextActivate,
+                                     bank.nextPrecharge + timing_.tRP);
+    }
+    return true;
 }
 
 bool
 DramChannel::tryIssueRowCommand(Cycle now, Cycle *bound)
 {
-    // With @p bound set, rejected entries contribute the earliest cycle
-    // their precharge/activate could issue (mirroring nextEventCycle).
-    for (int pass = priorityQueued_ == 0 ? 1 : 0; pass < 2; ++pass)
-    for (std::size_t i = 0; i < queue_.size(); ++i) {
-        QueueEntry &entry = queue_[i];
-        if (entry.request.priority != (pass == 0))
-            continue;
-        std::uint32_t flat = entry.flat;
-        BankState &bank = banks_[flat];
-        RankState &rank = ranks_[entry.coord.rank];
-        auto row = static_cast<std::int64_t>(entry.coord.row);
+    // Same selection-sweep shape as tryIssueColumn: pick the min-age
+    // (priority-first) entry whose precharge or activate could issue
+    // now; with @p bound set, rejected entries contribute the earliest
+    // cycle their row command could issue (mirroring nextEventCycle).
+    computeMinHitAges();
+    std::size_t best = kNoEntry;
+    bool best_priority = false;
+    std::uint64_t best_age = kAgeNever;
+    bool best_is_precharge = false;
+    const std::size_t n = queueSize();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t flat = qFlat_[i];
+        const BankState &bank = banks_[flat];
+        const RankState &rank = ranks_[qRank_[i]];
+        auto row = static_cast<std::int64_t>(qRow_[i]);
         if (bank.openRow == row)
             continue; // hit; handled by the column pass
         bool rank_ok =
             now >= rank.refreshingUntil && now < rank.refreshDueAt;
+        bool is_precharge;
         if (bank.openRow != -1) {
             // Don't close a row an older request still wants; that
             // older entry contributes its own column candidate.
-            if (olderHitOnBank(i, flat, bank.openRow))
+            if (minHitAge_[flat] < qAge_[i])
                 continue;
             if (!rank_ok || now < bank.nextPrecharge) {
                 if (bound) {
-                    *bound = std::min(
-                        *bound, std::max({bank.nextPrecharge,
-                                          rank.refreshingUntil, now + 1}));
+                    Cycle at = now >= rank.refreshDueAt
+                                   ? refreshFireCycle(qRank_[i])
+                                   : std::max(bank.nextPrecharge,
+                                              rank.refreshingUntil);
+                    *bound = std::min(*bound, std::max(at, now + 1));
                 }
                 continue;
             }
-            if (checker_)
-                checker_->onPrecharge(flat, now);
-            traceCommand("PRE", now);
-            bank.openRow = -1;
-            bank.nextActivate =
-                std::max(bank.nextActivate, now + timing_.tRP);
-            return true;
-        }
-        if (!rank_ok || now < bank.nextActivate ||
-            !rankCanActivate(rank, now)) {
-            if (bound) {
-                Cycle oldest = rank.actWindow[rank.actPtr];
-                Cycle faw = oldest == 0 ? 0 : oldest + timing_.tFAW;
-                *bound = std::min(
-                    *bound,
-                    std::max({bank.nextActivate, rank.nextActivate, faw,
-                              rank.refreshingUntil, now + 1}));
+            is_precharge = true;
+        } else {
+            if (!rank_ok || now < bank.nextActivate ||
+                !rankCanActivate(rank, now)) {
+                if (bound) {
+                    Cycle oldest = rank.actWindow[rank.actPtr];
+                    Cycle faw = oldest == 0 ? 0 : oldest + timing_.tFAW;
+                    Cycle at = now >= rank.refreshDueAt
+                                   ? refreshFireCycle(qRank_[i])
+                                   : std::max({bank.nextActivate,
+                                               rank.nextActivate, faw,
+                                               rank.refreshingUntil});
+                    *bound = std::min(*bound, std::max(at, now + 1));
+                }
+                continue;
             }
-            continue;
+            is_precharge = false;
         }
+        bool priority = qPriority_[i] != 0;
+        if (best == kNoEntry || (priority && !best_priority) ||
+            (priority == best_priority && qAge_[i] < best_age)) {
+            best = i;
+            best_priority = priority;
+            best_age = qAge_[i];
+            best_is_precharge = is_precharge;
+        }
+    }
+    if (best == kNoEntry)
+        return false;
+
+    std::uint32_t flat = qFlat_[best];
+    BankState &bank = banks_[flat];
+    if (best_is_precharge) {
         if (checker_)
-            checker_->onActivate(entry.coord.rank, flat, entry.coord.row,
-                                 now);
-        traceCommand("ACT", now);
-        bank.openRow = row;
-        bank.nextColumn = now + timing_.tRCD;
-        bank.nextPrecharge = now + timing_.tRAS;
-        recordActivate(rank, now);
-        activates_.inc();
-        entry.causedActivate = true;
+            checker_->onPrecharge(flat, now);
+        traceCommand("PRE", now);
+        bank.openRow = -1;
+        bank.nextActivate = std::max(bank.nextActivate, now + timing_.tRP);
         return true;
     }
-    return false;
+    RankState &rank = ranks_[qRank_[best]];
+    if (checker_)
+        checker_->onActivate(qRank_[best], flat, qRow_[best], now);
+    traceCommand("ACT", now);
+    bank.openRow = static_cast<std::int64_t>(qRow_[best]);
+    bank.nextColumn = now + timing_.tRCD;
+    bank.nextPrecharge = now + timing_.tRAS;
+    recordActivate(rank, now);
+    activates_.inc();
+    qCausedActivate_[best] = 1;
+    return true;
 }
 
 Cycle
 DramChannel::refreshBound(Cycle now) const
 {
     // Refresh fires the first cycle a rank is due, out of its previous
-    // refresh, and every bank is precharge-able. The first two terms
-    // only move later via commands issued at visited cycles, so their
-    // max is a safe (under-)bound; the banks' nextPrecharge would only
-    // sharpen it, and scanning every bank on each bound query costs
-    // more than the few extra visits near a due refresh it saves.
+    // refresh, and every bank is precharge-able. For a rank that is
+    // not yet due, max(due, refreshingUntil) is a safe (under-)bound —
+    // those terms only move later via commands issued at visited
+    // cycles. Once the refresh is overdue the banks are frozen (no
+    // command can issue on the rank), so the exact fire cycle is
+    // computable and is the bound; the old max of already-elapsed
+    // cycles degenerated to now + 1 and crawled through the drain.
     Cycle next = kCycleNever;
-    for (const RankState &rank : ranks_) {
-        Cycle at = std::max(rank.refreshDueAt, rank.refreshingUntil);
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+        const RankState &rank = ranks_[r];
+        Cycle at = now >= rank.refreshDueAt
+                       ? refreshFireCycle(r)
+                       : std::max(rank.refreshDueAt, rank.refreshingUntil);
         next = std::min(next, std::max(at, now + 1));
     }
     return next;
@@ -305,7 +427,7 @@ DramChannel::boundAfterIssue(Cycle now) const
     // next visit's (inevitable) issue scan double as the bound scan.
     // With a shallow queue the rescan is cheap and its sharp bound is
     // what lets idle stretches be skipped.
-    if (queue_.size() >= kSharpBoundQueueLimit)
+    if (queueSize() >= kSharpBoundQueueLimit)
         return now + 1;
     return nextEventCycle(now);
 }
@@ -322,7 +444,7 @@ DramChannel::tick(Cycle now)
     Cycle bound = kCycleNever;
     if (!completions_.empty())
         bound = std::max(completions_.top().at, now + 1);
-    if (queue_.empty()) {
+    if (queueSize() == 0) {
         boundAfterTick_ = bound;
         return false;
     }
@@ -353,6 +475,7 @@ DramChannel::energyPj(Cycle elapsed_cycles) const
         static_cast<double>(writes_.value()) * timing_.eWritePj +
         static_cast<double>(refreshes_.value()) * timing_.eRefreshPj;
     // Background: 1 mW = 1 pJ/ns; one cycle = 1e3/clockMhz ns.
+    // validate() rejects clockMhz == 0, so this cannot divide by zero.
     double elapsed_ns = static_cast<double>(elapsed_cycles) * 1e3 /
                         static_cast<double>(timing_.clockMhz);
     return command + timing_.backgroundMw * elapsed_ns;
@@ -364,7 +487,7 @@ DramChannel::nextTickCycle(Cycle now) const
     Cycle next = kCycleNever;
     if (!completions_.empty())
         next = completions_.top().at;
-    if (!queue_.empty())
+    if (queueSize() != 0)
         next = std::min(next, now + 1);
     return next;
 }
@@ -375,7 +498,7 @@ DramChannel::nextEventCycle(Cycle now) const
     Cycle next = kCycleNever;
     if (!completions_.empty())
         next = std::max(completions_.top().at, now + 1);
-    if (queue_.empty())
+    if (queueSize() == 0)
         return next; // tick() early-returns; completions are all there is
 
     auto consider = [&](Cycle at) {
@@ -383,20 +506,23 @@ DramChannel::nextEventCycle(Cycle now) const
     };
 
     // One candidate per queued request: the earliest cycle whichever
-    // command FR-FCFS would issue for it next could go out. The
-    // "overdue refresh blocks columns" rule needs no candidate of its
-    // own — the rank's refresh candidate covers that stall. No
-    // candidate can clamp below now + 1, so the scan stops the moment
-    // one reaches it — during busy streaming the first entry usually
-    // does, making the common-case bound O(1) instead of O(queue^2)
-    // (the olderHitOnBank probe).
-    for (std::size_t i = 0; i < queue_.size() && next > now + 1; ++i) {
-        const QueueEntry &entry = queue_[i];
-        std::uint32_t flat = entry.flat;
+    // command FR-FCFS would issue for it next could go out. A rank
+    // with an overdue refresh contributes the refresh's exact fire
+    // cycle instead — nothing can issue on it until the REF (itself a
+    // state change) goes out. No candidate can clamp below now + 1, so
+    // the scan stops the moment one reaches it — during busy streaming
+    // the first entry usually does, making the common-case bound O(1).
+    computeMinHitAges();
+    for (std::size_t i = 0; i < queueSize() && next > now + 1; ++i) {
+        std::uint32_t flat = qFlat_[i];
         const BankState &bank = banks_[flat];
-        const RankState &rank = ranks_[entry.coord.rank];
-        if (bank.openRow == static_cast<std::int64_t>(entry.coord.row)) {
-            bool is_write = entry.request.op == MemOp::Write;
+        const RankState &rank = ranks_[qRank_[i]];
+        if (now >= rank.refreshDueAt) {
+            consider(refreshFireCycle(qRank_[i]));
+            continue;
+        }
+        if (bank.openRow == static_cast<std::int64_t>(qRow_[i])) {
+            bool is_write = qWrite_[i] != 0;
             Cycle gate = is_write == lastOpWasWrite_ ? nextColumnSame_
                                                      : nextColumnSwitch_;
             consider(std::max({bank.nextColumn, gate,
@@ -406,7 +532,7 @@ DramChannel::nextEventCycle(Cycle now) const
             // row; that older entry contributes its own column
             // candidate, and queue order only changes at visited
             // cycles, so skipping the candidate cannot overshoot.
-            if (!olderHitOnBank(i, flat, bank.openRow))
+            if (minHitAge_[flat] >= qAge_[i])
                 consider(std::max(bank.nextPrecharge,
                                   rank.refreshingUntil));
         } else {

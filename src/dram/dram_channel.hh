@@ -7,6 +7,16 @@
  * due completions, issues refreshes when due, and issues at most one
  * command, preferring the oldest ready row-buffer hit and otherwise
  * working on the oldest request (precharge/activate path).
+ *
+ * The request queue is stored struct-of-arrays: the issue and bound
+ * scans touch only the small parallel arrays (flat bank, row, age,
+ * priority) that decide eligibility, so a scan streams through a few
+ * dense cache lines instead of striding over 80-byte AoS entries, and
+ * removal is an O(1) swap-with-back instead of the old O(n) mid-deque
+ * erase. FR-FCFS arrival order is preserved by an explicit monotonic
+ * age per entry (selection picks the min-age eligible entry, priority
+ * pass first), which the golden suites verify is bit-identical to the
+ * previous in-order scan.
  */
 
 #ifndef MNPU_DRAM_DRAM_CHANNEL_HH
@@ -14,8 +24,8 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -64,7 +74,9 @@ class DramChannel
 {
   public:
     /**
-     * @param timing       device parameters
+     * @param timing       device parameters (validate()d here, so a
+     *                     directly constructed channel rejects broken
+     *                     timing the same way DramSystem does)
      * @param mapping      channel-local address decomposition
      * @param queue_depth  max outstanding transactions in the queue
      * @param name         stats group name (e.g. "dram.ch0")
@@ -83,7 +95,7 @@ class DramChannel
             priority ? queueDepth_
                      : queueDepth_ - std::min<std::uint32_t>(
                                          kPriorityReserve, queueDepth_ - 1);
-        return queue_.size() < limit;
+        return queueSize() < limit;
     }
 
     /**
@@ -116,7 +128,10 @@ class DramChannel
     Cycle boundAfterTick() const { return boundAfterTick_; }
 
     /** @return true while any transaction is queued or in flight. */
-    bool busy() const { return !queue_.empty() || !completions_.empty(); }
+    bool busy() const
+    {
+        return queueSize() != 0 || !completions_.empty();
+    }
 
     /**
      * Conservative per-cycle bound (the cycle scheduler): now + 1
@@ -171,19 +186,33 @@ class DramChannel
      */
     double energyPj(Cycle elapsed_cycles) const;
 
+    /**
+     * Fast-fidelity bulk accounting: credit the counters for a batch
+     * of transactions the analytic path modeled without queueing them
+     * (row hits/misses and activates per its row-granularity model).
+     * Keeps stats/energy/telemetry consistent across fidelities; the
+     * bank/rank state machines are untouched.
+     */
+    void fastAccount(std::uint64_t num_reads, std::uint64_t num_writes,
+                     std::uint64_t row_hits, std::uint64_t row_misses,
+                     std::uint64_t num_activates, std::uint64_t num_bytes)
+    {
+        reads_.inc(num_reads);
+        writes_.inc(num_writes);
+        rowHits_.inc(row_hits);
+        rowMisses_.inc(row_misses);
+        activates_.inc(num_activates);
+        bytes_.inc(num_bytes);
+    }
+
   private:
     static constexpr std::uint32_t kPriorityReserve = 4;
     /** Queue depth at/above which boundAfterIssue skips the rescan. */
     static constexpr std::size_t kSharpBoundQueueLimit = 4;
-
-    struct QueueEntry
-    {
-        DramRequest request;
-        DramCoord coord;
-        std::uint32_t flat; //!< cached coord.flatBank(timing_)
-        Cycle arrival;
-        bool causedActivate = false;
-    };
+    static constexpr std::uint64_t kAgeNever =
+        std::numeric_limits<std::uint64_t>::max();
+    static constexpr std::size_t kNoEntry =
+        std::numeric_limits<std::size_t>::max();
 
     struct BankState
     {
@@ -212,22 +241,47 @@ class DramChannel
         }
     };
 
+    std::size_t queueSize() const { return qFlat_.size(); }
+    void removeAt(std::size_t i);
+    bool anyHitOnBank(std::uint32_t flat_bank, std::int64_t row) const;
+    void computeMinHitAges() const;
+
     bool rankCanActivate(const RankState &rank, Cycle now) const;
     void recordActivate(RankState &rank, Cycle now);
     void maybeRefresh(Cycle now);
     bool tryIssueColumn(Cycle now, Cycle *bound);
     bool tryIssueRowCommand(Cycle now, Cycle *bound);
+    Cycle refreshFireCycle(std::uint32_t rank_index) const;
     Cycle refreshBound(Cycle now) const;
     Cycle boundAfterIssue(Cycle now) const;
-    bool olderHitOnBank(std::size_t upto, std::uint32_t flat_bank,
-                        std::int64_t row) const;
 
     DramTiming timing_;
     AddressMapping mapping_;
     std::uint32_t queueDepth_;
 
-    std::deque<QueueEntry> queue_;
-    std::uint32_t priorityQueued_ = 0; //!< priority entries in queue_
+    /**
+     * The request queue, struct-of-arrays. Entries are unordered in
+     * memory (removal swaps with the back); qAge_ carries the FCFS
+     * arrival order the scheduler's tie-breaks need. The scans' hot
+     * fields (flat bank, row, priority, age) live in their own dense
+     * arrays; the full DramRequest is only touched at issue time.
+     */
+    std::vector<std::uint32_t> qFlat_;   //!< cached coord.flatBank()
+    std::vector<std::uint64_t> qRow_;
+    std::vector<std::uint32_t> qRank_;
+    std::vector<std::uint8_t> qPriority_;
+    std::vector<std::uint8_t> qWrite_;
+    std::vector<std::uint64_t> qAge_;    //!< monotonic arrival order
+    std::vector<Cycle> qArrival_;
+    std::vector<std::uint8_t> qCausedActivate_;
+    std::vector<DramRequest> qRequest_;
+    std::uint64_t nextAge_ = 0;
+    std::uint32_t priorityQueued_ = 0; //!< priority entries queued
+
+    /** Per-flat-bank min age of a queued hit on the bank's open row;
+     *  scratch for the scans (computeMinHitAges). */
+    mutable std::vector<std::uint64_t> minHitAge_;
+
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         completions_;

@@ -34,6 +34,7 @@ DramSystem::DramSystem(const DramTiming &timing, std::uint32_t num_channels,
                 onCompletion(request, at);
             });
     }
+    fastBusyUntil_.assign(num_channels, 0);
     shareAllChannels();
 }
 
@@ -176,6 +177,101 @@ DramSystem::tryEnqueue(const DramRequest &request, Cycle now)
                       request.priority ? "walk" : "data");
     }
     return true;
+}
+
+Cycle
+DramSystem::fastTransfer(CoreId core, std::uint64_t num_tx, bool is_write,
+                         Cycle start)
+{
+    mnpu_assert(core < partitions_.size(), "fastTransfer: unknown core");
+    if (num_tx == 0)
+        return start;
+    const std::uint64_t tx_bytes = timing_.transactionBytes();
+    const std::uint64_t bytes = num_tx * tx_bytes;
+
+    // Bandwidth shares: spend the whole batch against the anchored
+    // bucket. The batch cannot finish before the bucket has earned its
+    // full cost, so the anchor jumps to that crossing in one step.
+    Cycle bucket_done = start;
+    if (core < buckets_.size() && buckets_[core].enabled) {
+        TokenBucket &bucket = buckets_[core];
+        const double need = static_cast<double>(bytes);
+        const double avail = available(bucket, start);
+        if (avail < need && bucket.ratePerCycle > 0) {
+            bucket_done =
+                start +
+                static_cast<Cycle>(
+                    std::ceil((need - avail) / bucket.ratePerCycle));
+        }
+        bucket.tokens =
+            std::max(0.0, available(bucket, bucket_done) - need);
+        bucket.lastRefill = bucket_done;
+    }
+
+    const auto &set = partitions_[core];
+    const auto set_size = static_cast<std::uint64_t>(set.size());
+    const std::uint64_t cols_per_row =
+        std::max<std::uint64_t>(1, timing_.columnsPerRow());
+    const Cycle col_gap =
+        std::max<Cycle>(timing_.tCCD, timing_.burstCycles());
+    const Cycle data_lat =
+        (is_write ? timing_.tCWL : timing_.tCL) + timing_.burstCycles();
+    const std::uint64_t base = num_tx / set_size;
+    const std::uint64_t rem = num_tx % set_size;
+    Cycle done = bucket_done;
+    for (std::uint64_t i = 0; i < set_size; ++i) {
+        const std::uint64_t cnt = base + (i < rem ? 1 : 0);
+        if (cnt == 0)
+            continue;
+        const std::uint32_t c = set[static_cast<std::size_t>(i)];
+        const Cycle s = std::max(start, fastBusyUntil_[c]);
+        const std::uint64_t rows = ceilDiv(cnt, cols_per_row);
+        const Cycle service =
+            static_cast<Cycle>(cnt) * col_gap +
+            static_cast<Cycle>(rows) * (timing_.tRP + timing_.tRCD);
+        fastBusyUntil_[c] = s + service;
+        done = std::max(done, s + service + data_lat);
+        channels_[c]->fastAccount(is_write ? 0 : cnt, is_write ? cnt : 0,
+                                  cnt - rows, rows, rows, cnt * tx_bytes);
+    }
+
+    coreBytes_[core] += bytes;
+    if (totalTracer_) {
+        totalTracer_->record(done, bytes);
+        if (core < coreTracers_.size())
+            coreTracers_[core].record(done, bytes);
+    }
+    return done;
+}
+
+void
+DramSystem::fastWalkTraffic(CoreId core, std::uint64_t num_steps, Cycle at)
+{
+    mnpu_assert(core < partitions_.size(), "fastWalkTraffic: unknown core");
+    if (num_steps == 0)
+        return;
+    const std::uint64_t tx_bytes = timing_.transactionBytes();
+    const std::uint64_t bytes = num_steps * tx_bytes;
+    const auto &set = partitions_[core];
+    const auto set_size = static_cast<std::uint64_t>(set.size());
+    const std::uint64_t base = num_steps / set_size;
+    const std::uint64_t rem = num_steps % set_size;
+    for (std::uint64_t i = 0; i < set_size; ++i) {
+        const std::uint64_t cnt = base + (i < rem ? 1 : 0);
+        if (cnt == 0)
+            continue;
+        // Walk steps chase pointer-shaped PTE addresses: modeled as
+        // all row misses.
+        channels_[set[static_cast<std::size_t>(i)]]->fastAccount(
+            cnt, 0, 0, cnt, cnt, cnt * tx_bytes);
+    }
+    coreBytes_[core] += bytes;
+    coreWalkBytes_[core] += bytes;
+    if (totalTracer_) {
+        totalTracer_->record(at, bytes);
+        if (core < coreTracers_.size())
+            coreTracers_[core].record(at, bytes);
+    }
 }
 
 void

@@ -65,6 +65,31 @@ class DramSystem
      */
     bool tryEnqueue(const DramRequest &request, Cycle now);
 
+    /**
+     * Fast-fidelity analytic transfer: model a batch of @p num_tx
+     * bus transactions for @p core starting no earlier than @p start,
+     * without queueing anything. The batch spends the anchored token
+     * bucket (bandwidth shares persist across fidelities), is spread
+     * evenly over the core's channel set, and each channel's share is
+     * costed as a dense row-granular stream: one precharge+activate
+     * per columnsPerRow transactions, max(tCCD, burst) of column-pipe
+     * occupancy per transaction, serialized behind the channel's
+     * previous fast batch. Counters/bytes/telemetry are credited in
+     * bulk; refreshes are not modeled (a documented energy
+     * under-count of the fast mode).
+     * @return the global cycle the batch's last data beat completes.
+     */
+    Cycle fastTransfer(CoreId core, std::uint64_t num_tx, bool is_write,
+                       Cycle start);
+
+    /**
+     * Fast-fidelity walk traffic: credit @p num_steps page-table-walk
+     * reads to @p core (counters, bytes, telemetry at @p at). Pure
+     * accounting — the walk latency itself is modeled closed-form by
+     * Mmu::fastTranslate, not by queueing these reads.
+     */
+    void fastWalkTraffic(CoreId core, std::uint64_t num_steps, Cycle at);
+
     /** @return true if the target channel could accept @p request now. */
     bool canAccept(const DramRequest &request) const;
 
@@ -302,6 +327,9 @@ class DramSystem
     TraceEventSink *traceSink_ = nullptr;
     std::vector<std::unique_ptr<DramProtocolChecker>> checkers_;
     std::vector<DelayedCompletion> delayed_;
+
+    /** Per-channel busy horizon of the fast-fidelity analytic path. */
+    std::vector<Cycle> fastBusyUntil_;
 
     std::vector<std::uint64_t> coreBytes_;
     std::vector<std::uint64_t> coreWalkBytes_;

@@ -1,5 +1,7 @@
 #include "dram/dram_timing.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -25,8 +27,32 @@ DramTiming::validate() const
         fatal("DRAM burst length must be a power of two (", name, ")");
     if (transactionBytes() > rowBytes)
         fatal("DRAM transaction larger than a row (", name, ")");
+    // The background-energy path divides by the clock; a zero would
+    // turn dram.energy_pj into Inf/NaN that silently poisons every
+    // downstream aggregate, so reject it here with the preset named.
     if (clockMhz == 0)
-        fatal("DRAM clock must be nonzero (", name, ")");
+        fatal("DRAM clock_mhz must be nonzero (timing preset '", name,
+              "')");
+
+    // Energy coefficients must be finite and non-negative for the same
+    // reason: they multiply straight into dram.energy_pj telemetry.
+    const struct
+    {
+        const char *field;
+        double value;
+    } energies[] = {
+        {"energy_act_pre_pj", eActPrePj},
+        {"energy_read_pj", eReadPj},
+        {"energy_write_pj", eWritePj},
+        {"energy_refresh_pj", eRefreshPj},
+        {"background_mw", backgroundMw},
+    };
+    for (const auto &e : energies) {
+        if (!std::isfinite(e.value) || e.value < 0)
+            fatal("DRAM energy ", e.field, " must be finite and "
+                  "non-negative, got ", e.value, " (timing preset '",
+                  name, "')");
+    }
 
     // Every timing must be nonzero: a zero constraint makes the state
     // machines (and the protocol checker) degenerate. Name the field so
@@ -168,6 +194,18 @@ DramTiming::fromConfig(const ConfigFile &config, const std::string &prefix)
     t.tRTW = u32("tRTW", t.tRTW);
     t.tREFI = u32("tREFI", t.tREFI);
     t.tRFC = u32("tRFC", t.tRFC);
+    // Energy coefficients were previously not configurable at all —
+    // the preset values always won — so a config's energy knobs were
+    // silently ignored. Parse (and thus validate) them too.
+    t.eActPrePj = config.getDouble(prefix + "energy_act_pre_pj",
+                                   t.eActPrePj);
+    t.eReadPj = config.getDouble(prefix + "energy_read_pj", t.eReadPj);
+    t.eWritePj = config.getDouble(prefix + "energy_write_pj",
+                                  t.eWritePj);
+    t.eRefreshPj = config.getDouble(prefix + "energy_refresh_pj",
+                                    t.eRefreshPj);
+    t.backgroundMw = config.getDouble(prefix + "background_mw",
+                                      t.backgroundMw);
     std::string policy = config.getString(prefix + "row_policy", "open");
     if (iequals(policy, "open"))
         t.rowPolicy = RowPolicy::Open;

@@ -147,6 +147,51 @@ Mmu::requestTranslation(CoreId core, Asid asid, Addr vaddr,
     return true;
 }
 
+Mmu::FastXlatResult
+Mmu::fastTranslate(CoreId core, Asid asid,
+                   const std::vector<Addr> &page_vaddrs, Cycle now)
+{
+    mnpu_assert(core < config_.numCores, "translation from unknown core");
+    FastXlatResult result;
+    result.latency = config_.tlbLatency;
+    result.pages = page_vaddrs.size();
+    std::uint64_t walk_steps = 0;
+    for (Addr vaddr : page_vaddrs) {
+        translations_.inc();
+        // First-touch frame allocation must happen in every fidelity
+        // (the allocator's interleaving is shared simulator state).
+        allocator_.translate(asid, vaddr);
+        if (!config_.translationEnabled)
+            continue;
+        const Addr vpn = allocator_.vpn(vaddr);
+        if (tlbFor(core).lookup(asid, vpn)) {
+            tlbHits_.inc();
+            continue;
+        }
+        tlbMisses_.inc();
+        ++result.misses;
+        walks_.inc();
+        walk_steps += pageTable_.walkPath(asid, vaddr).size();
+        tlbFor(core).insert(asid, vpn);
+    }
+    if (result.misses > 0) {
+        if (core < walkSteps_.size())
+            walkSteps_[core] += walk_steps;
+        dram_.fastWalkTraffic(core, walk_steps, now);
+        // Closed-form walk latency: each walk is `levels` serial DRAM
+        // reads (ACT + RD, no queueing), and this core's misses drain
+        // through its average walker share in parallel.
+        const std::uint64_t walkers = std::max<std::uint64_t>(
+            1, config_.totalPtws / config_.numCores);
+        const DramTiming &t = dram_.timing();
+        const Cycle step_lat = t.tRCD + t.tCL + t.burstCycles();
+        const std::uint64_t levels = ceilDiv(walk_steps, result.misses);
+        result.latency +=
+            ceilDiv(result.misses, walkers) * levels * step_lat;
+    }
+    return result;
+}
+
 void
 Mmu::completeTranslation(const PendingXlat &xlat, Cycle when)
 {

@@ -92,6 +92,34 @@ class Mmu
     bool requestTranslation(CoreId core, Asid asid, Addr vaddr,
                             std::uint64_t tag, Cycle now);
 
+    /** Outcome of one fast-fidelity batched translation. */
+    struct FastXlatResult
+    {
+        Cycle latency = 0;       //!< modeled translation latency
+        std::uint64_t pages = 0; //!< distinct pages probed
+        std::uint64_t misses = 0; //!< of which TLB misses (walked)
+    };
+
+    /**
+     * Fast-fidelity analytic translation of the distinct pages one
+     * tile phase touches. The TLB probes and inserts are real — shared-
+     * TLB capacity and inter-core conflict effects persist across
+     * fidelities — and every miss still derives its radix walk path
+     * (page-table nodes allocate exactly as in exact mode) and credits
+     * its steps as DRAM walk traffic. Only the timing is closed-form:
+     * misses drain through this core's average walker share instead of
+     * being queued, each walk costing levels serial DRAM reads.
+     * Counters count per distinct page here; exact mode counts per
+     * transaction (before MSHR coalescing), so the fast counters are
+     * smaller by the per-page transaction fan-in.
+     */
+    FastXlatResult fastTranslate(CoreId core, Asid asid,
+                                 const std::vector<Addr> &page_vaddrs,
+                                 Cycle now);
+
+    /** Page size of the backing allocator (fast-path page chunking). */
+    std::uint64_t pageBytes() const { return allocator_.pageBytes(); }
+
     /** Advance one global cycle; completes lookups and drives walkers. */
     void tick(Cycle now);
 

@@ -309,6 +309,7 @@ mnpusimMain(int argc, char **argv)
     RunBudget budget;
     std::optional<CheckLevel> check_level;
     std::optional<SchedulerKind> sched_kind;
+    std::optional<FidelityKind> fidelity_kind;
     FaultPlan fault_plan;
     ObservabilityConfig obs;
     int first = 1;
@@ -355,6 +356,19 @@ mnpusimMain(int argc, char **argv)
                 return 2;
             }
             setSchedulerDefault(*sched_kind);
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--fidelity") {
+            if (!take_value("--fidelity"))
+                return 2;
+            try {
+                fidelity_kind = parseFidelityKind(value);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            setFidelityDefault(*fidelity_kind);
             first += has_inline_value ? 1 : 2;
             continue;
         }
@@ -430,6 +444,7 @@ mnpusimMain(int argc, char **argv)
             stderr,
             "usage: %s [--jobs N] [--job-timeout SECONDS] "
             "[--check off|cheap|full] [--sched cycle|event] "
+            "[--fidelity exact|fast] "
             "[--inject SITE[:N[:DELAY]]] "
             "[--trace-out FILE] [--metrics-out FILE] "
             "[--obs-level off|layers|tiles|requests] "
@@ -441,6 +456,11 @@ mnpusimMain(int argc, char **argv)
             "            event (default) skips to the next event cycle,\n"
             "            cycle steps conservatively; results are\n"
             "            bit-identical\n"
+            "  --fidelity model fidelity (also: MNPU_FIDELITY env):\n"
+            "            exact (default) is golden-ratcheted; fast uses\n"
+            "            an analytic tile model within a committed\n"
+            "            error envelope (falls back to exact under\n"
+            "            --check or --inject)\n"
             "  --inject  deterministic fault: dram-drop, dram-dup,\n"
             "            dram-delay, pte-corrupt, or core-stall, fired\n"
             "            at the Nth opportunity (default 1)\n"
@@ -463,6 +483,8 @@ mnpusimMain(int argc, char **argv)
             run.config.checkLevel = check_level;
         if (sched_kind)
             run.config.scheduler = sched_kind;
+        if (fidelity_kind)
+            run.config.fidelity = fidelity_kind;
         run.config.faultPlan = fault_plan;
         run.config.obs = observabilityFromEnv(obs);
         inform("simulating ", run.bindings.size(), "-core NPU at level ",

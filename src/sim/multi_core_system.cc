@@ -169,6 +169,25 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     scheduler_ = effectiveSchedulerKind(config.scheduler);
     if (config.faultPlan.site != FaultSite::None)
         injector_ = std::make_unique<FaultInjector>(config.faultPlan);
+
+    // --- Fidelity (resolved after the fault plan so the fallback sees
+    // it). Fast trades per-transaction modeling for an analytic tile
+    // path, which the integrity trackers cannot audit — any check
+    // level (even Cheap's transaction-count audit) or an armed
+    // injector forces exact. ---
+    fidelity_ = resolvedFidelityKind(config.fidelity,
+                                     injector_ != nullptr, checkLevel_);
+    if (fidelity_ == FidelityKind::Exact &&
+        effectiveFidelityKind(config.fidelity) == FidelityKind::Fast) {
+        inform("fast fidelity requested but ",
+               injector_ ? "a fault injector is armed"
+                         : "integrity checking is on",
+               "; running exact");
+    }
+    if (fidelity_ == FidelityKind::Fast) {
+        for (auto &core : cores_)
+            core->setFastMode(true);
+    }
     if (checkLevel_ != CheckLevel::Off) {
         tracker_ = std::make_unique<RequestLifecycleTracker>(
             capacity, mem.timing.transactionBytes(), num_cores);

@@ -124,6 +124,13 @@ class MultiCoreSystem
     /** Scheduler this system actually runs with (resolved at build). */
     SchedulerKind scheduler() const { return scheduler_; }
 
+    /**
+     * Fidelity this system actually runs at (resolved at build). May
+     * be Exact even when fast was requested: an armed fault injector
+     * or any integrity check level forces the cycle-exact models.
+     */
+    FidelityKind fidelity() const { return fidelity_; }
+
     /** The metrics registry all components registered with (tests). */
     const MetricsRegistry &metricsRegistry() const { return registry_; }
 
@@ -141,6 +148,7 @@ class MultiCoreSystem
     std::vector<std::unique_ptr<NpuCore>> cores_;
     CheckLevel checkLevel_ = CheckLevel::Off;
     SchedulerKind scheduler_ = SchedulerKind::Event;
+    FidelityKind fidelity_ = FidelityKind::Exact;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<RequestLifecycleTracker> tracker_;
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/fault_injection.hh"
+#include "common/fidelity.hh"
 #include "common/integrity.hh"
 #include "common/scheduler.hh"
 #include "common/trace_events.hh"
@@ -148,6 +149,18 @@ struct SystemConfig
      * key (sweepJobKey serializes fields explicitly; nothing to mask).
      */
     std::optional<SchedulerKind> scheduler;
+
+    /**
+     * Model fidelity for this run. Unset defers to the process
+     * default (--fidelity) and then the MNPU_FIDELITY environment
+     * variable; see effectiveFidelityKind(). Unlike checkLevel and
+     * scheduler, fast fidelity is NOT passive — it changes simulated
+     * cycle counts within a measured envelope — so when the run
+     * resolves to fast (see resolvedFidelityKind()) it DOES feed the
+     * sweep checkpoint key; exact stays excluded so existing
+     * checkpoints keep resuming.
+     */
+    std::optional<FidelityKind> fidelity;
 
     /**
      * Deterministic fault to inject (integrity-layer drill). The

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 
@@ -57,6 +58,55 @@ TEST(DramTimingTest, InvalidGeometryRejected)
     t = DramTiming::hbm2();
     t.clockMhz = 0;
     EXPECT_THROW(t.validate(), FatalError);
+}
+
+TEST(DramTimingTest, InvalidEnergyRejectedNamingPresetAndField)
+{
+    // A bad energy coefficient poisons dram.energy_pj with NaN/Inf (or
+    // a negative total) far downstream of the typo, so validate() must
+    // reject it up front AND the message must name both the offending
+    // field and the preset — a bare "invalid value" on a multi-preset
+    // sweep is undiagnosable.
+    auto expectRejected = [](DramTiming t, const char *field) {
+        t.name = "hbm2";
+        try {
+            t.validate();
+            FAIL() << field << ": invalid energy value accepted";
+        } catch (const FatalError &error) {
+            EXPECT_NE(std::string(error.what()).find(field),
+                      std::string::npos)
+                << "message does not name the field: " << error.what();
+            EXPECT_NE(std::string(error.what()).find("hbm2"),
+                      std::string::npos)
+                << "message does not name the preset: " << error.what();
+        }
+    };
+
+    DramTiming t = DramTiming::hbm2();
+    t.eReadPj = -1.0;
+    expectRejected(t, "energy_read_pj");
+    t = DramTiming::hbm2();
+    t.eActPrePj = std::numeric_limits<double>::quiet_NaN();
+    expectRejected(t, "energy_act_pre_pj");
+    t = DramTiming::hbm2();
+    t.eWritePj = std::numeric_limits<double>::infinity();
+    expectRejected(t, "energy_write_pj");
+    t = DramTiming::hbm2();
+    t.eRefreshPj = -0.5;
+    expectRejected(t, "energy_refresh_pj");
+    t = DramTiming::hbm2();
+    t.backgroundMw = std::numeric_limits<double>::infinity();
+    expectRejected(t, "background_mw");
+
+    // And the config path routes through the same validation: energy
+    // knobs are parsed (not silently ignored), so a config typo fails
+    // loudly instead of shipping NaN telemetry.
+    auto config = ConfigFile::fromString(
+        "dram.protocol = hbm2\ndram.energy_read_pj = -3\n");
+    EXPECT_THROW(DramTiming::fromConfig(config), FatalError);
+    auto good = ConfigFile::fromString(
+        "dram.protocol = hbm2\ndram.energy_read_pj = 99.5\n");
+    EXPECT_DOUBLE_EQ(DramTiming::fromConfig(good).eReadPj, 99.5);
 }
 
 // --- address mapping ---

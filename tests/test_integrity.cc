@@ -376,6 +376,11 @@ TEST(IntegrityEndToEndTest, FullChecksAreBitIdenticalToOff)
     SystemConfig off;
     off.level = SharingLevel::ShareDWT;
     off.checkLevel = CheckLevel::Off;
+    // Pin exact fidelity: this test varies ONLY the check level, but
+    // an MNPU_FIDELITY=fast environment would let the unchecked run
+    // resolve fast (any armed check forces exact), and the comparison
+    // would then measure the fidelity gap instead of check passivity.
+    off.fidelity = FidelityKind::Exact;
     MixOutcome base = context.runMix(off, {"inet0", "inet1"});
 
     SystemConfig full = off;
