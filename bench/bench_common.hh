@@ -25,6 +25,23 @@
  *   --fidelity F      exact (default, golden-ratcheted) or fast (the
  *                     analytic tile model; also MNPU_FIDELITY)
  *
+ * Isolation and scale-out (see DESIGN.md §11):
+ *   --isolate M       thread (default) or process: process forks one
+ *                     single-job worker per attempt, so a crashing
+ *                     mix is quarantined as status "crashed" instead
+ *                     of killing the campaign (also MNPU_ISOLATE)
+ *   --worker-mem SZ   RLIMIT_AS per worker, e.g. 2G (process mode)
+ *   --worker-cpu S    RLIMIT_CPU per worker in seconds (process mode)
+ *   --worker-retries N crash retries before quarantine (default 2)
+ *   --shard I/N       deterministic 1-of-N partition of the job list
+ *                     by sweep key; run one shard per host against a
+ *                     private --resume file and union the shards with
+ *                     merge_checkpoints for the final --resume
+ *
+ * Signals: the first SIGINT/SIGTERM cancels the sweep cooperatively
+ * (in-flight mixes stop at their next watchdog check, the checkpoint
+ * stays resumable, the bench exits 130); a second force-exits.
+ *
  * Observability (see DESIGN.md §9; passive, bit-identical on vs off):
  *   --trace-out FILE  Chrome trace_event JSON for the first job only —
  *                     a multi-job sweep warns and names the jobs whose
@@ -51,7 +68,9 @@
 #include "analysis/metrics.hh"
 #include "analysis/mixes.hh"
 #include "analysis/sweep_runner.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
+#include "common/stop_signal.hh"
 #include "common/thread_pool.hh"
 #include "sim/multi_core_system.hh"
 #include "workloads/models.hh"
@@ -72,6 +91,11 @@ struct BenchOptions
     std::string resumePath;     //!< JSONL checkpoint to append/resume
     FaultPlan injectPlan;       //!< --inject: fault for the first job
     ObservabilityConfig obs;    //!< --trace-out/--metrics-out/--obs-level
+    std::uint64_t workerMemoryBytes = 0; //!< --worker-mem (process mode)
+    std::uint32_t workerCpuSeconds = 0;  //!< --worker-cpu (process mode)
+    std::uint32_t workerRetries = 2;     //!< --worker-retries
+    std::uint32_t shardIndex = 0;        //!< --shard I/N
+    std::uint32_t shardCount = 0;        //!< 0 = not sharded
 
     /** The sweep-level containment options these flags map to. */
     SweepOptions sweepOptions() const
@@ -82,6 +106,15 @@ struct BenchOptions
         options.budgetMultiplier = autoBudget;
         options.checkpointPath = resumePath;
         options.resume = !resumePath.empty();
+        // Isolation stays unset here: --isolate lands in the process
+        // default (setIsolationDefault), so MNPU_ISOLATE and the
+        // built-in thread fallback resolve inside the runner.
+        options.workerMemoryBytes = workerMemoryBytes;
+        options.workerCpuSeconds = workerCpuSeconds;
+        options.workerRetries = workerRetries;
+        options.shardIndex = shardIndex;
+        options.shardCount = shardCount;
+        options.stopToken = stopSignalToken();
         return options;
     }
 
@@ -98,6 +131,10 @@ struct BenchOptions
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
+    // Benches are long-running campaigns: make ^C cancel gracefully
+    // (checkpoint stays resumable; see runJobs) instead of killing
+    // mid-record.
+    installStopSignalHandlers();
     BenchOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -150,6 +187,49 @@ parseOptions(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", error.what());
                 std::exit(2);
             }
+        } else if (arg == "--isolate" && i + 1 < argc) {
+            try {
+                setIsolationDefault(parseIsolationMode(argv[++i]));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
+        } else if (arg == "--worker-mem" && i + 1 < argc) {
+            try {
+                options.workerMemoryBytes =
+                    ConfigFile::parseSize(argv[++i]);
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
+        } else if (arg == "--worker-cpu" && i + 1 < argc) {
+            options.workerCpuSeconds =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--worker-retries" && i + 1 < argc) {
+            options.workerRetries =
+                static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (arg == "--shard" && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const auto slash = spec.find('/');
+            char *end = nullptr;
+            unsigned long index =
+                std::strtoul(spec.c_str(), &end, 10);
+            unsigned long count =
+                slash == std::string::npos
+                    ? 0
+                    : std::strtoul(spec.c_str() + slash + 1, nullptr,
+                                   10);
+            if (slash == std::string::npos || count < 2 ||
+                index >= count ||
+                end != spec.c_str() + slash) {
+                std::fprintf(stderr,
+                             "malformed --shard '%s'; expected I/N "
+                             "with 0 <= I < N and N >= 2\n",
+                             spec.c_str());
+                std::exit(2);
+            }
+            options.shardIndex = static_cast<std::uint32_t>(index);
+            options.shardCount = static_cast<std::uint32_t>(count);
         } else if (arg == "--trace-out" && i + 1 < argc) {
             options.obs.traceOutPath = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -169,6 +249,9 @@ parseOptions(int argc, char **argv)
                          "[--resume FILE] [--check off|cheap|full] "
                          "[--sched cycle|event] [--fidelity exact|fast] "
                          "[--inject SITE[:N[:DELAY]]] "
+                         "[--isolate thread|process] [--worker-mem SZ] "
+                         "[--worker-cpu S] [--worker-retries N] "
+                         "[--shard I/N] "
                          "[--trace-out FILE] [--metrics-out FILE] "
                          "[--obs-level off|layers|tiles|requests]\n",
                          argv[0]);
@@ -311,9 +394,19 @@ runJobs(ExperimentContext &context, std::vector<SweepJob> sweep_jobs,
                               options.sweepOptions(),
                               progressEvery16(options));
     reportSweepStats(options, runner);
+    if (stopSignalRaised()) {
+        // Graceful interruption: completed mixes are already in the
+        // checkpoint, so a later --resume continues from here. The
+        // distinct exit code lets campaign scripts tell "interrupted,
+        // resumable" from a real failure.
+        warn("sweep interrupted; checkpoint is resumable (exit ",
+             kInterruptedExitCode, ")");
+        std::exit(kInterruptedExitCode);
+    }
     for (std::size_t i = 0; i < records.size(); ++i) {
         if (records[i].status == SweepStatus::Failed ||
-            records[i].status == SweepStatus::TimedOut) {
+            records[i].status == SweepStatus::TimedOut ||
+            records[i].status == SweepStatus::Crashed) {
             warn("mix ", i, " (",
                  records[i].outcome.models.empty()
                      ? std::string("?")

@@ -1,12 +1,19 @@
 #include "analysis/sweep_checkpoint.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 #include "common/config.hh"
 #include "common/logging.hh"
@@ -26,6 +33,8 @@ toString(SweepStatus status)
         return "timed_out";
       case SweepStatus::Skipped:
         return "skipped";
+      case SweepStatus::Crashed:
+        return "crashed";
     }
     return "?";
 }
@@ -38,7 +47,7 @@ statusFromString(const std::string &text, SweepStatus &status)
 {
     for (SweepStatus candidate :
          {SweepStatus::Ok, SweepStatus::Failed, SweepStatus::TimedOut,
-          SweepStatus::Skipped}) {
+          SweepStatus::Skipped, SweepStatus::Crashed}) {
         if (text == toString(candidate)) {
             status = candidate;
             return true;
@@ -493,8 +502,99 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
     return true;
 }
 
+namespace
+{
+
+// Live lock descriptors, so a forked worker can drop its inherited
+// copies (closeCheckpointLocksInForkedChild). Registration happens on
+// the thread that owns the writer — in process mode that is the
+// single supervisor thread, so the mutex is never mid-acquisition at
+// fork time.
+std::mutex g_lock_registry_mutex;
+std::vector<int> g_live_lock_fds;
+
+void
+registerLockFd(int fd)
+{
+    std::lock_guard<std::mutex> guard(g_lock_registry_mutex);
+    g_live_lock_fds.push_back(fd);
+}
+
+void
+unregisterLockFd(int fd)
+{
+    std::lock_guard<std::mutex> guard(g_lock_registry_mutex);
+    g_live_lock_fds.erase(std::remove(g_live_lock_fds.begin(),
+                                      g_live_lock_fds.end(), fd),
+                          g_live_lock_fds.end());
+}
+
+} // namespace
+
+void
+closeCheckpointLocksInForkedChild()
+{
+    std::lock_guard<std::mutex> guard(g_lock_registry_mutex);
+    for (int fd : g_live_lock_fds)
+        ::close(fd);
+    g_live_lock_fds.clear();
+}
+
+CheckpointLock::CheckpointLock(const std::string &checkpointPath)
+    : lockPath_(checkpointPath + ".lock")
+{
+    fd_ = ::open(lockPath_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0)
+        fatal("cannot create checkpoint lock '", lockPath_,
+              "': ", std::strerror(errno));
+    if (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+        // Read the holder's PID for the message; the flock itself is
+        // the authority, the PID is diagnosis. A PID that no longer
+        // responds to kill(pid, 0) while the flock is held means the
+        // lockfile content is stale but a live process (likely a
+        // descendant sharing the open file description) still owns it.
+        char buf[32] = {};
+        ssize_t got = ::pread(fd_, buf, sizeof(buf) - 1, 0);
+        long pid = got > 0 ? std::strtol(buf, nullptr, 10) : 0;
+        std::string holder = "unknown process";
+        if (pid > 0) {
+            bool alive = ::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                         errno != ESRCH;
+            holder = detail::concat(
+                "pid ", pid,
+                alive ? " (alive)"
+                      : " (not running; lock held via an "
+                        "inherited descriptor)");
+        }
+        ::close(fd_);
+        fd_ = -1;
+        fatal("checkpoint '", checkpointPath,
+              "' is locked by another campaign (", holder,
+              " holds '", lockPath_,
+              "'); refusing to interleave records — wait for it or "
+              "point --checkpoint elsewhere");
+    }
+    // Record our PID for the next contender's error message. flock()
+    // dies with the process, so a kill -9 leaves only harmless stale
+    // content that the next holder overwrites.
+    if (::ftruncate(fd_, 0) == 0) {
+        std::string pid = std::to_string(::getpid());
+        pid.push_back('\n');
+        (void)!::pwrite(fd_, pid.data(), pid.size(), 0);
+    }
+    registerLockFd(fd_);
+}
+
+CheckpointLock::~CheckpointLock()
+{
+    if (fd_ >= 0) {
+        unregisterLockFd(fd_);
+        ::close(fd_); // releases the flock
+    }
+}
+
 SweepCheckpointWriter::SweepCheckpointWriter(const std::string &path)
-    : path_(path)
+    : path_(path), lock_(path)
 {
     // If a crash tore the previous trailing line, appending right after
     // it would merge the next record into the garbage; start it on a
@@ -564,6 +664,82 @@ loadSweepCheckpoint(const std::string &path)
              " malformed lines — is this really a sweep checkpoint?");
     }
     return records;
+}
+
+namespace
+{
+
+/**
+ * Canonical payload for conflict detection: wallSeconds is the one
+ * field expected to differ between bit-identical completions of the
+ * same job, so it is zeroed before comparing.
+ */
+std::string
+canonicalPayload(SweepCheckpointRecord record)
+{
+    record.wallSeconds = 0;
+    return toJsonLine(record);
+}
+
+} // namespace
+
+std::vector<SweepCheckpointRecord>
+mergeSweepCheckpoints(const std::vector<std::string> &paths,
+                      CheckpointMergeStats *stats)
+{
+    CheckpointMergeStats local;
+    std::vector<SweepCheckpointRecord> merged;
+    std::map<std::string, std::size_t> slotOfKey;
+    for (const std::string &path : paths) {
+        std::ifstream file(path);
+        if (!file) {
+            warn("merge: shard '", path,
+                 "' is missing or unreadable; treating as empty");
+            continue;
+        }
+        ++local.files;
+        std::string line;
+        std::size_t lineno = 0;
+        while (std::getline(file, line)) {
+            ++lineno;
+            if (trim(line).empty())
+                continue;
+            SweepCheckpointRecord record;
+            if (!parseJsonLine(line, record)) {
+                ++local.malformed;
+                warn("merge: shard '", path, "' line ", lineno,
+                     ": malformed record skipped");
+                continue;
+            }
+            auto found = slotOfKey.find(record.key);
+            if (found == slotOfKey.end()) {
+                slotOfKey.emplace(record.key, merged.size());
+                merged.push_back(std::move(record));
+                continue;
+            }
+            SweepCheckpointRecord &held = merged[found->second];
+            ++local.duplicates;
+            const bool heldOk = held.status == SweepStatus::Ok;
+            const bool newOk = record.status == SweepStatus::Ok;
+            if (heldOk && newOk &&
+                canonicalPayload(held) != canonicalPayload(record)) {
+                ++local.conflicts;
+                warn("merge: key ", record.key,
+                     " completed ok with different payloads across "
+                     "shards (shard '", path, "' line ", lineno,
+                     " wins as newest) — determinism bug or "
+                     "mis-partitioned campaign?");
+            }
+            // Ok beats non-ok; within a tier the newest record wins
+            // (mirrors loadSweepCheckpoint's last-occurrence-wins).
+            if (newOk || !heldOk)
+                held = std::move(record);
+        }
+    }
+    local.records = merged.size();
+    if (stats)
+        *stats = local;
+    return merged;
 }
 
 } // namespace mnpu

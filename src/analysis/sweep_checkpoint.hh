@@ -47,6 +47,11 @@ enum class SweepStatus
     Failed,   //!< threw FatalError (or another non-budget error)
     TimedOut, //!< blew its cycle or wall-clock budget (after retry)
     Skipped,  //!< not executed (already checkpointed, or cancelled)
+    Crashed,  //!< isolated worker process died hard (signal, abort,
+              //!< rlimit kill) and retries were exhausted; metrics
+              //!< are NaN-poisoned like Failed. Only process
+              //!< isolation can produce this — a thread-mode crash
+              //!< takes the whole campaign with it.
 };
 
 const char *toString(SweepStatus status);
@@ -102,9 +107,55 @@ std::string toJsonLine(const SweepCheckpointRecord &record);
 bool parseJsonLine(const std::string &line, SweepCheckpointRecord &record);
 
 /**
+ * Advisory single-writer lock for a checkpoint file (and each shard
+ * of one): holds an exclusive non-blocking flock() on the sidecar
+ * `<path>.lock`, whose content is the holder's PID. Two campaigns
+ * appending to the same checkpoint would interleave records from
+ * different job sets, so the second writer fails fast with a message
+ * naming the holder — including whether that PID is still alive
+ * (flock itself dies with its process, so a lockfile left behind by a
+ * kill -9 is harmless: the flock is free and the stale PID content is
+ * simply overwritten).
+ */
+class CheckpointLock
+{
+  public:
+    /**
+     * Locks `<checkpointPath>.lock`; fatal() when another process
+     * holds it (reporting the holder PID and its liveness) or when
+     * the sidecar cannot be created.
+     */
+    explicit CheckpointLock(const std::string &checkpointPath);
+    ~CheckpointLock();
+
+    CheckpointLock(const CheckpointLock &) = delete;
+    CheckpointLock &operator=(const CheckpointLock &) = delete;
+
+    const std::string &lockPath() const { return lockPath_; }
+
+  private:
+    std::string lockPath_;
+    int fd_ = -1;
+};
+
+/**
+ * Release every live CheckpointLock descriptor in a forked worker
+ * child. flock() locks belong to the *open file description*, which a
+ * fork shares: a worker that inherits the supervisor's lock fd keeps
+ * the flock alive after the supervisor dies (O_CLOEXEC is no help —
+ * workers fork without exec), so a kill -9'd campaign would block its
+ * own resume until the orphaned workers drain. The process-pool child
+ * harness calls this immediately after fork; only the supervisor's
+ * own descriptor then pins the lock, and it dies with the supervisor.
+ */
+void closeCheckpointLocksInForkedChild();
+
+/**
  * Thread-safe appender: each append() writes one full line and
  * flushes, under a mutex, so concurrent sweep workers never interleave
- * partial records.
+ * partial records. Holds a CheckpointLock for its lifetime, so a
+ * second campaign pointed at the same file fails fast instead of
+ * silently mixing records.
  */
 class SweepCheckpointWriter
 {
@@ -123,6 +174,7 @@ class SweepCheckpointWriter
 
   private:
     std::string path_;
+    CheckpointLock lock_;
     std::FILE *file_ = nullptr;
     std::mutex mutex_;
 };
@@ -135,6 +187,37 @@ class SweepCheckpointWriter
  */
 std::map<std::string, SweepCheckpointRecord>
 loadSweepCheckpoint(const std::string &path);
+
+/** What mergeSweepCheckpoints() saw and decided. */
+struct CheckpointMergeStats
+{
+    std::size_t files = 0;      //!< input shard files read
+    std::size_t records = 0;    //!< distinct keys in the merged output
+    std::size_t duplicates = 0; //!< same-key records superseded by a winner
+    std::size_t malformed = 0;  //!< unparseable lines skipped
+    /**
+     * Same key, both records ok, payloads differing (ignoring
+     * wallSeconds): two shards claim to have completed the same job
+     * with different numbers — a determinism bug or a mis-partitioned
+     * campaign. The newest record still wins so the merge completes,
+     * but callers should surface a nonzero count loudly.
+     */
+    std::size_t conflicts = 0;
+};
+
+/**
+ * Union the records of @p paths (shard checkpoints of one campaign)
+ * into a single list, ordered by first appearance of each key.
+ * Same-key resolution: an ok record beats any non-ok record (a job
+ * that crashed on one shard but completed on another is complete);
+ * within the same tier the newest record — later file, later line —
+ * wins. Missing files are empty shards; malformed lines are skipped
+ * with a warn(). Writing the result to a fresh JSONL file yields a
+ * checkpoint that --resume restores bit-identically.
+ */
+std::vector<SweepCheckpointRecord>
+mergeSweepCheckpoints(const std::vector<std::string> &paths,
+                      CheckpointMergeStats *stats = nullptr);
 
 } // namespace mnpu
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -101,6 +104,30 @@ failedOutcome(const std::vector<std::string> &models)
     outcome.geomeanSpeedup = nan;
     outcome.fairnessValue = nan;
     return outcome;
+}
+
+/**
+ * Fail-fast surfacing of a failure that happened in a worker process:
+ * the original exception died with the worker, so rebuild the typed
+ * SimulationError from the record's "<kind>: <message>" error string
+ * (a crash quarantine reads "worker-crash: <detail>" and lands on
+ * SimErrorKind::WorkerCrash); anything unrecognized was a FatalError.
+ */
+[[noreturn]] void
+rethrowRecordError(const SweepRecord &record)
+{
+    for (SimErrorKind kind :
+         {SimErrorKind::Deadlock, SimErrorKind::CycleBudget,
+          SimErrorKind::WallClockTimeout, SimErrorKind::Cancelled,
+          SimErrorKind::ProtocolViolation,
+          SimErrorKind::RequestLifecycle, SimErrorKind::MmuConsistency,
+          SimErrorKind::WorkerCrash}) {
+        const std::string prefix = std::string(toString(kind)) + ": ";
+        if (record.error.rfind(prefix, 0) == 0)
+            throw SimulationError(kind,
+                                  record.error.substr(prefix.size()));
+    }
+    throw FatalError(record.error);
 }
 
 /** Rebuild a full MixOutcome — raw telemetry included — from a (v2+)
@@ -205,14 +232,18 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     hasher.feedInt(config.requestTraceWindow);
     hasher.feedInt(config.maxGlobalCycles);
     // An injected fault changes the outcome, so it feeds the key —
-    // but only when armed, so plain sweeps keep their historical keys.
-    // checkLevel is intentionally excluded: checkers are passive
-    // observers and a run is bit-identical at every level. The
-    // scheduler kind is excluded for the same reason — the event
+    // but only when armed *and* simulation-perturbing, so plain
+    // sweeps keep their historical keys and the Worker* drill sites
+    // (which crash the process, not the simulation) share clean
+    // records. checkLevel is intentionally excluded: checkers are
+    // passive observers and a run is bit-identical at every level.
+    // The scheduler kind is excluded for the same reason — the event
     // scheduler is proven bit-identical to per-cycle stepping (see
     // the golden/differential tests), so either may restore the
-    // other's checkpoints.
-    if (config.faultPlan.site != FaultSite::None) {
+    // other's checkpoints. Isolation mode and sharding are excluded
+    // too: they decide where and whether a job runs, never what it
+    // computes.
+    if (perturbsSimulation(config.faultPlan.site)) {
         hasher.feed("inject");
         hasher.feedInt(static_cast<int>(config.faultPlan.site));
         hasher.feedInt(config.faultPlan.triggerCount);
@@ -226,7 +257,7 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     // keeps a fast-keyed record from ever holding exact-fallback
     // results; exact runs keep their historical keys.
     if (resolvedFidelityKind(config.fidelity,
-                             config.faultPlan.site != FaultSite::None,
+                             perturbsSimulation(config.faultPlan.site),
                              effectiveCheckLevel(config.checkLevel)) ==
         FidelityKind::Fast) {
         hasher.feed("fidelity-fast");
@@ -281,6 +312,17 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     return hasher.hex();
 }
 
+std::uint32_t
+shardOfSweepKey(const std::string &key, std::uint32_t shardCount)
+{
+    if (shardCount <= 1)
+        return 0;
+    // The key is FNV-1a output rendered as 16 hex digits: already
+    // uniformly mixed, so a plain modulus partitions evenly.
+    const std::uint64_t value = std::strtoull(key.c_str(), nullptr, 16);
+    return static_cast<std::uint32_t>(value % shardCount);
+}
+
 std::string
 SweepStats::summary() const
 {
@@ -293,7 +335,7 @@ SweepStats::summary() const
            << (workers == 1 ? "" : "s") << " (" << runsPerSecond
            << " runs/s executed; per-run sum " << jobSecondsSum
            << " s)";
-    if (failed || timedOut || skipped || retried) {
+    if (failed || timedOut || skipped || retried || crashed) {
         stream << " [" << ok << " ok";
         if (failed)
             stream << ", " << failed << " failed";
@@ -301,9 +343,16 @@ SweepStats::summary() const
             stream << ", " << timedOut << " timed out";
         if (skipped)
             stream << ", " << skipped << " skipped";
+        if (crashed)
+            stream << ", " << crashed << " crashed";
         if (retried)
             stream << ", " << retried << " retried";
         stream << "]";
+    }
+    if (workerCrashes) {
+        stream << " {" << workerCrashes << " worker crash"
+               << (workerCrashes == 1 ? "" : "es") << ", "
+               << workerBackoffSeconds << " s backoff}";
     }
     return stream.str();
 }
@@ -336,10 +385,19 @@ SweepRunner::run(
     const bool explicit_budget = options.jobTimeoutSeconds > 0;
     const bool adaptive_budget =
         !explicit_budget && options.budgetMultiplier > 0;
+    const bool sharding = options.shardCount > 1;
+    if (sharding && options.shardIndex >= options.shardCount)
+        fatal("sweep shard index ", options.shardIndex,
+              " out of range for ", options.shardCount, " shards");
+    const IsolationMode isolation =
+        effectiveIsolationMode(options.isolation);
 
     // --- Resume: restore jobs already checkpointed ok. ---
+    // Keys feed checkpointing, resume, sharding, and the process-mode
+    // wire records (whose "key" field is mandatory).
     std::vector<std::string> keys;
-    if (checkpointing || options.resume) {
+    if (checkpointing || options.resume || sharding ||
+        isolation == IsolationMode::Process) {
         keys.reserve(jobs.size());
         for (const auto &job : jobs)
             keys.push_back(sweepJobKey(job, context.arch(),
@@ -354,6 +412,20 @@ SweepRunner::run(
     pending.reserve(jobs.size());
     std::size_t legacy = 0;
     for (std::size_t index = 0; index < jobs.size(); ++index) {
+        if (sharding && shardOfSweepKey(keys[index],
+                                        options.shardCount) !=
+                            options.shardIndex) {
+            // Another host's job: skip without touching the
+            // checkpoint, so a shard file only ever holds this
+            // shard's records and the merged union is conflict-free.
+            records[index].status = SweepStatus::Skipped;
+            records[index].error = detail::concat(
+                "sharded out (key belongs to shard ",
+                shardOfSweepKey(keys[index], options.shardCount), "/",
+                options.shardCount, ")");
+            records[index].outcome = failedOutcome(jobs[index].models);
+            continue;
+        }
         auto it = completed.empty() ? completed.end()
                                     : completed.find(keys[index]);
         if (it != completed.end() &&
@@ -439,10 +511,162 @@ SweepRunner::run(
             progress(++done, jobs.size());
     };
 
-    auto errors = pool_.parallelForCollect(
+    std::vector<std::exception_ptr> errors;
+    std::size_t worker_crash_total = 0;
+    double worker_backoff_total = 0;
+
+    if (isolation == IsolationMode::Process && !pending.empty()) {
+        // --- Process isolation: each attempt is a forked single-job
+        // worker; the supervisor survives anything the job does. ---
+        ProcessPoolOptions poolOptions;
+        poolOptions.workers = pool_.jobs();
+        poolOptions.retries = options.workerRetries;
+        poolOptions.backoffSeconds = options.workerBackoffSeconds;
+        poolOptions.memoryBytes = options.workerMemoryBytes;
+        poolOptions.cpuSeconds = options.workerCpuSeconds;
+        poolOptions.stopToken = options.stopToken;
+
+        ProcessPool::Worker childWorker =
+            [&](std::size_t pending_index, std::uint32_t attempt,
+                double wallBudget) -> SweepCheckpointRecord {
+            const std::size_t index = pending[pending_index];
+            const SweepJob &job = jobs[index];
+            // The Worker* drill sites fire here — in the forked
+            // child, before any simulation — on every attempt up to
+            // triggerCount (each attempt is a fresh process, so the
+            // attempt number IS the opportunity counter).
+            const FaultPlan &drill = job.config.faultPlan;
+            if (drill.site == FaultSite::WorkerCrash &&
+                attempt <= drill.triggerCount) {
+                if (drill.delayCycles >= 1 && drill.delayCycles <= 31)
+                    ::raise(static_cast<int>(drill.delayCycles));
+                std::abort();
+            }
+            if (drill.site == FaultSite::WorkerHog &&
+                attempt <= drill.triggerCount) {
+                // Allocate-and-touch until a rlimit ends the process;
+                // the unchecked malloc result turns allocation
+                // failure into SIGSEGV so the drill still dies when
+                // no memory cap is set.
+                for (;;) {
+                    char *block =
+                        static_cast<char *>(std::malloc(1 << 20));
+                    std::memset(block, 0xab, 1 << 20);
+                }
+            }
+            SystemConfig config = job.config;
+            if (!perturbsSimulation(config.faultPlan.site))
+                config.faultPlan = FaultPlan{};
+            SweepRecord record;
+            const auto job_start = SteadyClock::now();
+            RunBudget budget;
+            budget.maxGlobalCycles = options.jobMaxCycles;
+            budget.wallClockSeconds = wallBudget;
+            // The parent's stop token is a fork-time copy that never
+            // updates; the supervisor cancels via SIGTERM instead.
+            try {
+                record.outcome =
+                    context.runMix(config, job.models, budget);
+                record.status = SweepStatus::Ok;
+            } catch (const SimulationError &error) {
+                record.status = error.isBudget()
+                                    ? SweepStatus::TimedOut
+                                    : SweepStatus::Failed;
+                record.error = detail::concat(toString(error.kind()),
+                                              ": ", error.what());
+                record.outcome = failedOutcome(job.models);
+            } catch (const std::exception &error) {
+                record.status = SweepStatus::Failed;
+                record.error = error.what();
+                record.outcome = failedOutcome(job.models);
+            }
+            record.wallSeconds = secondsSince(job_start);
+            return checkpointRecordOf(keys[index], record);
+        };
+
+        ProcessPool::Budget attemptBudget =
+            [&](std::size_t, std::uint32_t attempt) {
+                double base = adaptiveWallBudget();
+                if (adaptive_budget && attempt > 1 && base > 0)
+                    base *= 2; // escalated retry gets a bigger budget
+                return base;
+            };
+
+        ProcessPool::RetryReported retryTimeout =
+            [&](std::size_t, std::uint32_t attempt,
+                const SweepCheckpointRecord &record) {
+                // Mirror thread mode: one escalating-budget retry of
+                // an adaptive *wall-clock* timeout (a cycle-budget
+                // timeout would just hit the same cap again).
+                return adaptive_budget && attempt == 1 &&
+                       record.status == SweepStatus::TimedOut &&
+                       record.error.rfind("wall-clock-timeout", 0) == 0;
+            };
+
+        ProcessPool::Complete completeOne =
+            [&](std::size_t pending_index,
+                const ProcessPool::Outcome &outcome) {
+                const std::size_t index = pending[pending_index];
+                SweepRecord &record = records[index];
+                record.attempts = outcome.attempts;
+                worker_crash_total += outcome.crashes;
+                worker_backoff_total += outcome.backoffSeconds;
+                if (outcome.cancelled) {
+                    // Not checkpointed: a later resume re-runs it.
+                    record.status = SweepStatus::Skipped;
+                    record.error = detail::concat(
+                        toString(SimErrorKind::Cancelled),
+                        ": stop requested");
+                    record.outcome = failedOutcome(jobs[index].models);
+                    record.wallSeconds = outcome.wallSeconds;
+                    finishOne(index, record.wallSeconds);
+                    return;
+                }
+                if (outcome.reported) {
+                    // The worker's verdict, ok or contained failure,
+                    // restored from the wire record.
+                    record.status = outcome.record.status;
+                    record.error = outcome.record.error;
+                    record.wallSeconds = outcome.record.wallSeconds;
+                    record.outcome =
+                        record.status == SweepStatus::Ok
+                            ? restoredOutcome(outcome.record)
+                            : failedOutcome(jobs[index].models);
+                    if (writer)
+                        writer->append(outcome.record);
+                    finishOne(index, record.wallSeconds);
+                    return;
+                }
+                // Quarantine: every attempt died hard. Checkpointed
+                // (durable audit trail); resume re-executes it, since
+                // only ok records restore.
+                record.status = SweepStatus::Crashed;
+                record.error = detail::concat(
+                    toString(SimErrorKind::WorkerCrash), ": ",
+                    outcome.crashError);
+                record.outcome = failedOutcome(jobs[index].models);
+                record.wallSeconds = outcome.wallSeconds;
+                if (writer)
+                    writer->append(
+                        checkpointRecordOf(keys[index], record));
+                finishOne(index, record.wallSeconds);
+            };
+
+        ProcessPool workerPool(poolOptions);
+        workerPool.run(pending.size(), childWorker, attemptBudget,
+                       retryTimeout, completeOne);
+    } else {
+    errors = pool_.parallelForCollect(
         pending.size(), [&](std::size_t pending_index) {
             const std::size_t index = pending[pending_index];
             const SweepJob &job = jobs[index];
+            // Worker* drill plans never reach the simulation: they
+            // are inert in thread mode (their whole point is that
+            // only process mode can contain them) and must not force
+            // the exact-fidelity fallback an armed injector implies.
+            SystemConfig config = job.config;
+            if (!perturbsSimulation(config.faultPlan.site))
+                config.faultPlan = FaultPlan{};
             SweepRecord &record = records[index];
             const auto job_start = SteadyClock::now();
 
@@ -455,7 +679,7 @@ SweepRunner::run(
                 budget.stopToken = options.stopToken;
                 record.attempts = attempt;
                 try {
-                    record.outcome = context.runMix(job.config,
+                    record.outcome = context.runMix(config,
                                                     job.models, budget);
                     record.status = SweepStatus::Ok;
                     record.error.clear();
@@ -501,6 +725,7 @@ SweepRunner::run(
             if (failure && !options.keepGoing)
                 std::rethrow_exception(failure);
         });
+    }
 
     stats_ = SweepStats{};
     stats_.workers = pool_.jobs();
@@ -520,6 +745,9 @@ SweepRunner::run(
             break;
           case SweepStatus::Skipped:
             ++stats_.skipped;
+            break;
+          case SweepStatus::Crashed:
+            ++stats_.crashed;
             break;
         }
         if (record.attempts > 1)
@@ -542,14 +770,29 @@ SweepRunner::run(
             }
         }
     }
-    stats_.executed = stats_.ok + stats_.failed + stats_.timedOut;
+    stats_.executed =
+        stats_.ok + stats_.failed + stats_.timedOut + stats_.crashed;
+    stats_.workerCrashes = worker_crash_total;
+    stats_.workerBackoffSeconds = worker_backoff_total;
     if (stats_.wallSeconds > 0)
         stats_.runsPerSecond =
             static_cast<double>(stats_.executed) / stats_.wallSeconds;
 
     if (!options.keepGoing) {
         // Deterministic fail-fast: the first failing job in *input*
-        // order surfaces, regardless of completion order.
+        // order surfaces, regardless of completion order. Thread mode
+        // rethrows the original exception; process mode rebuilds it
+        // from the worker's record, since the original died with the
+        // worker.
+        if (isolation == IsolationMode::Process) {
+            for (std::size_t index : pending) {
+                const SweepRecord &record = records[index];
+                if (record.status == SweepStatus::Failed ||
+                    record.status == SweepStatus::TimedOut ||
+                    record.status == SweepStatus::Crashed)
+                    rethrowRecordError(record);
+            }
+        }
         for (std::size_t pending_index = 0;
              pending_index < errors.size(); ++pending_index) {
             if (errors[pending_index])

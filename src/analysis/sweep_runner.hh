@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "analysis/experiment.hh"
+#include "analysis/process_pool.hh"
 #include "analysis/sweep_checkpoint.hh"
 #include "common/thread_pool.hh"
 #include "sim/system_config.hh"
@@ -76,6 +77,17 @@ struct SweepJob
  */
 std::string sweepJobKey(const SweepJob &job, const ArchConfig &arch,
                         const NpuMemConfig &mem, ModelScale scale);
+
+/**
+ * Deterministic shard assignment for distributed campaigns: the
+ * 16-hex sweep key parsed as a uint64, modulo @p shardCount. Every
+ * host computes the same partition from the job list alone — no
+ * coordinator — so N hosts running `--shard i/N` against private
+ * checkpoint files cover each job exactly once, and a
+ * merge_checkpoints union of the shards resumes as one campaign.
+ */
+std::uint32_t shardOfSweepKey(const std::string &key,
+                              std::uint32_t shardCount);
 
 /** Outcome of one job plus its own wall-clock cost and status. */
 struct SweepRecord
@@ -140,9 +152,44 @@ struct SweepOptions
      * External cooperative stop: raising the token cancels in-flight
      * simulations at their next watchdog check and marks jobs that
      * did not complete as Skipped ("cancelled"); they are not
-     * checkpointed, so a later resume re-runs them.
+     * checkpointed, so a later resume re-runs them. In process mode
+     * the supervisor additionally forwards SIGTERM to live workers.
      */
     const std::atomic<bool> *stopToken = nullptr;
+
+    /**
+     * Worker isolation: Thread (default) fans jobs out over in-process
+     * threads; Process forks one single-job worker per attempt so a
+     * crash (SIGSEGV, abort, rlimit kill, hard livelock) quarantines
+     * that job as SweepStatus::Crashed instead of killing the
+     * campaign. Unset resolves via effectiveIsolationMode() (--isolate
+     * / MNPU_ISOLATE / Thread). Thread- and process-mode runs of a
+     * healthy sweep are bit-identical.
+     */
+    std::optional<IsolationMode> isolation;
+
+    /** Crash retries per job before quarantine (process mode). */
+    std::uint32_t workerRetries = 2;
+
+    /** First crash-retry backoff; doubles per crash, capped at 2 s. */
+    double workerBackoffSeconds = 0.05;
+
+    /** RLIMIT_AS per worker in bytes (0 = unlimited; ignored under
+     * sanitizer builds and in thread mode). */
+    std::uint64_t workerMemoryBytes = 0;
+
+    /** RLIMIT_CPU per worker in seconds (0 = unlimited). */
+    std::uint32_t workerCpuSeconds = 0;
+
+    /**
+     * Deterministic campaign sharding: with shardCount > 1, only jobs
+     * whose shardOfSweepKey(key, shardCount) == shardIndex execute;
+     * the rest come back as Skipped ("sharded out"), never
+     * checkpointed. Each shard should write its own checkpoint file;
+     * merge_checkpoints unions them for a final --resume.
+     */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 0; //!< 0 or 1 = no sharding
 };
 
 /** Aggregate timing + outcome counts of the last SweepRunner::run(). */
@@ -150,7 +197,7 @@ struct SweepStats
 {
     std::size_t workers = 0;
     std::size_t runs = 0;      //!< total records (executed + skipped)
-    std::size_t executed = 0;  //!< actually simulated: ok+failed+timedOut
+    std::size_t executed = 0;  //!< attempted: ok+failed+timedOut+crashed
     double wallSeconds = 0;    //!< end-to-end, including pre-warm
     double jobSecondsSum = 0;  //!< sum of per-job wall clocks
     double runsPerSecond = 0;  //!< executed / wallSeconds (restored
@@ -159,8 +206,15 @@ struct SweepStats
     std::size_t ok = 0;
     std::size_t failed = 0;
     std::size_t timedOut = 0;
-    std::size_t skipped = 0; //!< restored from checkpoint or cancelled
-    std::size_t retried = 0; //!< jobs that needed an escalated retry
+    std::size_t skipped = 0; //!< restored, cancelled, or sharded out
+    std::size_t retried = 0; //!< jobs that needed more than one attempt
+    std::size_t crashed = 0; //!< quarantined after worker crashes
+
+    /** Total hard worker deaths observed (including ones that a retry
+     * later recovered) and the total backoff slept between retries —
+     * both zero in thread mode. */
+    std::size_t workerCrashes = 0;
+    double workerBackoffSeconds = 0;
 
     /**
      * Aggregate telemetry over every record that carries data (ok +

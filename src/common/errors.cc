@@ -21,6 +21,8 @@ toString(SimErrorKind kind)
         return "request-lifecycle";
       case SimErrorKind::MmuConsistency:
         return "mmu-consistency";
+      case SimErrorKind::WorkerCrash:
+        return "worker-crash";
     }
     return "?";
 }

@@ -30,6 +30,9 @@ enum class SimErrorKind
     ProtocolViolation, //!< DRAM command stream broke a timing constraint
     RequestLifecycle,  //!< lost/duplicated/mis-addressed off-chip request
     MmuConsistency,    //!< translation or walk accounting disagreed
+    WorkerCrash,       //!< isolated sweep worker process died hard
+                       //!< (signal/abort/rlimit); raised by the
+                       //!< process-pool supervisor, never in-process
 };
 
 const char *toString(SimErrorKind kind);

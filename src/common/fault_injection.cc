@@ -24,8 +24,30 @@ toString(FaultSite site)
         return "pte-corrupt";
       case FaultSite::CoreStall:
         return "core-stall";
+      case FaultSite::WorkerCrash:
+        return "worker-crash";
+      case FaultSite::WorkerHog:
+        return "worker-hog";
     }
     return "?";
+}
+
+bool
+perturbsSimulation(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::None:
+      case FaultSite::WorkerCrash:
+      case FaultSite::WorkerHog:
+        return false;
+      case FaultSite::DramDrop:
+      case FaultSite::DramDup:
+      case FaultSite::DramDelay:
+      case FaultSite::PteCorrupt:
+      case FaultSite::CoreStall:
+        return true;
+    }
+    return true;
 }
 
 namespace
@@ -35,16 +57,17 @@ FaultSite
 parseFaultSite(const std::string &text)
 {
     static const std::vector<FaultSite> sites = {
-        FaultSite::None,       FaultSite::DramDrop,
-        FaultSite::DramDup,    FaultSite::DramDelay,
-        FaultSite::PteCorrupt, FaultSite::CoreStall,
+        FaultSite::None,        FaultSite::DramDrop,
+        FaultSite::DramDup,     FaultSite::DramDelay,
+        FaultSite::PteCorrupt,  FaultSite::CoreStall,
+        FaultSite::WorkerCrash, FaultSite::WorkerHog,
     };
     for (FaultSite site : sites)
         if (text == toString(site))
             return site;
     fatal("unknown fault site '", text,
           "'; expected one of none, dram-drop, dram-dup, dram-delay, "
-          "pte-corrupt, core-stall");
+          "pte-corrupt, core-stall, worker-crash, worker-hog");
 }
 
 std::uint64_t

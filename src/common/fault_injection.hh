@@ -25,7 +25,16 @@
 namespace mnpu
 {
 
-/** Where a planned fault strikes. */
+/**
+ * Where a planned fault strikes. The Dram-, Pte-, and CoreStall
+ * sites perturb the simulation itself; the Worker* sites instead drill the
+ * process-isolation layer (analysis/process_pool.hh): they fire in
+ * the forked sweep worker, outside any checker's reach, and are inert
+ * under --isolate thread (nothing in-process ever reports their
+ * opportunity — deliberately, since firing them would take down the
+ * whole campaign, which is exactly what process mode exists to
+ * prevent).
+ */
 enum class FaultSite
 {
     None,       //!< no injection (the default plan)
@@ -34,27 +43,52 @@ enum class FaultSite
     DramDelay,  //!< hold a DRAM completion for delayCycles
     PteCorrupt, //!< flip a frame bit in one translation result
     CoreStall,  //!< freeze one core's pipeline forever
+    WorkerCrash, //!< hard-kill the sweep worker process (see below)
+    WorkerHog,   //!< worker allocates unboundedly until a rlimit kills it
 };
 
 const char *toString(FaultSite site);
+
+/**
+ * Whether an armed @p site changes simulated results. The Dram-,
+ * Pte-, and CoreStall sites do; the Worker* sites only change *which process*
+ * the (identical) simulation runs in and whether it survives, so they
+ * neither feed sweepJobKey() nor force the exact-fidelity fallback —
+ * a job that crashes, retries, and completes is bit-identical to a
+ * clean run and may share its checkpoint records.
+ */
+bool perturbsSimulation(FaultSite site);
 
 /** One planned, deterministic fault. */
 struct FaultPlan
 {
     FaultSite site = FaultSite::None;
 
-    /** Fire at the Nth opportunity of @c site (1-based). */
+    /**
+     * Fire at the Nth opportunity of @c site (1-based). For the
+     * Worker* sites the opportunity counter is the worker *attempt*
+     * (each attempt is a fresh process, so an in-process counter
+     * would reset): the fault fires on every attempt <= triggerCount.
+     * worker-crash:1 therefore crashes once and succeeds on the
+     * supervisor's retry, while a large count (worker-crash:99)
+     * crashes every attempt and drills the permanent-quarantine path.
+     */
     std::uint64_t triggerCount = 1;
 
-    /** Hold time for DramDelay. */
+    /**
+     * Hold time for DramDelay. For WorkerCrash this field instead
+     * selects the flavor: a valid signal number (1..31) is raised
+     * (e.g. worker-crash:1:11 dies of SIGSEGV); anything else —
+     * including the default — calls abort() (SIGABRT).
+     */
     Cycle delayCycles = 5000;
 };
 
 /**
  * Parse "<site>[:<n>[:<delay>]]", e.g. "dram-drop:3" or
  * "dram-delay:1:200". Sites: dram-drop, dram-dup, dram-delay,
- * pte-corrupt, core-stall, none. Throws FatalError on a malformed
- * spec.
+ * pte-corrupt, core-stall, worker-crash, worker-hog, none. Throws
+ * FatalError on a malformed spec.
  */
 FaultPlan parseFaultPlan(const std::string &spec);
 

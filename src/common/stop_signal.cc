@@ -1,0 +1,76 @@
+#include "common/stop_signal.hh"
+
+#include <csignal>
+
+#ifdef _WIN32
+#error "stop_signal.cc requires a POSIX platform"
+#endif
+
+#include <unistd.h>
+
+namespace mnpu
+{
+
+namespace
+{
+
+std::atomic<bool> g_stop_requested{false};
+// sig_atomic_t escalation counter: everything the handler touches must
+// be async-signal-safe (lock-free atomics + write()).
+std::atomic<int> g_signals_seen{0};
+std::atomic<bool> g_installed{false};
+
+extern "C" void
+stopSignalHandler(int)
+{
+    int seen = g_signals_seen.fetch_add(1, std::memory_order_relaxed);
+    if (seen == 0) {
+        g_stop_requested.store(true, std::memory_order_relaxed);
+        static const char message[] =
+            "\n[mnpu] stop requested: cancelling in-flight jobs "
+            "(checkpoint stays resumable); signal again to force-exit\n";
+        // write() is async-signal-safe; the return value only tells us
+        // stderr is gone, in which case there is nobody to inform.
+        ssize_t ignored =
+            write(STDERR_FILENO, message, sizeof(message) - 1);
+        (void)ignored;
+    } else {
+        _exit(kInterruptedExitCode);
+    }
+}
+
+} // namespace
+
+void
+installStopSignalHandlers()
+{
+    if (g_installed.exchange(true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = stopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // no SA_RESTART: interrupt blocking reads too
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+const std::atomic<bool> *
+stopSignalToken()
+{
+    return &g_stop_requested;
+}
+
+bool
+stopSignalRaised()
+{
+    return g_stop_requested.load(std::memory_order_relaxed);
+}
+
+void
+resetStopSignalForTesting()
+{
+    g_stop_requested.store(false);
+    g_signals_seen.store(0);
+}
+
+} // namespace mnpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graceful SIGINT/SIGTERM handling for campaign binaries (mnpusim and
+ * every bench). The first signal raises a process-wide cooperative
+ * stop token — the same std::atomic<bool> the sweep layer already
+ * understands (SweepOptions::stopToken / RunBudget::stopToken) — so an
+ * interrupted sweep cancels in-flight mixes at their next watchdog
+ * check, leaves the checkpoint resumable, and exits with the
+ * conventional code 130 (128 + SIGINT). A second signal force-exits
+ * immediately (also 130) for the case where a run is wedged beyond
+ * cooperation.
+ *
+ * The process-isolation supervisor (analysis/process_pool.hh) polls
+ * the same token and forwards SIGTERM to live worker subprocesses, so
+ * an interrupted process-mode campaign leaves no orphans.
+ */
+
+#ifndef MNPU_COMMON_STOP_SIGNAL_HH
+#define MNPU_COMMON_STOP_SIGNAL_HH
+
+#include <atomic>
+
+namespace mnpu
+{
+
+/** Conventional exit code for an interrupted (SIGINT/SIGTERM) run. */
+constexpr int kInterruptedExitCode = 130;
+
+/**
+ * Install the two-stage SIGINT/SIGTERM handler (idempotent). Call
+ * once at process entry, before any sweep starts.
+ */
+void installStopSignalHandlers();
+
+/**
+ * The token the handler raises; wire it into SweepOptions::stopToken
+ * or RunBudget::stopToken. Valid for the process lifetime.
+ */
+const std::atomic<bool> *stopSignalToken();
+
+/** Whether a stop signal has been received since installation. */
+bool stopSignalRaised();
+
+/**
+ * Clear the raised flag and re-arm the two-stage escalation (test
+ * hygiene only; real runs never need this).
+ */
+void resetStopSignalForTesting();
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_STOP_SIGNAL_HH

@@ -8,6 +8,7 @@
 #include "common/config.hh"
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "common/stop_signal.hh"
 #include "common/thread_pool.hh"
 #include "workloads/models.hh"
 
@@ -463,7 +464,10 @@ mnpusimMain(int argc, char **argv)
             "            --check or --inject)\n"
             "  --inject  deterministic fault: dram-drop, dram-dup,\n"
             "            dram-delay, pte-corrupt, or core-stall, fired\n"
-            "            at the Nth opportunity (default 1)\n"
+            "            at the Nth opportunity (default 1); the\n"
+            "            worker-crash / worker-hog sites drill the\n"
+            "            sweep layer's --isolate process mode and are\n"
+            "            inert here\n"
             "  --trace-out    Chrome trace_event JSON (Perfetto); span\n"
             "                 detail via --obs-level (also: MNPU_TRACE,\n"
             "                 MNPU_OBS_LEVEL env)\n"
@@ -471,11 +475,19 @@ mnpusimMain(int argc, char **argv)
             "                 MNPU_METRICS env); observers are passive —\n"
             "                 results are bit-identical either way\n"
             "exit codes: 0 success, 1 config error, 2 usage,\n"
-            "            3 contained simulation error\n",
+            "            3 contained simulation error,\n"
+            "            130 interrupted (SIGINT/SIGTERM: the first\n"
+            "            signal cancels cooperatively, a second\n"
+            "            force-exits)\n",
             argc > 0 ? argv[0] : "mnpusim");
         return 2;
     }
     argv += first - 1; // keep the 1-based positional indices below
+    // Graceful interruption: the first SIGINT/SIGTERM raises the stop
+    // token (the run cancels at its next watchdog check), a second
+    // force-exits with the same code.
+    installStopSignalHandlers();
+    budget.stopToken = stopSignalToken();
     try {
         CliRun run = loadCliRun(argv[1], argv[2], argv[3], argv[4],
                                 argv[6]);
@@ -513,6 +525,11 @@ mnpusimMain(int argc, char **argv)
         }
         return 0;
     } catch (const SimulationError &error) {
+        if (error.kind() == SimErrorKind::Cancelled &&
+            stopSignalRaised()) {
+            std::fprintf(stderr, "interrupted: %s\n", error.what());
+            return kInterruptedExitCode;
+        }
         // Recoverable run failure (deadlock / budget / timeout): a
         // distinct exit code so sweep scripts can tell it from a
         // configuration mistake.

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * merge_checkpoints: union the JSONL checkpoint shards of a
+ * distributed sweep campaign into one file that --resume can restore.
+ *
+ * Usage: merge_checkpoints -o merged.jsonl shard0.jsonl shard1.jsonl...
+ *
+ * Same-key resolution is ok-wins then newest-wins (later file / later
+ * line); two *ok* records for the same key with different payloads
+ * (ignoring the wall clock) are a conflict — a determinism bug or a
+ * mis-partitioned campaign — reported per key on stderr and in the
+ * exit code, though the merge still completes with the newest record
+ * so a campaign can be salvaged deliberately.
+ *
+ * Exit codes: 0 clean merge, 1 I/O or usage-level fatal, 2 usage,
+ * 4 merge completed but with conflicts.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep_checkpoint.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [-o OUT.jsonl] SHARD.jsonl [SHARD.jsonl ...]\n"
+        "  Unions sweep checkpoint shards (ok-wins, then newest-wins)\n"
+        "  into OUT.jsonl (default: merged.jsonl), preserving the\n"
+        "  first-seen key order. The output is a valid checkpoint:\n"
+        "  pointing a full un-sharded campaign at it with --resume\n"
+        "  restores every ok record bit-identically and re-executes\n"
+        "  only what no shard completed.\n"
+        "exit codes: 0 clean merge, 1 error, 2 usage,\n"
+        "            4 merged despite same-key ok-record conflicts\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "merged.jsonl";
+    std::vector<std::string> shards;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-o" || arg == "--out") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            out_path = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            return usage(argv[0]);
+        } else {
+            shards.push_back(arg);
+        }
+    }
+    if (shards.empty())
+        return usage(argv[0]);
+
+    try {
+        mnpu::CheckpointMergeStats stats;
+        const auto merged = mnpu::mergeSweepCheckpoints(shards, &stats);
+        {
+            // The writer takes the checkpoint lock, fixes a torn
+            // tail, and appends — but a merge target must start
+            // empty, so truncate first (refusing to would make
+            // re-running the merge after adding a shard needlessly
+            // awkward).
+            std::FILE *reset = std::fopen(out_path.c_str(), "wb");
+            if (!reset)
+                mnpu::fatal("cannot create '", out_path, "'");
+            std::fclose(reset);
+            mnpu::SweepCheckpointWriter writer(out_path);
+            for (const auto &record : merged)
+                writer.append(record);
+        }
+        std::printf(
+            "merged %zu shard(s): %zu record(s) -> %s "
+            "(%zu duplicate(s) superseded, %zu malformed line(s) "
+            "skipped, %zu conflict(s))\n",
+            stats.files, stats.records, out_path.c_str(),
+            stats.duplicates, stats.malformed, stats.conflicts);
+        if (stats.conflicts) {
+            std::fprintf(stderr,
+                         "warning: %zu same-key ok-record conflict(s) "
+                         "— see warnings above; the newest record won\n",
+                         stats.conflicts);
+            return 4;
+        }
+        return 0;
+    } catch (const mnpu::FatalError &error) {
+        std::fprintf(stderr, "fatal: %s\n", error.what());
+        return 1;
+    }
+}
