@@ -38,6 +38,14 @@
  *                     private --resume file and union the shards with
  *                     merge_checkpoints for the final --resume
  *
+ * Durable in-flight snapshots (DESIGN.md §12):
+ *   --snapshot-dir D  write each job's in-flight snapshot to
+ *                     D/<key>.snap; a killed/preempted job's retry or
+ *                     a later --resume restores from it and continues
+ *                     bit-identically instead of restarting at zero
+ *   --snapshot-every N[c|s]  cadence: N or Nc = every N simulated
+ *                     cycles, Ns = every N wall-clock seconds
+ *
  * Signals: the first SIGINT/SIGTERM cancels the sweep cooperatively
  * (in-flight mixes stop at their next watchdog check, the checkpoint
  * stays resumable, the bench exits 130); a second force-exits.
@@ -96,6 +104,9 @@ struct BenchOptions
     std::uint32_t workerRetries = 2;     //!< --worker-retries
     std::uint32_t shardIndex = 0;        //!< --shard I/N
     std::uint32_t shardCount = 0;        //!< 0 = not sharded
+    std::string snapshotDir;             //!< --snapshot-dir
+    Cycle snapshotEveryCycles = 0;       //!< --snapshot-every Nc
+    double snapshotEverySeconds = 0;     //!< --snapshot-every Ns
 
     /** The sweep-level containment options these flags map to. */
     SweepOptions sweepOptions() const
@@ -114,6 +125,9 @@ struct BenchOptions
         options.workerRetries = workerRetries;
         options.shardIndex = shardIndex;
         options.shardCount = shardCount;
+        options.snapshotDir = snapshotDir;
+        options.snapshotEveryCycles = snapshotEveryCycles;
+        options.snapshotEverySeconds = snapshotEverySeconds;
         options.stopToken = stopSignalToken();
         return options;
     }
@@ -230,6 +244,29 @@ parseOptions(int argc, char **argv)
             }
             options.shardIndex = static_cast<std::uint32_t>(index);
             options.shardCount = static_cast<std::uint32_t>(count);
+        } else if (arg == "--snapshot-dir" && i + 1 < argc) {
+            options.snapshotDir = argv[++i];
+        } else if (arg == "--snapshot-every" && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            char *end = nullptr;
+            const double amount = std::strtod(spec.c_str(), &end);
+            bool ok = end != spec.c_str() && amount > 0;
+            if (ok && *end == 's' && end[1] == '\0') {
+                options.snapshotEverySeconds = amount;
+            } else if (ok && (*end == '\0' ||
+                              (*end == 'c' && end[1] == '\0'))) {
+                options.snapshotEveryCycles = static_cast<Cycle>(amount);
+                ok = options.snapshotEveryCycles > 0;
+            } else {
+                ok = false;
+            }
+            if (!ok) {
+                std::fprintf(stderr,
+                             "malformed --snapshot-every '%s'; "
+                             "expected N, Nc, or Ns\n",
+                             spec.c_str());
+                std::exit(2);
+            }
         } else if (arg == "--trace-out" && i + 1 < argc) {
             options.obs.traceOutPath = argv[++i];
         } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -251,7 +288,8 @@ parseOptions(int argc, char **argv)
                          "[--inject SITE[:N[:DELAY]]] "
                          "[--isolate thread|process] [--worker-mem SZ] "
                          "[--worker-cpu S] [--worker-retries N] "
-                         "[--shard I/N] "
+                         "[--shard I/N] [--snapshot-dir DIR] "
+                         "[--snapshot-every N[c|s]] "
                          "[--trace-out FILE] [--metrics-out FILE] "
                          "[--obs-level off|layers|tiles|requests]\n",
                          argv[0]);

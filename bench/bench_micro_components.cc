@@ -40,6 +40,7 @@
 
 #include "analysis/experiment.hh"
 #include "analysis/golden.hh"
+#include "common/atomic_file.hh"
 #include "common/fidelity.hh"
 #include "dram/dram_system.hh"
 #include "mmu/paging.hh"
@@ -260,13 +261,15 @@ int
 baselineOut(const std::string &path)
 {
     std::vector<BaselineRow> rows = runAllBaselineCases();
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::string content;
+    for (const BaselineRow &row : rows)
+        content += baselineLine(row);
+    std::string error;
+    if (!atomicWriteFile(path, content, &error)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     error.c_str());
         return 1;
     }
-    for (const BaselineRow &row : rows)
-        out << baselineLine(row);
     std::printf("wrote %zu baseline rows to %s\n", rows.size(),
                 path.c_str());
     return 0;

@@ -1,5 +1,8 @@
 #include "analysis/experiment.hh"
 
+#include <filesystem>
+#include <memory>
+
 #include "common/logging.hh"
 
 namespace mnpu
@@ -101,18 +104,31 @@ ExperimentContext::runMix(SystemConfig config,
     if (models.empty())
         fatal("runMix: no models");
     config.mem = mem_;
-    std::vector<CoreBinding> bindings;
-    bindings.reserve(models.size());
-    for (const auto &model : models) {
-        CoreBinding binding;
-        binding.trace = trace(model);
-        bindings.push_back(std::move(binding));
+    auto build = [&]() {
+        std::vector<CoreBinding> bindings;
+        bindings.reserve(models.size());
+        for (const auto &model : models) {
+            CoreBinding binding;
+            binding.trace = trace(model);
+            bindings.push_back(std::move(binding));
+        }
+        return std::make_unique<MultiCoreSystem>(config,
+                                                 std::move(bindings));
+    };
+    auto system = build();
+    if (budget.snapshot.enabled() &&
+        std::filesystem::exists(budget.snapshot.path) &&
+        !system->tryRestoreSnapshot(budget.snapshot.path)) {
+        // Rejected restore (corrupt, stale version, or config
+        // mismatch) may leave components partially loaded — the
+        // documented contract is to discard the system and build a
+        // fresh one, then run from scratch.
+        system = build();
     }
-    MultiCoreSystem system(config, std::move(bindings));
 
     MixOutcome outcome;
     outcome.models = models;
-    outcome.raw = system.run(budget);
+    outcome.raw = system->run(budget);
     const auto multiplier = static_cast<std::uint32_t>(models.size());
     for (std::size_t i = 0; i < models.size(); ++i) {
         double ideal = idealCycles(models[i], multiplier);

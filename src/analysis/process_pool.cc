@@ -11,6 +11,7 @@
 #include <thread>
 
 #include <sys/resource.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -33,7 +34,23 @@ secondsSince(SteadyClock::time_point start)
 
 std::atomic<int> g_isolation_default{-1};
 
+/** This worker child's scratch fd; -1 outside a worker. */
+std::atomic<int> g_worker_heartbeat_fd{-1};
+
 } // namespace
+
+void
+processPoolHeartbeat()
+{
+    const int fd = g_worker_heartbeat_fd.load(std::memory_order_relaxed);
+    if (fd < 0)
+        return;
+    // Raw write (not stdio): the run loop calls this and must never
+    // block on a locale-aware buffered layer; a short or failed write
+    // just means one missed heartbeat.
+    static const char line[] = "{\"hb\":0}\n";
+    [[maybe_unused]] ssize_t wrote = ::write(fd, line, sizeof(line) - 1);
+}
 
 const char *
 toString(IsolationMode mode)
@@ -168,6 +185,7 @@ runChild(std::FILE *scratch, std::size_t index, std::uint32_t attempt,
     closeCheckpointLocksInForkedChild();
     applyWorkerLimits(options);
     const int fd = ::fileno(scratch);
+    g_worker_heartbeat_fd.store(fd, std::memory_order_relaxed);
     // Heartbeat: proves the harness started and the wire works. No
     // "key" field, so the record parser skips it by construction.
     writeLine(fd, std::string("{\"hb\":") + std::to_string(attempt) +
@@ -287,6 +305,7 @@ ProcessPool::run(std::size_t count, const Worker &worker,
         SteadyClock::time_point start{};
         double wallBudget = 0;
         double deadline = 0; //!< seconds; 0 = none
+        long scratchSize = 0; //!< last seen size (heartbeat liveness)
     };
 
     std::vector<JobState> jobs(count);
@@ -461,14 +480,31 @@ ProcessPool::run(std::size_t count, const Worker &worker,
                 settleLease(lease, 0x7f, false);
                 continue;
             }
-            if (!cancelling && lease.deadline > 0 &&
-                secondsSince(lease.start) > lease.deadline) {
-                ::kill(lease.pid, SIGKILL);
-                ::waitpid(lease.pid, &status, 0); // prompt after KILL
-                leases.erase(leases.begin() +
-                             static_cast<std::ptrdiff_t>(i));
-                settleLease(lease, status, true);
-                continue;
+            if (!cancelling && lease.deadline > 0) {
+                // Heartbeat-aware lease: scratch-file growth (worker
+                // heartbeats, snapshot-adjacent progress, the result
+                // line) proves the worker is alive, so the lease
+                // clock restarts from the last beat instead of the
+                // attempt start. A worker livelocked before reaching
+                // any watchdog check writes nothing and still blows
+                // the deadline.
+                struct stat status_buf;
+                if (::fstat(::fileno(lease.scratch), &status_buf) == 0 &&
+                    static_cast<long>(status_buf.st_size) >
+                        lease.scratchSize) {
+                    leases[i].scratchSize =
+                        static_cast<long>(status_buf.st_size);
+                    leases[i].start = SteadyClock::now();
+                    lease = leases[i];
+                }
+                if (secondsSince(lease.start) > lease.deadline) {
+                    ::kill(lease.pid, SIGKILL);
+                    ::waitpid(lease.pid, &status, 0); // prompt
+                    leases.erase(leases.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                    settleLease(lease, status, true);
+                    continue;
+                }
             }
             ++i;
         }

@@ -86,6 +86,17 @@ effectiveIsolationMode(const std::optional<IsolationMode> &configured);
  */
 bool builtWithSanitizer();
 
+/**
+ * Liveness heartbeat for process-isolated workers: appends a
+ * `{"hb":0}` line to this worker's scratch file (skipped by the
+ * record parser by construction — it has no "key"). The supervisor's
+ * lease deadline is heartbeat-aware: scratch-file growth proves the
+ * worker is computing (e.g. busy fsyncing a large snapshot), so the
+ * lease clock restarts instead of declaring the worker hung. No-op
+ * outside a worker child. Wire it into RunBudget::heartbeat.
+ */
+void processPoolHeartbeat();
+
 /** Supervision policy for one ProcessPool. */
 struct ProcessPoolOptions
 {

@@ -397,7 +397,8 @@ SweepRunner::run(
     // wire records (whose "key" field is mandatory).
     std::vector<std::string> keys;
     if (checkpointing || options.resume || sharding ||
-        isolation == IsolationMode::Process) {
+        isolation == IsolationMode::Process ||
+        !options.snapshotDir.empty()) {
         keys.reserve(jobs.size());
         for (const auto &job : jobs)
             keys.push_back(sweepJobKey(job, context.arch(),
@@ -515,6 +516,20 @@ SweepRunner::run(
     std::size_t worker_crash_total = 0;
     double worker_backoff_total = 0;
 
+    // Per-job durable snapshot (DESIGN.md §12), keyed like the
+    // checkpoint so a retried or resumed job finds its own file. The
+    // cadence never feeds sweepJobKey — snapshot writes are passive.
+    auto snapshotPolicyFor = [&](std::size_t index) {
+        SnapshotPolicy policy;
+        if (options.snapshotDir.empty())
+            return policy;
+        policy.path =
+            options.snapshotDir + "/" + keys[index] + ".snap";
+        policy.everyCycles = options.snapshotEveryCycles;
+        policy.everySeconds = options.snapshotEverySeconds;
+        return policy;
+    };
+
     if (isolation == IsolationMode::Process && !pending.empty()) {
         // --- Process isolation: each attempt is a forked single-job
         // worker; the supervisor survives anything the job does. ---
@@ -562,6 +577,22 @@ SweepRunner::run(
             RunBudget budget;
             budget.maxGlobalCycles = options.jobMaxCycles;
             budget.wallClockSeconds = wallBudget;
+            budget.snapshot = snapshotPolicyFor(index);
+            // Liveness: the run loop beats into the scratch file so
+            // the supervisor's lease extends while the job computes.
+            budget.heartbeat = processPoolHeartbeat;
+            if (budget.snapshot.enabled() && attempt == 1) {
+                // Snapshot drills fire on the first attempt only, so
+                // the retry proves the recovery path: kill → resume
+                // from the snapshot; corrupt → checksum rejection →
+                // from-scratch fallback. Both die by SIGKILL, which
+                // the supervisor contains as an ordinary crash retry,
+                // never a quarantine.
+                if (drill.site == FaultSite::SnapshotKill)
+                    budget.snapshot.killNth = drill.triggerCount;
+                if (drill.site == FaultSite::SnapshotCorrupt)
+                    budget.snapshot.corruptNth = drill.triggerCount;
+            }
             // The parent's stop token is a fork-time copy that never
             // updates; the supervisor cancels via SIGTERM instead.
             try {
@@ -677,6 +708,10 @@ SweepRunner::run(
                 budget.maxGlobalCycles = options.jobMaxCycles;
                 budget.wallClockSeconds = wall_budget;
                 budget.stopToken = options.stopToken;
+                // Snapshot drills stay inert here (like the Worker*
+                // sites): they SIGKILL the process, which only the
+                // forked-worker mode can contain.
+                budget.snapshot = snapshotPolicyFor(index);
                 record.attempts = attempt;
                 try {
                     record.outcome = context.runMix(config,

@@ -190,6 +190,21 @@ struct SweepOptions
      */
     std::uint32_t shardIndex = 0;
     std::uint32_t shardCount = 0; //!< 0 or 1 = no sharding
+
+    /**
+     * Durable in-flight snapshots (DESIGN.md §12): when non-empty,
+     * each job writes its snapshot to `<snapshotDir>/<key>.snap` on
+     * the cadence below, and a retried or resumed job restores from
+     * its latest valid snapshot instead of restarting from cycle
+     * zero (bit-identically — snapshot writes are passive, so the
+     * cadence is excluded from sweepJobKey). A corrupt or stale
+     * snapshot is rejected by checksum/version and the job falls back
+     * to a from-scratch run. Snapshots are removed when their job
+     * completes, so they never outlive the checkpoint record.
+     */
+    std::string snapshotDir;
+    Cycle snapshotEveryCycles = 0;   //!< 0 = no cycle cadence
+    double snapshotEverySeconds = 0; //!< 0 = no wall cadence
 };
 
 /** Aggregate timing + outcome counts of the last SweepRunner::run(). */

@@ -1,0 +1,46 @@
+#include "common/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mnpu
+{
+
+bool
+atomicWriteFile(const std::string &path, const std::string &content,
+                std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    const char *step = nullptr;
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        step = "open";
+    } else {
+        if (std::fwrite(content.data(), 1, content.size(), f) !=
+            content.size())
+            step = "write";
+        if (!step && std::fflush(f) != 0)
+            step = "flush";
+        if (!step && ::fsync(fileno(f)) != 0)
+            step = "fsync";
+        if (std::fclose(f) != 0 && !step)
+            step = "close";
+    }
+    if (!step && std::rename(tmp.c_str(), path.c_str()) != 0)
+        step = "rename";
+    if (step) {
+        int saved = errno;
+        ::unlink(tmp.c_str());
+        if (error) {
+            *error = std::string(step) + " failed: " +
+                     std::strerror(saved);
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace mnpu

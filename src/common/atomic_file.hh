@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Crash-safe file publication: write a tmp file, fsync, rename.
+ *
+ * Every JSON artifact the simulator emits (`--metrics-out`,
+ * `--trace-out`, `--baseline-out`, simulation snapshots) goes through
+ * this helper so a process dying mid-write can never leave a
+ * truncated/invalid file at the published path — readers either see
+ * the previous complete artifact or the new complete one, never a
+ * half-written hybrid. The tmp path (`<path>.tmp`) is unlinked on any
+ * failure.
+ */
+
+#ifndef MNPU_COMMON_ATOMIC_FILE_HH
+#define MNPU_COMMON_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace mnpu
+{
+
+/**
+ * Atomically publish @p content at @p path via `<path>.tmp` + fsync +
+ * rename. Returns false (after cleaning up the tmp file) on any I/O
+ * failure; @p error, when non-null, receives the failing step.
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content,
+                     std::string *error = nullptr);
+
+} // namespace mnpu
+
+#endif // MNPU_COMMON_ATOMIC_FILE_HH

@@ -28,6 +28,10 @@ toString(FaultSite site)
         return "worker-crash";
       case FaultSite::WorkerHog:
         return "worker-hog";
+      case FaultSite::SnapshotKill:
+        return "snapshot-kill";
+      case FaultSite::SnapshotCorrupt:
+        return "snapshot-corrupt";
     }
     return "?";
 }
@@ -39,6 +43,8 @@ perturbsSimulation(FaultSite site)
       case FaultSite::None:
       case FaultSite::WorkerCrash:
       case FaultSite::WorkerHog:
+      case FaultSite::SnapshotKill:
+      case FaultSite::SnapshotCorrupt:
         return false;
       case FaultSite::DramDrop:
       case FaultSite::DramDup:
@@ -50,6 +56,20 @@ perturbsSimulation(FaultSite site)
     return true;
 }
 
+bool
+firesInWorkerProcess(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::WorkerCrash:
+      case FaultSite::WorkerHog:
+      case FaultSite::SnapshotKill:
+      case FaultSite::SnapshotCorrupt:
+        return true;
+      default:
+        return false;
+    }
+}
+
 namespace
 {
 
@@ -57,17 +77,19 @@ FaultSite
 parseFaultSite(const std::string &text)
 {
     static const std::vector<FaultSite> sites = {
-        FaultSite::None,        FaultSite::DramDrop,
-        FaultSite::DramDup,     FaultSite::DramDelay,
-        FaultSite::PteCorrupt,  FaultSite::CoreStall,
-        FaultSite::WorkerCrash, FaultSite::WorkerHog,
+        FaultSite::None,         FaultSite::DramDrop,
+        FaultSite::DramDup,      FaultSite::DramDelay,
+        FaultSite::PteCorrupt,   FaultSite::CoreStall,
+        FaultSite::WorkerCrash,  FaultSite::WorkerHog,
+        FaultSite::SnapshotKill, FaultSite::SnapshotCorrupt,
     };
     for (FaultSite site : sites)
         if (text == toString(site))
             return site;
     fatal("unknown fault site '", text,
           "'; expected one of none, dram-drop, dram-dup, dram-delay, "
-          "pte-corrupt, core-stall, worker-crash, worker-hog");
+          "pte-corrupt, core-stall, worker-crash, worker-hog, "
+          "snapshot-kill, snapshot-corrupt");
 }
 
 std::uint64_t

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace mnpu
@@ -45,19 +46,40 @@ enum class FaultSite
     CoreStall,  //!< freeze one core's pipeline forever
     WorkerCrash, //!< hard-kill the sweep worker process (see below)
     WorkerHog,   //!< worker allocates unboundedly until a rlimit kills it
+    /**
+     * Snapshot drills (process-isolated workers only): SnapshotKill
+     * SIGKILLs the worker right after its Nth snapshot persists, so
+     * the retry must resume from that snapshot; SnapshotCorrupt
+     * additionally bit-flips the snapshot at rest first, so the retry
+     * must *reject* it by checksum and complete from scratch. Both
+     * fire only on the first attempt (retries run undrilled) and both
+     * are inert outside process mode, like the Worker* sites.
+     */
+    SnapshotKill,
+    SnapshotCorrupt,
 };
 
 const char *toString(FaultSite site);
 
 /**
  * Whether an armed @p site changes simulated results. The Dram-,
- * Pte-, and CoreStall sites do; the Worker* sites only change *which process*
- * the (identical) simulation runs in and whether it survives, so they
- * neither feed sweepJobKey() nor force the exact-fidelity fallback —
- * a job that crashes, retries, and completes is bit-identical to a
- * clean run and may share its checkpoint records.
+ * Pte-, and CoreStall sites do; the Worker* and Snapshot* sites only
+ * change *which process* the (identical) simulation runs in and whether
+ * it survives, so they neither feed sweepJobKey() nor force the
+ * exact-fidelity fallback — a job that crashes, retries, and completes
+ * (from a snapshot or from scratch) is bit-identical to a clean run
+ * and may share its checkpoint records.
  */
 bool perturbsSimulation(FaultSite site);
+
+/**
+ * Whether @p site drills the worker *process* (crash/hog/snapshot
+ * drills) rather than the simulation. These sites never arm the
+ * in-simulation FaultInjector: an armed injector disables event-mode
+ * gating and the fast-fidelity resolution, which would perturb a run
+ * whose results must stay bit-identical to an undrilled one.
+ */
+bool firesInWorkerProcess(FaultSite site);
 
 /** One planned, deterministic fault. */
 struct FaultPlan
@@ -87,8 +109,9 @@ struct FaultPlan
 /**
  * Parse "<site>[:<n>[:<delay>]]", e.g. "dram-drop:3" or
  * "dram-delay:1:200". Sites: dram-drop, dram-dup, dram-delay,
- * pte-corrupt, core-stall, worker-crash, worker-hog, none. Throws
- * FatalError on a malformed spec.
+ * pte-corrupt, core-stall, worker-crash, worker-hog, snapshot-kill,
+ * snapshot-corrupt, none. For the snapshot drills the count selects
+ * the Nth written snapshot. Throws FatalError on a malformed spec.
  */
 FaultPlan parseFaultPlan(const std::string &spec);
 
@@ -119,6 +142,24 @@ class FaultInjector
 
     const FaultPlan &plan() const { return plan_; }
     bool fired() const { return fired_; }
+
+    /**
+     * Snapshot the opportunity counter so a restored run fires (or
+     * refrains from firing) the planned fault exactly as the
+     * uninterrupted run would have.
+     */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.u64(seen_);
+        out.b(fired_);
+    }
+    void
+    loadState(StateReader &in)
+    {
+        seen_ = in.u64();
+        fired_ = in.b();
+    }
 
   private:
     FaultPlan plan_;

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/errors.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
 
@@ -134,6 +135,15 @@ class DramProtocolChecker
      * uses to prove cycle and event mode agree below the counters.
      */
     std::uint64_t streamHash() const { return streamHash_; }
+
+    /**
+     * Snapshot the shadow bank/rank state, the running stream hash,
+     * and the command count, so a restored run's final streamHash()
+     * equals the uninterrupted run's — the cross-restore witness the
+     * snapshot equivalence tests assert on.
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     struct BankShadow
@@ -227,6 +237,15 @@ class RequestLifecycleTracker
                     const std::vector<std::uint64_t> &mmu_walk_steps) const;
 
     std::uint64_t issuedCount() const { return nextId_ - 1; }
+
+    /**
+     * Snapshot the in-flight transaction table (sorted by ID for
+     * deterministic bytes) and the per-core completion totals. The
+     * trace expectations are reconstructed from config at build time
+     * and deliberately not serialized.
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     struct Pending

@@ -61,4 +61,27 @@ IntervalTracer::movingAverage(std::size_t span) const
     return averaged;
 }
 
+void
+IntervalTracer::saveState(StateWriter &out) const
+{
+    out.section("ITRC");
+    out.u64(window_);
+    out.u64(currentIndex_);
+    out.u64(currentTotal_);
+    out.b(finalized_);
+    out.u64Vec(totals_);
+}
+
+void
+IntervalTracer::loadState(StateReader &in)
+{
+    in.section("ITRC");
+    if (in.u64() != window_)
+        throw SnapshotError("interval tracer window mismatch");
+    currentIndex_ = static_cast<std::size_t>(in.u64());
+    currentTotal_ = in.u64();
+    finalized_ = in.b();
+    totals_ = in.u64Vec();
+}
+
 } // namespace mnpu

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace mnpu
@@ -40,6 +41,9 @@ class IntervalTracer
      * matching the paper's "moving average during 1000 cycles window".
      */
     std::vector<double> movingAverage(std::size_t span) const;
+
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     Cycle window_;

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -175,17 +177,17 @@ TelemetrySnapshot::writeJsonl(std::ostream &out) const
 void
 TelemetrySnapshot::writeFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        fatal("cannot open metrics output file '", path, "'");
+    // Render fully in memory, then publish atomically so a process
+    // dying mid-write cannot leave a truncated artifact behind.
+    std::ostringstream out;
     bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
     if (csv)
         writeCsv(out);
     else
         writeJsonl(out);
-    out.flush();
-    if (!out)
-        fatal("failed writing metrics output file '", path, "'");
+    std::string error;
+    if (!atomicWriteFile(path, out.str(), &error))
+        fatal("cannot write metrics output file '", path, "': ", error);
 }
 
 void

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot.hh"
+
 namespace mnpu
 {
 
@@ -24,6 +26,9 @@ class Counter
     void inc(std::uint64_t amount = 1) { total_ += amount; }
     void reset() { total_ = 0; }
     std::uint64_t value() const { return total_; }
+
+    void saveState(StateWriter &out) const { out.u64(total_); }
+    void loadState(StateReader &in) { total_ = in.u64(); }
 
   private:
     std::uint64_t total_ = 0;
@@ -43,6 +48,9 @@ class Distribution
     double max() const { return count_ ? max_ : 0.0; }
     /** Population standard deviation. */
     double stddev() const;
+
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     std::uint64_t count_ = 0;
@@ -110,6 +118,16 @@ class StatGroup
 
     /** Zero every registered stat. */
     void resetAll();
+
+    /**
+     * Snapshot every registered stat (by name, in registration
+     * order). loadState requires the identical registration set —
+     * component constructors register statically, so a mismatch means
+     * the snapshot came from a different configuration and throws
+     * SnapshotError (discard + from-scratch).
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     std::string name_;

@@ -1,6 +1,7 @@
 #include "common/stop_signal.hh"
 
 #include <csignal>
+#include <cstring>
 
 #ifdef _WIN32
 #error "stop_signal.cc requires a POSIX platform"
@@ -16,9 +17,18 @@ namespace
 
 std::atomic<bool> g_stop_requested{false};
 // sig_atomic_t escalation counter: everything the handler touches must
-// be async-signal-safe (lock-free atomics + write()).
+// be async-signal-safe (lock-free atomics + write() + unlink()).
 std::atomic<int> g_signals_seen{0};
 std::atomic<bool> g_installed{false};
+
+// Force-exit cleanup: a fixed buffer (no allocation in the handler's
+// reach) holding the one in-flight tmp file to unlink before _exit.
+// The writer fills the buffer first and only then publishes via the
+// armed flag (release); the handler observes the flag (acquire) before
+// touching the buffer, so it never reads a half-written path.
+constexpr std::size_t kCleanupPathMax = 4096;
+char g_cleanup_path[kCleanupPathMax];
+std::atomic<bool> g_cleanup_armed{false};
 
 extern "C" void
 stopSignalHandler(int)
@@ -35,6 +45,13 @@ stopSignalHandler(int)
             write(STDERR_FILENO, message, sizeof(message) - 1);
         (void)ignored;
     } else {
+        // Force exit. If a snapshot tmp file is mid-write, unlink it:
+        // leaving a partial `.snap.tmp` behind wastes disk and, worse,
+        // a later crash between its creation and the force-exit could
+        // confuse forensic cleanup. unlink() is async-signal-safe;
+        // ENOENT (already renamed) is fine.
+        if (g_cleanup_armed.load(std::memory_order_acquire))
+            unlink(g_cleanup_path);
         _exit(kInterruptedExitCode);
     }
 }
@@ -71,6 +88,23 @@ resetStopSignalForTesting()
 {
     g_stop_requested.store(false);
     g_signals_seen.store(0);
+    g_cleanup_armed.store(false);
+}
+
+void
+setForceExitCleanupPath(const char *path)
+{
+    std::size_t len = std::strlen(path);
+    if (len + 1 > kCleanupPathMax)
+        return; // too long to register; the write proceeds unguarded
+    std::memcpy(g_cleanup_path, path, len + 1);
+    g_cleanup_armed.store(true, std::memory_order_release);
+}
+
+void
+clearForceExitCleanupPath()
+{
+    g_cleanup_armed.store(false, std::memory_order_release);
 }
 
 } // namespace mnpu

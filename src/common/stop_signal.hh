@@ -47,6 +47,21 @@ bool stopSignalRaised();
  */
 void resetStopSignalForTesting();
 
+/**
+ * Register one path for the force-exit path to unlink() before
+ * _exit(). The snapshot writer arms this around its tmp-file write so
+ * a second SIGINT arriving mid-write cannot leave a partial
+ * `.snap.tmp` behind (the final rename is atomic, so a half-renamed
+ * snapshot is impossible either way). The path is copied into a fixed
+ * async-signal-safe buffer; paths longer than the buffer are ignored
+ * (the write still proceeds, just without crash cleanup). Call
+ * clearForceExitCleanupPath() once the file has been renamed away.
+ */
+void setForceExitCleanupPath(const char *path);
+
+/** Disarm the force-exit cleanup registered above. */
+void clearForceExitCleanupPath();
+
 } // namespace mnpu
 
 #endif // MNPU_COMMON_STOP_SIGNAL_HH

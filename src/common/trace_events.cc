@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace mnpu
@@ -165,13 +167,15 @@ TraceEventSink::write(std::ostream &out) const
 void
 TraceEventSink::writeFile(const std::string &path) const
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        fatal("cannot open trace output file '", path, "'");
+    // Render fully in memory, then publish atomically: the event
+    // array is always finalized (closing brackets present), and a
+    // process dying mid-write can never leave a truncated JSON file
+    // at the published path.
+    std::ostringstream out;
     write(out);
-    out.flush();
-    if (!out)
-        fatal("failed writing trace output file '", path, "'");
+    std::string error;
+    if (!atomicWriteFile(path, out.str(), &error))
+        fatal("cannot write trace output file '", path, "': ", error);
 }
 
 } // namespace mnpu

@@ -179,6 +179,16 @@ class NpuCore
         return static_cast<CoreId>((tag >> 48) & 0x7fff);
     }
 
+    /**
+     * Snapshot the full pipeline: per-tile state, the four tile
+     * cursors and both range cursors, in-flight transactions (sorted
+     * by tag), translated-but-unqueued requests, DMA issue budget,
+     * fast-fidelity horizons, blocked/poked flags, layer span
+     * bookkeeping, the request tracer (if enabled), and stats.
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     struct TileState
     {

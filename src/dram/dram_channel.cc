@@ -286,7 +286,7 @@ DramChannel::tryIssueColumn(Cycle now, Cycle *bound)
     else
         rowHits_.inc();
     queueLatency_.sample(static_cast<double>(now - qArrival_[best]));
-    completions_.push(Completion{done, qRequest_[best]});
+    completionsPush(Completion{done, qRequest_[best]});
     auto issued_row = static_cast<std::int64_t>(qRow_[best]);
     if (qPriority_[best] != 0)
         --priorityQueued_;
@@ -435,15 +435,15 @@ DramChannel::boundAfterIssue(Cycle now) const
 bool
 DramChannel::tick(Cycle now)
 {
-    while (!completions_.empty() && completions_.top().at <= now) {
-        Completion done = completions_.top();
-        completions_.pop();
+    while (!completions_.empty() && completionsTop().at <= now) {
+        Completion done = completionsTop();
+        completionsPop();
         if (callback_)
             callback_(done.request, done.at);
     }
     Cycle bound = kCycleNever;
     if (!completions_.empty())
-        bound = std::max(completions_.top().at, now + 1);
+        bound = std::max(completionsTop().at, now + 1);
     if (queueSize() == 0) {
         boundAfterTick_ = bound;
         return false;
@@ -486,7 +486,7 @@ DramChannel::nextTickCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
     if (!completions_.empty())
-        next = completions_.top().at;
+        next = completionsTop().at;
     if (queueSize() != 0)
         next = std::min(next, now + 1);
     return next;
@@ -497,7 +497,7 @@ DramChannel::nextEventCycle(Cycle now) const
 {
     Cycle next = kCycleNever;
     if (!completions_.empty())
-        next = std::max(completions_.top().at, now + 1);
+        next = std::max(completionsTop().at, now + 1);
     if (queueSize() == 0)
         return next; // tick() early-returns; completions are all there is
 
@@ -548,6 +548,156 @@ DramChannel::nextEventCycle(Cycle now) const
     // While the queue is busy refreshes fire on every rank, so each
     // rank contributes a candidate.
     return std::min(next, refreshBound(now));
+}
+
+void
+DramChannel::saveState(StateWriter &out) const
+{
+    out.section("DCHN");
+    out.u32(queueDepth_);
+    out.u64(banks_.size());
+    out.u64(ranks_.size());
+
+    // The SoA queue in array order: the swap-with-back layout is part
+    // of the state (scan order feeds the min-age selection's memory
+    // access pattern, and ages restore the FCFS tie-breaks exactly).
+    out.u64(queueSize());
+    for (std::size_t i = 0; i < queueSize(); ++i) {
+        out.u32(qFlat_[i]);
+        out.u64(qRow_[i]);
+        out.u32(qRank_[i]);
+        out.u8(qPriority_[i]);
+        out.u8(qWrite_[i]);
+        out.u64(qAge_[i]);
+        out.u64(qArrival_[i]);
+        out.u8(qCausedActivate_[i]);
+        const DramRequest &req = qRequest_[i];
+        out.u64(req.paddr);
+        out.u8(req.op == MemOp::Write ? 1 : 0);
+        out.u32(req.core);
+        out.u64(req.tag);
+        out.b(req.priority);
+        out.u64(req.integrityId);
+        out.u64(req.enqueuedAt);
+    }
+    out.u64(nextAge_);
+    out.u32(priorityQueued_);
+
+    // Completion heap array verbatim: restoring the same array yields
+    // the same heap, so equal-`at` completions pop in the same order.
+    out.u64(completions_.size());
+    for (const Completion &done : completions_) {
+        out.u64(done.at);
+        out.u64(done.request.paddr);
+        out.u8(done.request.op == MemOp::Write ? 1 : 0);
+        out.u32(done.request.core);
+        out.u64(done.request.tag);
+        out.b(done.request.priority);
+        out.u64(done.request.integrityId);
+        out.u64(done.request.enqueuedAt);
+    }
+
+    for (const BankState &bank : banks_) {
+        out.i64(bank.openRow);
+        out.u64(bank.nextActivate);
+        out.u64(bank.nextColumn);
+        out.u64(bank.nextPrecharge);
+    }
+    for (const RankState &rank : ranks_) {
+        out.u64Vec(rank.actWindow);
+        out.u64(rank.actPtr);
+        out.u64(rank.nextActivate);
+        out.u64(rank.refreshDueAt);
+        out.u64(rank.refreshingUntil);
+    }
+    out.u64(nextColumnSame_);
+    out.u64(nextColumnSwitch_);
+    out.b(lastOpWasWrite_);
+    out.u64(boundAfterTick_);
+    stats_.saveState(out);
+}
+
+void
+DramChannel::loadState(StateReader &in)
+{
+    in.section("DCHN");
+    if (in.u32() != queueDepth_)
+        throw SnapshotError("DRAM channel queue depth mismatch");
+    if (in.u64() != banks_.size() || in.u64() != ranks_.size())
+        throw SnapshotError("DRAM channel geometry mismatch");
+
+    std::uint64_t n = in.u64();
+    if (n > queueDepth_)
+        throw SnapshotError("DRAM channel queue overflows its depth");
+    qFlat_.resize(n);
+    qRow_.resize(n);
+    qRank_.resize(n);
+    qPriority_.resize(n);
+    qWrite_.resize(n);
+    qAge_.resize(n);
+    qArrival_.resize(n);
+    qCausedActivate_.resize(n);
+    qRequest_.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        qFlat_[i] = in.u32();
+        if (qFlat_[i] >= banks_.size())
+            throw SnapshotError("DRAM queue entry names a bad bank");
+        qRow_[i] = in.u64();
+        qRank_[i] = in.u32();
+        if (qRank_[i] >= ranks_.size())
+            throw SnapshotError("DRAM queue entry names a bad rank");
+        qPriority_[i] = in.u8();
+        qWrite_[i] = in.u8();
+        qAge_[i] = in.u64();
+        qArrival_[i] = in.u64();
+        qCausedActivate_[i] = in.u8();
+        DramRequest &req = qRequest_[i];
+        req.paddr = in.u64();
+        req.op = in.u8() != 0 ? MemOp::Write : MemOp::Read;
+        req.core = in.u32();
+        req.tag = in.u64();
+        req.priority = in.b();
+        req.integrityId = in.u64();
+        req.enqueuedAt = in.u64();
+    }
+    nextAge_ = in.u64();
+    priorityQueued_ = in.u32();
+
+    completions_.resize(in.u64());
+    for (Completion &done : completions_) {
+        done.at = in.u64();
+        done.request.paddr = in.u64();
+        done.request.op = in.u8() != 0 ? MemOp::Write : MemOp::Read;
+        done.request.core = in.u32();
+        done.request.tag = in.u64();
+        done.request.priority = in.b();
+        done.request.integrityId = in.u64();
+        done.request.enqueuedAt = in.u64();
+    }
+
+    for (BankState &bank : banks_) {
+        bank.openRow = in.i64();
+        bank.nextActivate = in.u64();
+        bank.nextColumn = in.u64();
+        bank.nextPrecharge = in.u64();
+    }
+    for (RankState &rank : ranks_) {
+        std::vector<std::uint64_t> window = in.u64Vec();
+        if (window.size() != rank.actWindow.size())
+            throw SnapshotError("DRAM rank tFAW window size mismatch");
+        rank.actWindow.assign(window.begin(), window.end());
+        rank.actPtr = in.u64();
+        if (rank.actPtr >= rank.actWindow.size())
+            throw SnapshotError("DRAM rank tFAW pointer out of range");
+        rank.nextActivate = in.u64();
+        rank.refreshDueAt = in.u64();
+        rank.refreshingUntil = in.u64();
+    }
+    nextColumnSame_ = in.u64();
+    nextColumnSwitch_ = in.u64();
+    lastOpWasWrite_ = in.b();
+    boundAfterTick_ = in.u64();
+    stats_.loadState(in);
 }
 
 } // namespace mnpu

@@ -26,9 +26,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/stats.hh"
 #include "common/trace_events.hh"
 #include "common/types.hh"
@@ -205,6 +205,17 @@ class DramChannel
         bytes_.inc(num_bytes);
     }
 
+    /**
+     * Snapshot the full channel: the SoA request queue in its current
+     * array order (so the swap-with-back layout and FCFS age
+     * tie-breaks restore exactly), the completion heap array verbatim,
+     * bank/rank state machines, the column turnaround gates, and the
+     * stats group. Geometry (bank/rank counts, queue depth) is
+     * cross-checked on load and throws SnapshotError on mismatch.
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     static constexpr std::uint32_t kPriorityReserve = 4;
     /** Queue depth at/above which boundAfterIssue skips the rescan. */
@@ -240,6 +251,29 @@ class DramChannel
             return at > other.at;
         }
     };
+
+    // In-flight completions as an explicit binary min-heap over a
+    // vector (std::push_heap/std::pop_heap with std::greater) instead
+    // of std::priority_queue. The two are specified as the identical
+    // heap algorithms — the retire order, including ties on `at`, is
+    // unchanged (the golden fixtures pin this) — but the explicit
+    // array can be serialized verbatim, so a restored heap pops in
+    // exactly the order the snapshotted one would have.
+    const Completion &completionsTop() const { return completions_.front(); }
+    void
+    completionsPush(Completion done)
+    {
+        completions_.push_back(std::move(done));
+        std::push_heap(completions_.begin(), completions_.end(),
+                       std::greater<Completion>{});
+    }
+    void
+    completionsPop()
+    {
+        std::pop_heap(completions_.begin(), completions_.end(),
+                      std::greater<Completion>{});
+        completions_.pop_back();
+    }
 
     std::size_t queueSize() const { return qFlat_.size(); }
     void removeAt(std::size_t i);
@@ -282,9 +316,7 @@ class DramChannel
      *  scratch for the scans (computeMinHitAges). */
     mutable std::vector<std::uint64_t> minHitAge_;
 
-    std::priority_queue<Completion, std::vector<Completion>,
-                        std::greater<Completion>>
-        completions_;
+    std::vector<Completion> completions_; //!< min-heap by `at`
 
     std::vector<BankState> banks_;
     std::vector<RankState> ranks_;

@@ -609,4 +609,106 @@ DramSystem::totalEnergyPj(Cycle elapsed_cycles) const
     return total;
 }
 
+void
+DramSystem::saveState(StateWriter &out) const
+{
+    out.section("DSYS");
+    out.u64(channels_.size());
+    out.u64(buckets_.size());
+    for (const TokenBucket &bucket : buckets_) {
+        out.b(bucket.enabled);
+        out.d(bucket.tokens);
+        out.d(bucket.ratePerCycle);
+        out.d(bucket.burstCap);
+        out.u64(bucket.lastRefill);
+        out.b(bucket.wasBelowCost);
+    }
+    // Delayed completions in vector order: tick() releases them via a
+    // first-minimum min_element scan, so vector order is tie-break
+    // order and must restore exactly.
+    out.u64(delayed_.size());
+    for (const DelayedCompletion &entry : delayed_) {
+        out.u64(entry.at);
+        out.u64(entry.request.paddr);
+        out.u8(entry.request.op == MemOp::Write ? 1 : 0);
+        out.u32(entry.request.core);
+        out.u64(entry.request.tag);
+        out.b(entry.request.priority);
+        out.u64(entry.request.integrityId);
+        out.u64(entry.request.enqueuedAt);
+    }
+    out.u64Vec(fastBusyUntil_);
+    out.u64Vec(coreBytes_);
+    out.u64Vec(coreWalkBytes_);
+    out.b(totalTracer_.has_value());
+    if (totalTracer_) {
+        totalTracer_->saveState(out);
+        for (const IntervalTracer &tracer : coreTracers_)
+            tracer.saveState(out);
+    }
+    out.b(!checkers_.empty());
+    for (const auto &checker : checkers_)
+        checker->saveState(out);
+    for (const auto &channel : channels_)
+        channel->saveState(out);
+}
+
+void
+DramSystem::loadState(StateReader &in)
+{
+    in.section("DSYS");
+    if (in.u64() != channels_.size() || in.u64() != buckets_.size())
+        throw SnapshotError("DRAM system geometry mismatch");
+    for (TokenBucket &bucket : buckets_) {
+        bool enabled = in.b();
+        if (enabled != bucket.enabled)
+            throw SnapshotError("token-bucket enablement mismatch");
+        bucket.tokens = in.d();
+        bucket.ratePerCycle = in.d();
+        bucket.burstCap = in.d();
+        bucket.lastRefill = in.u64();
+        bucket.wasBelowCost = in.b();
+    }
+    delayed_.resize(in.u64());
+    for (DelayedCompletion &entry : delayed_) {
+        entry.at = in.u64();
+        entry.request.paddr = in.u64();
+        entry.request.op = in.u8() != 0 ? MemOp::Write : MemOp::Read;
+        entry.request.core = in.u32();
+        entry.request.tag = in.u64();
+        entry.request.priority = in.b();
+        entry.request.integrityId = in.u64();
+        entry.request.enqueuedAt = in.u64();
+    }
+    fastBusyUntil_ = in.u64Vec();
+    if (fastBusyUntil_.size() != channels_.size())
+        throw SnapshotError("fast busy-horizon count mismatch");
+    std::vector<std::uint64_t> bytes = in.u64Vec();
+    std::vector<std::uint64_t> walk = in.u64Vec();
+    if (bytes.size() != coreBytes_.size() ||
+        walk.size() != coreWalkBytes_.size()) {
+        throw SnapshotError("per-core byte-total count mismatch");
+    }
+    coreBytes_ = std::move(bytes);
+    coreWalkBytes_ = std::move(walk);
+    if (in.b() != totalTracer_.has_value())
+        throw SnapshotError("telemetry enablement mismatch");
+    if (totalTracer_) {
+        totalTracer_->loadState(in);
+        for (IntervalTracer &tracer : coreTracers_)
+            tracer.loadState(in);
+    }
+    if (in.b() != !checkers_.empty())
+        throw SnapshotError("protocol-checker enablement mismatch");
+    for (const auto &checker : checkers_)
+        checker->loadState(in);
+    for (const auto &channel : channels_)
+        channel->loadState(in);
+    // Re-prime the event-driven cache (if active): every channel "due
+    // now" so the first post-restore tick revisits and re-caches real
+    // bounds from the restored queues.
+    if (eventDriven_)
+        setEventDriven(true);
+}
+
 } // namespace mnpu

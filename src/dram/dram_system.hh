@@ -257,6 +257,19 @@ class DramSystem
     /** Total DRAM energy over @p elapsed_cycles, picojoules. */
     double totalEnergyPj(Cycle elapsed_cycles) const;
 
+    /**
+     * Snapshot every channel, the per-core token buckets, delayed
+     * (fault-held) completions, the fast-fidelity busy horizons,
+     * per-core byte totals, telemetry tracers, and the per-channel
+     * protocol checkers. The event-driven cache (chanNext_/chanPoked_)
+     * is deliberately not serialized: setEventDriven() resets it to
+     * "due now", so the first post-restore tick revisits everything
+     * and skipped-channel no-op guarantees hold trivially. Request
+     * logs restart empty (spans before the snapshot are not replayed).
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     struct Route
     {

@@ -245,6 +245,18 @@ class Mmu
     /** Flush request logs to disk (call after the simulation). */
     void flushRequestLogs();
 
+    /**
+     * Snapshot the TLBs, per-core pending-lookup queues, MSHRs (sorted
+     * by key for deterministic bytes; per-key attach order preserved),
+     * walk queues, the walker pool (including each walker's derived
+     * walk path and level cursor), the two round-robin cursors, the
+     * gating flags, per-core walk-step totals, and the stats group.
+     * Request logs are not serialized — a restored run logs only
+     * post-restore activity (documented limitation).
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     struct PendingXlat
     {

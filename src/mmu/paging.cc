@@ -1,5 +1,7 @@
 #include "mmu/paging.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mnpu
@@ -87,6 +89,86 @@ PageTableModel::walkPath(Asid asid, Addr vaddr)
         path.push_back(node + index * 8);
     }
     return path;
+}
+
+void
+PageAllocator::saveState(StateWriter &out) const
+{
+    out.section("PALC");
+    out.u64(pageBytes_);
+    out.u64(nextFrame_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(frames_.size());
+    for (const auto &[frame_key, unused_pa] : frames_)
+        keys.push_back(frame_key);
+    std::sort(keys.begin(), keys.end());
+    out.u64(keys.size());
+    for (std::uint64_t frame_key : keys) {
+        out.u64(frame_key);
+        out.u64(frames_.at(frame_key));
+    }
+}
+
+void
+PageAllocator::loadState(StateReader &in)
+{
+    in.section("PALC");
+    if (in.u64() != pageBytes_)
+        throw SnapshotError("page allocator page-size mismatch");
+    nextFrame_ = in.u64();
+    if (nextFrame_ > totalFrames_)
+        throw SnapshotError("page allocator frame count out of range");
+    std::uint64_t n = in.u64();
+    frames_.clear();
+    frames_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t frame_key = in.u64();
+        frames_[frame_key] = in.u64();
+    }
+}
+
+void
+PageTableModel::saveState(StateWriter &out) const
+{
+    out.section("PTBL");
+    out.u32(levels_);
+    std::vector<NodeKey> keys;
+    keys.reserve(nodes_.size());
+    for (const auto &[node_key, unused_pa] : nodes_)
+        keys.push_back(node_key);
+    std::sort(keys.begin(), keys.end(),
+              [](const NodeKey &a, const NodeKey &b) {
+                  if (a.asid != b.asid)
+                      return a.asid < b.asid;
+                  if (a.level != b.level)
+                      return a.level < b.level;
+                  return a.prefix < b.prefix;
+              });
+    out.u64(keys.size());
+    for (const NodeKey &node_key : keys) {
+        out.u32(node_key.asid);
+        out.u32(node_key.level);
+        out.u64(node_key.prefix);
+        out.u64(nodes_.at(node_key));
+    }
+}
+
+void
+PageTableModel::loadState(StateReader &in)
+{
+    in.section("PTBL");
+    if (in.u32() != levels_)
+        throw SnapshotError("page table radix depth mismatch");
+    std::uint64_t n = in.u64();
+    nodes_.clear();
+    nodes_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        NodeKey node_key{};
+        node_key.asid = in.u32();
+        node_key.level = in.u32();
+        node_key.prefix = in.u64();
+        nodes_[node_key] = in.u64();
+    }
 }
 
 } // namespace mnpu

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace mnpu
@@ -65,6 +66,17 @@ class PageAllocator
     /** Virtual page number of @p vaddr. */
     Addr vpn(Addr vaddr) const { return vaddr / pageBytes_; }
 
+    /**
+     * Snapshot the full mapping. Frames are handed out in touch
+     * order, so restoring the map and the bump pointer reproduces the
+     * exact physical placement of every mapped page — the property
+     * bit-identical DRAM behavior after restore depends on. The map
+     * is serialized in sorted-key order for deterministic bytes
+     * (lookup order never affects simulation; nothing iterates it).
+     */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     static std::uint64_t key(Asid asid, Addr vpn)
     {
@@ -102,6 +114,10 @@ class PageTableModel
     {
         return static_cast<std::uint64_t>(nodes_.size());
     }
+
+    /** Snapshot the node map (sorted order; see PageAllocator). */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
 
   private:
     struct NodeKey

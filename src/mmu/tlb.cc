@@ -95,4 +95,36 @@ Tlb::hitRate() const
                             static_cast<double>(total);
 }
 
+void
+Tlb::saveState(StateWriter &out) const
+{
+    out.section("TLB ");
+    out.u32(entries_);
+    out.u32(ways_);
+    out.u64(useClock_);
+    for (const Entry &entry : table_) {
+        out.b(entry.valid);
+        out.u32(entry.asid);
+        out.u64(entry.vpn);
+        out.u64(entry.lastUse);
+    }
+    stats_.saveState(out);
+}
+
+void
+Tlb::loadState(StateReader &in)
+{
+    in.section("TLB ");
+    if (in.u32() != entries_ || in.u32() != ways_)
+        throw SnapshotError("TLB geometry mismatch");
+    useClock_ = in.u64();
+    for (Entry &entry : table_) {
+        entry.valid = in.b();
+        entry.asid = in.u32();
+        entry.vpn = in.u64();
+        entry.lastUse = in.u64();
+    }
+    stats_.loadState(in);
+}
+
 } // namespace mnpu

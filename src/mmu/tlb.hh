@@ -54,6 +54,10 @@ class Tlb
 
     const StatGroup &stats() const { return stats_; }
 
+    /** Snapshot the full table, LRU clock, and stats (DESIGN §12). */
+    void saveState(StateWriter &out) const;
+    void loadState(StateReader &in);
+
   private:
     struct Entry
     {

@@ -313,6 +313,7 @@ mnpusimMain(int argc, char **argv)
     std::optional<FidelityKind> fidelity_kind;
     FaultPlan fault_plan;
     ObservabilityConfig obs;
+    SnapshotPolicy snapshot;
     int first = 1;
     while (first < argc && argv[first][0] == '-') {
         std::string flag = argv[first];
@@ -385,6 +386,40 @@ mnpusimMain(int argc, char **argv)
             first += has_inline_value ? 1 : 2;
             continue;
         }
+        if (flag == "--snapshot") {
+            if (!take_value("--snapshot"))
+                return 2;
+            snapshot.path = value;
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
+        if (flag == "--snapshot-every") {
+            if (!take_value("--snapshot-every"))
+                return 2;
+            // "N" or "Nc" = every N simulated cycles; "Ns" = every N
+            // wall-clock seconds (fractions allowed).
+            char *end = nullptr;
+            double amount = std::strtod(value.c_str(), &end);
+            bool ok = end != value.c_str() && amount > 0;
+            if (ok && *end == 's' && end[1] == '\0') {
+                snapshot.everySeconds = amount;
+            } else if (ok && (*end == '\0' ||
+                              (*end == 'c' && end[1] == '\0'))) {
+                snapshot.everyCycles = static_cast<Cycle>(amount);
+                ok = snapshot.everyCycles > 0;
+            } else {
+                ok = false;
+            }
+            if (!ok) {
+                std::fprintf(stderr,
+                             "malformed --snapshot-every value '%s' "
+                             "(expected N, Nc, or Ns)\n",
+                             value.c_str());
+                return 2;
+            }
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
         if (flag == "--trace-out") {
             if (!take_value("--trace-out"))
                 return 2;
@@ -447,6 +482,7 @@ mnpusimMain(int argc, char **argv)
             "[--check off|cheap|full] [--sched cycle|event] "
             "[--fidelity exact|fast] "
             "[--inject SITE[:N[:DELAY]]] "
+            "[--snapshot FILE] [--snapshot-every N[c|s]] "
             "[--trace-out FILE] [--metrics-out FILE] "
             "[--obs-level off|layers|tiles|requests] "
             "<arch_config_list> "
@@ -468,7 +504,15 @@ mnpusimMain(int argc, char **argv)
             "            worker-crash / worker-hog sites drill the\n"
             "            sweep layer's --isolate process mode and are\n"
             "            inert here\n"
-            "  --trace-out    Chrome trace_event JSON (Perfetto); span\n"
+            "  --snapshot     durable in-flight snapshot file: written\n"
+            "                 atomically on the cadence below and on the\n"
+            "                 first SIGINT/SIGTERM; if the file already\n"
+            "                 exists and validates, the run resumes from\n"
+            "                 it bit-identically (a corrupt or stale\n"
+            "                 snapshot is discarded and the run starts\n"
+            "                 from scratch)\n"
+            "  --snapshot-every  cadence: N or Nc = every N simulated\n"
+            "                 cycles, Ns = every N wall-clock seconds\n"
             "                 detail via --obs-level (also: MNPU_TRACE,\n"
             "                 MNPU_OBS_LEVEL env)\n"
             "  --metrics-out  telemetry snapshot, .csv or .jsonl (also:\n"
@@ -512,9 +556,32 @@ mnpusimMain(int argc, char **argv)
             run.config.requestLogDir =
                 std::string(argv[5]) + "/dramsim_output";
         }
-        CliRun writable = run; // bindings are shared_ptr copies
-        MultiCoreSystem system(run.config, std::move(writable.bindings));
-        SimResult result = system.run(budget);
+        auto buildSystem = [&run]() {
+            CliRun writable = run; // bindings are shared_ptr copies
+            return std::make_unique<MultiCoreSystem>(
+                run.config, std::move(writable.bindings));
+        };
+        auto system = buildSystem();
+        if (snapshot.enabled()) {
+            budget.snapshot = snapshot;
+            if (std::filesystem::exists(snapshot.path)) {
+                if (system->tryRestoreSnapshot(snapshot.path)) {
+                    inform("resuming from snapshot '", snapshot.path,
+                           "'");
+                } else {
+                    // A rejected restore may leave components partially
+                    // loaded (the documented contract): discard and
+                    // build a fresh system, then run from scratch.
+                    system = buildSystem();
+                }
+            }
+        }
+        SimResult result = system->run(budget);
+        if (result.resumedAtCycle != 0) {
+            inform("resumed at global cycle ", result.resumedAtCycle,
+                   " (iteration ", result.resumedAtIteration,
+                   "), not from zero");
+        }
         writeResults(argv[5], run, result);
         for (std::size_t core = 0; core < result.cores.size(); ++core) {
             std::printf("core %zu (%s): %llu cycles, PE util %.2f%%\n",

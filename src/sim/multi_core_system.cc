@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 
 #include "common/errors.hh"
 #include "common/logging.hh"
-#include "sim/watchdog.hh"
 
 namespace mnpu
 {
@@ -167,8 +168,14 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     // plan is armed. ---
     checkLevel_ = effectiveCheckLevel(config.checkLevel);
     scheduler_ = effectiveSchedulerKind(config.scheduler);
-    if (config.faultPlan.site != FaultSite::None)
+    // Worker-process drill sites (crash/hog/snapshot) fire outside the
+    // simulation; arming the in-sim injector for them would disable
+    // event gating and the fast-fidelity resolution for a run whose
+    // results must stay bit-identical to an undrilled one.
+    if (config.faultPlan.site != FaultSite::None &&
+        !firesInWorkerProcess(config.faultPlan.site)) {
         injector_ = std::make_unique<FaultInjector>(config.faultPlan);
+    }
 
     // --- Fidelity (resolved after the fault plan so the fallback sees
     // it). Fast trades per-transaction modeling for an analytic tile
@@ -393,6 +400,48 @@ MultiCoreSystem::run(const RunBudget &budget)
     std::uint64_t iteration = 0;
     std::uint64_t serviceRound = 0;
     WatchdogSampler sampler;
+    if (restored_) {
+        // Resume exactly where the snapshot was taken: the tuple was
+        // captured at a loop boundary (ticks at `now` still pending,
+        // `iteration` loop bodies completed), which is precisely the
+        // state at the top of the while loop below.
+        now = resumeNow_;
+        iteration = resumeIteration_;
+        serviceRound = resumeServiceRound_;
+        sampler = resumeSampler_;
+    }
+
+    // --- In-flight snapshot policy (tentpole of DESIGN.md §12).
+    // Snapshot writes are passive — pure const reads — so enabling
+    // them cannot perturb the run. The persisted tuple is always a
+    // loop boundary; see the restore block above.
+    const SnapshotPolicy &snap = budget.snapshot;
+    std::uint64_t snapshotsPersisted = 0;
+    Cycle snapNextCycle =
+        snap.enabled() && snap.everyCycles != 0 ? now + snap.everyCycles
+                                                : kCycleNever;
+    using WallDuration = std::chrono::duration<double>;
+    WallClock::time_point snapLastWall = WallClock::now();
+    WallClock::time_point heartbeatLast = snapLastWall;
+    auto persistSnapshot = [&]() {
+        StateWriter out;
+        saveState(out, now, iteration, serviceRound, sampler);
+        if (!writeSnapshotFile(snap.path, out.bytes()))
+            return;
+        ++snapshotsPersisted;
+        // Drill hooks (snapshot-kill / snapshot-corrupt fault sites,
+        // process-isolated workers only): die right after the Nth
+        // snapshot persists so the supervisor's retry must resume from
+        // it — after corrupting it at rest first for the corrupt
+        // drill, so the retry must reject it by checksum instead.
+        if (snap.corruptNth != 0 && snapshotsPersisted == snap.corruptNth) {
+            corruptSnapshotAtRest(snap.path);
+            ::raise(SIGKILL);
+        }
+        if (snap.killNth != 0 && snapshotsPersisted == snap.killNth)
+            ::raise(SIGKILL);
+    };
+
     const bool event_mode = scheduler_ == SchedulerKind::Event;
     // Per-component gating (event scheduler only): a component whose
     // cached sharp bound is in the future and that received no input
@@ -415,14 +464,30 @@ MultiCoreSystem::run(const RunBudget &budget)
         // after any long skipped span, so the event scheduler cannot
         // coast past a cancellation between samples.
         if (sampler.shouldSample(iteration, now)) {
+            if (budget.heartbeat) {
+                // Liveness heartbeat for the process-pool supervisor,
+                // rate-limited so busy loops don't spam it.
+                const WallClock::time_point wall = WallClock::now();
+                if (WallDuration(wall - heartbeatLast).count() >= 0.5) {
+                    budget.heartbeat();
+                    heartbeatLast = wall;
+                }
+            }
             if (budget.stopToken &&
                 budget.stopToken->load(std::memory_order_relaxed)) {
+                // First-signal durability: persist the in-flight state
+                // before surfacing the cancellation, so a SIGTERM'd
+                // run can later resume instead of restarting.
+                if (snap.enabled() && snap.onCancel)
+                    persistSnapshot();
                 throw SimulationError(
                     SimErrorKind::Cancelled,
                     detail::concat("simulation cancelled at global cycle ",
                                    now));
             }
             if (has_deadline && WallClock::now() >= deadline) {
+                if (snap.enabled() && snap.onCancel)
+                    persistSnapshot();
                 throw SimulationError(
                     SimErrorKind::WallClockTimeout,
                     detail::concat("simulation exceeded its wall-clock "
@@ -526,10 +591,29 @@ MultiCoreSystem::run(const RunBudget &budget)
         mnpu_assert(next > now, "time must advance");
         now = next;
         if (max_cycles != 0 && now > max_cycles) {
+            // No snapshot here: a blown cycle budget would blow again
+            // immediately on resume, so persisting is pointless.
             throw SimulationError(
                 SimErrorKind::CycleBudget,
                 detail::concat("simulation exceeded its cycle budget (",
                                max_cycles, " global cycles)"));
+        }
+        if (snap.enabled()) {
+            // Periodic cadence, checked at the loop boundary so the
+            // persisted tuple always matches the restore contract. The
+            // wall cadence reads the clock only every 1024 iterations.
+            if (now >= snapNextCycle) {
+                persistSnapshot();
+                snapNextCycle = now + snap.everyCycles;
+                snapLastWall = WallClock::now();
+            } else if (snap.everySeconds > 0 && (iteration & 1023) == 0) {
+                const WallClock::time_point wall = WallClock::now();
+                if (WallDuration(wall - snapLastWall).count() >=
+                    snap.everySeconds) {
+                    persistSnapshot();
+                    snapLastWall = WallClock::now();
+                }
+            }
         }
     }
 
@@ -552,8 +636,18 @@ MultiCoreSystem::run(const RunBudget &budget)
     for (auto &core : cores_)
         core->finalizeRequestTrace();
 
+    // The run completed: its snapshot (if any) is spent. Removing it
+    // keeps a later --resume of the same job from restoring a stale
+    // mid-run state after the checkpoint already has the final record.
+    if (snap.enabled() && snap.removeOnSuccess)
+        std::remove(snap.path.c_str());
+
     SimResult result;
     result.loopIterations = iteration;
+    if (restored_) {
+        result.resumedAtCycle = resumeNow_;
+        result.resumedAtIteration = resumeIteration_;
+    }
     result.globalCycles = 0;
     for (CoreId id = 0; id < cores_.size(); ++id) {
         const NpuCore &core = *cores_[id];
@@ -588,6 +682,163 @@ MultiCoreSystem::run(const RunBudget &budget)
     if (config_.obs.metricsEnabled())
         result.telemetry.writeFile(config_.obs.metricsOutPath);
     return result;
+}
+
+namespace
+{
+
+void
+mixFnv(std::uint64_t &hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= 1099511628211ULL;
+    }
+}
+
+void
+mixFnvStr(std::uint64_t &hash, const std::string &text)
+{
+    mixFnv(hash, text.size());
+    for (unsigned char ch : text) {
+        hash ^= ch;
+        hash *= 1099511628211ULL;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+MultiCoreSystem::configFingerprint() const
+{
+    // Everything that shapes the serialized component graph or the
+    // simulated schedule. Restoring under a different fingerprint
+    // would mis-deserialize or silently diverge, so the loader rejects
+    // it (discard + from-scratch, never abort).
+    std::uint64_t hash = 14695981039346656037ULL;
+    mixFnv(hash, static_cast<std::uint64_t>(config_.level));
+    mixFnv(hash, config_.idealResourceMultiplier);
+    mixFnv(hash, cores_.size());
+    mixFnv(hash, dram_->numChannels());
+    mixFnv(hash, config_.mem.dramQueueDepth);
+    mixFnv(hash, config_.mem.pageBytes);
+    mixFnv(hash, config_.mem.dramCapacityPerNpu);
+    mixFnv(hash, config_.mem.tlbEntriesPerNpu);
+    mixFnv(hash, config_.mem.tlbWays);
+    mixFnv(hash, config_.mem.ptwPerNpu);
+    mixFnv(hash, config_.mem.translationEnabled ? 1 : 0);
+    mixFnv(hash, static_cast<std::uint64_t>(checkLevel_));
+    mixFnv(hash, static_cast<std::uint64_t>(scheduler_));
+    mixFnv(hash, static_cast<std::uint64_t>(fidelity_));
+    mixFnv(hash, config_.telemetryWindow);
+    mixFnv(hash, config_.requestTraceWindow);
+    mixFnv(hash, dram_->telemetryEnabled() ? 1 : 0);
+    mixFnv(hash, config_.maxGlobalCycles);
+    auto mix_opt_vec = [&hash](
+        const std::optional<std::vector<std::uint32_t>> &values) {
+        mixFnv(hash, values ? values->size() + 1 : 0);
+        if (values) {
+            for (std::uint32_t value : *values)
+                mixFnv(hash, value);
+        }
+    };
+    mix_opt_vec(config_.dramBandwidthShares);
+    mix_opt_vec(config_.ptwQuota);
+    mix_opt_vec(config_.ptwMin);
+    mix_opt_vec(config_.ptwMax);
+    mixFnv(hash, config_.ptwStealing ? 1 : 0);
+    mixFnv(hash, config_.faultPlan.site != FaultSite::None &&
+                         !firesInWorkerProcess(config_.faultPlan.site)
+                     ? static_cast<std::uint64_t>(config_.faultPlan.site)
+                     : 0);
+    for (const CoreBinding &binding : bindings_) {
+        mixFnvStr(hash, binding.trace->networkName());
+        mixFnv(hash, binding.startCycleGlobal);
+        mixFnv(hash, binding.iterations);
+        mixFnv(hash, binding.trace->tiles().size());
+        mixFnv(hash, binding.trace->arch().freqMhz);
+    }
+    return hash;
+}
+
+void
+MultiCoreSystem::saveState(StateWriter &out, Cycle now,
+                           std::uint64_t iteration,
+                           std::uint64_t service_round,
+                           const WatchdogSampler &sampler) const
+{
+    out.u64(configFingerprint());
+    out.section("RUNL");
+    out.u64(now);
+    out.u64(iteration);
+    out.u64(service_round);
+    sampler.saveState(out);
+    out.b(injector_ != nullptr);
+    if (injector_)
+        injector_->saveState(out);
+    out.b(tracker_ != nullptr);
+    if (tracker_)
+        tracker_->saveState(out);
+    allocator_->saveState(out);
+    pageTable_->saveState(out);
+    mmu_->saveState(out);
+    dram_->saveState(out);
+    out.u64(cores_.size());
+    for (const auto &core : cores_)
+        core->saveState(out);
+    out.section("DONE");
+}
+
+bool
+MultiCoreSystem::tryRestoreSnapshot(const std::string &path)
+{
+    mnpu_assert(!ran_, "tryRestoreSnapshot after run()");
+    std::optional<std::string> payload = readSnapshotFile(path);
+    if (!payload)
+        return false; // missing, or envelope rejected (already warned)
+    try {
+        StateReader in(std::move(*payload));
+        if (in.u64() != configFingerprint()) {
+            warn("snapshot '", path,
+                 "' was written by a differently configured system; "
+                 "ignoring it and starting from scratch");
+            return false;
+        }
+        in.section("RUNL");
+        resumeNow_ = in.u64();
+        resumeIteration_ = in.u64();
+        resumeServiceRound_ = in.u64();
+        resumeSampler_.loadState(in);
+        if (in.b() != (injector_ != nullptr))
+            throw SnapshotError("fault-injector enablement mismatch");
+        if (injector_)
+            injector_->loadState(in);
+        if (in.b() != (tracker_ != nullptr))
+            throw SnapshotError("lifecycle-tracker enablement mismatch");
+        if (tracker_)
+            tracker_->loadState(in);
+        allocator_->loadState(in);
+        pageTable_->loadState(in);
+        mmu_->loadState(in);
+        dram_->loadState(in);
+        if (in.u64() != cores_.size())
+            throw SnapshotError("core count mismatch");
+        for (auto &core : cores_)
+            core->loadState(in);
+        in.section("DONE");
+        if (!in.atEnd())
+            throw SnapshotError("trailing bytes after the final section");
+    } catch (const SnapshotError &error) {
+        // Should be unreachable once the fingerprint matched (the
+        // checksum already vouched for the payload bytes); honor the
+        // never-abort contract anyway. Components may be partially
+        // restored now — the caller must discard this system.
+        warn("snapshot '", path, "' rejected mid-restore (", error.what(),
+             "); discarding it");
+        return false;
+    }
+    restored_ = true;
+    return true;
 }
 
 TelemetrySnapshot

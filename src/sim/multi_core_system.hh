@@ -13,11 +13,13 @@
 #include <vector>
 
 #include "common/metrics_registry.hh"
+#include "common/snapshot.hh"
 #include "common/types.hh"
 #include "core/npu_core.hh"
 #include "dram/dram_system.hh"
 #include "mmu/mmu.hh"
 #include "sim/system_config.hh"
+#include "sim/watchdog.hh"
 #include "sw/trace_generator.hh"
 
 namespace mnpu
@@ -58,6 +60,16 @@ struct SimResult
      * so it is excluded from golden snapshots and checkpoints.
      */
     std::uint64_t loopIterations = 0;
+
+    /**
+     * Nonzero when this run resumed from an in-flight snapshot: the
+     * global cycle / loop iteration the restored run continued from.
+     * Pure accounting (proof a resumed job did not restart from
+     * zero); excluded from telemetry and checkpoint records so a
+     * resumed run's artifacts stay byte-identical to a clean run's.
+     */
+    Cycle resumedAtCycle = 0;
+    std::uint64_t resumedAtIteration = 0;
 
     /**
      * The full metrics-registry snapshot (DESIGN.md §9 schema): every
@@ -134,10 +146,29 @@ class MultiCoreSystem
     /** The metrics registry all components registered with (tests). */
     const MetricsRegistry &metricsRegistry() const { return registry_; }
 
+    /**
+     * Attempt to restore full in-flight simulation state from a
+     * snapshot file written by an identically configured system
+     * (DESIGN.md §12). Call on a freshly built system, before run();
+     * run() then continues from the snapshot point and produces
+     * byte-identical results to the uninterrupted run. Returns false —
+     * never throws, never aborts — when the file is missing, the
+     * checksum/version/magic rejects it, or the config fingerprint
+     * differs. A false return after the payload passed the envelope
+     * checks may leave components partially restored: discard this
+     * system and build a fresh one (the documented caller contract;
+     * both the CLI and the sweep runner do exactly that).
+     */
+    bool tryRestoreSnapshot(const std::string &path);
+
   private:
     bool allDone() const;
     void setupObservability();
     void buildMetricsRegistry();
+    std::uint64_t configFingerprint() const;
+    void saveState(StateWriter &out, Cycle now, std::uint64_t iteration,
+                   std::uint64_t service_round,
+                   const WatchdogSampler &sampler) const;
 
     SystemConfig config_;
     std::vector<CoreBinding> bindings_;
@@ -158,6 +189,13 @@ class MultiCoreSystem
     /** Set at end of run(); read by registry lambdas at snapshot time. */
     Cycle finalGlobalCycles_ = 0;
     std::uint64_t finalLoopIterations_ = 0;
+
+    // --- Snapshot/restore (tryRestoreSnapshot → run resume point). ---
+    bool restored_ = false;
+    Cycle resumeNow_ = 0;
+    std::uint64_t resumeIteration_ = 0;
+    std::uint64_t resumeServiceRound_ = 0;
+    WatchdogSampler resumeSampler_;
 
     bool ran_ = false;
 };

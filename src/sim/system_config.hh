@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "common/fidelity.hh"
 #include "common/integrity.hh"
 #include "common/scheduler.hh"
+#include "common/snapshot.hh"
 #include "common/trace_events.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
@@ -78,6 +80,28 @@ struct RunBudget
         return maxGlobalCycles == 0 && wallClockSeconds <= 0 &&
                stopToken == nullptr;
     }
+
+    // New members go at the end: RunBudget is aggregate-initialized
+    // positionally in several call sites and tests.
+
+    /**
+     * Durable in-flight snapshot policy for this run (disabled when
+     * the path is empty). Snapshot writes are passive — pure const
+     * reads of simulator state — so a snapshotting run is
+     * bit-identical to a non-snapshotting one; the cadence is
+     * therefore excluded from the sweep checkpoint key.
+     */
+    SnapshotPolicy snapshot;
+
+    /**
+     * Liveness heartbeat, invoked from the run loop's watchdog samples
+     * (rate-limited to roughly twice a second). Process-isolated sweep
+     * workers use it to tell the supervisor "still computing" so a
+     * worker busy fsyncing a large snapshot is not declared hung by
+     * the lease deadline. Must be cheap and must not touch simulator
+     * state.
+     */
+    std::function<void()> heartbeat;
 };
 
 struct SystemConfig

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hh"
 #include "common/types.hh"
 
 namespace mnpu
@@ -47,6 +48,27 @@ struct WatchdogSampler
         lastIteration_ = iteration;
         lastCycle_ = now;
         return true;
+    }
+
+    /**
+     * Snapshot the sampling phase so a restored run samples on the
+     * same iterations the uninterrupted run would have (a sample
+     * itself never changes simulated state, but keeping the phase
+     * identical removes one gratuitous divergence source).
+     */
+    void
+    saveState(StateWriter &out) const
+    {
+        out.u64(lastIteration_);
+        out.u64(lastCycle_);
+        out.b(primed_);
+    }
+    void
+    loadState(StateReader &in)
+    {
+        lastIteration_ = in.u64();
+        lastCycle_ = in.u64();
+        primed_ = in.b();
     }
 
   private:
