@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "serving/engine.hh"
 
 namespace mnpu
 {
@@ -104,6 +105,36 @@ ExperimentContext::runMix(SystemConfig config,
     if (models.empty())
         fatal("runMix: no models");
     config.mem = mem_;
+    if (config.serving) {
+        // Serving jobs ride the same dispatch point as batch mixes so
+        // every SweepRunner feature (--jobs, --keep-going, --resume,
+        // process isolation, checkpoints) works unchanged; the models
+        // vector gives the core count. Only the GPT-2 serving phases
+        // exist today, so every entry must be "gpt2".
+        for (const auto &model : models) {
+            if (model != "gpt2") {
+                fatal("serving jobs are GPT-2 only (got '", model,
+                      "')");
+            }
+        }
+        // Sub-round snapshots cannot resume across rounds; serving
+        // durability is the sweep checkpoint (engine.hh). Strip the
+        // policy rather than hand each round a stale restore path.
+        RunBudget serving_budget = budget;
+        serving_budget.snapshot = SnapshotPolicy{};
+        ServingResult result = runServing(
+            arch_, scale_, config,
+            static_cast<std::uint32_t>(models.size()), serving_budget);
+        MixOutcome outcome;
+        outcome.models = models;
+        outcome.raw = std::move(result.aggregate);
+        outcome.serving = result.summary;
+        outcome.speedups.assign(models.size(), 1.0);
+        outcome.slowdowns.assign(models.size(), 1.0);
+        outcome.geomeanSpeedup = 1.0;
+        outcome.fairnessValue = 1.0;
+        return outcome;
+    }
     auto build = [&]() {
         std::vector<CoreBinding> bindings;
         bindings.reserve(models.size());

@@ -37,7 +37,10 @@
 #include <utility>
 #include <vector>
 
+#include <optional>
+
 #include "analysis/metrics.hh"
+#include "serving/request.hh"
 #include "sim/multi_core_system.hh"
 #include "sw/arch_config.hh"
 #include "sw/trace_generator.hh"
@@ -55,6 +58,14 @@ struct MixOutcome
     double geomeanSpeedup = 0;
     double fairnessValue = 0;
     SimResult raw;
+
+    /**
+     * Engaged for serving jobs (config.serving set): the SLO summary
+     * behind the `serving.*` telemetry. Serving has no Ideal baseline,
+     * so speedups/slowdowns are pinned at 1.0 and the SLO metrics are
+     * the outcome; raw carries the round-aggregated SimResult.
+     */
+    std::optional<ServingSummary> serving;
 };
 
 class ExperimentContext

@@ -76,6 +76,57 @@ runGoldenCase(const GoldenCase &golden, SchedulerKind sched,
     return checkpointRecordOf(golden.name, record);
 }
 
+const std::vector<ServingGoldenCase> &
+servingGoldenCases()
+{
+    // Same regeneration contract as goldenCases(): edits here (or any
+    // behavior change under the case) require update_golden
+    // --update-golden and a reviewed fixture diff.
+    static const std::vector<ServingGoldenCase> cases = [] {
+        // Dual-core GPT-2 at a fixed seed and offered load, with SLO
+        // thresholds chosen so the goodput accounting is non-trivially
+        // pinned (tight enough that a latency regression flips a
+        // request out of the SLO-good set).
+        ServingGoldenCase dual;
+        dual.name = "serving-ddr4-dual-gpt2-dwt";
+        dual.protocol = "ddr4";
+        dual.level = SharingLevel::ShareDWT;
+        dual.cores = 2;
+        dual.serving.seed = 5;
+        dual.serving.poissonRatePerMcycle = 40.0;
+        dual.serving.numRequests = 4;
+        dual.serving.meanPromptTokens = 8;
+        dual.serving.meanDecodeTokens = 3;
+        dual.serving.maxBatchPerCore = 2;
+        dual.serving.ttftSloCycles = 1300000;
+        dual.serving.tpotSloCycles = 900000;
+        return std::vector<ServingGoldenCase>{dual};
+    }();
+    return cases;
+}
+
+SweepCheckpointRecord
+runServingGoldenCase(const ServingGoldenCase &golden, SchedulerKind sched)
+{
+    NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    mem.timing = DramTiming::preset(golden.protocol);
+    ExperimentContext context(ArchConfig::miniNpu(), mem,
+                              ModelScale::Mini);
+
+    SystemConfig config;
+    config.level = golden.level;
+    config.scheduler = sched;
+    config.fidelity = FidelityKind::Exact;
+    config.serving = golden.serving;
+
+    SweepRecord record;
+    record.outcome = context.runMix(
+        config, std::vector<std::string>(golden.cores, "gpt2"));
+    record.wallSeconds = 0; // pinned: fixtures hold behavior, not time
+    record.status = SweepStatus::Ok;
+    return checkpointRecordOf(golden.name, record);
+}
+
 std::string
 goldenFixtureText(const SweepCheckpointRecord &record)
 {
@@ -188,6 +239,18 @@ describeGoldenDiff(const SweepCheckpointRecord &expected,
         return out.str();
     if (expected.layerFinishLocal != actual.layerFinishLocal) {
         out << "layer_finish_local differs";
+        return out.str();
+    }
+    if (expected.serving.has_value() != actual.serving.has_value()) {
+        out << "serving: expected "
+            << (expected.serving ? "engaged" : "absent") << ", got "
+            << (actual.serving ? "engaged" : "absent");
+        return out.str();
+    }
+    if (expected.serving && !(*expected.serving == *actual.serving)) {
+        out << "serving_* summary differs (makespan expected "
+            << expected.serving->makespanCycles << ", got "
+            << actual.serving->makespanCycles << ")";
         return out.str();
     }
     return std::string{};

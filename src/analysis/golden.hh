@@ -48,6 +48,25 @@ struct GoldenCase
 /** The committed fixture set (stable order, stable names). */
 const std::vector<GoldenCase> &goldenCases();
 
+/**
+ * One committed serving golden case (DESIGN.md §13): a fixed-seed
+ * open-loop scenario on a GPT-2 serving system. Kept in a separate
+ * list from goldenCases() so the batch-only harnesses (scheduler
+ * differential, fidelity envelope) never iterate serving scenarios,
+ * and the eight batch fixtures stay byte-identical.
+ */
+struct ServingGoldenCase
+{
+    std::string name;     //!< fixture file stem (tests/golden/<name>.json)
+    std::string protocol; //!< DramTiming preset: "hbm2" | "ddr4"
+    SharingLevel level = SharingLevel::ShareDWT;
+    std::uint32_t cores = 2;
+    ServingConfig serving;
+};
+
+/** The committed serving fixture set (stable order, stable names). */
+const std::vector<ServingGoldenCase> &servingGoldenCases();
+
 /** Look up a case by name; throws FatalError when unknown. */
 const GoldenCase &goldenCase(const std::string &name);
 
@@ -68,6 +87,16 @@ SweepCheckpointRecord runGoldenCase(const GoldenCase &golden,
                                     const ObservabilityConfig &obs = {},
                                     FidelityKind fidelity =
                                         FidelityKind::Exact);
+
+/**
+ * Run one serving case under @p sched at Mini scale and flatten it
+ * into its checkpoint record (including the flat serving_* fields),
+ * keyed by the case name with wallSeconds pinned to zero. Fidelity is
+ * always Exact: serving scenarios are pinned bit-exactly and stay out
+ * of the fast-fidelity envelope.
+ */
+SweepCheckpointRecord runServingGoldenCase(const ServingGoldenCase &golden,
+                                           SchedulerKind sched);
 
 /** Serialized fixture content: the record's JSON line + newline. */
 std::string goldenFixtureText(const SweepCheckpointRecord &record);

@@ -29,14 +29,33 @@ CorunPredictor::features(const SoloProfile &self, const SoloProfile &other)
     };
 }
 
-void
+bool
 CorunPredictor::addSample(const SoloProfile &self, const SoloProfile &other,
                           double observed_slowdown)
 {
+    // Crashed or timed-out mixes reach the predictor as NaN-poisoned
+    // records (sweep_checkpoint's Failed/Crashed convention). One such
+    // sample would poison the whole normal-equation fit, so reject it
+    // instead of training on it; a non-positive finite slowdown is a
+    // caller bug, not a crashed mix, and stays fatal.
+    if (!std::isfinite(observed_slowdown)) {
+        warn("predictor: rejecting non-finite slowdown sample (",
+             self.name, " vs ", other.name, ")");
+        return false;
+    }
     if (observed_slowdown <= 0.0)
         fatal("predictor: slowdown must be positive");
-    samples_.push_back(features(self, other));
+    std::vector<double> row = features(self, other);
+    for (double value : row) {
+        if (!std::isfinite(value)) {
+            warn("predictor: rejecting non-finite feature sample (",
+                 self.name, " vs ", other.name, ")");
+            return false;
+        }
+    }
+    samples_.push_back(std::move(row));
     targets_.push_back(observed_slowdown);
+    return true;
 }
 
 void

@@ -46,11 +46,17 @@ class CorunPredictor
     static std::vector<double> features(const SoloProfile &self,
                                         const SoloProfile &other);
 
-    /** Record one observed (self, other) -> slowdown(self) sample. */
-    void addSample(const SoloProfile &self, const SoloProfile &other,
+    /**
+     * Record one observed (self, other) -> slowdown(self) sample.
+     * @return false (sample dropped, with a warn) when the slowdown or
+     * any derived feature is non-finite — the NaN-poisoned record of a
+     * crashed or timed-out mix must not poison the fit. A non-positive
+     * finite slowdown is a caller bug and fatal()s.
+     */
+    bool addSample(const SoloProfile &self, const SoloProfile &other,
                    double observed_slowdown);
 
-    /** Fit the regression over all recorded samples. */
+    /** Fit the regression over all recorded samples; fatal() on zero. */
     void train();
 
     /** Predicted slowdown of @p self when co-running with @p other. */

@@ -351,6 +351,41 @@ toJsonLine(const SweepCheckpointRecord &record)
     out += std::to_string(record.dramRowHits);
     out += ",\"dram_row_misses\":";
     out += std::to_string(record.dramRowMisses);
+    if (record.serving) {
+        // Flat serving_* keys — this reader's JSON subset has no
+        // nested objects — emitted only for serving records so batch
+        // lines (and the committed batch goldens) stay byte-identical.
+        const ServingSummary &s = *record.serving;
+        auto u64Field = [&out](const char *name, std::uint64_t value) {
+            out += ",\"";
+            out += name;
+            out += "\":";
+            out += std::to_string(value);
+        };
+        auto doubleField = [&out](const char *name, double value) {
+            out += ",\"";
+            out += name;
+            out += "\":";
+            appendDouble(out, value);
+        };
+        u64Field("serving_offered", s.offered);
+        u64Field("serving_completed", s.completed);
+        u64Field("serving_slo_good", s.sloGood);
+        u64Field("serving_rounds", s.rounds);
+        u64Field("serving_prefill_tokens", s.prefillTokens);
+        u64Field("serving_decode_tokens", s.decodeTokens);
+        u64Field("serving_kv_read_bytes", s.kvReadBytes);
+        u64Field("serving_makespan_cycles", s.makespanCycles);
+        doubleField("serving_ttft_p50", s.ttftP50);
+        doubleField("serving_ttft_p99", s.ttftP99);
+        doubleField("serving_ttft_mean", s.ttftMean);
+        doubleField("serving_tpot_p50", s.tpotP50);
+        doubleField("serving_tpot_p99", s.tpotP99);
+        doubleField("serving_latency_p50", s.latencyP50);
+        doubleField("serving_latency_p99", s.latencyP99);
+        doubleField("serving_offered_per_mcycle", s.offeredPerMcycle);
+        doubleField("serving_goodput_per_mcycle", s.goodputPerMcycle);
+    }
     out += "}";
     return out;
 }
@@ -479,6 +514,46 @@ parseJsonLine(const std::string &line, SweepCheckpointRecord &record)
         } else if (field == "walks") {
             if (!readU64Array(parsed.walks))
                 return false;
+        } else if (field.rfind("serving_", 0) == 0) {
+            ServingSummary &s =
+                parsed.serving ? *parsed.serving
+                               : parsed.serving.emplace();
+            if (field == "serving_offered")
+                s.offered = reader.readUInt64();
+            else if (field == "serving_completed")
+                s.completed = reader.readUInt64();
+            else if (field == "serving_slo_good")
+                s.sloGood = reader.readUInt64();
+            else if (field == "serving_rounds")
+                s.rounds = reader.readUInt64();
+            else if (field == "serving_prefill_tokens")
+                s.prefillTokens = reader.readUInt64();
+            else if (field == "serving_decode_tokens")
+                s.decodeTokens = reader.readUInt64();
+            else if (field == "serving_kv_read_bytes")
+                s.kvReadBytes = reader.readUInt64();
+            else if (field == "serving_makespan_cycles")
+                s.makespanCycles = reader.readUInt64();
+            else if (field == "serving_ttft_p50")
+                s.ttftP50 = reader.readNumber();
+            else if (field == "serving_ttft_p99")
+                s.ttftP99 = reader.readNumber();
+            else if (field == "serving_ttft_mean")
+                s.ttftMean = reader.readNumber();
+            else if (field == "serving_tpot_p50")
+                s.tpotP50 = reader.readNumber();
+            else if (field == "serving_tpot_p99")
+                s.tpotP99 = reader.readNumber();
+            else if (field == "serving_latency_p50")
+                s.latencyP50 = reader.readNumber();
+            else if (field == "serving_latency_p99")
+                s.latencyP99 = reader.readNumber();
+            else if (field == "serving_offered_per_mcycle")
+                s.offeredPerMcycle = reader.readNumber();
+            else if (field == "serving_goodput_per_mcycle")
+                s.goodputPerMcycle = reader.readNumber();
+            else
+                skipValue(); // newer serving field: forward-compatible
         } else if (field == "layer_finish_local") {
             if (!reader.consume('['))
                 return false;

@@ -34,8 +34,11 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "serving/request.hh"
 
 namespace mnpu
 {
@@ -95,6 +98,14 @@ struct SweepCheckpointRecord
     double dramEnergyPj = 0;
     std::uint64_t dramRowHits = 0;
     std::uint64_t dramRowMisses = 0;
+
+    /**
+     * Engaged for serving jobs: the SLO summary behind `serving.*`.
+     * Serialized as flat "serving_*" keys (the JSONL subset has no
+     * nested objects) and only when engaged, so batch records — and
+     * the committed batch golden fixtures — stay byte-identical.
+     */
+    std::optional<ServingSummary> serving;
 };
 
 /** Serialize one record as a single JSON line (no trailing newline). */

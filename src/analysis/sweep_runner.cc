@@ -172,6 +172,13 @@ restoredOutcome(const SweepCheckpointRecord &checkpoint)
     // subset of the telemetry snapshot from the restored scalars; an
     // executed run's full snapshot agrees with it metric-for-metric.
     outcome.raw.telemetry = telemetryFromResult(outcome.raw);
+    if (checkpoint.serving) {
+        // Serving jobs append the serving.* schema after the scalar
+        // subset — same order as the engine, so restored telemetry
+        // stays bit-identical to executed telemetry.
+        outcome.serving = checkpoint.serving;
+        appendServingMetrics(outcome.raw.telemetry, *outcome.serving);
+    }
     return outcome;
 }
 
@@ -207,6 +214,7 @@ checkpointRecordOf(const std::string &key, const SweepRecord &record)
         checkpoint.walks.push_back(core.walks);
         checkpoint.layerFinishLocal.push_back(core.layerFinishLocal);
     }
+    checkpoint.serving = record.outcome.serving;
     return checkpoint;
 }
 
@@ -307,6 +315,24 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     hasher.feedInt(mem.dramQueueDepth);
     hasher.feedInt(mem.translationEnabled ? 1 : 0);
     hasher.feedInt(static_cast<int>(scale));
+    // Serving mode: every ServingConfig field is simulation-visible
+    // (arrival schedule, request shapes, admission order), so the
+    // whole struct feeds the key — leaving one out would alias two
+    // different offered-load points in one checkpoint file. Batch jobs
+    // feed nothing here, keeping their historical keys.
+    if (config.serving) {
+        const ServingConfig &serving = *config.serving;
+        hasher.feed("serving");
+        hasher.feedInt(serving.seed);
+        hasher.feedDouble(serving.poissonRatePerMcycle);
+        hasher.feed(serving.arrivalTrace);
+        hasher.feedInt(serving.numRequests);
+        hasher.feedInt(serving.meanPromptTokens);
+        hasher.feedInt(serving.meanDecodeTokens);
+        hasher.feedInt(serving.maxBatchPerCore);
+        hasher.feedInt(serving.ttftSloCycles);
+        hasher.feedInt(serving.tpotSloCycles);
+    }
     for (const auto &model : job.models)
         hasher.feed(model);
     return hasher.hex();
@@ -472,6 +498,12 @@ SweepRunner::run(
             std::set<std::pair<std::string, std::uint32_t>> unique;
             for (std::size_t index : pending) {
                 const auto &job = jobs[index];
+                // Serving jobs have no Ideal baseline (their outcome
+                // is the SLO summary, not a speedup) and their per-
+                // round networks are built inside the engine, so
+                // there is nothing to pre-warm.
+                if (job.config.serving)
+                    continue;
                 const auto multiplier =
                     static_cast<std::uint32_t>(job.models.size());
                 for (const auto &model : job.models)

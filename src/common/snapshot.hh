@@ -64,8 +64,12 @@ class SnapshotError : public std::runtime_error
     }
 };
 
-/** Current snapshot file format version (see DESIGN.md §12). */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/**
+ * Current snapshot file format version (see DESIGN.md §12). v2 added
+ * the MMU's per-core attribution counters; v1 snapshots are rejected
+ * and their runs restart from scratch (the documented contract).
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /** FNV-1a over a byte range; the snapshot payload checksum. */
 std::uint64_t snapshotChecksum(const void *data, std::size_t size);

@@ -19,6 +19,9 @@ Mmu::Mmu(const MmuConfig &config, PageAllocator &allocator,
       walkers_(config.totalPtws),
       inFlightPerCore_(config.numCores, 0),
       walkSteps_(config.numCores, 0),
+      tlbHitsPerCore_(config.numCores, 0),
+      tlbMissesPerCore_(config.numCores, 0),
+      walksPerCore_(config.numCores, 0),
       stats_("mmu"),
       translations_(stats_.counter("translations")),
       tlbHits_(stats_.counter("tlb_hits")),
@@ -166,11 +169,14 @@ Mmu::fastTranslate(CoreId core, Asid asid,
         const Addr vpn = allocator_.vpn(vaddr);
         if (tlbFor(core).lookup(asid, vpn)) {
             tlbHits_.inc();
+            ++tlbHitsPerCore_[core];
             continue;
         }
         tlbMisses_.inc();
+        ++tlbMissesPerCore_[core];
         ++result.misses;
         walks_.inc();
+        ++walksPerCore_[core];
         walk_steps += pageTable_.walkPath(asid, vaddr).size();
         tlbFor(core).insert(asid, vpn);
     }
@@ -318,6 +324,7 @@ Mmu::processPending(Cycle now)
                     tlbFor(core).lookup(xlat.asid, vpn)) {
                     if (config_.translationEnabled) {
                         tlbHits_.inc();
+                        ++tlbHitsPerCore_[core];
                         if (!tlbLogs_.empty())
                             tlbLogs_[core].row(now, vpn, "hit");
                     }
@@ -325,6 +332,7 @@ Mmu::processPending(Cycle now)
                     continue;
                 }
                 tlbMisses_.inc();
+                ++tlbMissesPerCore_[core];
                 if (!tlbLogs_.empty())
                     tlbLogs_[core].row(now, vpn, "miss");
                 auto [it, inserted] =
@@ -361,6 +369,7 @@ Mmu::processPending(Cycle now)
                 tlbFor(core).lookup(xlat.asid, vpn)) {
                 if (config_.translationEnabled) {
                     tlbHits_.inc();
+                    ++tlbHitsPerCore_[core];
                     if (!tlbLogs_.empty())
                         tlbLogs_[core].row(now, vpn, "hit");
                 }
@@ -368,6 +377,7 @@ Mmu::processPending(Cycle now)
                 continue;
             }
             tlbMisses_.inc();
+            ++tlbMissesPerCore_[core];
             if (!tlbLogs_.empty())
                 tlbLogs_[core].row(now, vpn, "miss");
             auto [it, inserted] =
@@ -424,6 +434,7 @@ Mmu::startWalks(Cycle now)
             walkQueueDelay_.sample(
                 static_cast<double>(now - request.enqueuedAt));
             walks_.inc();
+            ++walksPerCore_[request.core];
             ++inFlightPerCore_[request.core];
             ++totalInFlight_;
             queue.pop_front();
@@ -602,6 +613,9 @@ Mmu::saveState(StateWriter &out) const
     out.b(poked_);
     out.b(pendingDrained_);
     out.u64Vec(walkSteps_);
+    out.u64Vec(tlbHitsPerCore_);
+    out.u64Vec(tlbMissesPerCore_);
+    out.u64Vec(walksPerCore_);
     stats_.saveState(out);
 }
 
@@ -689,6 +703,14 @@ Mmu::loadState(StateReader &in)
     walkSteps_ = in.u64Vec();
     if (walkSteps_.size() != config_.numCores)
         throw SnapshotError("MMU walk-step count mismatch");
+    tlbHitsPerCore_ = in.u64Vec();
+    tlbMissesPerCore_ = in.u64Vec();
+    walksPerCore_ = in.u64Vec();
+    if (tlbHitsPerCore_.size() != config_.numCores ||
+        tlbMissesPerCore_.size() != config_.numCores ||
+        walksPerCore_.size() != config_.numCores) {
+        throw SnapshotError("MMU per-core attribution count mismatch");
+    }
     stats_.loadState(in);
 }
 

@@ -236,6 +236,33 @@ class Mmu
     }
 
     /**
+     * Per-core attribution of TLB lookups and walks. The legacy
+     * CoreResult/`core<i>.*` view reports whole-MMU totals duplicated
+     * onto every core whenever the underlying structure is shared (the
+     * shared TLB's hits/misses under +T, and `walks` always) — those
+     * duplicated values are pinned by the batch golden fixtures and
+     * stay as they are. These accessors instead charge each event to
+     * the core that requested it, so summing them over cores equals
+     * the MMU totals exactly once. Aggregations that fold per-core
+     * counters — the serving engine, where one core runs many
+     * requests' phases back-to-back — must use these to avoid
+     * double-counting shared totals per core.
+     */
+    std::uint64_t tlbHitsFor(CoreId core) const
+    {
+        return core < tlbHitsPerCore_.size() ? tlbHitsPerCore_[core] : 0;
+    }
+    std::uint64_t tlbMissesFor(CoreId core) const
+    {
+        return core < tlbMissesPerCore_.size() ? tlbMissesPerCore_[core]
+                                               : 0;
+    }
+    std::uint64_t walksFor(CoreId core) const
+    {
+        return core < walksPerCore_.size() ? walksPerCore_[core] : 0;
+    }
+
+    /**
      * Write per-core request logs under @p dir (§3.2.2): tlb<i>.log
      * records every lookup (cycle, vpn, hit/miss) and tlb<i>_ptw.log
      * every walk with its start/finish cycles.
@@ -339,6 +366,10 @@ class Mmu
     FaultInjector *injector_ = nullptr;
     TraceEventSink *traceSink_ = nullptr;
     std::vector<std::uint64_t> walkSteps_; //!< per core, issued to DRAM
+    /** Per-core attribution mirrors of the global counters below. */
+    std::vector<std::uint64_t> tlbHitsPerCore_;
+    std::vector<std::uint64_t> tlbMissesPerCore_;
+    std::vector<std::uint64_t> walksPerCore_;
 
     StatGroup stats_;
     Counter &translations_;

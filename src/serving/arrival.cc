@@ -1,0 +1,118 @@
+#include "serving/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+/** Uniform draw in [ceil(mean/2), mean] (and at least 1). */
+std::uint32_t
+drawTokens(Rng &rng, std::uint32_t mean)
+{
+    std::uint32_t hi = std::max<std::uint32_t>(1, mean);
+    std::uint32_t lo = std::max<std::uint32_t>(1, (hi + 1) / 2);
+    return static_cast<std::uint32_t>(rng.range(lo, hi));
+}
+
+std::uint64_t
+parseField(const std::string &piece, const std::string &line,
+           std::size_t line_no)
+{
+    char *end = nullptr;
+    std::string text = trim(piece);
+    std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+        fatal("arrival trace line ", line_no, ": malformed field '",
+              piece, "' in '", line, "'");
+    }
+    return value;
+}
+
+} // namespace
+
+std::vector<ServingRequest>
+parseArrivalTrace(const std::string &text)
+{
+    std::vector<ServingRequest> requests;
+    std::size_t line_no = 0;
+    for (const auto &raw : split(text, '\n')) {
+        ++line_no;
+        std::string line = raw;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        auto pieces = split(line, ',');
+        if (pieces.size() != 3) {
+            fatal("arrival trace line ", line_no, ": expected "
+                  "'arrival_cycle,prompt_tokens,decode_tokens', got '",
+                  line, "'");
+        }
+        ServingRequest request;
+        request.arrivalCycle = parseField(pieces[0], line, line_no);
+        request.promptTokens = static_cast<std::uint32_t>(
+            parseField(pieces[1], line, line_no));
+        request.decodeTokens = static_cast<std::uint32_t>(
+            parseField(pieces[2], line, line_no));
+        if (request.promptTokens == 0 || request.decodeTokens == 0) {
+            fatal("arrival trace line ", line_no,
+                  ": token counts must be positive in '", line, "'");
+        }
+        requests.push_back(request);
+    }
+    if (requests.empty())
+        fatal("arrival trace has no requests");
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const ServingRequest &a, const ServingRequest &b) {
+                         return a.arrivalCycle < b.arrivalCycle;
+                     });
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        requests[i].id = static_cast<std::uint32_t>(i);
+    return requests;
+}
+
+std::vector<ServingRequest>
+generateArrivals(const ServingConfig &config)
+{
+    if (!config.arrivalTrace.empty())
+        return parseArrivalTrace(config.arrivalTrace);
+    if (config.poissonRatePerMcycle <= 0)
+        fatal("serving: Poisson rate must be positive (got ",
+              config.poissonRatePerMcycle, ")");
+    if (config.numRequests == 0)
+        fatal("serving: need at least one request");
+
+    Rng rng(config.seed);
+    // Exponential inter-arrival gaps in cycles: rate is requests per
+    // million global cycles. Arrival times accumulate in double and
+    // are truncated per arrival, so the schedule is a pure function of
+    // (seed, rate, n) — no host state leaks in.
+    const double mean_gap_cycles = 1e6 / config.poissonRatePerMcycle;
+    std::vector<ServingRequest> requests;
+    requests.reserve(config.numRequests);
+    double now = 0.0;
+    for (std::uint32_t i = 0; i < config.numRequests; ++i) {
+        double gap = -std::log(1.0 - rng.uniform()) * mean_gap_cycles;
+        now += gap;
+        ServingRequest request;
+        request.id = i;
+        request.arrivalCycle = static_cast<Cycle>(now);
+        request.promptTokens = drawTokens(rng, config.meanPromptTokens);
+        request.decodeTokens = drawTokens(rng, config.meanDecodeTokens);
+        requests.push_back(request);
+    }
+    return requests;
+}
+
+} // namespace mnpu

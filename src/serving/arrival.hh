@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Open-loop request arrival generation: a seeded Poisson process (the
+ * offered-load axis) or an explicit inline arrival trace. Both paths
+ * are pure functions of the ServingConfig — no host entropy, no
+ * wall clock — so the same config yields byte-identical arrivals in
+ * every process, which is the root of the serving determinism
+ * contract.
+ */
+
+#ifndef MNPU_SERVING_ARRIVAL_HH
+#define MNPU_SERVING_ARRIVAL_HH
+
+#include <vector>
+
+#include "serving/request.hh"
+#include "serving/serving_config.hh"
+
+namespace mnpu
+{
+
+/**
+ * Generate the arrival schedule for @p config: the inline trace when
+ * present, else the seeded Poisson process. Requests come back sorted
+ * by (arrivalCycle, id) with ids 0..n-1 in that order. fatal()s on a
+ * malformed trace or a non-positive Poisson rate.
+ */
+std::vector<ServingRequest> generateArrivals(const ServingConfig &config);
+
+/**
+ * Parse an arrival trace: one "arrival_cycle,prompt_tokens,
+ * decode_tokens" line per request; blank lines and '#' comments are
+ * skipped. fatal()s on malformed lines, zero token counts, or an empty
+ * trace.
+ */
+std::vector<ServingRequest> parseArrivalTrace(const std::string &text);
+
+} // namespace mnpu
+
+#endif // MNPU_SERVING_ARRIVAL_HH

@@ -1,0 +1,68 @@
+#include "serving/batch_scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+BatchScheduler::BatchScheduler(std::uint32_t num_cores,
+                               std::uint32_t max_batch_per_core)
+    : maxBatchPerCore_(std::max<std::uint32_t>(1, max_batch_per_core)),
+      resident_(num_cores)
+{
+    if (num_cores == 0)
+        fatal("serving: need at least one core");
+}
+
+void
+BatchScheduler::enqueue(std::uint32_t request_id)
+{
+    pending_.push_back(request_id);
+}
+
+std::vector<BatchScheduler::Admission>
+BatchScheduler::admit()
+{
+    std::vector<Admission> admissions;
+    while (!pending_.empty()) {
+        // Least-loaded core with a free slot; lowest id breaks ties.
+        std::uint32_t best = 0;
+        std::size_t best_load = maxBatchPerCore_;
+        for (std::uint32_t core = 0; core < resident_.size(); ++core) {
+            if (resident_[core].size() < best_load) {
+                best = core;
+                best_load = resident_[core].size();
+            }
+        }
+        if (best_load >= maxBatchPerCore_)
+            break; // every core is full; requests wait queued
+        std::uint32_t request_id = pending_.front();
+        pending_.pop_front();
+        resident_[best].push_back(request_id);
+        admissions.push_back(Admission{request_id, best});
+    }
+    return admissions;
+}
+
+void
+BatchScheduler::release(std::uint32_t core, std::uint32_t request_id)
+{
+    auto &slots = resident_[core];
+    auto it = std::find(slots.begin(), slots.end(), request_id);
+    mnpu_assert(it != slots.end());
+    slots.erase(it);
+}
+
+bool
+BatchScheduler::anyResident() const
+{
+    for (const auto &slots : resident_) {
+        if (!slots.empty())
+            return true;
+    }
+    return false;
+}
+
+} // namespace mnpu

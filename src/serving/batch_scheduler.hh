@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Continuous-batching scheduler (iteration-level, ORCA-style): requests
+ * queue FCFS on arrival and are admitted to the least-loaded core
+ * (lowest core id on ties) whenever a residency slot is free; admitted
+ * requests stay resident on their core — KV-cache affinity — until
+ * their last decode token, and new requests join the core's batch
+ * between iterations rather than waiting for the batch to drain.
+ *
+ * Purely deterministic: admission depends only on the arrival order
+ * and the completion pattern, never on host state, and all ties break
+ * toward lower ids.
+ */
+
+#ifndef MNPU_SERVING_BATCH_SCHEDULER_HH
+#define MNPU_SERVING_BATCH_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mnpu
+{
+
+class BatchScheduler
+{
+  public:
+    BatchScheduler(std::uint32_t num_cores,
+                   std::uint32_t max_batch_per_core);
+
+    /** Queue an arrived request (FCFS position = call order). */
+    void enqueue(std::uint32_t request_id);
+
+    /**
+     * Admit queued requests into free residency slots. Returns the
+     * (request_id, core) admissions made, in admission order.
+     */
+    struct Admission
+    {
+        std::uint32_t requestId;
+        std::uint32_t core;
+    };
+    std::vector<Admission> admit();
+
+    /** Release @p request_id's slot on @p core after its last token. */
+    void release(std::uint32_t core, std::uint32_t request_id);
+
+    /** Resident request ids on @p core, in admission order. */
+    const std::vector<std::uint32_t> &resident(std::uint32_t core) const
+    {
+        return resident_[core];
+    }
+
+    bool anyResident() const;
+    std::size_t pendingCount() const { return pending_.size(); }
+
+  private:
+    std::uint32_t maxBatchPerCore_;
+    std::deque<std::uint32_t> pending_;
+    std::vector<std::vector<std::uint32_t>> resident_;
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SERVING_BATCH_SCHEDULER_HH

@@ -1,0 +1,278 @@
+#include "serving/engine.hh"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "serving/arrival.hh"
+#include "serving/batch_scheduler.hh"
+#include "sw/network.hh"
+#include "sw/trace_generator.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+/** Phase a resident request executes in the next round. */
+enum class Phase { Prefill, Decode };
+
+struct RequestState
+{
+    Phase phase = Phase::Prefill;
+    std::uint32_t contextTokens = 0; //!< KV positions for decode
+};
+
+/**
+ * A core with no resident request this round still needs a binding —
+ * the core count sizes every shared resource budget, so dropping idle
+ * cores would change the contention the busy cores see. The stub is
+ * one minimal GEMM; its cycles and bytes are part of the simulated
+ * system and are folded into the aggregate like any other work.
+ */
+std::shared_ptr<const TraceGenerator>
+stubTrace(const ArchConfig &arch)
+{
+    Network net;
+    net.name = "serve_idle";
+    net.layers.push_back(Layer::gemm("idle", 1, 1, 1));
+    return std::make_shared<TraceGenerator>(arch, net);
+}
+
+/** The effective serving-clock cycle cap (0 = unlimited). */
+Cycle
+cycleCap(const SystemConfig &config, const RunBudget &budget)
+{
+    Cycle cap = config.maxGlobalCycles;
+    if (budget.maxGlobalCycles != 0 &&
+        (cap == 0 || budget.maxGlobalCycles < cap)) {
+        cap = budget.maxGlobalCycles;
+    }
+    return cap;
+}
+
+} // namespace
+
+ServingResult
+runServing(const ArchConfig &arch, ModelScale scale,
+           const SystemConfig &config, std::uint32_t num_cores,
+           const RunBudget &budget)
+{
+    if (!config.serving)
+        fatal("runServing: config.serving is not engaged");
+    if (num_cores == 0)
+        fatal("runServing: need at least one core");
+    const ServingConfig &serving = *config.serving;
+
+    std::vector<ServingRequest> arrivals = generateArrivals(serving);
+
+    ServingResult out;
+    out.requests.reserve(arrivals.size());
+    std::vector<RequestState> states(arrivals.size());
+    for (const ServingRequest &request : arrivals) {
+        RequestRecord record;
+        record.id = request.id;
+        record.arrivalCycle = request.arrivalCycle;
+        record.promptTokens = request.promptTokens;
+        record.decodeTokens = request.decodeTokens;
+        out.requests.push_back(record);
+    }
+
+    BatchScheduler scheduler(num_cores, serving.maxBatchPerCore);
+    auto stub = stubTrace(arch);
+
+    // Sub-runs are plain batch runs: no serving recursion, no nested
+    // cycle cap (the serving clock enforces it), and no per-round
+    // request logs or observer files (one round would overwrite the
+    // previous round's artifacts; serving-level outputs are written by
+    // the caller from the aggregate). The snapshot policy is stripped
+    // from the round budget for the reason given in the header.
+    SystemConfig round_config = config;
+    round_config.serving.reset();
+    round_config.maxGlobalCycles = 0;
+    round_config.requestLogDir.clear();
+    round_config.obs = ObservabilityConfig{};
+    RunBudget round_budget;
+    round_budget.wallClockSeconds = budget.wallClockSeconds;
+    round_budget.stopToken = budget.stopToken;
+    round_budget.heartbeat = budget.heartbeat;
+
+    const Cycle cap = cycleCap(config, budget);
+    Cycle now = 0;
+    std::size_t next_arrival = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rounds = 0;
+
+    SimResult &aggregate = out.aggregate;
+    aggregate.cores.resize(num_cores);
+    std::vector<double> util_weight(num_cores, 0.0);
+    for (std::uint32_t core = 0; core < num_cores; ++core)
+        aggregate.cores[core].workloadName = "serving";
+
+    while (completed < arrivals.size()) {
+        if (budget.stopToken != nullptr &&
+            budget.stopToken->load(std::memory_order_relaxed)) {
+            throw SimulationError(SimErrorKind::Cancelled,
+                                  "serving run cancelled by stop token");
+        }
+        if (cap != 0 && now >= cap) {
+            throw SimulationError(
+                SimErrorKind::CycleBudget,
+                "serving clock exceeded the cycle budget (" +
+                    std::to_string(now) + " >= " + std::to_string(cap) +
+                    " with " +
+                    std::to_string(arrivals.size() - completed) +
+                    " requests unfinished)");
+        }
+
+        // Admit everything that has arrived by the serving clock.
+        while (next_arrival < arrivals.size() &&
+               arrivals[next_arrival].arrivalCycle <= now) {
+            scheduler.enqueue(arrivals[next_arrival].id);
+            ++next_arrival;
+        }
+        scheduler.admit();
+
+        if (!scheduler.anyResident()) {
+            // Open-loop lull: fast-forward to the next arrival.
+            mnpu_assert(next_arrival < arrivals.size());
+            now = arrivals[next_arrival].arrivalCycle;
+            continue;
+        }
+
+        // Lower each core's resident phase work into one network and
+        // remember every request's [first, last) layer range for byte
+        // attribution.
+        struct LayerRange
+        {
+            std::uint32_t requestId;
+            std::size_t first, last;
+        };
+        std::vector<CoreBinding> bindings(num_cores);
+        std::vector<std::vector<LayerRange>> ranges(num_cores);
+        std::vector<std::shared_ptr<const TraceGenerator>> traces(
+            num_cores);
+        for (std::uint32_t core = 0; core < num_cores; ++core) {
+            const auto &resident = scheduler.resident(core);
+            if (resident.empty()) {
+                bindings[core].trace = stub;
+                continue;
+            }
+            Network net;
+            net.name = "serve_core" + std::to_string(core);
+            for (std::uint32_t id : resident) {
+                RequestState &state = states[id];
+                const RequestRecord &record = out.requests[id];
+                std::size_t first = net.layers.size();
+                std::string prefix = "r" + std::to_string(id);
+                if (state.phase == Phase::Prefill) {
+                    appendGpt2Prefill(net, prefix, record.promptTokens,
+                                      scale);
+                } else {
+                    appendGpt2DecodeStep(net, prefix,
+                                         state.contextTokens, scale);
+                }
+                ranges[core].push_back(
+                    LayerRange{id, first, net.layers.size()});
+            }
+            traces[core] =
+                std::make_shared<TraceGenerator>(arch, net);
+            bindings[core].trace = traces[core];
+        }
+
+        MultiCoreSystem system(round_config, std::move(bindings));
+        SimResult result = system.run(round_budget);
+        ++rounds;
+
+        // Fold the round into the aggregate. TLB and walk counts come
+        // from the MMU's per-core attribution, not CoreResult: the
+        // legacy per-core view duplicates shared totals onto every
+        // core (the shared TLB's hits/misses under +T, `walks`
+        // always), and summing those across rounds and cores would
+        // double-count every shared event per core. Attributed
+        // counters sum to the MMU totals exactly once.
+        for (std::uint32_t core = 0; core < num_cores; ++core) {
+            CoreResult &total = aggregate.cores[core];
+            const CoreResult &part = result.cores[core];
+            total.localCycles += part.localCycles;
+            total.trafficBytes += part.trafficBytes;
+            total.walkBytes += part.walkBytes;
+            total.tlbHits += system.mmu().tlbHitsFor(core);
+            total.tlbMisses += system.mmu().tlbMissesFor(core);
+            total.walks += system.mmu().walksFor(core);
+            util_weight[core] +=
+                part.peUtilization * static_cast<double>(part.localCycles);
+        }
+        aggregate.dramEnergyPj += result.dramEnergyPj;
+        aggregate.dramRowHits += result.dramRowHits;
+        aggregate.dramRowMisses += result.dramRowMisses;
+        aggregate.loopIterations += result.loopIterations;
+
+        // Advance every resident request by the phase it just ran.
+        // Token timestamps use the request's core finish in the global
+        // clock (iteration-synchronous batching: all of a core's
+        // residents step together each round).
+        for (std::uint32_t core = 0; core < num_cores; ++core) {
+            if (ranges[core].empty())
+                continue;
+            Cycle finish = now + result.cores[core].finishedAtGlobal;
+            const auto &layers = traces[core]->layers();
+            for (const LayerRange &range : ranges[core]) {
+                RequestRecord &record = out.requests[range.requestId];
+                RequestState &state = states[range.requestId];
+                record.core = core;
+                for (std::size_t i = range.first; i < range.last; ++i) {
+                    record.attributedReadBytes += layers[i].readBytes;
+                    record.attributedWriteBytes += layers[i].writeBytes;
+                }
+                if (state.phase == Phase::Prefill) {
+                    // Prefill emits the first token and fills the KV
+                    // cache with the prompt positions.
+                    record.firstTokenCycle = finish;
+                    record.tokensDone = 1;
+                    state.phase = Phase::Decode;
+                    state.contextTokens = record.promptTokens;
+                } else {
+                    record.kvReadBytes += gpt2KvBytesPerDecodeStep(
+                        state.contextTokens, scale, arch.dataBytes);
+                    ++record.tokensDone;
+                    ++state.contextTokens;
+                }
+                if (record.tokensDone >= record.decodeTokens) {
+                    record.finishCycle = finish;
+                    scheduler.release(core, record.id);
+                    ++completed;
+                }
+            }
+        }
+
+        mnpu_assert(result.globalCycles > 0);
+        now += result.globalCycles;
+    }
+
+    aggregate.globalCycles = now;
+    Cycle makespan = 0;
+    for (const RequestRecord &record : out.requests)
+        makespan = std::max(makespan, record.finishCycle);
+    for (std::uint32_t core = 0; core < num_cores; ++core) {
+        CoreResult &total = aggregate.cores[core];
+        if (total.localCycles > 0) {
+            total.peUtilization = util_weight[core] /
+                static_cast<double>(total.localCycles);
+        }
+        total.finishedAtGlobal = now;
+    }
+
+    out.summary = summarizeRequests(out.requests, arrivals.size(),
+                                    rounds, makespan,
+                                    serving.ttftSloCycles,
+                                    serving.tpotSloCycles);
+    aggregate.telemetry = telemetryFromResult(aggregate);
+    appendServingMetrics(aggregate.telemetry, out.summary);
+    return out;
+}
+
+} // namespace mnpu

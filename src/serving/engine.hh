@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The serving engine (DESIGN.md §13): drives the seeded open-loop
+ * arrival process and the continuous-batching scheduler over the
+ * existing MultiCoreSystem in iteration-synchronous rounds. Each round
+ * lowers every core's resident phase work (one prefill pass or one
+ * decode step per resident request) into a fresh per-core Network,
+ * co-runs all cores under the configured sharing level, and advances
+ * the serving clock by the round's global-cycle length. Token
+ * timestamps, per-request byte attribution, and the SLO summary fall
+ * out of the round results.
+ */
+
+#ifndef MNPU_SERVING_ENGINE_HH
+#define MNPU_SERVING_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serving/request.hh"
+#include "sim/multi_core_system.hh"
+#include "sw/arch_config.hh"
+#include "workloads/models.hh"
+
+namespace mnpu
+{
+
+struct ServingResult
+{
+    /**
+     * Round results folded into one SimResult: per-core counters are
+     * summed over rounds, globalCycles is the serving-clock makespan,
+     * peUtilization is the local-cycle-weighted mean, and telemetry is
+     * the checkpoint-stable scalar subset plus the `serving.*` schema.
+     */
+    SimResult aggregate;
+    ServingSummary summary;
+    std::vector<RequestRecord> requests; //!< by request id
+};
+
+/**
+ * Run the serving scenario described by @p config.serving (which must
+ * be engaged) on a @p num_cores system at @p config.level sharing.
+ * Deterministic: the outcome is a pure function of (arch, scale,
+ * config, num_cores) — see the determinism contract in DESIGN.md §13.
+ *
+ * @p budget is enforced on the serving clock (cycle cap, stop token)
+ * and passed through to each round's watchdog (wall clock); the
+ * snapshot policy is stripped — a mid-round snapshot cannot name its
+ * round, so serving durability lives at the sweep-checkpoint layer.
+ * Blowing the budget throws SimulationError, same as a batch run.
+ */
+ServingResult runServing(const ArchConfig &arch, ModelScale scale,
+                         const SystemConfig &config,
+                         std::uint32_t num_cores,
+                         const RunBudget &budget = RunBudget{});
+
+} // namespace mnpu
+
+#endif // MNPU_SERVING_ENGINE_HH

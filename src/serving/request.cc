@@ -1,0 +1,133 @@
+#include "serving/request.hh"
+
+#include <algorithm>
+
+namespace mnpu
+{
+
+namespace
+{
+
+/**
+ * Linear-interpolated quantile over an already-sorted vector. Same
+ * interpolation rule as analysis/metrics.hh quantileSorted(), inlined
+ * here because the serving library sits below the analysis layer.
+ * Returns 0 for an empty set (no completed requests yet).
+ */
+double
+quantileOf(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    double position = q * static_cast<double>(sorted.size() - 1);
+    auto lower = static_cast<std::size_t>(position);
+    double fraction = position - static_cast<double>(lower);
+    if (lower + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[lower] * (1.0 - fraction) + sorted[lower + 1] * fraction;
+}
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double total = 0;
+    for (double value : values)
+        total += value;
+    return total / static_cast<double>(values.size());
+}
+
+} // namespace
+
+ServingSummary
+summarizeRequests(const std::vector<RequestRecord> &records,
+                  std::uint64_t offered, std::uint64_t rounds,
+                  std::uint64_t makespan_cycles, Cycle ttft_slo,
+                  Cycle tpot_slo)
+{
+    ServingSummary summary;
+    summary.offered = offered;
+    summary.rounds = rounds;
+    summary.makespanCycles = makespan_cycles;
+
+    std::vector<double> ttfts, tpots, latencies;
+    for (const RequestRecord &record : records) {
+        if (record.tokensDone < record.decodeTokens)
+            continue; // incomplete (budget/stop): excluded from SLOs
+        ++summary.completed;
+        summary.prefillTokens += record.promptTokens;
+        summary.decodeTokens += record.decodeTokens;
+        summary.kvReadBytes += record.kvReadBytes;
+        ttfts.push_back(static_cast<double>(record.ttft()));
+        tpots.push_back(record.tpot());
+        latencies.push_back(static_cast<double>(record.latency()));
+        bool ttft_ok = ttft_slo == 0 || record.ttft() <= ttft_slo;
+        bool tpot_ok = tpot_slo == 0 ||
+                       record.tpot() <= static_cast<double>(tpot_slo);
+        if (ttft_ok && tpot_ok)
+            ++summary.sloGood;
+    }
+
+    std::sort(ttfts.begin(), ttfts.end());
+    std::sort(tpots.begin(), tpots.end());
+    std::sort(latencies.begin(), latencies.end());
+    summary.ttftP50 = quantileOf(ttfts, 0.5);
+    summary.ttftP99 = quantileOf(ttfts, 0.99);
+    summary.ttftMean = meanOf(ttfts);
+    summary.tpotP50 = quantileOf(tpots, 0.5);
+    summary.tpotP99 = quantileOf(tpots, 0.99);
+    summary.latencyP50 = quantileOf(latencies, 0.5);
+    summary.latencyP99 = quantileOf(latencies, 0.99);
+    if (makespan_cycles > 0) {
+        double mcycles = static_cast<double>(makespan_cycles) / 1e6;
+        summary.offeredPerMcycle =
+            static_cast<double>(summary.offered) / mcycles;
+        summary.goodputPerMcycle =
+            static_cast<double>(summary.sloGood) / mcycles;
+    }
+    return summary;
+}
+
+void
+appendServingMetrics(TelemetrySnapshot &snapshot,
+                     const ServingSummary &summary)
+{
+    auto counter = [&snapshot](const char *name, std::uint64_t value) {
+        TelemetrySnapshot::Metric metric;
+        metric.name = name;
+        metric.isCounter = true;
+        metric.counter = value;
+        snapshot.metrics.push_back(std::move(metric));
+    };
+    auto gauge = [&snapshot](const char *name, double value) {
+        TelemetrySnapshot::Metric metric;
+        metric.name = name;
+        metric.isCounter = false;
+        metric.gauge = value;
+        snapshot.metrics.push_back(std::move(metric));
+    };
+    counter("serving.requests.offered", summary.offered);
+    counter("serving.requests.completed", summary.completed);
+    counter("serving.requests.slo_good", summary.sloGood);
+    counter("serving.rounds", summary.rounds);
+    counter("serving.tokens.prefill", summary.prefillTokens);
+    counter("serving.tokens.decode", summary.decodeTokens);
+    counter("serving.kv_read_bytes", summary.kvReadBytes);
+    counter("serving.makespan_cycles", summary.makespanCycles);
+    gauge("serving.ttft.p50", summary.ttftP50);
+    gauge("serving.ttft.p99", summary.ttftP99);
+    gauge("serving.ttft.mean", summary.ttftMean);
+    gauge("serving.tpot.p50", summary.tpotP50);
+    gauge("serving.tpot.p99", summary.tpotP99);
+    gauge("serving.latency.p50", summary.latencyP50);
+    gauge("serving.latency.p99", summary.latencyP99);
+    gauge("serving.offered_per_mcycle", summary.offeredPerMcycle);
+    gauge("serving.goodput_per_mcycle", summary.goodputPerMcycle);
+}
+
+} // namespace mnpu

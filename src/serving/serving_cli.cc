@@ -1,0 +1,272 @@
+#include "serving/serving_cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/errors.hh"
+#include "common/logging.hh"
+#include "common/stop_signal.hh"
+#include "serving/engine.hh"
+#include "sim/multi_core_system.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("cannot open arrival trace '", path, "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    return text.str();
+}
+
+SharingLevel
+parseServingLevel(const std::string &text)
+{
+    if (iequals(text, "static"))
+        return SharingLevel::Static;
+    if (iequals(text, "d"))
+        return SharingLevel::ShareD;
+    if (iequals(text, "dw"))
+        return SharingLevel::ShareDW;
+    if (iequals(text, "dwt"))
+        return SharingLevel::ShareDWT;
+    fatal("unknown sharing level '", text,
+          "' (expected static, d, dw, or dwt)");
+}
+
+std::uint64_t
+parseUint(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    std::uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("malformed ", what, " value '", text, "'");
+    return value;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --serve [--arrival poisson:RATE|trace:FILE]\n"
+        "       [--seed N] [--requests N] [--cores N] [--level "
+        "static|d|dw|dwt]\n"
+        "       [--max-batch N] [--prompt-tokens N] [--decode-tokens N]\n"
+        "       [--ttft-slo CYCLES] [--tpot-slo CYCLES]\n"
+        "       [--arch mini|cloud] [--scale mini|full] [--max-cycles N]\n"
+        "       [--metrics-out FILE] [--requests-out FILE]\n"
+        "  --arrival   open-loop arrival process: poisson:RATE offers\n"
+        "              RATE requests per million global cycles from the\n"
+        "              seeded generator; trace:FILE replays an explicit\n"
+        "              'arrival_cycle,prompt_tokens,decode_tokens' CSV\n"
+        "  --seed      arrival-process seed; the full outcome is a pure\n"
+        "              function of the flags and this seed\n"
+        "  --metrics-out  telemetry snapshot incl. the serving.* schema\n"
+        "                 (.csv or .jsonl)\n"
+        "  --requests-out per-request trace CSV (timestamps, attributed\n"
+        "                 bytes, KV stream bytes)\n"
+        "exit codes: 0 success, 1 config error, 2 usage,\n"
+        "            3 contained simulation error, 130 interrupted\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+servingMain(int argc, char **argv)
+{
+    ServingConfig serving;
+    SystemConfig config;
+    std::uint32_t num_cores = 2;
+    bool full_scale = false;
+    bool cloud_arch = false;
+    std::string metrics_out, requests_out;
+
+    // argv[1] is "--serve"; everything after is name/value flags.
+    int i = 2;
+    auto value_of = [&](const char *name) -> std::string {
+        if (i + 1 >= argc)
+            fatal(name, " needs a value");
+        return argv[++i];
+    };
+    try {
+        for (; i < argc; ++i) {
+            std::string flag = argv[i];
+            if (flag == "--arrival") {
+                std::string spec = value_of("--arrival");
+                const std::string poisson = "poisson:";
+                const std::string trace = "trace:";
+                if (spec.rfind(poisson, 0) == 0) {
+                    char *end = nullptr;
+                    std::string rate = spec.substr(poisson.size());
+                    serving.poissonRatePerMcycle =
+                        std::strtod(rate.c_str(), &end);
+                    if (end == rate.c_str() || *end != '\0' ||
+                        serving.poissonRatePerMcycle <= 0) {
+                        fatal("malformed --arrival rate '", rate, "'");
+                    }
+                    serving.arrivalTrace.clear();
+                } else if (spec.rfind(trace, 0) == 0) {
+                    std::string path = spec.substr(trace.size());
+                    serving.arrivalTrace = readFileText(path);
+                    // An empty trace string means "use Poisson" to the
+                    // engine; an empty trace *file* is a config error.
+                    if (trim(serving.arrivalTrace).empty())
+                        fatal("arrival trace '", path, "' is empty");
+                } else {
+                    fatal("malformed --arrival '", spec,
+                          "' (expected poisson:RATE or trace:FILE)");
+                }
+            } else if (flag == "--seed") {
+                serving.seed = parseUint(value_of("--seed"), "--seed");
+            } else if (flag == "--requests") {
+                serving.numRequests = static_cast<std::uint32_t>(
+                    parseUint(value_of("--requests"), "--requests"));
+            } else if (flag == "--cores") {
+                num_cores = static_cast<std::uint32_t>(
+                    parseUint(value_of("--cores"), "--cores"));
+                if (num_cores == 0)
+                    fatal("--cores must be positive");
+            } else if (flag == "--level") {
+                config.level = parseServingLevel(value_of("--level"));
+            } else if (flag == "--max-batch") {
+                serving.maxBatchPerCore = static_cast<std::uint32_t>(
+                    parseUint(value_of("--max-batch"), "--max-batch"));
+            } else if (flag == "--prompt-tokens") {
+                serving.meanPromptTokens = static_cast<std::uint32_t>(
+                    parseUint(value_of("--prompt-tokens"),
+                              "--prompt-tokens"));
+            } else if (flag == "--decode-tokens") {
+                serving.meanDecodeTokens = static_cast<std::uint32_t>(
+                    parseUint(value_of("--decode-tokens"),
+                              "--decode-tokens"));
+            } else if (flag == "--ttft-slo") {
+                serving.ttftSloCycles =
+                    parseUint(value_of("--ttft-slo"), "--ttft-slo");
+            } else if (flag == "--tpot-slo") {
+                serving.tpotSloCycles =
+                    parseUint(value_of("--tpot-slo"), "--tpot-slo");
+            } else if (flag == "--arch") {
+                std::string arch = value_of("--arch");
+                if (iequals(arch, "cloud"))
+                    cloud_arch = true;
+                else if (iequals(arch, "mini"))
+                    cloud_arch = false;
+                else
+                    fatal("unknown --arch '", arch, "'");
+            } else if (flag == "--scale") {
+                std::string scale = value_of("--scale");
+                if (iequals(scale, "full"))
+                    full_scale = true;
+                else if (iequals(scale, "mini"))
+                    full_scale = false;
+                else
+                    fatal("unknown --scale '", scale, "'");
+            } else if (flag == "--max-cycles") {
+                config.maxGlobalCycles =
+                    parseUint(value_of("--max-cycles"), "--max-cycles");
+            } else if (flag == "--metrics-out") {
+                metrics_out = value_of("--metrics-out");
+            } else if (flag == "--requests-out") {
+                requests_out = value_of("--requests-out");
+            } else if (flag == "--help" || flag == "-h") {
+                return usage(argv[0]);
+            } else {
+                std::fprintf(stderr, "unknown serve flag '%s'\n",
+                             argv[i]);
+                return usage(argv[0]);
+            }
+        }
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "fatal: %s\n", error.what());
+        return 1;
+    }
+
+    installStopSignalHandlers();
+    RunBudget budget;
+    budget.stopToken = stopSignalToken();
+
+    try {
+        config.serving = serving;
+        ArchConfig arch =
+            cloud_arch ? ArchConfig::cloudNpu() : ArchConfig::miniNpu();
+        ModelScale scale =
+            full_scale ? ModelScale::Full : ModelScale::Mini;
+        inform("serving ", serving.numRequests, " GPT-2 requests on ",
+               num_cores, " cores at level ", toString(config.level),
+               serving.arrivalTrace.empty()
+                   ? " (poisson arrivals)"
+                   : " (trace arrivals)");
+        ServingResult result =
+            runServing(arch, scale, config, num_cores, budget);
+
+        const ServingSummary &summary = result.summary;
+        std::printf("serving: %llu offered, %llu completed, %llu "
+                    "slo-good over %llu cycles (%llu rounds)\n",
+                    static_cast<unsigned long long>(summary.offered),
+                    static_cast<unsigned long long>(summary.completed),
+                    static_cast<unsigned long long>(summary.sloGood),
+                    static_cast<unsigned long long>(
+                        summary.makespanCycles),
+                    static_cast<unsigned long long>(summary.rounds));
+        std::printf("ttft p50 %.0f p99 %.0f mean %.0f cycles\n",
+                    summary.ttftP50, summary.ttftP99, summary.ttftMean);
+        std::printf("tpot p50 %.0f p99 %.0f cycles/token\n",
+                    summary.tpotP50, summary.tpotP99);
+        std::printf("latency p50 %.0f p99 %.0f cycles\n",
+                    summary.latencyP50, summary.latencyP99);
+        std::printf("offered %.3f goodput %.3f requests/Mcycle\n",
+                    summary.offeredPerMcycle, summary.goodputPerMcycle);
+
+        if (!metrics_out.empty())
+            result.aggregate.telemetry.writeFile(metrics_out);
+        if (!requests_out.empty()) {
+            std::ofstream file(requests_out);
+            if (!file)
+                fatal("cannot write '", requests_out, "'");
+            file << "id,arrival_cycle,core,prompt_tokens,decode_tokens,"
+                    "first_token_cycle,finish_cycle,ttft,tpot,latency,"
+                    "read_bytes,write_bytes,kv_read_bytes\n";
+            for (const RequestRecord &record : result.requests) {
+                file << record.id << ',' << record.arrivalCycle << ','
+                     << record.core << ',' << record.promptTokens << ','
+                     << record.decodeTokens << ','
+                     << record.firstTokenCycle << ','
+                     << record.finishCycle << ',' << record.ttft()
+                     << ',' << record.tpot() << ',' << record.latency()
+                     << ',' << record.attributedReadBytes << ','
+                     << record.attributedWriteBytes << ','
+                     << record.kvReadBytes << '\n';
+            }
+        }
+        return 0;
+    } catch (const SimulationError &error) {
+        if (error.kind() == SimErrorKind::Cancelled &&
+            stopSignalRaised()) {
+            std::fprintf(stderr, "interrupted: %s\n", error.what());
+            return kInterruptedExitCode;
+        }
+        std::fprintf(stderr, "simulation error (%s): %s\n",
+                     toString(error.kind()), error.what());
+        return 3;
+    } catch (const FatalError &error) {
+        std::fprintf(stderr, "fatal: %s\n", error.what());
+        return 1;
+    }
+}
+
+} // namespace mnpu

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * `mnpusim --serve`: the request-level serving frontend's CLI. Unlike
+ * the six-positional batch mode, serve mode is flag-driven:
+ *
+ *   mnpusim --serve --arrival poisson:RATE|trace:FILE --seed N ...
+ *
+ * and prints the SLO report (TTFT / TPOT / p50 / p99 / goodput) for
+ * one offered-load point. @p argv[1] must be "--serve".
+ */
+
+#ifndef MNPU_SERVING_SERVING_CLI_HH
+#define MNPU_SERVING_SERVING_CLI_HH
+
+namespace mnpu
+{
+
+int servingMain(int argc, char **argv);
+
+} // namespace mnpu
+
+#endif // MNPU_SERVING_SERVING_CLI_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Configuration for the request-level LLM-serving frontend (DESIGN.md
+ * §13): a seeded open-loop arrival process plus the request shape and
+ * batching knobs the continuous-batching engine schedules with.
+ *
+ * Header-only on purpose: SystemConfig embeds an
+ * std::optional<ServingConfig> so a serving job flows through
+ * ExperimentContext::runMix / SweepRunner / the checkpoint layer
+ * exactly like a batch mix, without sim/ linking against the serving
+ * library.
+ *
+ * Determinism contract: every field here is simulation-visible — the
+ * arrival process, request shapes, and admission order are all derived
+ * from (seed, these fields) with no wall-clock or host-entropy input —
+ * so every field feeds sweepJobKey() when serving is enabled.
+ */
+
+#ifndef MNPU_SERVING_SERVING_CONFIG_HH
+#define MNPU_SERVING_SERVING_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mnpu
+{
+
+struct ServingConfig
+{
+    /** Seed for the arrival process and request-shape draws. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Open-loop Poisson arrival rate in requests per million global
+     * cycles (the offered load axis of the goodput figure). Ignored
+     * when an arrival trace is given.
+     */
+    double poissonRatePerMcycle = 50.0;
+
+    /**
+     * Inline arrival trace: one "arrival_cycle,prompt_tokens,
+     * decode_tokens" line per request, '#' comments allowed. The CLI
+     * reads --arrival trace:FILE into this field up front so a serving
+     * job is self-contained (process-isolated sweep workers and
+     * checkpoint keys never depend on an external file staying put).
+     * Non-empty overrides the Poisson process.
+     */
+    std::string arrivalTrace;
+
+    /** Number of requests the Poisson process generates. */
+    std::uint32_t numRequests = 16;
+
+    /**
+     * Mean request shape for Poisson mode: per-request prompt/decode
+     * lengths are drawn uniformly from [ceil(mean/2), mean] so a fixed
+     * seed exercises ragged batches deterministically.
+     */
+    std::uint32_t meanPromptTokens = 24;
+    std::uint32_t meanDecodeTokens = 6;
+
+    /** Continuous-batching cap: resident requests per core. */
+    std::uint32_t maxBatchPerCore = 4;
+
+    /**
+     * SLO thresholds in global cycles (0 = that bound is waived). A
+     * request is "good" — counted into goodput — when TTFT and mean
+     * TPOT both meet their bounds.
+     */
+    Cycle ttftSloCycles = 0;
+    Cycle tpotSloCycles = 0;
+
+    bool
+    operator==(const ServingConfig &other) const
+    {
+        return seed == other.seed &&
+               poissonRatePerMcycle == other.poissonRatePerMcycle &&
+               arrivalTrace == other.arrivalTrace &&
+               numRequests == other.numRequests &&
+               meanPromptTokens == other.meanPromptTokens &&
+               meanDecodeTokens == other.meanDecodeTokens &&
+               maxBatchPerCore == other.maxBatchPerCore &&
+               ttftSloCycles == other.ttftSloCycles &&
+               tpotSloCycles == other.tpotSloCycles;
+    }
+};
+
+} // namespace mnpu
+
+#endif // MNPU_SERVING_SERVING_CONFIG_HH

@@ -522,7 +522,11 @@ mnpusimMain(int argc, char **argv)
             "            3 contained simulation error,\n"
             "            130 interrupted (SIGINT/SIGTERM: the first\n"
             "            signal cancels cooperatively, a second\n"
-            "            force-exits)\n",
+            "            force-exits)\n"
+            "request-level serving mode (arrivals, continuous batching,\n"
+            "SLO metrics) lives behind its own flag set: see\n"
+            "  %s --serve --help\n",
+            argc > 0 ? argv[0] : "mnpusim",
             argc > 0 ? argv[0] : "mnpusim");
         return 2;
     }

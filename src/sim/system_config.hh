@@ -23,6 +23,7 @@
 #include "common/trace_events.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
+#include "serving/serving_config.hh"
 
 namespace mnpu
 {
@@ -193,6 +194,18 @@ struct SystemConfig
      * contained instead of silently corrupting metrics.
      */
     FaultPlan faultPlan;
+
+    /**
+     * Request-level serving mode (DESIGN.md §13). When engaged,
+     * ExperimentContext::runMix dispatches the job to the serving
+     * engine instead of a batch mix: the models vector then gives the
+     * core count and per-core model, and the outcome carries a
+     * ServingSummary. Every field of ServingConfig is simulation-
+     * visible, so — unlike the passive knobs above — the whole struct
+     * feeds the sweep checkpoint key when engaged (header-only
+     * serving_config.hh keeps sim/ free of a serving link dependency).
+     */
+    std::optional<ServingConfig> serving;
 
     /**
      * Observability outputs (--trace-out / --metrics-out / --obs-level).

@@ -1,13 +1,19 @@
 /**
  * @file
  * The mnpusim executable: six positional parameters as documented in
- * the paper's artifact appendix (§7.3).
+ * the paper's artifact appendix (§7.3), or the flag-driven request-
+ * level serving mode when the first argument is --serve.
  */
 
+#include <cstring>
+
+#include "serving/serving_cli.hh"
 #include "sim/cli.hh"
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "--serve") == 0)
+        return mnpu::servingMain(argc, argv);
     return mnpu::mnpusimMain(argc, argv);
 }

@@ -124,11 +124,35 @@ main(int argc, char **argv)
 
     int stale = 0;
     int checked = 0;
+    // Batch and serving cases share one dry-run/update cycle; the
+    // regenerated text for each comes from its own runner.
+    auto refresh = [&](const std::string &name,
+                       const std::string &fresh) -> int {
+        std::string path = goldenFixturePath(dir, name);
+        std::string committed = readFileOrEmpty(path);
+        if (committed == fresh) {
+            std::printf("%-32s up to date\n", name.c_str());
+            return 0;
+        }
+        ++stale;
+        const char *why = committed.empty() ? "missing" : "differs";
+        if (!update) {
+            std::printf("%-32s STALE (%s)\n", name.c_str(), why);
+            return 0;
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        out << fresh;
+        std::printf("%-32s rewritten (%s)\n", name.c_str(), why);
+        return 0;
+    };
     for (const GoldenCase &golden : goldenCases()) {
         if (!only.empty() && golden.name != only)
             continue;
         ++checked;
-        std::string path = goldenFixturePath(dir, golden.name);
         std::string fresh;
         try {
             fresh = goldenFixtureText(
@@ -138,24 +162,24 @@ main(int argc, char **argv)
                          error.what());
             return 1;
         }
-        std::string committed = readFileOrEmpty(path);
-        if (committed == fresh) {
-            std::printf("%-32s up to date\n", golden.name.c_str());
+        if (refresh(golden.name, fresh) != 0)
+            return 1;
+    }
+    for (const ServingGoldenCase &golden : servingGoldenCases()) {
+        if (!only.empty() && golden.name != only)
             continue;
-        }
-        ++stale;
-        const char *why = committed.empty() ? "missing" : "differs";
-        if (!update) {
-            std::printf("%-32s STALE (%s)\n", golden.name.c_str(), why);
-            continue;
-        }
-        std::ofstream out(path, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        ++checked;
+        std::string fresh;
+        try {
+            fresh = goldenFixtureText(
+                runServingGoldenCase(golden, SchedulerKind::Cycle));
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "%-32s ERROR: %s\n", golden.name.c_str(),
+                         error.what());
             return 1;
         }
-        out << fresh;
-        std::printf("%-32s rewritten (%s)\n", golden.name.c_str(), why);
+        if (refresh(golden.name, fresh) != 0)
+            return 1;
     }
 
     if (checked == 0) {

@@ -1,5 +1,7 @@
 #include "workloads/models.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mnpu
@@ -233,7 +235,92 @@ gpt2(const std::string &name, std::uint32_t seq, std::uint32_t blocks,
     return net;
 }
 
+/** Decoder geometry per scale; matches the batch gpt2() builders. */
+struct Gpt2Geometry
+{
+    std::uint32_t d, blocks, vocab;
+};
+
+Gpt2Geometry
+gpt2Geometry(ModelScale scale)
+{
+    return scale == ModelScale::Full ? Gpt2Geometry{768, 12, 50257}
+                                     : Gpt2Geometry{768, 2, 8192};
+}
+
 } // namespace
+
+void
+appendGpt2Prefill(Network &net, const std::string &request_prefix,
+                  std::uint32_t prompt_tokens, ModelScale scale)
+{
+    const Gpt2Geometry g = gpt2Geometry(scale);
+    const std::uint32_t seq = std::max<std::uint32_t>(1, prompt_tokens);
+    for (std::uint32_t b = 0; b < g.blocks; ++b) {
+        std::string base = request_prefix + "_blk" + std::to_string(b);
+        std::string tag = "gpt2w_blk" + std::to_string(b);
+        Layer qkv = Layer::gemm(base + "_qkv", seq, 3 * g.d, g.d);
+        qkv.weightTag = tag + "_qkv";
+        net.layers.push_back(qkv);
+        // Attention score/context products read this request's own
+        // K / V tensors — per-request, never shared.
+        net.layers.push_back(Layer::gemm(base + "_scores", seq, seq, g.d));
+        net.layers.push_back(Layer::gemm(base + "_ctx", seq, g.d, seq));
+        Layer proj = Layer::gemm(base + "_proj", seq, g.d, g.d);
+        proj.weightTag = tag + "_proj";
+        net.layers.push_back(proj);
+        Layer mlp1 = Layer::gemm(base + "_mlp1", seq, 4 * g.d, g.d);
+        mlp1.weightTag = tag + "_mlp1";
+        net.layers.push_back(mlp1);
+        Layer mlp2 = Layer::gemm(base + "_mlp2", seq, g.d, 4 * g.d);
+        mlp2.weightTag = tag + "_mlp2";
+        net.layers.push_back(mlp2);
+    }
+    Layer head = Layer::gemm(request_prefix + "_lm_head", seq, g.vocab,
+                             g.d);
+    head.weightTag = "gpt2w_lm_head";
+    net.layers.push_back(head);
+}
+
+void
+appendGpt2DecodeStep(Network &net, const std::string &request_prefix,
+                     std::uint32_t context_tokens, ModelScale scale)
+{
+    const Gpt2Geometry g = gpt2Geometry(scale);
+    const std::uint32_t ctx = std::max<std::uint32_t>(1, context_tokens);
+    for (std::uint32_t b = 0; b < g.blocks; ++b) {
+        std::string base = request_prefix + "_blk" + std::to_string(b);
+        std::string tag = "gpt2w_blk" + std::to_string(b);
+        Layer qkv = Layer::gemm(base + "_qkv", 1, 3 * g.d, g.d);
+        qkv.weightTag = tag + "_qkv";
+        net.layers.push_back(qkv);
+        // M=1 against the growing KV cache: the B operands (K then V,
+        // ctx x d each) re-stream from DRAM every generated token.
+        net.layers.push_back(Layer::gemm(base + "_scores", 1, ctx, g.d));
+        net.layers.push_back(Layer::gemm(base + "_ctx", 1, g.d, ctx));
+        Layer proj = Layer::gemm(base + "_proj", 1, g.d, g.d);
+        proj.weightTag = tag + "_proj";
+        net.layers.push_back(proj);
+        Layer mlp1 = Layer::gemm(base + "_mlp1", 1, 4 * g.d, g.d);
+        mlp1.weightTag = tag + "_mlp1";
+        net.layers.push_back(mlp1);
+        Layer mlp2 = Layer::gemm(base + "_mlp2", 1, g.d, 4 * g.d);
+        mlp2.weightTag = tag + "_mlp2";
+        net.layers.push_back(mlp2);
+    }
+    Layer head = Layer::gemm(request_prefix + "_lm_head", 1, g.vocab,
+                             g.d);
+    head.weightTag = "gpt2w_lm_head";
+    net.layers.push_back(head);
+}
+
+std::uint64_t
+gpt2KvBytesPerDecodeStep(std::uint32_t context_tokens, ModelScale scale,
+                         std::uint32_t data_bytes)
+{
+    const Gpt2Geometry g = gpt2Geometry(scale);
+    return 2ULL * g.blocks * context_tokens * g.d * data_bytes;
+}
 
 const std::vector<std::string> &
 modelNames()

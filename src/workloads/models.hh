@@ -36,6 +36,36 @@ Network buildModel(const std::string &short_name, ModelScale scale);
 /** All eight models at the given scale, in modelNames() order. */
 std::vector<Network> buildAllModels(ModelScale scale);
 
+/**
+ * Serving-phase GPT-2 builders (LLM request-level workloads).
+ *
+ * appendGpt2Prefill() appends one request's prefill pass over
+ * @p prompt_tokens positions; appendGpt2DecodeStep() appends one
+ * request's single-token decode step against a KV cache of
+ * @p context_tokens positions. Layer names are prefixed with
+ * @p request_prefix so several requests can share one Network; model
+ * weights (QKV / proj / MLP / lm_head) carry request-independent
+ * weightTags so co-batched requests address one shared weight tensor
+ * (one footprint, shared translation and row-buffer locality — the
+ * bytes still stream per request, as for Selfish-RNN), while the
+ * attention score/context GEMMs read per-request KV-cache tensors
+ * (unique names, no tag) — that growing stream is what makes decode
+ * memory-bound.
+ */
+void appendGpt2Prefill(Network &net, const std::string &request_prefix,
+                       std::uint32_t prompt_tokens, ModelScale scale);
+void appendGpt2DecodeStep(Network &net, const std::string &request_prefix,
+                          std::uint32_t context_tokens, ModelScale scale);
+
+/**
+ * Bytes of KV cache one decode step streams (the score/context B
+ * operands): 2 tensors x blocks x context_tokens x d_model x data
+ * bytes. Used for the serving.kv_read_bytes metric.
+ */
+std::uint64_t gpt2KvBytesPerDecodeStep(std::uint32_t context_tokens,
+                                       ModelScale scale,
+                                       std::uint32_t data_bytes);
+
 } // namespace mnpu
 
 #endif // MNPU_WORKLOADS_MODELS_HH

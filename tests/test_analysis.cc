@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "analysis/metrics.hh"
@@ -228,6 +229,50 @@ TEST(PredictorTest, ClampsToAtLeastOne)
     predictor.addSample(a, a, 1.0);
     predictor.train();
     EXPECT_GE(predictor.predictSlowdown(a, a), 1.0);
+}
+
+TEST(PredictorTest, ZeroSampleTrainIsFatal)
+{
+    CorunPredictor predictor;
+    EXPECT_THROW(predictor.train(), FatalError);
+    EXPECT_FALSE(predictor.trained());
+}
+
+TEST(PredictorTest, SingleProfileTrainsAndPredicts)
+{
+    // Every sample derived from one solo profile: the feature rows are
+    // all identical, so only the ridge term keeps the normal equations
+    // well-posed. The fit must still land and the prediction must stay
+    // finite and close to the one observed slowdown.
+    CorunPredictor predictor;
+    SoloProfile a = profile("solo", 2e6, 0.4, 4e7);
+    ASSERT_TRUE(predictor.addSample(a, a, 1.3));
+    predictor.train();
+    double predicted = predictor.predictSlowdown(a, a);
+    EXPECT_TRUE(std::isfinite(predicted));
+    EXPECT_NEAR(predicted, 1.3, 1e-3);
+}
+
+TEST(PredictorTest, RejectsNanPoisonedSamples)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    CorunPredictor predictor;
+    SoloProfile a = profile("a", 1e6, 0.5, 1e6);
+    SoloProfile crashed = profile("crashed", nan, nan, nan);
+    // A crashed mix reaches the predictor as NaN-poisoned records: a
+    // NaN slowdown, or a NaN-poisoned solo profile on either side.
+    EXPECT_FALSE(predictor.addSample(a, a, nan));
+    EXPECT_FALSE(predictor.addSample(crashed, a, 1.5));
+    EXPECT_FALSE(predictor.addSample(a, crashed, 1.5));
+    EXPECT_EQ(predictor.sampleCount(), 0u);
+    // Good samples still train after rejections.
+    EXPECT_TRUE(predictor.addSample(a, a, 1.25));
+    EXPECT_EQ(predictor.sampleCount(), 1u);
+    predictor.train();
+    EXPECT_TRUE(std::isfinite(predictor.predictSlowdown(a, a)));
+    // A non-positive finite slowdown is caller misuse, not a crash.
+    EXPECT_THROW(predictor.addSample(a, a, 0.0), FatalError);
+    EXPECT_THROW(predictor.addSample(a, a, -1.0), FatalError);
 }
 
 TEST(MappingEvaluatorTest, EvaluateComputesPaperMetrics)

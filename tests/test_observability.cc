@@ -527,10 +527,13 @@ TEST_P(ObservabilityPassivity, FullyEnabledRunIsBitIdentical)
     const GoldenCase &golden = goldenCase(case_name);
 
     ObservabilityConfig obs;
-    obs.traceOutPath = tempPath(std::string("mnpu_obs_pass_") +
-                                case_name + ".json");
-    obs.metricsOutPath = tempPath(std::string("mnpu_obs_pass_") +
-                                  case_name + ".csv");
+    // The path must be unique per parameter instance: ctest runs the
+    // cycle and event variants of one case as concurrent processes,
+    // and a shared path would race their atomic rename-into-place.
+    std::string stem = std::string("mnpu_obs_pass_") + case_name + "_" +
+                       toString(sched);
+    obs.traceOutPath = tempPath(stem + ".json");
+    obs.metricsOutPath = tempPath(stem + ".csv");
     obs.traceLevel = TraceLevel::Requests; // maximum instrumentation
 
     SweepCheckpointRecord off = runGoldenCase(golden, sched);
