@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation: off-chip memory tier x inter-core fabric width, fig04-style
+ * dual-core mixes. Sweeps the MemoryBackend kind (hbm2 DRAM, PCM-like
+ * slow media, tiered hot/cold routing by tensor region) against the
+ * XBar request-fabric port width. Expectations: hbm2 >= tiered >= pcm
+ * on performance (weights are the bulk of GEMM traffic, so demoting
+ * them to slow media hurts, but less than demoting everything —
+ * though the tiered backend's separate hot/cold queues also add
+ * aggregate capacity, which can offset the slow-media penalty under
+ * heavy contention), and for a fixed tier, narrower fabric ports are
+ * monotonically slower.
+ *
+ * Each (tier, width) combination is its own SweepRunner pass, so
+ * --resume checkpoints dedupe across reruns: the backend kind, PCM
+ * cache knobs, and fabric geometry all feed sweepJobKey.
+ */
+
+#include "bench_common.hh"
+
+using namespace mnpu;
+using namespace mnpu::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseOptions(argc, argv);
+    printHeader("Ablation: memory tier x fabric width (+DWT)", options);
+
+    const auto &names = modelNames();
+    auto mixes = enumerateMultisets(
+        static_cast<std::uint32_t>(names.size()), 2);
+    auto chosen = sampleIndices(mixes.size(), options.all ? 0 : 6);
+
+    struct Tier
+    {
+        const char *label;
+        MemBackendKind kind;
+    };
+    const Tier tiers[] = {{"hbm2", MemBackendKind::Dram},
+                          {"pcm", MemBackendKind::Pcm},
+                          {"tiered", MemBackendKind::Tiered}};
+    const std::uint32_t widths[] = {64, 16};
+
+    std::printf("\n%-8s%8s%12s%16s%14s\n", "tier", "width", "perf(geo)",
+                "cycles(mean)", "fabric waits");
+    for (const Tier &tier : tiers) {
+        double prev_mean_cycles = 0;
+        for (std::uint32_t width : widths) {
+            NpuMemConfig mem = NpuMemConfig::cloudNpu();
+            mem.backend = tier.kind;
+            mem.fabric.enabled = true;
+            mem.fabric.widthBytes = width;
+            ExperimentContext context(options.archConfig(), mem,
+                                      options.scale());
+            std::vector<SweepJob> sweep_jobs;
+            for (std::size_t index : chosen) {
+                SweepJob job;
+                job.config.level = SharingLevel::ShareDWT;
+                job.models = {names[mixes[index][0]],
+                              names[mixes[index][1]]};
+                sweep_jobs.push_back(std::move(job));
+            }
+            std::vector<double> perfs;
+            double total_cycles = 0;
+            double mixes_run = 0;
+            std::uint64_t waits = 0;
+            for (const MixOutcome &outcome :
+                 runJobs(context, std::move(sweep_jobs), options)) {
+                perfs.push_back(outcome.geomeanSpeedup);
+                total_cycles +=
+                    static_cast<double>(outcome.raw.globalCycles);
+                mixes_run += 1;
+                waits += outcome.raw.telemetry.has("fabric.wait_cycles")
+                             ? outcome.raw.telemetry.counter(
+                                   "fabric.wait_cycles")
+                             : 0;
+            }
+            const double mean_cycles =
+                mixes_run > 0 ? total_cycles / mixes_run : 0;
+            std::printf("%-8s%7uB%12.3f%16.0f%14llu\n", tier.label,
+                        width, geomean(perfs), mean_cycles,
+                        static_cast<unsigned long long>(waits));
+            if (prev_mean_cycles > 0 && mean_cycles < prev_mean_cycles) {
+                std::printf(
+                    "  WARNING: %s narrowed to %uB but got faster — "
+                    "fabric contention model regressed?\n",
+                    tier.label, width);
+            }
+            prev_mean_cycles = mean_cycles;
+            progress(options, "  %s/%uB done", tier.label, width);
+        }
+    }
+    std::printf("\npcm trails hbm2; tiered demotes only weight "
+                "traffic to slow media (its split hot/cold queues can "
+                "even offset that under contention), and narrower "
+                "fabric ports can only add wait cycles.\n");
+    return 0;
+}

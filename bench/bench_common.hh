@@ -25,6 +25,11 @@
  *   --fidelity F      exact (default, golden-ratcheted) or fast (the
  *                     analytic tile model; also MNPU_FIDELITY)
  *
+ * Memory backend:
+ *   --mem-backend B   hbm2 (default DRAM model), pcm (slow media with
+ *                     a DRAM data cache), or tiered (weights on PCM,
+ *                     activations on HBM2; also MNPU_MEM_BACKEND)
+ *
  * Isolation and scale-out (see DESIGN.md §11):
  *   --isolate M       thread (default) or process: process forks one
  *                     single-job worker per attempt, so a crashing
@@ -194,6 +199,13 @@ parseOptions(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", error.what());
                 std::exit(2);
             }
+        } else if (arg == "--mem-backend" && i + 1 < argc) {
+            try {
+                setMemBackendDefault(parseMemBackendKind(argv[++i]));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                std::exit(2);
+            }
         } else if (arg == "--inject" && i + 1 < argc) {
             try {
                 options.injectPlan = parseFaultPlan(argv[++i]);
@@ -285,6 +297,7 @@ parseOptions(int argc, char **argv)
                          "[--job-timeout S] [--auto-budget K] "
                          "[--resume FILE] [--check off|cheap|full] "
                          "[--sched cycle|event] [--fidelity exact|fast] "
+                         "[--mem-backend hbm2|pcm|tiered] "
                          "[--inject SITE[:N[:DELAY]]] "
                          "[--isolate thread|process] [--worker-mem SZ] "
                          "[--worker-cpu S] [--worker-retries N] "

@@ -33,7 +33,7 @@ soloUtilization(const BenchOptions &options, const std::string &model,
     MultiCoreSystem system(config, std::move(bindings));
     SimResult result = system.run();
 
-    const DramSystem &dram = system.dram();
+    const MemoryBackend &dram = system.memory();
     double peak_per_window =
         dram.peakBandwidthBytesPerSec() /
         (dram.timing().clockMhz * 1e6) * static_cast<double>(window);

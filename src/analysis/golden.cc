@@ -59,6 +59,9 @@ runGoldenCase(const GoldenCase &golden, SchedulerKind sched,
     // (fast) configuration, so fixtures regenerate in seconds.
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
     mem.timing = DramTiming::preset(golden.protocol);
+    // Fixtures pin HBM2/DDR4 DRAM behavior; a MNPU_MEM_BACKEND
+    // process default must not silently re-base them onto other media.
+    mem.backend = MemBackendKind::Dram;
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
 
@@ -110,6 +113,7 @@ runServingGoldenCase(const ServingGoldenCase &golden, SchedulerKind sched)
 {
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
     mem.timing = DramTiming::preset(golden.protocol);
+    mem.backend = MemBackendKind::Dram; // fixtures pin DRAM media
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
 

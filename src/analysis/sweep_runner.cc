@@ -264,10 +264,14 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     // or any check level forces exact) rather than the requested one
     // keeps a fast-keyed record from ever holding exact-fallback
     // results; exact runs keep their historical keys.
+    const MemBackendKind backend = effectiveMemBackendKind(mem.backend);
     if (resolvedFidelityKind(config.fidelity,
                              perturbsSimulation(config.faultPlan.site),
                              effectiveCheckLevel(config.checkLevel)) ==
-        FidelityKind::Fast) {
+            FidelityKind::Fast &&
+        backend != MemBackendKind::Tiered) {
+        // Tiered backends force exact (mirrors MultiCoreSystem), so a
+        // tiered job never takes the fast-keyed branch.
         hasher.feed("fidelity-fast");
     }
     // The context's arch: dataflow and array/SPM geometry change
@@ -314,6 +318,25 @@ sweepJobKey(const SweepJob &job, const ArchConfig &arch,
     hasher.feedInt(mem.pageBytes);
     hasher.feedInt(mem.dramQueueDepth);
     hasher.feedInt(mem.translationEnabled ? 1 : 0);
+    // Memory backend and fabric: the default (plain DRAM, no fabric)
+    // feeds nothing so historical checkpoints keep their keys; any
+    // other backend kind or an enabled XBar changes the simulated
+    // outcome and must fork the key, knobs included.
+    if (backend != MemBackendKind::Dram) {
+        hasher.feed("backend");
+        hasher.feed(toString(backend));
+        hasher.feedInt(mem.pcm.cacheLines);
+        hasher.feedInt(mem.pcm.cacheHitLatency);
+        hasher.feedInt(mem.pcm.writeCommitCycles);
+        hasher.feedInt(mem.pcm.hitQueueDepth);
+    }
+    if (mem.fabric.enabled) {
+        hasher.feed("fabric");
+        hasher.feedInt(mem.fabric.ports);
+        hasher.feedInt(mem.fabric.queueDepth);
+        hasher.feedInt(mem.fabric.widthBytes);
+        hasher.feedInt(mem.fabric.latencyCycles);
+    }
     hasher.feedInt(static_cast<int>(scale));
     // Serving mode: every ServingConfig field is simulation-visible
     // (arrival schedule, request shapes, admission order), so the

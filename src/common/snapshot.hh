@@ -66,10 +66,14 @@ class SnapshotError : public std::runtime_error
 
 /**
  * Current snapshot file format version (see DESIGN.md §12). v2 added
- * the MMU's per-core attribution counters; v1 snapshots are rejected
- * and their runs restart from scratch (the documented contract).
+ * the MMU's per-core attribution counters; v3 added the per-request
+ * memory-region byte (tiered routing) to every serialized DramRequest
+ * plus the PCM/XBar backend sections. Older-version snapshots are
+ * rejected and their runs restart from scratch (the documented
+ * contract) — as are same-version snapshots whose config fingerprint
+ * (which now covers the backend kind and fabric knobs) differs.
  */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+inline constexpr std::uint32_t kSnapshotFormatVersion = 3;
 
 /** FNV-1a over a byte range; the snapshot payload checksum. */
 std::uint64_t snapshotChecksum(const void *data, std::size_t size);

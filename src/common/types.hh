@@ -44,6 +44,21 @@ toString(MemOp op)
     return op == MemOp::Read ? "read" : "write";
 }
 
+/**
+ * Placement class of a memory access, derived from the workload's
+ * tensor allocation map (TraceGenerator::regionOf). Tiered memory
+ * backends route on it: weights (read-mostly, capacity-bound) go to
+ * the cold tier, activations and page-table walks stay hot.
+ */
+enum class MemRegion : std::uint8_t { Activation = 0, Weight = 1 };
+
+/** Human-readable name of a MemRegion. */
+inline const char *
+toString(MemRegion region)
+{
+    return region == MemRegion::Activation ? "activation" : "weight";
+}
+
 /** One off-chip memory request as emitted by the SW request generator. */
 struct MemRequest
 {

@@ -8,7 +8,7 @@ namespace mnpu
 {
 
 NpuCore::NpuCore(const CoreConfig &config, const TraceGenerator &trace,
-                 Mmu &mmu, DramSystem &dram, const ClockDomain &clock)
+                 Mmu &mmu, MemoryBackend &dram, const ClockDomain &clock)
     : config_(config),
       trace_(trace),
       mmu_(mmu),
@@ -139,7 +139,11 @@ NpuCore::issueTransactions(Cycle now)
                 xlatBlocked_ = false;
                 storeCursor_ = probe;
                 ++nextSeq_;
-                inflightTx_.emplace(tag, TxInfo{storeTile_, MemOp::Write});
+                // Stores are activation/output traffic by construction
+                // (C tensors); no tensor-map lookup needed.
+                inflightTx_.emplace(
+                    tag, TxInfo{storeTile_, MemOp::Write,
+                                MemRegion::Activation});
                 ++tiles_[storeTile_].storesOutstanding;
                 ++xlatOutstanding_;
                 writeTx_.inc();
@@ -174,7 +178,9 @@ NpuCore::issueTransactions(Cycle now)
                 xlatBlocked_ = false;
                 loadCursor_ = probe;
                 ++nextSeq_;
-                inflightTx_.emplace(tag, TxInfo{loadTile_, MemOp::Read});
+                inflightTx_.emplace(tag,
+                                    TxInfo{loadTile_, MemOp::Read,
+                                           trace_.regionOf(vaddr)});
                 ++tiles_[loadTile_].loadsOutstanding;
                 ++xlatOutstanding_;
                 readTx_.inc();
@@ -362,6 +368,7 @@ NpuCore::onTranslation(std::uint64_t tag, Addr paddr, Cycle)
     request.op = it->second.op;
     request.core = config_.id;
     request.tag = tag;
+    request.region = it->second.region;
     dramReady_.push_back(request);
 }
 
@@ -744,6 +751,7 @@ NpuCore::saveState(StateWriter &out) const
         out.u64(tag);
         out.u32(info.tile);
         out.u8(info.op == MemOp::Write ? 1 : 0);
+        out.u8(static_cast<std::uint8_t>(info.region));
     }
     out.u64(dramReady_.size());
     for (const DramRequest &request : dramReady_) {
@@ -754,6 +762,7 @@ NpuCore::saveState(StateWriter &out) const
         out.b(request.priority);
         out.u64(request.integrityId);
         out.u64(request.enqueuedAt);
+        out.u8(static_cast<std::uint8_t>(request.region));
     }
     out.u32(xlatOutstanding_);
     out.u64(lastLocalSeen_);
@@ -818,6 +827,7 @@ NpuCore::loadState(StateReader &in)
         TxInfo info;
         info.tile = in.u32();
         info.op = in.u8() != 0 ? MemOp::Write : MemOp::Read;
+        info.region = static_cast<MemRegion>(in.u8());
         inflightTx_.emplace(tag, info);
     }
     dramReady_.clear();
@@ -831,6 +841,7 @@ NpuCore::loadState(StateReader &in)
         request.priority = in.b();
         request.integrityId = in.u64();
         request.enqueuedAt = in.u64();
+        request.region = static_cast<MemRegion>(in.u8());
         dramReady_.push_back(request);
     }
     xlatOutstanding_ = in.u32();

@@ -25,7 +25,7 @@
 #include "common/interval_tracer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "dram/dram_system.hh"
+#include "mem/memory_backend.hh"
 #include "mmu/mmu.hh"
 #include "sw/trace_generator.hh"
 
@@ -48,7 +48,7 @@ class NpuCore
      * @param trace must outlive the core (typically owned by the system)
      */
     NpuCore(const CoreConfig &config, const TraceGenerator &trace,
-            Mmu &mmu, DramSystem &dram, const ClockDomain &clock);
+            Mmu &mmu, MemoryBackend &dram, const ClockDomain &clock);
 
     /**
      * Advance to global cycle @p now. @return true when the tick
@@ -231,6 +231,8 @@ class NpuCore
     {
         std::uint32_t tile;
         MemOp op;
+        /** Placement class from the tensor map (tiered routing). */
+        MemRegion region = MemRegion::Activation;
     };
 
     bool cursorNext(RangeCursor &cursor,
@@ -253,7 +255,7 @@ class NpuCore
     CoreConfig config_;
     const TraceGenerator &trace_;
     Mmu &mmu_;
-    DramSystem &dram_;
+    MemoryBackend &dram_;
     ClockDomain clock_;
 
     bool started_ = false;

@@ -65,6 +65,13 @@ struct DramRequest
      * so it cannot perturb timing).
      */
     Cycle enqueuedAt = 0;
+    /**
+     * Placement class (weight vs activation), stamped by the core from
+     * the workload's tensor map. Only tiered backends read it; the
+     * DRAM scheduler ignores it, so single-backend timing is
+     * independent of the stamping.
+     */
+    MemRegion region = MemRegion::Activation;
 };
 
 /** Completion callback: the request and the cycle its data finished. */

@@ -11,9 +11,11 @@ namespace mnpu
 
 DramSystem::DramSystem(const DramTiming &timing, std::uint32_t num_channels,
                        std::uint32_t num_cores, std::uint32_t queue_depth,
-                       const std::string &mapping_order)
+                       const std::string &mapping_order,
+                       const std::string &stat_prefix)
     : timing_(timing),
       offsetBits_(floorLog2(timing.transactionBytes())),
+      statPrefix_(stat_prefix),
       partitions_(num_cores),
       buckets_(num_cores),
       coreBytes_(num_cores, 0),
@@ -28,14 +30,72 @@ DramSystem::DramSystem(const DramTiming &timing, std::uint32_t num_channels,
     channels_.reserve(num_channels);
     for (std::uint32_t c = 0; c < num_channels; ++c) {
         channels_.push_back(std::make_unique<DramChannel>(
-            timing, mapping, queue_depth, "dram.ch" + std::to_string(c)));
+            timing, mapping, queue_depth,
+            statPrefix_ + ".ch" + std::to_string(c)));
         channels_.back()->setCallback(
             [this](const DramRequest &request, Cycle at) {
                 onCompletion(request, at);
             });
     }
     fastBusyUntil_.assign(num_channels, 0);
-    shareAllChannels();
+    applyPolicy(SharingPolicy{});
+}
+
+void
+DramSystem::applyPolicy(const SharingPolicy &policy)
+{
+    switch (policy.channels) {
+    case SharingPolicy::Channels::ShareAll: {
+        std::vector<std::uint32_t> all(channels_.size());
+        std::iota(all.begin(), all.end(), 0);
+        for (auto &partition : partitions_)
+            partition = all;
+        break;
+    }
+    case SharingPolicy::Channels::ByCounts: {
+        const auto &counts = policy.channelCounts;
+        if (counts.size() != partitions_.size())
+            fatal("SharingPolicy: need one channel count per core");
+        std::uint32_t total = 0;
+        for (auto count : counts)
+            total += count;
+        if (total != channels_.size())
+            fatal("SharingPolicy: counts sum to ", total,
+                  " but system has ", channels_.size(), " channels");
+        std::uint32_t next = 0;
+        for (CoreId core = 0; core < counts.size(); ++core) {
+            if (counts[core] == 0)
+                fatal("SharingPolicy: core ", core,
+                      " must own >= 1 channel");
+            std::vector<std::uint32_t> channels(counts[core]);
+            std::iota(channels.begin(), channels.end(), next);
+            next += counts[core];
+            partitions_[core] = std::move(channels);
+        }
+        break;
+    }
+    case SharingPolicy::Channels::Explicit: {
+        const auto &sets = policy.explicitSets;
+        if (sets.size() != partitions_.size())
+            fatal("SharingPolicy: need one channel set per core");
+        for (CoreId core = 0; core < sets.size(); ++core) {
+            if (sets[core].empty())
+                fatal("SharingPolicy: core ", core,
+                      " must own >= 1 channel");
+            for (auto channel_id : sets[core]) {
+                if (channel_id >= channels_.size())
+                    fatal("SharingPolicy: channel ", channel_id,
+                          " out of range");
+            }
+        }
+        partitions_ = sets;
+        break;
+    }
+    case SharingPolicy::Channels::Keep:
+        break;
+    }
+    if (policy.bandwidthShares)
+        applyBandwidthShares(*policy.bandwidthShares);
 }
 
 void
@@ -43,44 +103,26 @@ DramSystem::setPartition(CoreId core, std::vector<std::uint32_t> channels)
 {
     if (core >= partitions_.size())
         fatal("setPartition: core ", core, " out of range");
-    if (channels.empty())
-        fatal("setPartition: core ", core, " must own >= 1 channel");
-    for (auto channel_id : channels) {
-        if (channel_id >= channels_.size())
-            fatal("setPartition: channel ", channel_id, " out of range");
-    }
-    partitions_[core] = std::move(channels);
+    SharingPolicy policy;
+    policy.channels = SharingPolicy::Channels::Explicit;
+    policy.explicitSets = partitions_;
+    policy.explicitSets[core] = std::move(channels);
+    applyPolicy(policy);
 }
 
 void
 DramSystem::shareAllChannels()
 {
-    std::vector<std::uint32_t> all(channels_.size());
-    std::iota(all.begin(), all.end(), 0);
-    for (auto &partition : partitions_)
-        partition = all;
+    applyPolicy(SharingPolicy{});
 }
 
 void
 DramSystem::partitionByCounts(const std::vector<std::uint32_t> &counts)
 {
-    if (counts.size() != partitions_.size())
-        fatal("partitionByCounts: need one count per core");
-    std::uint32_t total = 0;
-    for (auto count : counts)
-        total += count;
-    if (total != channels_.size())
-        fatal("partitionByCounts: counts sum to ", total, " but system has ",
-              channels_.size(), " channels");
-    std::uint32_t next = 0;
-    for (CoreId core = 0; core < counts.size(); ++core) {
-        if (counts[core] == 0)
-            fatal("partitionByCounts: core ", core, " must own >= 1 channel");
-        std::vector<std::uint32_t> channels(counts[core]);
-        std::iota(channels.begin(), channels.end(), next);
-        next += counts[core];
-        partitions_[core] = std::move(channels);
-    }
+    SharingPolicy policy;
+    policy.channels = SharingPolicy::Channels::ByCounts;
+    policy.channelCounts = counts;
+    applyPolicy(policy);
 }
 
 DramSystem::Route
@@ -101,13 +143,22 @@ DramSystem::route(const DramRequest &request) const
 void
 DramSystem::setBandwidthShares(const std::vector<std::uint32_t> &shares)
 {
+    SharingPolicy policy;
+    policy.channels = SharingPolicy::Channels::Keep;
+    policy.bandwidthShares = shares;
+    applyPolicy(policy);
+}
+
+void
+DramSystem::applyBandwidthShares(const std::vector<std::uint32_t> &shares)
+{
     if (shares.empty()) {
         for (auto &bucket : buckets_)
             bucket = TokenBucket{};
         return;
     }
     if (shares.size() != buckets_.size())
-        fatal("setBandwidthShares: need one share per core");
+        fatal("bandwidth shares: need one share per core");
     std::uint64_t total = 0;
     for (auto share : shares)
         total += share;
@@ -120,7 +171,7 @@ DramSystem::setBandwidthShares(const std::vector<std::uint32_t> &shares)
     for (CoreId core = 0; core < buckets_.size(); ++core) {
         TokenBucket &bucket = buckets_[core];
         if (shares[core] == 0)
-            fatal("setBandwidthShares: core ", core, " share must be > 0");
+            fatal("bandwidth shares: core ", core, " share must be > 0");
         bucket.enabled = true;
         bucket.ratePerCycle = peak_per_cycle *
                               static_cast<double>(shares[core]) /
@@ -454,7 +505,7 @@ DramSystem::enableProtocolChecks()
     checkers_.reserve(channels_.size());
     for (std::size_t c = 0; c < channels_.size(); ++c) {
         checkers_.push_back(std::make_unique<DramProtocolChecker>(
-            timing_, "dram.ch" + std::to_string(c)));
+            timing_, statPrefix_ + ".ch" + std::to_string(c)));
         channels_[c]->setProtocolChecker(checkers_.back().get());
     }
 }
@@ -593,6 +644,13 @@ DramSystem::totalCounter(const std::string &stat_name) const
     return total;
 }
 
+void
+DramSystem::visitStatGroups(const StatGroupVisitor &visit) const
+{
+    for (const auto &channel : channels_)
+        visit(channel->stats());
+}
+
 double
 DramSystem::peakBandwidthBytesPerSec() const
 {
@@ -636,6 +694,7 @@ DramSystem::saveState(StateWriter &out) const
         out.b(entry.request.priority);
         out.u64(entry.request.integrityId);
         out.u64(entry.request.enqueuedAt);
+        out.u8(static_cast<std::uint8_t>(entry.request.region));
     }
     out.u64Vec(fastBusyUntil_);
     out.u64Vec(coreBytes_);
@@ -679,6 +738,7 @@ DramSystem::loadState(StateReader &in)
         entry.request.priority = in.b();
         entry.request.integrityId = in.u64();
         entry.request.enqueuedAt = in.u64();
+        entry.request.region = static_cast<MemRegion>(in.u8());
     }
     fastBusyUntil_ = in.u64Vec();
     if (fastBusyUntil_.size() != channels_.size())

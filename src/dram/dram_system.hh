@@ -1,6 +1,7 @@
 /**
  * @file
- * Multi-channel DRAM system with per-core channel partitioning.
+ * Multi-channel DRAM system with per-core channel partitioning — the
+ * reference MemoryBackend implementation (DESIGN.md §14).
  *
  * Bandwidth sharing levels from the paper map onto channel sets:
  *  - shared (+D): every core interleaves over every channel;
@@ -23,11 +24,12 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/dram_channel.hh"
+#include "mem/memory_backend.hh"
 
 namespace mnpu
 {
 
-class DramSystem
+class DramSystem : public MemoryBackend
 {
   public:
     /**
@@ -36,18 +38,39 @@ class DramSystem
      * @param num_cores     NPU cores that may issue requests
      * @param queue_depth   per-channel transaction queue depth
      * @param mapping_order address interleaving within a channel
+     * @param stat_prefix   StatGroup name prefix ("dram" → "dram.ch0"…;
+     *                      tiered systems give the cold tier its own)
      */
     DramSystem(const DramTiming &timing, std::uint32_t num_channels,
                std::uint32_t num_cores, std::uint32_t queue_depth = 32,
-               const std::string &mapping_order = "ro-ra-bg-ba-co");
+               const std::string &mapping_order = "ro-ra-bg-ba-co",
+               const std::string &stat_prefix = "dram");
 
-    /** Give @p core exclusive use of the listed channels. */
+    /**
+     * Apply a declarative channel-partition + bandwidth-share policy.
+     * The one write path for sharing configuration; the legacy
+     * setPartition/shareAllChannels/partitionByCounts/
+     * setBandwidthShares entry points forward here.
+     */
+    void applyPolicy(const SharingPolicy &policy) override;
+
+    /**
+     * Give @p core exclusive use of the listed channels.
+     * @deprecated Build a SharingPolicy (Channels::Explicit) and call
+     * applyPolicy() instead; kept one release as a thin forwarder.
+     */
     void setPartition(CoreId core, std::vector<std::uint32_t> channels);
 
-    /** Every core interleaves across all channels (dynamic sharing). */
+    /**
+     * Every core interleaves across all channels (dynamic sharing).
+     * @deprecated Forwarder for applyPolicy({Channels::ShareAll}).
+     */
     void shareAllChannels();
 
-    /** Split channels contiguously by @p counts (must sum to total). */
+    /**
+     * Split channels contiguously by @p counts (must sum to total).
+     * @deprecated Forwarder for applyPolicy (Channels::ByCounts).
+     */
     void partitionByCounts(const std::vector<std::uint32_t> &counts);
 
     /**
@@ -56,6 +79,7 @@ class DramSystem
      * each core's enqueue rate is capped by a token bucket at
      * @p shares[core] / sum(shares) of the system's peak bandwidth.
      * Pass an empty vector to remove all caps (dynamic sharing).
+     * @deprecated Forwarder for applyPolicy (bandwidthShares engaged).
      */
     void setBandwidthShares(const std::vector<std::uint32_t> &shares);
 
@@ -63,7 +87,7 @@ class DramSystem
      * Try to queue a transaction. @return false when the target channel
      * queue is full (caller retries later).
      */
-    bool tryEnqueue(const DramRequest &request, Cycle now);
+    bool tryEnqueue(const DramRequest &request, Cycle now) override;
 
     /**
      * Fast-fidelity analytic transfer: model a batch of @p num_tx
@@ -80,7 +104,7 @@ class DramSystem
      * @return the global cycle the batch's last data beat completes.
      */
     Cycle fastTransfer(CoreId core, std::uint64_t num_tx, bool is_write,
-                       Cycle start);
+                       Cycle start) override;
 
     /**
      * Fast-fidelity walk traffic: credit @p num_steps page-table-walk
@@ -88,10 +112,11 @@ class DramSystem
      * accounting — the walk latency itself is modeled closed-form by
      * Mmu::fastTranslate, not by queueing these reads.
      */
-    void fastWalkTraffic(CoreId core, std::uint64_t num_steps, Cycle at);
+    void fastWalkTraffic(CoreId core, std::uint64_t num_steps,
+                         Cycle at) override;
 
     /** @return true if the target channel could accept @p request now. */
-    bool canAccept(const DramRequest &request) const;
+    bool canAccept(const DramRequest &request) const override;
 
     /**
      * Advance to global cycle @p now. In the default (cycle-scheduler)
@@ -100,7 +125,7 @@ class DramSystem
      * that were enqueued-to since their last tick are ticked — a
      * channel skipped under that rule is guaranteed to no-op.
      */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
 
     /**
      * Switch to event-driven per-channel ticking: tick(now) consults a
@@ -110,14 +135,14 @@ class DramSystem
      * the next tick revisits it. Used by the event scheduler; direct
      * per-cycle users keep the default exhaustive mode.
      */
-    void setEventDriven(bool enabled);
+    void setEventDriven(bool enabled) override;
 
     /**
      * Whether any channel was enqueued-to since its last tick (event
      * mode): the system must be revisited at now + 1 regardless of the
      * cached bounds, which predate the enqueue.
      */
-    bool poked() const { return anyPoked_; }
+    bool poked() const override { return anyPoked_; }
 
     /**
      * Event mode: true when this tick freed a channel-queue slot or a
@@ -125,20 +150,20 @@ class DramSystem
      * the two conditions under which a blocked enqueuer (a core's DMA
      * drain or a WaitIssue walker) could now succeed. Cleared on read.
      */
-    bool consumeRetrySignal()
+    bool consumeRetrySignal() override
     {
         bool signal = retrySignal_;
         retrySignal_ = false;
         return signal;
     }
 
-    bool busy() const;
+    bool busy() const override;
 
     /**
      * Conservative per-cycle bound (the cycle scheduler): now + 1
      * whenever any channel has queued work.
      */
-    Cycle nextTickCycle(Cycle now) const;
+    Cycle nextTickCycle(Cycle now) const override;
 
     /**
      * Sharp lower bound on the next cycle the DRAM system (any
@@ -146,7 +171,7 @@ class DramSystem
      * starved requester is waiting on) changes state. See
      * DramChannel::nextEventCycle for the bound contract.
      */
-    Cycle nextEventCycle(Cycle now) const;
+    Cycle nextEventCycle(Cycle now) const override;
 
     /**
      * FNV-1a hash over every DRAM command the protocol checkers have
@@ -154,10 +179,10 @@ class DramSystem
      * Two runs with identical hashes issued the identical command
      * stream — the differential scheduler test's strongest witness.
      */
-    std::uint64_t protocolStreamHash() const;
+    std::uint64_t protocolStreamHash() const override;
 
     /** Completion callback for reads and writes (data-done cycle). */
-    void setCallback(DramCallback callback);
+    void setCallback(DramCallback callback) override;
 
     /**
      * Attach the integrity layer: @p tracker assigns every accepted
@@ -168,14 +193,14 @@ class DramSystem
      * nullptr; neither is owned.
      */
     void setIntegrity(RequestLifecycleTracker *tracker,
-                      FaultInjector *injector);
+                      FaultInjector *injector) override;
 
     /**
      * Attach one DramProtocolChecker per channel (full check level);
      * every subsequent DRAM command is re-validated against the
      * timing parameters.
      */
-    void enableProtocolChecks();
+    void enableProtocolChecks() override;
 
     /**
      * Attach the observability trace sink: each delivered request
@@ -183,33 +208,36 @@ class DramSystem
      * process, and when the sink's level is Requests every channel also
      * emits per-command instants. Passive; nullptr detaches; not owned.
      */
-    void setTraceSink(TraceEventSink *sink);
+    void setTraceSink(TraceEventSink *sink) override;
 
     /** DRAM commands validated so far (0 when protocol checks are off). */
-    std::uint64_t protocolCommandsChecked() const;
+    std::uint64_t protocolCommandsChecked() const override;
 
     /**
      * Start recording per-core and total traffic per @p window_cycles
      * window (Figure 12 telemetry). Bytes are attributed to the window
      * of the completion cycle.
      */
-    void enableTelemetry(Cycle window_cycles);
+    void enableTelemetry(Cycle window_cycles) override;
 
     /** Flush telemetry windows; call once after simulation. */
-    void finalizeTelemetry();
+    void finalizeTelemetry() override;
 
     /**
      * Write request logs under @p dir (§3.2.2): `dram.log` records the
      * start cycle of every accepted request and `dramreq.log` the end
      * cycle, both with core, channel, address, and operation.
      */
-    void enableRequestLog(const std::string &dir);
+    void enableRequestLog(const std::string &dir) override;
 
     /** Flush request logs to disk (call after the simulation). */
-    void flushRequestLogs();
+    void flushRequestLogs() override;
 
     /** @return whether enableTelemetry() has been called. */
-    bool telemetryEnabled() const { return totalTracer_.has_value(); }
+    bool telemetryEnabled() const override
+    {
+        return totalTracer_.has_value();
+    }
 
     /**
      * Per-core traffic tracer (telemetry must be enabled).
@@ -217,45 +245,48 @@ class DramSystem
      * SimResult::telemetry.findSeries() instead of reaching into the
      * live DRAM system; kept one release for out-of-tree callers.
      */
-    const IntervalTracer &coreTelemetry(CoreId core) const;
+    const IntervalTracer &coreTelemetry(CoreId core) const override;
 
     /**
      * Whole-system traffic tracer (telemetry must be enabled).
      * @deprecated Read `dram.total.bytes` from
      * SimResult::telemetry.findSeries() instead; kept one release.
      */
-    const IntervalTracer &totalTelemetry() const;
+    const IntervalTracer &totalTelemetry() const override;
 
-    std::uint32_t numChannels() const
+    std::uint32_t numChannels() const override
     {
         return static_cast<std::uint32_t>(channels_.size());
     }
-    std::uint32_t numCores() const
+    std::uint32_t numCores() const override
     {
         return static_cast<std::uint32_t>(partitions_.size());
     }
 
-    const DramTiming &timing() const { return timing_; }
+    const DramTiming &timing() const override { return timing_; }
 
     /** Total bytes completed for @p core (data + walk traffic). */
-    std::uint64_t coreBytes(CoreId core) const;
+    std::uint64_t coreBytes(CoreId core) const override;
 
     /** Bytes of page-table-walk traffic completed for @p core. */
-    std::uint64_t coreWalkBytes(CoreId core) const;
+    std::uint64_t coreWalkBytes(CoreId core) const override;
 
     /** Aggregate stats across channels (reads/writes/hits/misses). */
-    std::uint64_t totalCounter(const std::string &stat_name) const;
+    std::uint64_t totalCounter(const std::string &stat_name) const override;
 
     const DramChannel &channel(std::uint32_t index) const
     {
         return *channels_[index];
     }
 
+    /** Every per-channel StatGroup, in channel order. */
+    void visitStatGroups(const StatGroupVisitor &visit) const override;
+
     /** Peak bandwidth of the whole system in bytes/sec. */
-    double peakBandwidthBytesPerSec() const;
+    double peakBandwidthBytesPerSec() const override;
 
     /** Total DRAM energy over @p elapsed_cycles, picojoules. */
-    double totalEnergyPj(Cycle elapsed_cycles) const;
+    double totalEnergyPj(Cycle elapsed_cycles) const override;
 
     /**
      * Snapshot every channel, the per-core token buckets, delayed
@@ -267,8 +298,39 @@ class DramSystem
      * and skipped-channel no-op guarantees hold trivially. Request
      * logs restart empty (spans before the snapshot are not replayed).
      */
-    void saveState(StateWriter &out) const;
-    void loadState(StateReader &in);
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
+    const char *kindName() const override { return "dram"; }
+
+  protected:
+    /**
+     * Channel-completion entry: applies injected completion faults
+     * (drop/duplicate/delay), then deliver()s. Virtual so derived
+     * media models (PcmBackend's write-commit hold) can interpose on
+     * the completion path while keeping fault semantics.
+     */
+    virtual void onCompletion(const DramRequest &request, Cycle at);
+
+    /**
+     * Hand a completed request to the integrity tracker, byte/energy
+     * accounting, telemetry, logs, and the client callback — the one
+     * delivery path every backend-visible completion must take (the
+     * lifecycle audit reconciles against it).
+     */
+    void deliver(const DramRequest &request, Cycle at);
+
+    /** Integrity tracker, for derived backends' own admission paths. */
+    RequestLifecycleTracker *lifecycleTracker() const { return tracker_; }
+
+    /** Raise the blocked-enqueuer retry signal (event mode). */
+    void raiseRetrySignal() { retrySignal_ = true; }
+
+    /** Whether event-driven ticking is on (setEventDriven). */
+    bool eventDrivenMode() const { return eventDriven_; }
+
+    /** The stats-name prefix this system was built with. */
+    const std::string &statPrefix() const { return statPrefix_; }
 
   private:
     struct Route
@@ -277,8 +339,7 @@ class DramSystem
         Addr localAddr;
     };
     Route route(const DramRequest &request) const;
-    void onCompletion(const DramRequest &request, Cycle at);
-    void deliver(const DramRequest &request, Cycle at);
+    void applyBandwidthShares(const std::vector<std::uint32_t> &shares);
 
     /** A completion held back by an injected dram-delay fault. */
     struct DelayedCompletion
@@ -323,6 +384,7 @@ class DramSystem
 
     DramTiming timing_;
     std::uint32_t offsetBits_;
+    std::string statPrefix_;
     std::vector<std::unique_ptr<DramChannel>> channels_;
     std::vector<std::vector<std::uint32_t>> partitions_; //!< per core
     std::vector<TokenBucket> buckets_;                   //!< per core

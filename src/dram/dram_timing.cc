@@ -154,12 +154,46 @@ DramTiming::ddr4()
 }
 
 DramTiming
+DramTiming::pcm()
+{
+    // Phase-change media behind the HBM2 bus: same clock, bus width,
+    // and 64B transaction as hbm2() so a tiered system keeps one clock
+    // domain and one transaction size across tiers (the lifecycle
+    // audit reconciles byte totals assuming uniform transactions).
+    // Array timings are the slow part: reads pay a ~4x array access,
+    // writes are strongly asymmetric (cell programming, tWR ~10x),
+    // and the media needs no refresh, so tREFI is pushed out to "a
+    // millisecond" with tRFC at its floor (validate: tRFC >= tRP).
+    DramTiming t = hbm2();
+    t.name = "pcm";
+    t.tCL = 60;    // slow array read
+    t.tRCD = 110;  // activate (array sense) dominates read latency
+    t.tRP = 30;
+    t.tRAS = 160;
+    t.tWR = 150;   // asymmetric write programming
+    t.tWTR = 30;
+    t.tRRD = 8;
+    t.tFAW = 32;
+    t.tREFI = 1000000; // non-volatile: effectively no refresh
+    t.tRFC = 30;
+    t.eActPrePj = 8000;   // array sense/restore
+    t.eReadPj = 4000;
+    t.eWritePj = 30000;   // RESET/SET programming energy
+    t.eRefreshPj = 0;
+    t.backgroundMw = 20;  // no refresh/retention power
+    t.validate();
+    return t;
+}
+
+DramTiming
 DramTiming::preset(const std::string &preset_name)
 {
     if (iequals(preset_name, "hbm2"))
         return hbm2();
     if (iequals(preset_name, "ddr4"))
         return ddr4();
+    if (iequals(preset_name, "pcm"))
+        return pcm();
     fatal("unknown DRAM preset '", preset_name, "'");
 }
 

@@ -109,7 +109,16 @@ struct DramTiming
     /** DDR4-2400-ish single channel: 64-bit bus, BL8 -> 19.2 GB/s. */
     static DramTiming ddr4();
 
-    /** Look up a preset by name ("hbm2", "ddr4"); fatal() if unknown. */
+    /**
+     * Phase-change media behind the HBM2 bus: same clock/geometry as
+     * hbm2() (uniform transaction size across tiers) with slow reads,
+     * strongly asymmetric writes, and no refresh. The media timing of
+     * PcmBackend.
+     */
+    static DramTiming pcm();
+
+    /** Look up a preset by name ("hbm2", "ddr4", "pcm"); fatal() if
+     *  unknown. */
     static DramTiming preset(const std::string &preset_name);
 
     /**

@@ -1,0 +1,108 @@
+#include "mem/memory_backend.hh"
+
+#include <cstdlib>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "dram/dram_system.hh"
+#include "mem/pcm_backend.hh"
+#include "mem/tiered_backend.hh"
+#include "mem/xbar.hh"
+
+namespace mnpu
+{
+
+namespace
+{
+
+std::optional<MemBackendKind> &
+processDefault()
+{
+    static std::optional<MemBackendKind> kind;
+    return kind;
+}
+
+} // namespace
+
+const char *
+toString(MemBackendKind kind)
+{
+    switch (kind) {
+    case MemBackendKind::Dram:
+        return "hbm2";
+    case MemBackendKind::Pcm:
+        return "pcm";
+    case MemBackendKind::Tiered:
+        return "tiered";
+    }
+    return "?";
+}
+
+MemBackendKind
+parseMemBackendKind(const std::string &text)
+{
+    if (iequals(text, "hbm2") || iequals(text, "dram"))
+        return MemBackendKind::Dram;
+    if (iequals(text, "pcm"))
+        return MemBackendKind::Pcm;
+    if (iequals(text, "tiered"))
+        return MemBackendKind::Tiered;
+    fatal("unknown memory backend '", text,
+          "' (expected hbm2, pcm, or tiered)");
+}
+
+void
+setMemBackendDefault(MemBackendKind kind)
+{
+    processDefault() = kind;
+}
+
+void
+clearMemBackendDefault()
+{
+    processDefault().reset();
+}
+
+MemBackendKind
+effectiveMemBackendKind(const std::optional<MemBackendKind> &configured)
+{
+    if (configured)
+        return *configured;
+    if (processDefault())
+        return *processDefault();
+    if (const char *env = std::getenv("MNPU_MEM_BACKEND");
+        env && *env != '\0') {
+        return parseMemBackendKind(env);
+    }
+    return MemBackendKind::Dram;
+}
+
+std::unique_ptr<MemoryBackend>
+makeMemoryBackend(MemBackendKind kind, const DramTiming &timing,
+                  std::uint32_t num_channels, std::uint32_t num_cores,
+                  std::uint32_t queue_depth, const PcmConfig &pcm,
+                  const FabricConfig &fabric)
+{
+    std::unique_ptr<MemoryBackend> backend;
+    switch (kind) {
+    case MemBackendKind::Dram:
+        backend = std::make_unique<DramSystem>(timing, num_channels,
+                                               num_cores, queue_depth);
+        break;
+    case MemBackendKind::Pcm:
+        backend = std::make_unique<PcmBackend>(DramTiming::pcm(),
+                                               num_channels, num_cores,
+                                               queue_depth, pcm);
+        break;
+    case MemBackendKind::Tiered:
+        backend = std::make_unique<TieredBackend>(timing, num_channels,
+                                                  num_cores, queue_depth,
+                                                  pcm);
+        break;
+    }
+    if (fabric.enabled)
+        backend = std::make_unique<XBar>(std::move(backend), fabric);
+    return backend;
+}
+
+} // namespace mnpu

@@ -1,0 +1,368 @@
+#include "mem/xbar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mnpu
+{
+
+XBar::XBar(std::unique_ptr<MemoryBackend> downstream,
+           const FabricConfig &config)
+    : downstream_(std::move(downstream)),
+      config_(config),
+      fabricStats_("fabric"),
+      enqueued_(fabricStats_.counter("enqueued")),
+      forwarded_(fabricStats_.counter("forwarded")),
+      waitCycles_(fabricStats_.counter("wait_cycles"))
+{
+    mnpu_assert(downstream_ != nullptr, "XBar needs a backend");
+    std::uint32_t ports =
+        config_.ports != 0 ? config_.ports : downstream_->numCores();
+    if (ports == 0)
+        fatal("XBar needs at least one port");
+    if (config_.queueDepth == 0)
+        fatal("XBar needs a per-port queue depth >= 1");
+    if (config_.widthBytes == 0)
+        fatal("XBar needs a nonzero port width");
+    txCycles_ = std::max<Cycle>(
+        1, ceilDiv(downstream_->timing().transactionBytes(),
+                   config_.widthBytes));
+    queues_.resize(ports);
+    portFree_.assign(ports, 0);
+    fastPortFree_.assign(ports, 0);
+}
+
+bool
+XBar::canAccept(const DramRequest &request) const
+{
+    const auto &queue = queues_[portOf(request.core)];
+    std::uint32_t limit =
+        request.priority
+            ? config_.queueDepth
+            : config_.queueDepth -
+                  std::min<std::uint32_t>(kPriorityReserve,
+                                          config_.queueDepth - 1);
+    return queue.size() < limit;
+}
+
+bool
+XBar::tryEnqueue(const DramRequest &request, Cycle now)
+{
+    if (!canAccept(request))
+        return false; // pure refusal: nothing mutated
+    queues_[portOf(request.core)].push_back(
+        Entry{request, now + config_.latencyCycles});
+    enqueued_.inc();
+    return true;
+}
+
+void
+XBar::tick(Cycle now)
+{
+    // Drain downstream first so a slot it frees this cycle is seen by
+    // this cycle's forwards in both schedulers alike.
+    downstream_->tick(now);
+    const std::size_t ports = queues_.size();
+    // Round-robin arbitration anchored on simulated time, not visit
+    // count: the winner rotation is identical across schedulers.
+    const std::size_t start = static_cast<std::size_t>(now % ports);
+    for (std::size_t i = 0; i < ports; ++i) {
+        const std::size_t p = (start + i) % ports;
+        auto &queue = queues_[p];
+        if (queue.empty() || queue.front().readyAt > now ||
+            portFree_[p] > now) {
+            continue;
+        }
+        // Head-of-line: a refusal downstream (full queue, starved
+        // bucket) blocks the port until the downstream's own bounds /
+        // retry signal re-visit it.
+        if (!downstream_->tryEnqueue(queue.front().request, now))
+            continue;
+        waitCycles_.inc(now - queue.front().readyAt);
+        queue.pop_front();
+        forwarded_.inc();
+        portFree_[p] = now + txCycles_; // width pacing
+        retrySignal_ = true;            // a port slot was freed
+    }
+}
+
+bool
+XBar::busy() const
+{
+    return downstream_->busy() ||
+           std::any_of(queues_.begin(), queues_.end(),
+                       [](const auto &queue) { return !queue.empty(); });
+}
+
+void
+XBar::setEventDriven(bool enabled)
+{
+    downstream_->setEventDriven(enabled);
+}
+
+bool
+XBar::poked() const
+{
+    return downstream_->poked();
+}
+
+bool
+XBar::consumeRetrySignal()
+{
+    bool signal = retrySignal_;
+    retrySignal_ = false;
+    return downstream_->consumeRetrySignal() || signal;
+}
+
+Cycle
+XBar::nextTickCycle(Cycle now) const
+{
+    Cycle next = downstream_->nextTickCycle(now);
+    for (const auto &queue : queues_) {
+        if (!queue.empty())
+            next = std::min(next, now + 1);
+    }
+    return next;
+}
+
+Cycle
+XBar::nextEventCycle(Cycle now) const
+{
+    // Per port: the head forwards no earlier than max(readyAt,
+    // portFree). When both are already due the head is blocked on a
+    // downstream refusal; now + 1 (the max() floor) keeps the port
+    // under watch until the downstream unblocks — an undershoot, never
+    // an overshoot.
+    Cycle next = downstream_->nextEventCycle(now);
+    for (std::size_t p = 0; p < queues_.size(); ++p) {
+        if (queues_[p].empty())
+            continue;
+        Cycle candidate =
+            std::max(queues_[p].front().readyAt, portFree_[p]);
+        next = std::min(next, std::max(candidate, now + 1));
+    }
+    return next;
+}
+
+void
+XBar::applyPolicy(const SharingPolicy &policy)
+{
+    downstream_->applyPolicy(policy);
+}
+
+Cycle
+XBar::fastTransfer(CoreId core, std::uint64_t num_tx, bool is_write,
+                   Cycle start)
+{
+    if (num_tx == 0)
+        return start;
+    // Analytic port model mirroring the queued path: the batch enters
+    // the port after the traversal latency, serializes behind the
+    // port's previous fast batch, and occupies the port txCycles per
+    // transaction — so shrinking the width lengthens every batch.
+    const std::size_t p = portOf(core);
+    const Cycle enter =
+        std::max(start + config_.latencyCycles, fastPortFree_[p]);
+    fastPortFree_[p] = enter + num_tx * txCycles_;
+    const Cycle done =
+        downstream_->fastTransfer(core, num_tx, is_write, enter);
+    return std::max(done, fastPortFree_[p]);
+}
+
+void
+XBar::fastWalkTraffic(CoreId core, std::uint64_t num_steps, Cycle at)
+{
+    downstream_->fastWalkTraffic(core, num_steps, at);
+}
+
+void
+XBar::setCallback(DramCallback callback)
+{
+    downstream_->setCallback(std::move(callback));
+}
+
+void
+XBar::setIntegrity(RequestLifecycleTracker *tracker,
+                   FaultInjector *injector)
+{
+    downstream_->setIntegrity(tracker, injector);
+}
+
+void
+XBar::enableProtocolChecks()
+{
+    downstream_->enableProtocolChecks();
+}
+
+std::uint64_t
+XBar::protocolStreamHash() const
+{
+    return downstream_->protocolStreamHash();
+}
+
+std::uint64_t
+XBar::protocolCommandsChecked() const
+{
+    return downstream_->protocolCommandsChecked();
+}
+
+void
+XBar::setTraceSink(TraceEventSink *sink)
+{
+    downstream_->setTraceSink(sink);
+}
+
+void
+XBar::enableTelemetry(Cycle window_cycles)
+{
+    downstream_->enableTelemetry(window_cycles);
+}
+
+void
+XBar::finalizeTelemetry()
+{
+    downstream_->finalizeTelemetry();
+}
+
+bool
+XBar::telemetryEnabled() const
+{
+    return downstream_->telemetryEnabled();
+}
+
+const IntervalTracer &
+XBar::coreTelemetry(CoreId core) const
+{
+    return downstream_->coreTelemetry(core);
+}
+
+const IntervalTracer &
+XBar::totalTelemetry() const
+{
+    return downstream_->totalTelemetry();
+}
+
+void
+XBar::enableRequestLog(const std::string &dir)
+{
+    downstream_->enableRequestLog(dir);
+}
+
+void
+XBar::flushRequestLogs()
+{
+    downstream_->flushRequestLogs();
+}
+
+const DramTiming &
+XBar::timing() const
+{
+    return downstream_->timing();
+}
+
+std::uint32_t
+XBar::numCores() const
+{
+    return downstream_->numCores();
+}
+
+std::uint32_t
+XBar::numChannels() const
+{
+    return downstream_->numChannels();
+}
+
+std::uint64_t
+XBar::coreBytes(CoreId core) const
+{
+    return downstream_->coreBytes(core);
+}
+
+std::uint64_t
+XBar::coreWalkBytes(CoreId core) const
+{
+    return downstream_->coreWalkBytes(core);
+}
+
+std::uint64_t
+XBar::totalCounter(const std::string &stat_name) const
+{
+    return downstream_->totalCounter(stat_name);
+}
+
+double
+XBar::peakBandwidthBytesPerSec() const
+{
+    return downstream_->peakBandwidthBytesPerSec();
+}
+
+double
+XBar::totalEnergyPj(Cycle elapsed_cycles) const
+{
+    return downstream_->totalEnergyPj(elapsed_cycles);
+}
+
+void
+XBar::visitStatGroups(const StatGroupVisitor &visit) const
+{
+    visit(fabricStats_);
+    downstream_->visitStatGroups(visit);
+}
+
+void
+XBar::saveState(StateWriter &out) const
+{
+    out.section("XBAR");
+    out.u64(queues_.size());
+    for (const auto &queue : queues_) {
+        out.u64(queue.size());
+        for (const Entry &entry : queue) {
+            out.u64(entry.readyAt);
+            out.u64(entry.request.paddr);
+            out.u8(entry.request.op == MemOp::Write ? 1 : 0);
+            out.u32(entry.request.core);
+            out.u64(entry.request.tag);
+            out.b(entry.request.priority);
+            out.u64(entry.request.integrityId);
+            out.u64(entry.request.enqueuedAt);
+            out.u8(static_cast<std::uint8_t>(entry.request.region));
+        }
+    }
+    out.u64Vec(portFree_);
+    out.u64Vec(fastPortFree_);
+    fabricStats_.saveState(out);
+    downstream_->saveState(out);
+}
+
+void
+XBar::loadState(StateReader &in)
+{
+    in.section("XBAR");
+    if (in.u64() != queues_.size())
+        throw SnapshotError("XBar port-count mismatch");
+    for (auto &queue : queues_) {
+        queue.resize(in.u64());
+        for (Entry &entry : queue) {
+            entry.readyAt = in.u64();
+            entry.request.paddr = in.u64();
+            entry.request.op = in.u8() != 0 ? MemOp::Write : MemOp::Read;
+            entry.request.core = in.u32();
+            entry.request.tag = in.u64();
+            entry.request.priority = in.b();
+            entry.request.integrityId = in.u64();
+            entry.request.enqueuedAt = in.u64();
+            entry.request.region = static_cast<MemRegion>(in.u8());
+        }
+    }
+    portFree_ = in.u64Vec();
+    fastPortFree_ = in.u64Vec();
+    if (portFree_.size() != queues_.size() ||
+        fastPortFree_.size() != queues_.size()) {
+        throw SnapshotError("XBar port-horizon count mismatch");
+    }
+    fabricStats_.loadState(in);
+    downstream_->loadState(in);
+}
+
+} // namespace mnpu

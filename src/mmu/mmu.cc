@@ -9,7 +9,7 @@ namespace mnpu
 {
 
 Mmu::Mmu(const MmuConfig &config, PageAllocator &allocator,
-         PageTableModel &page_table, DramSystem &dram)
+         PageTableModel &page_table, MemoryBackend &dram)
     : config_(config),
       allocator_(allocator),
       pageTable_(page_table),

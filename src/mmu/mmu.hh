@@ -29,7 +29,7 @@
 #include "common/request_log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "dram/dram_system.hh"
+#include "mem/memory_backend.hh"
 #include "mmu/paging.hh"
 #include "mmu/tlb.hh"
 
@@ -77,7 +77,7 @@ class Mmu
 {
   public:
     Mmu(const MmuConfig &config, PageAllocator &allocator,
-        PageTableModel &page_table, DramSystem &dram);
+        PageTableModel &page_table, MemoryBackend &dram);
 
     /** Set the translation-completion callback (typically the DMA). */
     void setCallback(MmuCallback callback)
@@ -336,7 +336,7 @@ class Mmu
     MmuConfig config_;
     PageAllocator &allocator_;
     PageTableModel &pageTable_;
-    DramSystem &dram_;
+    MemoryBackend &dram_;
     MmuCallback callback_;
 
     std::vector<std::unique_ptr<Tlb>> tlbs_;

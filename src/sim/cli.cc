@@ -187,6 +187,30 @@ loadCliRun(const std::string &arch_list_path,
             dram_config.requireString("bandwidth_shares"), "bandwidth");
     }
 
+    // --- memory backend and fabric (DESIGN.md §14) ---
+    if (dram_config.has("mem_backend")) {
+        mem.backend = parseMemBackendKind(
+            dram_config.requireString("mem_backend"));
+    }
+    mem.pcm.cacheLines = static_cast<std::uint32_t>(
+        dram_config.getUint("pcm.cache_lines", mem.pcm.cacheLines));
+    mem.pcm.cacheHitLatency = dram_config.getUint("pcm.cache_hit_latency",
+                                                  mem.pcm.cacheHitLatency);
+    mem.pcm.writeCommitCycles = dram_config.getUint(
+        "pcm.write_commit_cycles", mem.pcm.writeCommitCycles);
+    mem.pcm.hitQueueDepth = static_cast<std::uint32_t>(
+        dram_config.getUint("pcm.hit_queue_depth", mem.pcm.hitQueueDepth));
+    mem.fabric.enabled =
+        dram_config.getBool("fabric.enabled", mem.fabric.enabled);
+    mem.fabric.ports = static_cast<std::uint32_t>(
+        dram_config.getUint("fabric.ports", mem.fabric.ports));
+    mem.fabric.queueDepth = static_cast<std::uint32_t>(
+        dram_config.getUint("fabric.queue_depth", mem.fabric.queueDepth));
+    mem.fabric.widthBytes = static_cast<std::uint32_t>(
+        dram_config.getUint("fabric.width_bytes", mem.fabric.widthBytes));
+    mem.fabric.latencyCycles = dram_config.getUint(
+        "fabric.latency_cycles", mem.fabric.latencyCycles);
+
     // --- misc config: execution mode ---
     auto misc = ConfigFile::fromFile(misc_config_path);
     run.config.idealResourceMultiplier = static_cast<std::uint32_t>(
@@ -374,6 +398,18 @@ mnpusimMain(int argc, char **argv)
             first += has_inline_value ? 1 : 2;
             continue;
         }
+        if (flag == "--mem-backend") {
+            if (!take_value("--mem-backend"))
+                return 2;
+            try {
+                setMemBackendDefault(parseMemBackendKind(value));
+            } catch (const FatalError &error) {
+                std::fprintf(stderr, "%s\n", error.what());
+                return 2;
+            }
+            first += has_inline_value ? 1 : 2;
+            continue;
+        }
         if (flag == "--inject") {
             if (!take_value("--inject"))
                 return 2;
@@ -481,6 +517,7 @@ mnpusimMain(int argc, char **argv)
             "usage: %s [--jobs N] [--job-timeout SECONDS] "
             "[--check off|cheap|full] [--sched cycle|event] "
             "[--fidelity exact|fast] "
+            "[--mem-backend hbm2|pcm|tiered] "
             "[--inject SITE[:N[:DELAY]]] "
             "[--snapshot FILE] [--snapshot-every N[c|s]] "
             "[--trace-out FILE] [--metrics-out FILE] "
@@ -498,6 +535,13 @@ mnpusimMain(int argc, char **argv)
             "            an analytic tile model within a committed\n"
             "            error envelope (falls back to exact under\n"
             "            --check or --inject)\n"
+            "  --mem-backend off-chip memory backend (also:\n"
+            "            MNPU_MEM_BACKEND env): hbm2 (default) is the\n"
+            "            paper's DRAM model, pcm swaps in slow media\n"
+            "            with a DRAM data cache, tiered routes weights\n"
+            "            to PCM and activations to HBM2; the dram\n"
+            "            config's mem_backend / pcm.* / fabric.* keys\n"
+            "            override per run\n"
             "  --inject  deterministic fault: dram-drop, dram-dup,\n"
             "            dram-delay, pte-corrupt, or core-stall, fired\n"
             "            at the Nth opportunity (default 1); the\n"

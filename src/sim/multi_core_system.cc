@@ -7,6 +7,8 @@
 
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "mem/tiered_backend.hh"
+#include "mem/xbar.hh"
 
 namespace mnpu
 {
@@ -84,20 +86,23 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
             : num_cores;
     const NpuMemConfig &mem = config.mem;
 
-    // --- DRAM: the structure is always shared (as in mNPUsim); Static
-    // and the Fig. 9 ratio sweeps cap per-core bandwidth instead. ---
+    // --- Off-chip memory: the structure is always shared (as in
+    // mNPUsim); Static and the Fig. 9 ratio sweeps cap per-core
+    // bandwidth instead. The backend kind (DRAM, PCM, tiered) and an
+    // optional XBar fabric come from the mem config / process default.
     const std::uint32_t channels = mem.channelsPerNpu * total_npus;
-    dram_ = std::make_unique<DramSystem>(mem.timing, channels, num_cores,
-                                         mem.dramQueueDepth);
-    dram_->shareAllChannels();
-    if (config.dramBandwidthShares) {
-        dram_->setBandwidthShares(*config.dramBandwidthShares);
-    } else if (config.level == SharingLevel::Static) {
-        dram_->setBandwidthShares(
-            std::vector<std::uint32_t>(num_cores, 1));
-    }
+    backendKind_ = effectiveMemBackendKind(mem.backend);
+    mem_ = makeMemoryBackend(backendKind_, mem.timing, channels,
+                             num_cores, mem.dramQueueDepth, mem.pcm,
+                             mem.fabric);
+    SharingPolicy policy; // channels default to ShareAll
+    if (config.dramBandwidthShares)
+        policy.bandwidthShares = *config.dramBandwidthShares;
+    else if (config.level == SharingLevel::Static)
+        policy.bandwidthShares = std::vector<std::uint32_t>(num_cores, 1);
+    mem_->applyPolicy(policy);
     if (config.telemetryWindow != 0)
-        dram_->enableTelemetry(config.telemetryWindow);
+        mem_->enableTelemetry(config.telemetryWindow);
 
     // --- Paging: one flat physical pool sized to the device budget. ---
     std::uint64_t capacity = mem.dramCapacityPerNpu * total_npus;
@@ -141,9 +146,9 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
         mmu_config.ptwMode = PtwPartitionMode::Static;
     }
     mmu_ = std::make_unique<Mmu>(mmu_config, *allocator_, *pageTable_,
-                                 *dram_);
+                                 *mem_);
     if (!config.requestLogDir.empty()) {
-        dram_->enableRequestLog(config.requestLogDir);
+        mem_->enableRequestLog(config.requestLogDir);
         mmu_->enableRequestLog(config.requestLogDir);
     }
 
@@ -158,7 +163,7 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
         ClockDomain clock(binding.trace->arch().freqMhz,
                           mem.timing.clockMhz);
         cores_.push_back(std::make_unique<NpuCore>(
-            core_config, *binding.trace, *mmu_, *dram_, clock));
+            core_config, *binding.trace, *mmu_, *mem_, clock));
         if (config.requestTraceWindow != 0)
             cores_.back()->enableRequestTrace(config.requestTraceWindow);
     }
@@ -191,6 +196,14 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
                          : "integrity checking is on",
                "; running exact");
     }
+    if (fidelity_ == FidelityKind::Fast &&
+        backendKind_ == MemBackendKind::Tiered) {
+        // The analytic tile path models one bandwidth pool; a tiered
+        // backend's split hot/cold service rates have no closed form.
+        inform("fast fidelity requested but the tiered memory backend "
+               "supports exact only; running exact");
+        fidelity_ = FidelityKind::Exact;
+    }
     if (fidelity_ == FidelityKind::Fast) {
         for (auto &core : cores_)
             core->setFastMode(true);
@@ -205,10 +218,10 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
         }
     }
     if (checkLevel_ == CheckLevel::Full) {
-        dram_->enableProtocolChecks();
+        mem_->enableProtocolChecks();
         mmu_->enableTranslationCheck();
     }
-    dram_->setIntegrity(tracker_.get(), injector_.get());
+    mem_->setIntegrity(tracker_.get(), injector_.get());
     if (injector_) {
         mmu_->setFaultInjector(injector_.get());
         for (auto &core : cores_)
@@ -216,7 +229,7 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     }
 
     // --- Completion routing. ---
-    dram_->setCallback([this](const DramRequest &request, Cycle at) {
+    mem_->setCallback([this](const DramRequest &request, Cycle at) {
         if (Mmu::isWalkTag(request.tag))
             mmu_->onDramCompletion(request.tag, at);
         else
@@ -232,6 +245,22 @@ MultiCoreSystem::MultiCoreSystem(const SystemConfig &config,
     buildMetricsRegistry();
 }
 
+const DramSystem &
+MultiCoreSystem::dram() const
+{
+    const MemoryBackend *backend = mem_.get();
+    if (const auto *xbar = dynamic_cast<const XBar *>(backend))
+        backend = &xbar->downstream();
+    if (const auto *tiered = dynamic_cast<const TieredBackend *>(backend))
+        backend = &tiered->hotTier();
+    const auto *dram = dynamic_cast<const DramSystem *>(backend);
+    if (!dram) {
+        fatal("MultiCoreSystem::dram(): the '", backend->kindName(),
+              "' backend is not DRAM-based; use memory() instead");
+    }
+    return *dram;
+}
+
 void
 MultiCoreSystem::setupObservability()
 {
@@ -243,8 +272,8 @@ MultiCoreSystem::setupObservability()
         // already ask for telemetry itself. Tracers only record — they
         // never feed back into scheduling — so this cannot change
         // simulated behavior.
-        if (!dram_->telemetryEnabled())
-            dram_->enableTelemetry(obs.metricsWindow);
+        if (!mem_->telemetryEnabled())
+            mem_->enableTelemetry(obs.metricsWindow);
         for (auto &core : cores_) {
             if (!core->requestTraceEnabled())
                 core->enableRequestTrace(obs.metricsWindow);
@@ -269,7 +298,7 @@ MultiCoreSystem::setupObservability()
             traceSink_->threadName(TraceEventSink::kMmuPid, id,
                                    who + " walks");
         }
-        for (std::uint32_t c = 0; c < dram_->numChannels(); ++c) {
+        for (std::uint32_t c = 0; c < mem_->numChannels(); ++c) {
             traceSink_->threadName(
                 TraceEventSink::kDramPid,
                 TraceEventSink::kChannelTidBase + c,
@@ -278,7 +307,7 @@ MultiCoreSystem::setupObservability()
     }
     for (auto &core : cores_)
         core->setTraceSink(traceSink_.get());
-    dram_->setTraceSink(traceSink_.get());
+    mem_->setTraceSink(traceSink_.get());
     mmu_->setTraceSink(traceSink_.get());
 }
 
@@ -295,7 +324,7 @@ MultiCoreSystem::buildMetricsRegistry()
     for (CoreId id = 0; id < cores_.size(); ++id) {
         const std::string prefix = "core" + std::to_string(id) + ".";
         const NpuCore *core = cores_[id].get();
-        const DramSystem *dram = dram_.get();
+        const MemoryBackend *dram = mem_.get();
         const Mmu *mmu = mmu_.get();
         registry_.addCounter(prefix + "local_cycles",
                              [core] { return core->totalLocalCycles(); });
@@ -326,22 +355,24 @@ MultiCoreSystem::buildMetricsRegistry()
     for (const char *stat :
          {"reads", "writes", "bytes", "row_hits", "row_misses",
           "activates", "refreshes"}) {
-        const DramSystem *dram = dram_.get();
+        const MemoryBackend *dram = mem_.get();
         std::string name = stat;
         registry_.addCounter("dram." + name, [dram, name] {
             return dram->totalCounter(name);
         });
     }
     registry_.addGauge("dram.energy_pj", [this] {
-        return dram_->totalEnergyPj(finalGlobalCycles_);
+        return mem_->totalEnergyPj(finalGlobalCycles_);
     });
-    for (std::uint32_t c = 0; c < dram_->numChannels(); ++c)
-        registry_.addGroup(dram_->channel(c).stats());
+    // Backend-owned groups: per-channel stats for DRAM-like backends,
+    // plus the PCM cache and fabric groups when those layers exist.
+    mem_->visitStatGroups(
+        [this](const StatGroup &group) { registry_.addGroup(group); });
 
     // Windowed series, present only when the tracers are enabled (the
     // run's own telemetryWindow/requestTraceWindow, or metricsOutPath).
-    if (dram_->telemetryEnabled()) {
-        const DramSystem *dram = dram_.get();
+    if (mem_->telemetryEnabled()) {
+        const MemoryBackend *dram = mem_.get();
         const Cycle window = config_.telemetryWindow != 0
                                  ? config_.telemetryWindow
                                  : config_.obs.metricsWindow;
@@ -453,7 +484,7 @@ MultiCoreSystem::run(const RunBudget &budget)
     // the DRAM retry signal. Fault drills keep tick-everything
     // semantics: an armed injector fires on un-modeled schedules.
     const bool gated = event_mode && injector_ == nullptr;
-    dram_->setEventDriven(gated);
+    mem_->setEventDriven(gated);
     const std::size_t n = cores_.size();
     Cycle mmuNext = 0;                //!< cached MMU bound (gated mode)
     std::vector<Cycle> coreNext(n, 0); //!< cached core bounds (gated)
@@ -498,7 +529,7 @@ MultiCoreSystem::run(const RunBudget &budget)
             // A dropped DRAM response leaves cores waiting while the
             // memory system drains idle — a livelock no deadlock check
             // sees. The lifecycle tracker makes it loud.
-            if (tracker_ && !dram_->busy() && tracker_->outstanding() != 0)
+            if (tracker_ && !mem_->busy() && tracker_->outstanding() != 0)
                 throw tracker_->lostResponseError(now);
         }
         ++iteration;
@@ -515,8 +546,8 @@ MultiCoreSystem::run(const RunBudget &budget)
         const std::size_t first = static_cast<std::size_t>(serviceRound % n);
         bool any_work = false;
         if (gated) {
-            dram_->tick(now); // internally ticks only due channels
-            const bool retry = dram_->consumeRetrySignal();
+            mem_->tick(now); // internally ticks only due channels
+            const bool retry = mem_->consumeRetrySignal();
             bool mmu_freed = false;
             if (mmuNext <= now || mmu_->poked() ||
                 (retry && mmu_->hasBlockedWalks())) {
@@ -535,7 +566,7 @@ MultiCoreSystem::run(const RunBudget &budget)
                 }
             }
         } else {
-            dram_->tick(now);
+            mem_->tick(now);
             mmu_->tick(now);
             for (std::size_t i = 0; i < n; ++i)
                 any_work |= cores_[(first + i) % n]->tick(now);
@@ -559,17 +590,17 @@ MultiCoreSystem::run(const RunBudget &budget)
             // component that was. Inputs pushed during the core phase
             // (translation requests, DRAM enqueues) postdate the
             // caches; their poke flags force a visit at now + 1.
-            next = dram_->nextEventCycle(now);
+            next = mem_->nextEventCycle(now);
             next = std::min(next, mmu_->poked() ? now + 1 : mmuNext);
             for (std::size_t i = 0; i < n; ++i)
                 next = std::min(next, coreNext[i]);
         } else if (event_mode) {
-            next = dram_->nextEventCycle(now);
+            next = mem_->nextEventCycle(now);
             next = std::min(next, mmu_->nextEventCycle(now));
             for (auto &core : cores_)
                 next = std::min(next, core->nextEventCycle(now));
         } else {
-            next = dram_->nextTickCycle(now);
+            next = mem_->nextTickCycle(now);
             next = std::min(next, mmu_->nextTickCycle(now));
             for (auto &core : cores_)
                 next = std::min(next, core->nextTickCycle(now));
@@ -578,7 +609,7 @@ MultiCoreSystem::run(const RunBudget &budget)
             // No component will ever act again. Distinguish a dropped
             // response (a bug the integrity layer names precisely) from
             // a genuine resource deadlock before reporting the latter.
-            if (tracker_ && !dram_->busy() && tracker_->outstanding() != 0)
+            if (tracker_ && !mem_->busy() && tracker_->outstanding() != 0)
                 throw tracker_->lostResponseError(now);
             // Not a panic: a deadlocked *mix* is a per-run failure the
             // sweep layer can record and move past, not a reason to
@@ -623,15 +654,15 @@ MultiCoreSystem::run(const RunBudget &budget)
     if (tracker_) {
         std::vector<std::uint64_t> core_bytes, core_walk_bytes, walk_steps;
         for (CoreId id = 0; id < cores_.size(); ++id) {
-            core_bytes.push_back(dram_->coreBytes(id));
-            core_walk_bytes.push_back(dram_->coreWalkBytes(id));
+            core_bytes.push_back(mem_->coreBytes(id));
+            core_walk_bytes.push_back(mem_->coreWalkBytes(id));
             walk_steps.push_back(mmu_->walkStepsIssued(id));
         }
         tracker_->finalAudit(core_bytes, core_walk_bytes, walk_steps);
     }
 
-    dram_->finalizeTelemetry();
-    dram_->flushRequestLogs();
+    mem_->finalizeTelemetry();
+    mem_->flushRequestLogs();
     mmu_->flushRequestLogs();
     for (auto &core : cores_)
         core->finalizeRequestTrace();
@@ -656,8 +687,8 @@ MultiCoreSystem::run(const RunBudget &budget)
         core_result.localCycles = core.totalLocalCycles();
         core_result.finishedAtGlobal = core.finishedAtGlobal();
         core_result.peUtilization = core.peUtilization();
-        core_result.trafficBytes = dram_->coreBytes(id);
-        core_result.walkBytes = dram_->coreWalkBytes(id);
+        core_result.trafficBytes = mem_->coreBytes(id);
+        core_result.walkBytes = mem_->coreWalkBytes(id);
         const Tlb &tlb = mmu_->tlbForCore(id);
         core_result.tlbHits = tlb.hits();
         core_result.tlbMisses = tlb.misses();
@@ -667,9 +698,9 @@ MultiCoreSystem::run(const RunBudget &budget)
             std::max(result.globalCycles, core.finishedAtGlobal());
         result.cores.push_back(std::move(core_result));
     }
-    result.dramEnergyPj = dram_->totalEnergyPj(result.globalCycles);
-    result.dramRowHits = dram_->totalCounter("row_hits");
-    result.dramRowMisses = dram_->totalCounter("row_misses");
+    result.dramEnergyPj = mem_->totalEnergyPj(result.globalCycles);
+    result.dramRowHits = mem_->totalCounter("row_hits");
+    result.dramRowMisses = mem_->totalCounter("row_misses");
 
     // Materialize the consolidated telemetry view and write any
     // requested observability artifacts. This happens strictly after
@@ -719,7 +750,21 @@ MultiCoreSystem::configFingerprint() const
     mixFnv(hash, static_cast<std::uint64_t>(config_.level));
     mixFnv(hash, config_.idealResourceMultiplier);
     mixFnv(hash, cores_.size());
-    mixFnv(hash, dram_->numChannels());
+    mixFnv(hash, mem_->numChannels());
+    mixFnv(hash, static_cast<std::uint64_t>(backendKind_));
+    if (backendKind_ != MemBackendKind::Dram) {
+        mixFnv(hash, config_.mem.pcm.cacheLines);
+        mixFnv(hash, config_.mem.pcm.cacheHitLatency);
+        mixFnv(hash, config_.mem.pcm.writeCommitCycles);
+        mixFnv(hash, config_.mem.pcm.hitQueueDepth);
+    }
+    mixFnv(hash, config_.mem.fabric.enabled ? 1 : 0);
+    if (config_.mem.fabric.enabled) {
+        mixFnv(hash, config_.mem.fabric.ports);
+        mixFnv(hash, config_.mem.fabric.queueDepth);
+        mixFnv(hash, config_.mem.fabric.widthBytes);
+        mixFnv(hash, config_.mem.fabric.latencyCycles);
+    }
     mixFnv(hash, config_.mem.dramQueueDepth);
     mixFnv(hash, config_.mem.pageBytes);
     mixFnv(hash, config_.mem.dramCapacityPerNpu);
@@ -732,7 +777,7 @@ MultiCoreSystem::configFingerprint() const
     mixFnv(hash, static_cast<std::uint64_t>(fidelity_));
     mixFnv(hash, config_.telemetryWindow);
     mixFnv(hash, config_.requestTraceWindow);
-    mixFnv(hash, dram_->telemetryEnabled() ? 1 : 0);
+    mixFnv(hash, mem_->telemetryEnabled() ? 1 : 0);
     mixFnv(hash, config_.maxGlobalCycles);
     auto mix_opt_vec = [&hash](
         const std::optional<std::vector<std::uint32_t>> &values) {
@@ -782,7 +827,7 @@ MultiCoreSystem::saveState(StateWriter &out, Cycle now,
     allocator_->saveState(out);
     pageTable_->saveState(out);
     mmu_->saveState(out);
-    dram_->saveState(out);
+    mem_->saveState(out);
     out.u64(cores_.size());
     for (const auto &core : cores_)
         core->saveState(out);
@@ -820,7 +865,7 @@ MultiCoreSystem::tryRestoreSnapshot(const std::string &path)
         allocator_->loadState(in);
         pageTable_->loadState(in);
         mmu_->loadState(in);
-        dram_->loadState(in);
+        mem_->loadState(in);
         if (in.u64() != cores_.size())
             throw SnapshotError("core count mismatch");
         for (auto &core : cores_)

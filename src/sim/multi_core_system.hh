@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "core/npu_core.hh"
 #include "dram/dram_system.hh"
+#include "mem/memory_backend.hh"
 #include "mmu/mmu.hh"
 #include "sim/system_config.hh"
 #include "sim/watchdog.hh"
@@ -116,12 +117,26 @@ class MultiCoreSystem
     SimResult run(const RunBudget &budget = RunBudget{});
 
     /**
-     * Component access after run().
-     * @deprecated For telemetry readouts, prefer SimResult::telemetry —
-     * direct component access is kept for tests and structural
-     * inspection (timing parameters, config echo), not metrics.
+     * The off-chip memory backend (and fabric, when configured) the
+     * system was built with. This is the supported component-access
+     * path: everything observable about the memory system — timing
+     * echo, per-core byte counters, telemetry, stat groups — is on the
+     * MemoryBackend interface.
      */
-    const DramSystem &dram() const { return *dram_; }
+    const MemoryBackend &memory() const { return *mem_; }
+
+    /** Backend kind the system resolved at build time. */
+    MemBackendKind backendKind() const { return backendKind_; }
+
+    /**
+     * Component access after run().
+     * @deprecated Reach the memory system through memory() instead;
+     * this downcast forwarder exists only for legacy callers that
+     * predate the MemoryBackend interface. It unwraps an XBar fabric
+     * and returns a tiered backend's hot (DRAM) tier; it aborts when
+     * the backend is not DRAM-based at all.
+     */
+    const DramSystem &dram() const;
     const Mmu &mmu() const { return *mmu_; }
     const NpuCore &core(CoreId id) const { return *cores_[id]; }
     std::uint32_t numCores() const
@@ -172,7 +187,8 @@ class MultiCoreSystem
 
     SystemConfig config_;
     std::vector<CoreBinding> bindings_;
-    std::unique_ptr<DramSystem> dram_;
+    std::unique_ptr<MemoryBackend> mem_;
+    MemBackendKind backendKind_ = MemBackendKind::Dram;
     std::unique_ptr<PageAllocator> allocator_;
     std::unique_ptr<PageTableModel> pageTable_;
     std::unique_ptr<Mmu> mmu_;

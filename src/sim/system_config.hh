@@ -23,6 +23,7 @@
 #include "common/trace_events.hh"
 #include "common/types.hh"
 #include "dram/dram_timing.hh"
+#include "mem/memory_backend.hh"
 #include "serving/serving_config.hh"
 
 namespace mnpu
@@ -50,6 +51,22 @@ struct NpuMemConfig
     std::uint64_t pageBytes = 4096;
     std::uint32_t dramQueueDepth = 32;
     bool translationEnabled = true;
+
+    /**
+     * Off-chip backend kind. Unset defers to the process default
+     * (--mem-backend) and then the MNPU_MEM_BACKEND environment
+     * variable; see effectiveMemBackendKind(). The default (DRAM) is
+     * the paper's HBM2 model and is excluded from the sweep checkpoint
+     * key so historical checkpoints keep resuming; any other kind
+     * feeds the key.
+     */
+    std::optional<MemBackendKind> backend;
+
+    /** Slow-media knobs, used when the resolved backend is PCM/tiered. */
+    PcmConfig pcm;
+
+    /** Inter-core XBar fabric between the cores and the backend. */
+    FabricConfig fabric;
 
     /** Table 2's cloud-scale configuration (the defaults). */
     static NpuMemConfig cloudNpu() { return NpuMemConfig{}; }

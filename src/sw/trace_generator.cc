@@ -56,6 +56,29 @@ TraceGenerator::allocTensor(std::uint64_t bytes)
 }
 
 void
+TraceGenerator::recordWeightRange(Addr base, std::uint64_t bytes)
+{
+    // Allocation order is address order (cursor_ is monotonic), so the
+    // list stays sorted and disjoint; regionOf binary-searches it.
+    weightRanges_.push_back(AccessRange{base, bytes});
+}
+
+MemRegion
+TraceGenerator::regionOf(Addr vaddr) const
+{
+    auto it = std::upper_bound(weightRanges_.begin(), weightRanges_.end(),
+                               vaddr,
+                               [](Addr addr, const AccessRange &range) {
+                                   return addr < range.vaddr;
+                               });
+    if (it == weightRanges_.begin())
+        return MemRegion::Activation;
+    --it;
+    return vaddr < it->vaddr + it->bytes ? MemRegion::Weight
+                                         : MemRegion::Activation;
+}
+
+void
 TraceGenerator::appendRange(std::vector<AccessRange> &ranges, Addr vaddr,
                             std::uint64_t bytes) const
 {
@@ -105,11 +128,13 @@ TraceGenerator::emitGemmLayer(std::uint32_t layer_index, const Layer &layer)
     Addr b_base;
     if (layer.weightTag.empty()) {
         b_base = allocTensor(b_bytes);
+        recordWeightRange(b_base, b_bytes);
     } else {
         auto [it, inserted] = sharedWeights_.try_emplace(
             layer.weightTag, std::pair<Addr, std::uint64_t>{0, b_bytes});
         if (inserted) {
             it->second.first = allocTensor(b_bytes);
+            recordWeightRange(it->second.first, b_bytes);
         } else if (it->second.second != b_bytes) {
             fatal("layer '", layer.name, "': weightTag '", layer.weightTag,
                   "' reused with a different weight shape");
@@ -173,6 +198,7 @@ TraceGenerator::emitEmbeddingLayer(std::uint32_t layer_index,
     const std::uint64_t row_bytes =
         static_cast<std::uint64_t>(layer.rowElems) * bytes;
     const Addr table_base = allocTensor(layer.tableRows * row_bytes);
+    recordWeightRange(table_base, layer.tableRows * row_bytes);
     const std::uint64_t lookups =
         static_cast<std::uint64_t>(layer.numLookups) * layer.batch;
     const Addr out_base = allocTensor(lookups * row_bytes);

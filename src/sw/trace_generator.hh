@@ -90,8 +90,24 @@ class TraceGenerator
      */
     Cycle computeLowerBoundCycles() const { return totalComputeCycles_; }
 
+    /**
+     * Placement class of @p vaddr per the tensor allocation map:
+     * Weight inside a weight tensor (GEMM B operands, shared RNN
+     * weights, embedding tables), Activation everywhere else. Tiered
+     * memory backends route requests on this; cores stamp it per
+     * transaction at issue time.
+     */
+    MemRegion regionOf(Addr vaddr) const;
+
+    /** The recorded weight-tensor intervals (sorted, disjoint). */
+    const std::vector<AccessRange> &weightRanges() const
+    {
+        return weightRanges_;
+    }
+
   private:
     Addr allocTensor(std::uint64_t bytes);
+    void recordWeightRange(Addr base, std::uint64_t bytes);
     void emitGemmLayer(std::uint32_t layer_index, const Layer &layer);
     void emitEmbeddingLayer(std::uint32_t layer_index, const Layer &layer);
     void appendRange(std::vector<AccessRange> &ranges, Addr vaddr,
@@ -102,6 +118,7 @@ class TraceGenerator
     std::string networkName_;
     Addr cursor_ = 0;
     std::map<std::string, std::pair<Addr, std::uint64_t>> sharedWeights_;
+    std::vector<AccessRange> weightRanges_; //!< sorted by vaddr
     std::vector<TileTrace> tiles_;
     std::vector<LayerTrace> layers_;
     std::uint64_t totalMacs_ = 0;

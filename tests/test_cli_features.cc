@@ -201,6 +201,10 @@ TEST_F(CliTest, RequestLogsWrittenWhenEnabled)
         loadCliRun(paths[0], paths[1], paths[2], paths[3], paths[4]);
     EXPECT_TRUE(run.requestLogs);
     run.config.requestLogDir = (dir_ / "logs").string();
+    // The dram.log/dramreq.log row-count identity is a DRAM-media
+    // property (PCM cache hits bypass the media command log), so pin
+    // the backend against a MNPU_MEM_BACKEND process default.
+    run.config.mem.backend = MemBackendKind::Dram;
     MultiCoreSystem system(run.config,
                            std::vector<CoreBinding>(run.bindings));
     system.run();
@@ -314,6 +318,9 @@ TEST(RowPolicyTest, ClosedPageReducesRowHits)
         mem.channelsPerNpu = 2;
         mem.dramCapacityPerNpu = 64ULL << 20;
         mem.timing.rowPolicy = policy;
+        // Row-buffer policy effects are asserted on the DRAM media
+        // model; pin against a MNPU_MEM_BACKEND process default.
+        mem.backend = MemBackendKind::Dram;
         ArchConfig arch;
         arch.arrayRows = 16;
         arch.arrayCols = 16;

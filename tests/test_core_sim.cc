@@ -166,6 +166,10 @@ TEST(CoreSimTest, BandwidthShareRatiosAreOrdered)
     // scheduling noise, but solo the token bucket is the one binding
     // constraint at every ratio.
     NpuMemConfig mem = tinyMem();
+    // The token bucket must be the only binding constraint; PCM
+    // write-commit holds add enough noise to blur the strict ordering,
+    // so pin the backend against a MNPU_MEM_BACKEND process default.
+    mem.backend = MemBackendKind::Dram;
     auto hungry = gemmTrace("h", 64, 4096, 2048, 1);
     auto idle_partner = gemmTrace("i", 32, 32, 32, 1);
     std::vector<Cycle> cycles_for_share;
@@ -298,7 +302,7 @@ TEST(CoreSimTest, TelemetryTotalsMatchCoreBytes)
     auto result = system.run();
     for (CoreId core = 0; core < 2; ++core) {
         std::uint64_t telemetry_bytes = 0;
-        for (auto window : system.dram().coreTelemetry(core).windows())
+        for (auto window : system.memory().coreTelemetry(core).windows())
             telemetry_bytes += window;
         EXPECT_EQ(telemetry_bytes, result.cores[core].trafficBytes);
     }

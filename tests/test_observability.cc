@@ -258,9 +258,17 @@ SimResult
 runDualMix(const ObservabilityConfig &obs,
            SchedulerKind sched = SchedulerKind::Event)
 {
-    static ExperimentContext context(ArchConfig::miniNpu(),
-                                     NpuMemConfig::cloudNpu(),
-                                     ModelScale::Mini);
+    // Pinned to the DRAM backend: the schema spot-checks below name
+    // dram.ch* metric groups, which a MNPU_MEM_BACKEND process default
+    // would rename (pcm.ch*).
+    static ExperimentContext context(
+        ArchConfig::miniNpu(),
+        [] {
+            NpuMemConfig mem = NpuMemConfig::cloudNpu();
+            mem.backend = MemBackendKind::Dram;
+            return mem;
+        }(),
+        ModelScale::Mini);
     SystemConfig config;
     config.level = SharingLevel::ShareDWT;
     config.mem = context.mem();

@@ -86,8 +86,8 @@ runDirect(const GoldenCase &golden, SchedulerKind sched)
     DirectRun run;
     run.scheduler = system.scheduler();
     run.result = system.run();
-    run.streamHash = system.dram().protocolStreamHash();
-    run.commandsChecked = system.dram().protocolCommandsChecked();
+    run.streamHash = system.memory().protocolStreamHash();
+    run.commandsChecked = system.memory().protocolCommandsChecked();
     return run;
 }
 

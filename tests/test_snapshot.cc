@@ -218,6 +218,10 @@ runGoldenResumed(const GoldenCase &golden, SchedulerKind sched,
                  Cycle *resumedAt)
 {
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
@@ -316,6 +320,10 @@ TEST(SnapshotResumeTest, SnapshotWritesArePassive)
     ASSERT_GT(clean.globalCycles, 16u);
 
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
@@ -345,6 +353,10 @@ TEST(SnapshotResumeTest, DramCommandStreamHashSurvivesResume)
     // the exact same command stream from the snapshot point on.
     const GoldenCase &golden = goldenCase("hbm2-dual-res-ncf-dwt");
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
@@ -370,7 +382,7 @@ TEST(SnapshotResumeTest, DramCommandStreamHashSurvivesResume)
     auto clean_system = build();
     const SimResult clean = clean_system->run();
     const std::uint64_t clean_hash =
-        clean_system->dram().protocolStreamHash();
+        clean_system->memory().protocolStreamHash();
     ASSERT_GT(clean.globalCycles, 16u);
 
     const std::string path = tempPath("streamhash.snap");
@@ -390,7 +402,7 @@ TEST(SnapshotResumeTest, DramCommandStreamHashSurvivesResume)
     EXPECT_GT(resumed.resumedAtCycle, 0u);
     EXPECT_GT(resumed.resumedAtIteration, 0u);
     EXPECT_EQ(resumed.globalCycles, clean.globalCycles);
-    EXPECT_EQ(resumed_system->dram().protocolStreamHash(), clean_hash);
+    EXPECT_EQ(resumed_system->memory().protocolStreamHash(), clean_hash);
     EXPECT_FALSE(std::filesystem::exists(path));
 }
 
@@ -408,6 +420,10 @@ TEST(SnapshotResumeTest, SigkilledWorkerResumesNotFromZero)
 
     const GoldenCase &golden = goldenCase("hbm2-dual-res-ncf-dwt");
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
@@ -486,6 +502,10 @@ TEST(SnapshotResumeTest, CorruptSnapshotFallsBackToScratchSameResult)
     ASSERT_GT(clean.globalCycles, 16u);
 
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
@@ -523,6 +543,10 @@ TEST(SnapshotResumeTest, ConfigFingerprintMismatchIsRejected)
     // loader rejects it and the caller runs from scratch.
     const GoldenCase &golden = goldenCase("hbm2-dual-res-ncf-dwt");
     NpuMemConfig mem = NpuMemConfig::cloudNpu();
+    // These resume runs are compared against runGoldenCase(), which
+    // pins the DRAM backend; pin here too so a MNPU_MEM_BACKEND
+    // process default cannot make the two sides diverge.
+    mem.backend = MemBackendKind::Dram;
     mem.timing = DramTiming::preset(golden.protocol);
     ExperimentContext context(ArchConfig::miniNpu(), mem,
                               ModelScale::Mini);
